@@ -1,0 +1,356 @@
+(* sorl-tune: command-line front end of the ordinal-regression stencil
+   autotuner.
+
+   Subcommands:
+     list       show the Table III benchmarks and training shapes
+     train      generate a training set on the cost model and fit a model
+     rank       rank the pre-defined configuration set for a benchmark
+     tune       end-to-end: train (or load) a model and print the chosen
+                configuration, with optional measured verification
+     search     run an iterative-compilation baseline on a benchmark
+     emit       print the generated C for a benchmark + tuning vector *)
+
+open Cmdliner
+open Sorl_stencil
+
+let default_machine = Sorl_machine.Machine_desc.xeon_e5_2680_v3
+
+let measure_of ~noise ~seed =
+  Sorl_machine.Measure.model ~noise_amplitude:noise ~seed default_machine
+
+(* ---- shared arguments ---- *)
+
+let benchmark_arg =
+  let doc = "Benchmark instance name, e.g. gradient-256x256x256 (see `sorl_tune list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let size_arg =
+  let doc = "Training-set size (number of stencil executions)." in
+  Arg.(value & opt int 3840 & info [ "size"; "s" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 5 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let noise_arg =
+  let doc = "Relative measurement-noise amplitude of the cost-model backend." in
+  Arg.(value & opt float 0.02 & info [ "noise" ] ~docv:"AMP" ~doc)
+
+let model_file_arg =
+  let doc = "Model file path." in
+  Arg.(value & opt string "sorl.model" & info [ "model"; "m" ] ~docv:"FILE" ~doc)
+
+let mode_arg =
+  let doc = "Feature encoding: canonical (literal paper encoding) or extended." in
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          try Ok (Features.mode_of_string s) with Invalid_argument m -> Error (`Msg m)),
+        fun ppf m -> Format.pp_print_string ppf (Features.mode_to_string m) )
+  in
+  Arg.(value & opt mode_conv Features.Extended & info [ "features" ] ~docv:"MODE" ~doc)
+
+let lookup_instance name =
+  match Benchmarks.instance_by_name name with
+  | inst -> Ok inst
+  | exception Not_found ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown benchmark %S; try `sorl_tune list' for the available names"
+           name))
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    let open Sorl_util in
+    print_endline "Test benchmarks (Table III):";
+    let t = Table.create ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+        [ "benchmark"; "taps"; "buffers"; "type" ] in
+    List.iter
+      (fun inst ->
+        let k = Instance.kernel inst in
+        Table.add_row t
+          [
+            Instance.name inst;
+            string_of_int (Kernel.taps k);
+            string_of_int (Kernel.num_buffers k);
+            Dtype.to_string (Kernel.dtype k);
+          ])
+      Benchmarks.instances;
+    Table.print t;
+    Printf.printf "\nTraining shapes: %d kernels, %d instances (see Fig. 1 / section V-B)\n"
+      (List.length Training_shapes.kernels)
+      (List.length Training_shapes.instances);
+    Printf.printf "Search algorithms: %s\n"
+      (String.concat ", " (Sorl_search.Registry.names ()))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, training shapes and search algorithms")
+    Term.(const run $ const ())
+
+(* ---- train ---- *)
+
+let train_cmd =
+  let run size seed noise mode model_file =
+    let measure = measure_of ~noise ~seed in
+    let spec = { Sorl.Training.size; mode; seed } in
+    Printf.printf "generating %d training executions on %s...\n%!" size
+      (Sorl_machine.Measure.descr measure);
+    let ds, gen_s = Sorl_util.Timer.time (fun () -> Sorl.Training.generate ~spec measure) in
+    let tuner, train_s =
+      Sorl_util.Timer.time (fun () -> Sorl.Autotuner.train_on ~mode ds)
+    in
+    let taus = Sorl_svmrank.Eval.taus (Sorl.Autotuner.model tuner) ds in
+    Sorl.Autotuner.save tuner model_file;
+    Printf.printf
+      "trained on %d samples / %d instances in %s (generation %s)\n\
+       training-set Kendall tau: mean %.3f, median %.3f\n\
+       model written to %s\n"
+      (Sorl_svmrank.Dataset.num_samples ds)
+      (Sorl_svmrank.Dataset.num_queries ds)
+      (Sorl_util.Table.fmt_time train_s) (Sorl_util.Table.fmt_time gen_s)
+      (Sorl_util.Stats.mean taus) (Sorl_util.Stats.median taus) model_file;
+    Ok ()
+  in
+  Cmd.v (Cmd.info "train" ~doc:"Generate a training set and fit the ranking model")
+    Term.(term_result (const run $ size_arg $ seed_arg $ noise_arg $ mode_arg $ model_file_arg))
+
+(* ---- rank ---- *)
+
+let top_arg =
+  let doc = "How many top-ranked configurations to print." in
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+
+let rank_cmd =
+  let run name model_file top noise seed =
+    Result.bind (lookup_instance name) (fun inst ->
+        if not (Sys.file_exists model_file) then
+          Error
+            (`Msg
+              (Printf.sprintf "model file %s not found; run `sorl_tune train' first"
+                 model_file))
+        else begin
+          let tuner = Sorl.Autotuner.load model_file in
+          let dims = Kernel.dims (Instance.kernel inst) in
+          let set = Tuning.predefined_set ~dims in
+          let ranked, rank_s =
+            Sorl_util.Timer.time (fun () -> Sorl.Autotuner.rank tuner inst set)
+          in
+          Printf.printf "ranked %d configurations for %s in %s (no executions)\n"
+            (Array.length set) name (Sorl_util.Table.fmt_time rank_s);
+          let measure = measure_of ~noise ~seed in
+          let t = Sorl_util.Table.create
+              ~aligns:[ Sorl_util.Table.Right; Sorl_util.Table.Left; Sorl_util.Table.Right ]
+              [ "rank"; "tuning"; "model-measured GF/s" ] in
+          Array.iteri
+            (fun i tn ->
+              if i < top then
+                Sorl_util.Table.add_row t
+                  [
+                    string_of_int (i + 1);
+                    Tuning.to_string tn;
+                    Printf.sprintf "%.2f" (Sorl_machine.Measure.gflops measure inst tn);
+                  ])
+            ranked;
+          Sorl_util.Table.print t;
+          Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "rank" ~doc:"Rank the pre-defined configuration set for a benchmark")
+    Term.(term_result (const run $ benchmark_arg $ model_file_arg $ top_arg $ noise_arg $ seed_arg))
+
+(* ---- tune ---- *)
+
+let verify_arg =
+  let doc = "Measure the model's top-K predictions and report the verified best (hybrid mode)." in
+  Arg.(value & opt int 0 & info [ "verify" ] ~docv:"K" ~doc)
+
+let tune_cmd =
+  let run name size seed noise mode verify =
+    Result.bind (lookup_instance name) (fun inst ->
+        let measure = measure_of ~noise ~seed in
+        let spec = { Sorl.Training.size; mode; seed } in
+        Printf.printf "training (size %d)...\n%!" size;
+        let tuner = Sorl.Autotuner.train ~spec measure in
+        let best = Sorl.Autotuner.tune tuner inst in
+        Printf.printf "standalone choice: %s (%.2f GF/s on the model)\n"
+          (Tuning.to_string best)
+          (Sorl_machine.Measure.gflops measure inst best);
+        if verify > 0 then begin
+          let tn, rt = Sorl.Hybrid.rank_then_measure tuner measure inst ~budget:verify in
+          Printf.printf "hybrid (verify %d): %s (%.2f GF/s measured)\n" verify
+            (Tuning.to_string tn)
+            (Instance.total_flops inst /. rt /. 1e9)
+        end;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Train and pick the best configuration for a benchmark")
+    Term.(
+      term_result
+        (const run $ benchmark_arg $ size_arg $ seed_arg $ noise_arg $ mode_arg $ verify_arg))
+
+(* ---- search ---- *)
+
+let algo_arg =
+  let doc = "Search algorithm (ga, de, es, sga, random, hill, bandit, sa, pso)." in
+  Arg.(value & opt string "ga" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+
+let budget_arg =
+  let doc = "Evaluation budget." in
+  Arg.(value & opt int 1024 & info [ "budget"; "b" ] ~docv:"N" ~doc)
+
+let search_cmd =
+  let run name algo budget noise seed =
+    Result.bind (lookup_instance name) (fun inst ->
+        match Sorl_search.Registry.find algo with
+        | exception Not_found ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown algorithm %S (available: %s)" algo
+                 (String.concat ", " (Sorl_search.Registry.names ()))))
+        | a ->
+          let measure = measure_of ~noise ~seed in
+          let problem = Sorl.Tuning_problem.problem measure inst in
+          let outcome, wall =
+            Sorl_util.Timer.time (fun () -> a.Sorl_search.Registry.run ~seed ~budget problem)
+          in
+          let best = Sorl.Tuning_problem.decode inst outcome.Sorl_search.Runner.best_point in
+          Printf.printf
+            "%s on %s: best %s\n  runtime %.6f s (%.2f GF/s), %d evaluations, wall %s\n"
+            a.Sorl_search.Registry.descr name (Tuning.to_string best)
+            outcome.Sorl_search.Runner.best_cost
+            (Instance.total_flops inst /. outcome.Sorl_search.Runner.best_cost /. 1e9)
+            outcome.Sorl_search.Runner.evaluations (Sorl_util.Table.fmt_time wall);
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run an iterative-compilation search baseline")
+    Term.(term_result (const run $ benchmark_arg $ algo_arg $ budget_arg $ noise_arg $ seed_arg))
+
+(* ---- emit ---- *)
+
+let tuning_arg =
+  let doc = "Tuning vector as bx,by,bz,u,c." in
+  let tuning_conv =
+    Arg.conv
+      ( (fun s ->
+          match List.map int_of_string (String.split_on_char ',' s) with
+          | [ bx; by; bz; u; c ] -> (
+            try Ok (Tuning.create ~bx ~by ~bz ~u ~c)
+            with Invalid_argument m -> Error (`Msg m))
+          | _ | (exception Failure _) -> Error (`Msg "expected bx,by,bz,u,c")),
+        fun ppf t -> Format.pp_print_string ppf (Tuning.to_string t) )
+  in
+  Arg.(value & opt tuning_conv (Tuning.default ~dims:3) & info [ "tuning"; "t" ] ~docv:"T" ~doc)
+
+let emit_cmd =
+  let run name tuning =
+    Result.bind (lookup_instance name) (fun inst ->
+        let tuning =
+          if Kernel.dims (Instance.kernel inst) = 2 then { tuning with Tuning.bz = 1 }
+          else tuning
+        in
+        print_string (Sorl_codegen.Emit_c.emit (Sorl_codegen.Variant.compile inst tuning));
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Print the generated C code for a benchmark and tuning vector")
+    Term.(term_result (const run $ benchmark_arg $ tuning_arg))
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let run model_file top =
+    if not (Sys.file_exists model_file) then
+      Error (`Msg (Printf.sprintf "model file %s not found" model_file))
+    else begin
+      let tuner = Sorl.Autotuner.load model_file in
+      let mode = Sorl.Autotuner.feature_mode tuner in
+      let names = Features.names mode in
+      let model = Sorl.Autotuner.model tuner in
+      Printf.printf "model: %d features (%s encoding)\n\n" (Sorl_svmrank.Model.dim model)
+        (Features.mode_to_string mode);
+      Printf.printf "weight mass by feature family (positive weight = predicts slower):\n";
+      List.iter
+        (fun (group, share) ->
+          if share >= 0.005 then Printf.printf "  %-12s %5.1f%%\n" group (100. *. share))
+        (Sorl_svmrank.Explain.weight_mass_by_group ~names model);
+      Printf.printf "\ntop %d weights:\n" top;
+      let t =
+        Sorl_util.Table.create ~aligns:[ Sorl_util.Table.Left; Sorl_util.Table.Right ]
+          [ "feature"; "weight" ]
+      in
+      List.iter
+        (fun c ->
+          Sorl_util.Table.add_row t
+            [ c.Sorl_svmrank.Explain.name; Printf.sprintf "%+.4f" c.Sorl_svmrank.Explain.weight ])
+        (Sorl_svmrank.Explain.top_weights ~names ~k:top model);
+      Sorl_util.Table.print t;
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show what a trained ranking model learned")
+    Term.(term_result (const run $ model_file_arg $ top_arg))
+
+(* ---- tune-file (DSL front end) ---- *)
+
+let tune_file_cmd =
+  let file_arg =
+    let doc = "Stencil DSL file (see the Dsl module documentation for the grammar)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let size3_arg =
+    let doc = "Grid size as X,Y[,Z]." in
+    let size_conv =
+      Arg.conv
+        ( (fun s ->
+            match List.map int_of_string (String.split_on_char ',' s) with
+            | [ x; y ] -> Ok (x, y, 1)
+            | [ x; y; z ] -> Ok (x, y, z)
+            | _ | (exception Failure _) -> Error (`Msg "expected X,Y or X,Y,Z")),
+          fun ppf (x, y, z) -> Format.fprintf ppf "%d,%d,%d" x y z )
+    in
+    Arg.(value & opt size_conv (128, 128, 128) & info [ "grid"; "g" ] ~docv:"SIZE" ~doc)
+  in
+  let run file (sx, sy, sz) size seed noise verify =
+    Result.bind
+      (Result.map_error (fun m -> `Msg m) (Dsl.parse_file file))
+      (fun kernel ->
+        let sz = if Kernel.dims kernel = 2 then 1 else sz in
+        match Instance.create_xyz kernel ~sx ~sy ~sz with
+        | exception Invalid_argument m -> Error (`Msg m)
+        | inst ->
+          Printf.printf "parsed %s from %s\n%!" (Format.asprintf "%a" Kernel.pp kernel) file;
+          let measure = measure_of ~noise ~seed in
+          let spec = { Sorl.Training.size; mode = Features.Extended; seed } in
+          let tuner = Sorl.Autotuner.train ~spec measure in
+          let best = Sorl.Autotuner.tune tuner inst in
+          Printf.printf "%s: standalone choice %s (%.2f GF/s on the model)\n"
+            (Instance.name inst) (Tuning.to_string best)
+            (Sorl_machine.Measure.gflops measure inst best);
+          if verify > 0 then begin
+            let tn, rt = Sorl.Hybrid.rank_then_measure tuner measure inst ~budget:verify in
+            Printf.printf "hybrid (verify %d): %s (%.2f GF/s measured)\n" verify
+              (Tuning.to_string tn)
+              (Instance.total_flops inst /. rt /. 1e9)
+          end;
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "tune-file" ~doc:"Tune a stencil described in the textual DSL")
+    Term.(
+      term_result
+        (const run $ file_arg $ size3_arg $ size_arg $ seed_arg $ noise_arg $ verify_arg))
+
+let main_cmd =
+  let doc = "ordinal-regression stencil autotuner (IPDPS'17 reproduction)" in
+  Cmd.group (Cmd.info "sorl_tune" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; train_cmd; rank_cmd; tune_cmd; search_cmd; emit_cmd; inspect_cmd;
+      tune_file_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Dtype Features Format Instance Kernel List Pattern Printf Sorl Sorl_codegen Sorl_machine Sorl_stencil Sorl_util String Tuning

@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: Dtype Features Grid Instance Kernel Pattern Printf Sorl Sorl_codegen Sorl_grid Sorl_machine Sorl_stencil Sorl_util Tuning

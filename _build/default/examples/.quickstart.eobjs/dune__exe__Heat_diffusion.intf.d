@@ -1,0 +1,1 @@
+examples/heat_diffusion.mli:

@@ -1,0 +1,1 @@
+examples/hybrid_search.ml: Benchmarks Features Instance List Printf Sorl Sorl_machine Sorl_search Sorl_stencil Sorl_util

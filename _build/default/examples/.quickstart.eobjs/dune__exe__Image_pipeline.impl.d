@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Benchmarks Char Features Float Fun Grid Instance List Printf Sorl Sorl_codegen Sorl_grid Sorl_machine Sorl_stencil Sorl_util Tuning

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Benchmarks Features Format Instance Printf Sorl Sorl_machine Sorl_stencil Sorl_util Tuning

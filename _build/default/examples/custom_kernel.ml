@@ -1,0 +1,74 @@
+(* Bringing your own stencil: define a custom kernel, tune it, inspect
+   the generated C, and cross-check the cost model against real
+   (interpreted) execution.
+
+     dune exec examples/custom_kernel.exe
+
+   The kernel is an anisotropic 3-D smoother: a radius-2 line along x
+   (dominant transport direction) plus radius-1 arms along y and z,
+   reading a second coefficient field at the center — a shape that
+   appears in none of the built-in benchmarks or training codes. *)
+
+open Sorl_stencil
+
+let () =
+  (* 1. The custom kernel, straight from pattern algebra (§III-A). *)
+  let smoother_pattern =
+    Pattern.union
+      (Pattern.line ~axis:Pattern.X ~reach:2)
+      (Pattern.union (Pattern.line ~axis:Pattern.Y ~reach:1) (Pattern.line ~axis:Pattern.Z ~reach:1))
+  in
+  let kernel =
+    Kernel.create ~name:"aniso-smoother"
+      ~buffers:[ smoother_pattern; Pattern.of_offsets [ (0, 0, 0) ] ]
+      ~dtype:Dtype.F64 ()
+  in
+  Printf.printf "kernel: %s\n" (Format.asprintf "%a" Kernel.pp kernel);
+  let inst = Instance.create_xyz kernel ~sx:80 ~sy:80 ~sz:80 in
+
+  (* 2. Tune it with a model trained once on the synthetic shapes —
+     the kernel was never seen during training. *)
+  let measure = Sorl_machine.Measure.model Sorl_machine.Machine_desc.xeon_e5_2680_v3 in
+  let spec = { Sorl.Training.size = 1920; mode = Features.Extended; seed = 5 } in
+  let tuner = Sorl.Autotuner.train ~spec measure in
+  let tuned = Sorl.Autotuner.tune tuner inst in
+  Printf.printf "tuned schedule: %s\n\n" (Tuning.to_string tuned);
+
+  (* 3. Show a slice of the generated C (what PATUS would hand to gcc). *)
+  let variant = Sorl_codegen.Variant.compile inst tuned in
+  let c_code = Sorl_codegen.Emit_c.emit variant in
+  print_endline "generated C (first 16 lines):";
+  String.split_on_char '\n' c_code
+  |> List.filteri (fun i _ -> i < 16)
+  |> List.iter (fun l -> Printf.printf "  %s\n" l);
+
+  (* 4. Cross-check the two measurement backends on a handful of
+     schedules: the model's *ranking* should broadly agree with real
+     interpreted execution even though absolute numbers differ. *)
+  let schedules =
+    [
+      Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:0 ~c:1;
+      Tuning.create ~bx:16 ~by:16 ~bz:8 ~u:2 ~c:2;
+      tuned;
+      Tuning.create ~bx:1024 ~by:2 ~bz:2 ~u:8 ~c:64;
+    ]
+  in
+  let wallclock = Sorl_machine.Measure.wallclock ~repeats:1 () in
+  Printf.printf "\n%-34s %14s %14s\n" "schedule" "model (s)" "interp (s)" ;
+  let model_rts, wall_rts =
+    List.split
+      (List.map
+         (fun tn ->
+           let m = Sorl_machine.Measure.runtime measure inst tn in
+           let w = Sorl_machine.Measure.runtime wallclock inst tn in
+           Printf.printf "%-34s %14.6f %14.3f\n" (Tuning.to_string tn) m w;
+           (m, w))
+         schedules)
+  in
+  let tau =
+    Sorl_util.Rank_correlation.kendall_tau (Array.of_list model_rts) (Array.of_list wall_rts)
+  in
+  Printf.printf "\nKendall tau between model and interpreter orderings: %.2f\n" tau;
+  print_endline
+    "(absolute times differ — the interpreter is not compiled code — but\n\
+     \ the orderings that drive tuning decisions correspond)"

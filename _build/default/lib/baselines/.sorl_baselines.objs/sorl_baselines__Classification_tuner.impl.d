@@ -1,0 +1,1 @@
+lib/baselines/classification_tuner.ml: Array Features Hashtbl Instance Kernel List Sorl_machine Sorl_stencil Sorl_svmrank Sorl_util Tuning

@@ -1,0 +1,1 @@
+lib/baselines/regression_tuner.ml: Array Features Float Sorl_stencil Sorl_svmrank Sorl_util

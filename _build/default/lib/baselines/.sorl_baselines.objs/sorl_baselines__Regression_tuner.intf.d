@@ -1,0 +1,1 @@
+lib/baselines/regression_tuner.mli: Sorl_stencil Sorl_svmrank Sorl_util

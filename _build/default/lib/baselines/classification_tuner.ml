@@ -1,0 +1,152 @@
+open Sorl_stencil
+
+type params = { classes : int; epochs : int; seed : int }
+
+let default_params = { classes = 16; epochs = 30; seed = 1 }
+
+type t = {
+  class_tunings : Tuning.t array;  (* 2-D classes first *)
+  class_dims : int array;  (* dimensionality per class *)
+  weights : float array array;  (* one-vs-rest weight vectors *)
+  extra_measurements : int;
+}
+
+(* Instance-only feature vector: the canonical encoding at the default
+   tuning — the tuning block is constant per dimensionality, so only
+   the static kernel/size features discriminate. *)
+let instance_features inst =
+  let dims = Kernel.dims (Instance.kernel inst) in
+  Features.encode Features.Canonical inst (Tuning.default ~dims)
+
+(* Pick the [k] distinct tuning vectors that most often land in the top
+   quarter of their own instance's ranking, balanced across
+   dimensionalities. *)
+let representative_classes ~k ds instances tunings =
+  let freq2 = Hashtbl.create 64 and freq3 = Hashtbl.create 64 in
+  List.iteri
+    (fun qi inst ->
+      let members = Sorl_svmrank.Dataset.query_members ds qi in
+      let samples = Sorl_svmrank.Dataset.samples ds in
+      let sorted = Array.copy members in
+      Array.sort
+        (fun a b ->
+          compare samples.(a).Sorl_svmrank.Dataset.runtime
+            samples.(b).Sorl_svmrank.Dataset.runtime)
+        sorted;
+      let keep = max 1 (Array.length sorted / 4) in
+      let freq = if Kernel.dims (Instance.kernel inst) = 2 then freq2 else freq3 in
+      Array.iteri
+        (fun rank i ->
+          if rank < keep then
+            match tunings i with
+            | Some tn ->
+              let c = try Hashtbl.find freq tn with Not_found -> 0 in
+              Hashtbl.replace freq tn (c + 1)
+            | None -> ())
+        sorted)
+    instances;
+  let top freq n =
+    Hashtbl.fold (fun tn c acc -> (tn, c) :: acc) freq []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < n)
+    |> List.map fst
+  in
+  let n2 = k / 2 in
+  let c2 = top freq2 n2 and c3 = top freq3 (k - (k / 2)) in
+  (* pad with defaults when the training data exposes too few distinct
+     good tunings *)
+  let pad lst want dims =
+    let rec go lst n =
+      if n >= want then lst
+      else go (lst @ [ Tuning.default ~dims ]) (n + 1)
+    in
+    List.sort_uniq Tuning.compare (go lst (List.length lst))
+  in
+  (pad c2 (min n2 1) 2, pad c3 (min (k - n2) 1) 3)
+
+let train ?(params = default_params) measure ds ~instances ~tunings =
+  if params.classes < 2 then invalid_arg "Classification_tuner: need >= 2 classes";
+  if params.epochs < 1 then invalid_arg "Classification_tuner: epochs must be >= 1";
+  let c2, c3 = representative_classes ~k:params.classes ds instances tunings in
+  let class_tunings = Array.of_list (c2 @ c3) in
+  let class_dims =
+    Array.append (Array.make (List.length c2) 2) (Array.make (List.length c3) 3)
+  in
+  let n_classes = Array.length class_tunings in
+  (* Label every training instance by measuring its candidate classes. *)
+  let extra = ref 0 in
+  let labelled =
+    List.map
+      (fun inst ->
+        let dims = Kernel.dims (Instance.kernel inst) in
+        let best = ref (-1) and best_rt = ref infinity in
+        Array.iteri
+          (fun ci tn ->
+            if class_dims.(ci) = dims then begin
+              incr extra;
+              let rt = Sorl_machine.Measure.runtime measure inst tn in
+              if rt < !best_rt then begin
+                best_rt := rt;
+                best := ci
+              end
+            end)
+          class_tunings;
+        (instance_features inst, !best))
+      instances
+  in
+  (* One-vs-rest averaged perceptron. *)
+  let dim = Features.dim Features.Canonical in
+  let weights = Array.init n_classes (fun _ -> Array.make dim 0.) in
+  let sums = Array.init n_classes (fun _ -> Array.make dim 0.) in
+  let rng = Sorl_util.Rng.create params.seed in
+  let data = Array.of_list labelled in
+  for _ = 1 to params.epochs do
+    Sorl_util.Rng.shuffle rng data;
+    Array.iter
+      (fun (phi, label) ->
+        if label >= 0 then begin
+          (* predicted class among same-dimensionality competitors *)
+          let dims = class_dims.(label) in
+          let pred = ref (-1) and pred_score = ref neg_infinity in
+          Array.iteri
+            (fun ci w ->
+              if class_dims.(ci) = dims then begin
+                let s = Sorl_util.Sparse.dot_dense phi w in
+                if s > !pred_score then begin
+                  pred_score := s;
+                  pred := ci
+                end
+              end)
+            weights;
+          if !pred <> label then begin
+            Sorl_util.Sparse.axpy_dense 1. phi weights.(label);
+            Sorl_util.Sparse.axpy_dense (-1.) phi weights.(!pred)
+          end
+        end;
+        Array.iteri (fun ci w -> Sorl_util.Vec.axpy 1. w sums.(ci)) weights)
+      data
+  done;
+  let total = float_of_int (params.epochs * Array.length data) in
+  Array.iter (fun s -> Sorl_util.Vec.scale_inplace (1. /. total) s) sums;
+  { class_tunings; class_dims; weights = sums; extra_measurements = !extra }
+
+let classes t = Array.copy t.class_tunings
+
+let predict t inst =
+  let dims = Kernel.dims (Instance.kernel inst) in
+  let phi = instance_features inst in
+  let best = ref (-1) and best_score = ref neg_infinity in
+  Array.iteri
+    (fun ci w ->
+      if t.class_dims.(ci) = dims then begin
+        let s = Sorl_util.Sparse.dot_dense phi w in
+        if s > !best_score then begin
+          best_score := s;
+          best := ci
+        end
+      end)
+    t.weights;
+  if !best < 0 then invalid_arg "Classification_tuner.predict: no class for dimensionality";
+  t.class_tunings.(!best)
+
+let extra_measurements t = t.extra_measurements

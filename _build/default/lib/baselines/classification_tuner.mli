@@ -1,0 +1,58 @@
+(** Classification baseline (§IV-A-1).
+
+    The other alternative the paper argues against: fix a finite set of
+    [k] representative code variants (classes) and train a classifier
+    that maps an instance's {e static} features to the class expected
+    to perform best (as in Leather et al. and the heterogeneous
+    partitioning work the paper cites).
+
+    Construction mirrors the published recipes:
+
+    - class configurations are chosen from the training data as the
+      [k] distinct tuning vectors that most often rank near the top of
+      their own instance (medoid-style coverage of "good" regions);
+    - each training instance is labelled by {e measuring} the class
+      configurations on it and taking the argmin — the extra
+      [k × instances] measurements are charged to the baseline, they
+      are exactly the cost the paper's §IV-A criticizes;
+    - one-vs-rest averaged-perceptron linear classifiers over the
+      instance features predict the label of an unseen instance.
+
+    Its structural weaknesses are the paper's argument: quality is
+    bounded by the best of [k] fixed variants, and the 0/1 training
+    loss cannot distinguish a near-optimal misclassification from a
+    disastrous one. *)
+
+type params = {
+  classes : int;  (** number of representative variants (default 16) *)
+  epochs : int;  (** perceptron passes (default 30) *)
+  seed : int;
+}
+
+val default_params : params
+
+type t
+
+val train :
+  ?params:params ->
+  Sorl_machine.Measure.t ->
+  Sorl_svmrank.Dataset.t ->
+  instances:Sorl_stencil.Instance.t list ->
+  tunings:(int -> Sorl_stencil.Tuning.t option) ->
+  t
+(** [train measure ds ~instances ~tunings] builds the baseline from the
+    same ranking dataset the ordinal tuner uses; [instances] are the
+    training instances in query order and [tunings i] recovers the
+    tuning vector of sample [i] (the dataset stores only features).
+    Labelling performs [classes × |instances|] measurements on
+    [measure]. *)
+
+val classes : t -> Sorl_stencil.Tuning.t array
+(** The representative configurations, 2-D classes first. *)
+
+val predict : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t
+(** Class configuration predicted best for an unseen instance (only
+    classes of the instance's dimensionality compete). *)
+
+val extra_measurements : t -> int
+(** Measurements spent on labelling. *)

@@ -1,0 +1,44 @@
+(** Absolute-performance regression baseline (§IV-A-2).
+
+    The alternative the paper argues against: fit runtime itself with a
+    regularized linear model and rank candidates by predicted runtime.
+    Learning the absolute value is strictly harder than learning the
+    ordering — per-instance offsets (problem size, kernel intensity)
+    dominate the signal, and any monotone miscalibration that would be
+    harmless for ranking costs the regressor quadratically.  The
+    baseline bench quantifies the resulting gap against the ordinal
+    regression tuner.
+
+    The model is ridge regression on {e log} runtime (runtimes span
+    orders of magnitude across instances), fitted by averaged SGD. *)
+
+type params = {
+  lambda : float;  (** L2 regularization (default 1e-4) *)
+  epochs : int;  (** passes over the samples (default 200) *)
+  learning_rate : float;  (** initial step size (default 0.05) *)
+  seed : int;
+}
+
+val default_params : params
+
+type t
+
+val train :
+  ?params:params -> mode:Sorl_stencil.Features.mode -> Sorl_svmrank.Dataset.t -> t
+(** Fit on a ranking dataset's (features, runtime) pairs; the query
+    structure is ignored — that is the point of the baseline. *)
+
+val predict_log_runtime : t -> Sorl_util.Sparse.t -> float
+
+val rank :
+  t ->
+  Sorl_stencil.Instance.t ->
+  Sorl_stencil.Tuning.t array ->
+  Sorl_stencil.Tuning.t array
+(** Candidates sorted by ascending predicted runtime. *)
+
+val best :
+  t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array -> Sorl_stencil.Tuning.t
+(** Raises [Invalid_argument] on empty input. *)
+
+val mode : t -> Sorl_stencil.Features.mode

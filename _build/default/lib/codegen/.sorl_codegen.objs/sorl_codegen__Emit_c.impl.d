@@ -1,0 +1,1 @@
+lib/codegen/emit_c.ml: Buffer Dtype Expr Format Instance Kernel List Printf Schedule Sorl_stencil String Variant

@@ -1,0 +1,1 @@
+lib/codegen/emit_c.mli: Variant

@@ -1,0 +1,1 @@
+lib/codegen/expr.ml: Format Kernel List Pattern Printf Sorl_stencil

@@ -1,0 +1,1 @@
+lib/codegen/expr.mli: Format Sorl_stencil

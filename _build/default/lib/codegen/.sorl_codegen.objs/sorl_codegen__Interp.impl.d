@@ -1,0 +1,1 @@
+lib/codegen/interp.ml: Array Dtype Expr Grid Instance Kernel List Schedule Sorl_grid Sorl_stencil Sorl_util Variant

@@ -1,0 +1,1 @@
+lib/codegen/interp.mli: Sorl_grid Sorl_stencil Variant

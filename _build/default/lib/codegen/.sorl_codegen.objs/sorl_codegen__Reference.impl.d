@@ -1,0 +1,1 @@
+lib/codegen/reference.ml: Array Grid Instance Kernel List Pattern Sorl_grid Sorl_stencil

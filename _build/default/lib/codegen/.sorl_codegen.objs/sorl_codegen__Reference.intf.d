@@ -1,0 +1,1 @@
+lib/codegen/reference.mli: Sorl_grid Sorl_stencil

@@ -1,0 +1,1 @@
+lib/codegen/schedule.ml: Array Format Instance Kernel List Sorl_stencil Tuning

@@ -1,0 +1,1 @@
+lib/codegen/schedule.mli: Format Sorl_stencil

@@ -1,0 +1,1 @@
+lib/codegen/temporal.ml: Array Grid Instance Kernel List Pattern Schedule Sorl_grid Sorl_stencil Variant

@@ -1,0 +1,1 @@
+lib/codegen/temporal.mli: Sorl_grid Variant

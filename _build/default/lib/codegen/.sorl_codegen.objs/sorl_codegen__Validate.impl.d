@@ -1,0 +1,1 @@
+lib/codegen/validate.ml: Array Grid Instance Interp Kernel List Printf Reference Sorl_grid Sorl_stencil Temporal Tuning Variant

@@ -1,0 +1,1 @@
+lib/codegen/validate.mli: Sorl_stencil Variant

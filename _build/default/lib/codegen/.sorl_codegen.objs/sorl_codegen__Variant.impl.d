@@ -1,0 +1,1 @@
+lib/codegen/variant.ml: Expr Instance Printf Schedule Sorl_stencil Tuning

@@ -1,0 +1,1 @@
+lib/codegen/variant.mli: Expr Schedule Sorl_stencil

@@ -1,0 +1,83 @@
+open Sorl_stencil
+
+let ctype k = match Kernel.dtype k with Dtype.F32 -> "float" | Dtype.F64 -> "double"
+
+let sanitize name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '_')
+    (String.lowercase_ascii name)
+
+let kernel_signature v =
+  let inst = Variant.instance v in
+  let k = Instance.kernel inst in
+  let ty = ctype k in
+  let bufs =
+    String.concat ", "
+      (List.init (Kernel.num_buffers k) (fun i -> Printf.sprintf "const %s *in%d" ty i))
+  in
+  Printf.sprintf "void %s_step(%s *restrict out, %s)" (sanitize (Kernel.name k)) ty bufs
+
+let emit v =
+  let inst = Variant.instance v in
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  let sched = Variant.schedule v in
+  let ty = ctype k in
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let sx = s.Instance.sx and sy = s.Instance.sy and sz = s.Instance.sz in
+  pf "/* %s: generated stencil variant.\n" (Variant.name v);
+  pf " * schedule: %s\n */\n" (Format.asprintf "%a" Schedule.pp sched);
+  pf "#include <stdlib.h>\n#include <omp.h>\n\n";
+  pf "#define SX %d\n#define SY %d\n#define SZ %d\n" sx sy sz;
+  pf "#define CLAMP(v, lo, hi) ((v) < (lo) ? (lo) : ((v) > (hi) ? (hi) : (v)))\n";
+  pf "#define idx(x, y, z) \\\n";
+  pf "  (((size_t)CLAMP(z, 0, SZ - 1) * SY + CLAMP(y, 0, SY - 1)) * SX + CLAMP(x, 0, SX - 1))\n\n";
+  pf "%s {\n" (kernel_signature v);
+  pf "  const int ntiles = %d;\n" (Schedule.num_tiles sched);
+  pf "  /* chunks of %d consecutive tiles are the unit of scheduling */\n" sched.Schedule.chunk;
+  pf "  #pragma omp parallel for schedule(static, %d)\n" sched.Schedule.chunk;
+  pf "  for (int tile = 0; tile < ntiles; tile++) {\n";
+  pf "    const int tx = tile %% %d, ty = (tile / %d) %% %d, tz = tile / %d;\n"
+    sched.Schedule.ntx sched.Schedule.ntx sched.Schedule.nty
+    (sched.Schedule.ntx * sched.Schedule.nty);
+  pf "    const int x0 = tx * %d, x1 = x0 + %d > SX ? SX : x0 + %d;\n" sched.Schedule.bx
+    sched.Schedule.bx sched.Schedule.bx;
+  pf "    const int y0 = ty * %d, y1 = y0 + %d > SY ? SY : y0 + %d;\n" sched.Schedule.by
+    sched.Schedule.by sched.Schedule.by;
+  pf "    const int z0 = tz * %d, z1 = z0 + %d > SZ ? SZ : z0 + %d;\n" sched.Schedule.bz
+    sched.Schedule.bz sched.Schedule.bz;
+  pf "    for (int z = z0; z < z1; z++)\n";
+  pf "      for (int y = y0; y < y1; y++) {\n";
+  let body indent xexpr =
+    pf "%sout[idx(%s, y, z)] = %s;\n" indent xexpr
+      (Expr.to_c_with ~x:xexpr (Variant.expr v))
+  in
+  let u = sched.Schedule.unroll in
+  if u <= 1 then begin
+    pf "        for (int x = x0; x < x1; x++)\n";
+    body "          " "x"
+  end
+  else begin
+    pf "        int x = x0;\n";
+    pf "        for (; x + %d <= x1; x += %d) {  /* unrolled x%d */\n" u u u;
+    for j = 0 to u - 1 do
+      body "          " (Printf.sprintf "(x + %d)" j)
+    done;
+    pf "        }\n";
+    pf "        for (; x < x1; x++)\n";
+    body "          " "x"
+  end;
+  pf "      }\n";
+  pf "  }\n";
+  pf "}\n\n";
+  pf "int main(void) {\n";
+  pf "  %s *out = malloc(sizeof(%s) * SX * SY * SZ);\n" ty ty;
+  List.iteri
+    (fun i _ -> pf "  %s *in%d = malloc(sizeof(%s) * SX * SY * SZ);\n" ty i ty)
+    (Kernel.buffer_patterns k);
+  let args =
+    String.concat ", " (List.init (Kernel.num_buffers k) (Printf.sprintf "in%d"))
+  in
+  pf "  %s_step(out, %s);\n" (sanitize (Kernel.name k)) args;
+  pf "  return 0;\n}\n";
+  Buffer.contents b

@@ -1,0 +1,15 @@
+(** C code emitter.
+
+    Prints a compiled variant as self-contained C99 with OpenMP chunked
+    scheduling, the tile loops and an unrolled inner loop — the textual
+    equivalent of what PATUS would hand to the backend compiler.  Used
+    for inspection and documentation; the library's own measurements go
+    through {!Interp} and the cost model. *)
+
+val emit : Variant.t -> string
+(** Full translation unit: index helper, kernel function with tile /
+    point loops following the variant's schedule, and a main stub
+    allocating boundary-padded buffers. *)
+
+val kernel_signature : Variant.t -> string
+(** Just the kernel function prototype. *)

@@ -1,0 +1,64 @@
+open Sorl_stencil
+
+type t =
+  | Const of float
+  | Load of { buffer : int; off : Pattern.offset }
+  | Add of t * t
+  | Mul of t * t
+
+(* Balanced summation tree over a non-empty list. *)
+let rec sum_tree = function
+  | [] -> Const 0.
+  | [ e ] -> e
+  | es ->
+    let n = List.length es in
+    let rec split i acc = function
+      | rest when i = n / 2 -> (List.rev acc, rest)
+      | x :: rest -> split (i + 1) (x :: acc) rest
+      | [] -> (List.rev acc, [])
+    in
+    let l, r = split 0 [] es in
+    Add (sum_tree l, sum_tree r)
+
+let of_kernel k =
+  let terms =
+    List.concat
+      (List.mapi
+         (fun buffer p ->
+           List.map
+             (fun off ->
+               Mul (Const (Kernel.coefficient k ~buffer off), Load { buffer; off }))
+             (Pattern.offsets p))
+         (Kernel.buffer_patterns k))
+  in
+  sum_tree terms
+
+let rec eval t ~load =
+  match t with
+  | Const c -> c
+  | Load { buffer; off } -> load buffer off
+  | Add (a, b) -> eval a ~load +. eval b ~load
+  | Mul (a, b) -> eval a ~load *. eval b ~load
+
+let rec flops = function
+  | Const _ | Load _ -> 0
+  | Add (a, b) | Mul (a, b) -> 1 + flops a + flops b
+
+let loads t =
+  let rec go acc = function
+    | Const _ -> acc
+    | Load { buffer; off } -> (buffer, off) :: acc
+    | Add (a, b) | Mul (a, b) -> go (go acc a) b
+  in
+  List.rev (go [] t)
+
+let rec to_c_with ~x = function
+  | Const c -> Printf.sprintf "%.17g" c
+  | Load { buffer; off = dx, dy, dz } ->
+    Printf.sprintf "in%d[idx(%s%+d, y%+d, z%+d)]" buffer x dx dy dz
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_c_with ~x a) (to_c_with ~x b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_c_with ~x a) (to_c_with ~x b)
+
+let to_c = to_c_with ~x:"x"
+
+let pp ppf t = Format.pp_print_string ppf (to_c t)

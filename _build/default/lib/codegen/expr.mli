@@ -1,0 +1,35 @@
+(** Per-point compute expressions.
+
+    The body of a stencil loop nest is a single expression tree over
+    buffer loads at pattern offsets.  The compiler builds it from a
+    kernel's taps and coefficients; the interpreter evaluates it, the C
+    emitter prints it, and the cost model counts its operations. *)
+
+type t =
+  | Const of float
+  | Load of { buffer : int; off : Sorl_stencil.Pattern.offset }
+  | Add of t * t
+  | Mul of t * t
+
+val of_kernel : Sorl_stencil.Kernel.t -> t
+(** [Σ_b Σ_{o ∈ pattern_b} coeff(b,o) · load(b,o)], built as a balanced
+    tree so deep stencils do not create deep recursion. *)
+
+val eval : t -> load:(int -> Sorl_stencil.Pattern.offset -> float) -> float
+(** Evaluate with a load callback resolving (buffer, offset). *)
+
+val flops : t -> int
+(** Number of [Add]/[Mul] nodes. *)
+
+val loads : t -> (int * Sorl_stencil.Pattern.offset) list
+(** All loads, in evaluation order. *)
+
+val to_c : t -> string
+(** C expression string; loads print as
+    [in<buffer>\[idx(x+dx, y+dy, z+dz)\]]. *)
+
+val to_c_with : x:string -> t -> string
+(** Like {!to_c} with a custom x-coordinate expression — the emitter
+    substitutes [(x + j)] in unrolled bodies. *)
+
+val pp : Format.formatter -> t -> unit

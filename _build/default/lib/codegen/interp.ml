@@ -1,0 +1,104 @@
+open Sorl_stencil
+open Sorl_grid
+
+(* Linearized tap list: (buffer, dx, dy, dz, coeff).  [Expr.of_kernel]
+   always produces a balanced sum of [coeff * load] terms, which we
+   flatten for a tight inner loop; arbitrary expressions fall back to
+   tree evaluation. *)
+type taps = { buf : int array; dx : int array; dy : int array; dz : int array; w : float array }
+
+let linearize expr =
+  let rec go acc = function
+    | Expr.Const 0. -> Some acc
+    | Expr.Mul (Expr.Const c, Expr.Load { buffer; off = dx, dy, dz }) ->
+      Some ((buffer, dx, dy, dz, c) :: acc)
+    | Expr.Add (a, b) -> ( match go acc a with Some acc -> go acc b | None -> None)
+    | Expr.Const _ | Expr.Load _ | Expr.Mul _ -> None
+  in
+  match go [] expr with
+  | None -> None
+  | Some terms ->
+    let terms = Array.of_list (List.rev terms) in
+    Some
+      {
+        buf = Array.map (fun (b, _, _, _, _) -> b) terms;
+        dx = Array.map (fun (_, x, _, _, _) -> x) terms;
+        dy = Array.map (fun (_, _, y, _, _) -> y) terms;
+        dz = Array.map (fun (_, _, _, z, _) -> z) terms;
+        w = Array.map (fun (_, _, _, _, c) -> c) terms;
+      }
+
+let point_value expr taps inputs x y z =
+  match taps with
+  | Some t ->
+    let acc = ref 0. in
+    for i = 0 to Array.length t.w - 1 do
+      acc :=
+        !acc
+        +. t.w.(i)
+           *. Grid.get_clamped inputs.(t.buf.(i)) (x + t.dx.(i)) (y + t.dy.(i)) (z + t.dz.(i))
+    done;
+    !acc
+  | None ->
+    Expr.eval expr ~load:(fun b (dx, dy, dz) ->
+        Grid.get_clamped inputs.(b) (x + dx) (y + dy) (z + dz))
+
+let run ?(threads = 1) v ~inputs ~output =
+  let inst = Variant.instance v in
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  if Array.length inputs <> Kernel.num_buffers k then
+    invalid_arg "Interp.run: wrong number of input grids";
+  let shape_ok g =
+    Grid.nx g = s.Instance.sx && Grid.ny g = s.Instance.sy && Grid.nz g = s.Instance.sz
+  in
+  Array.iter (fun g -> if not (shape_ok g) then invalid_arg "Interp.run: input shape") inputs;
+  if not (shape_ok output) then invalid_arg "Interp.run: output shape";
+  let sched = Variant.schedule v in
+  let expr = Variant.expr v in
+  let taps = linearize expr in
+  let u = sched.Schedule.unroll in
+  let do_point x y z = Grid.set output x y z (point_value expr taps inputs x y z) in
+  let do_tile (tl : Schedule.tile) =
+    for z = tl.Schedule.z0 to tl.Schedule.z1 - 1 do
+      for y = tl.Schedule.y0 to tl.Schedule.y1 - 1 do
+        (* Unrolled x loop: [u] bodies per step, then the remainder. *)
+        let x = ref tl.Schedule.x0 in
+        while !x + u <= tl.Schedule.x1 do
+          for j = 0 to u - 1 do
+            do_point (!x + j) y z
+          done;
+          x := !x + u
+        done;
+        while !x < tl.Schedule.x1 do
+          do_point !x y z;
+          incr x
+        done
+      done
+    done
+  in
+  let workers = Schedule.assign_chunks sched ~threads in
+  Array.iter
+    (fun chunks ->
+      Array.iter
+        (fun c ->
+          let lo, hi = Schedule.chunk_tile_range sched c in
+          for t = lo to hi - 1 do
+            do_tile (Schedule.tile sched t)
+          done)
+        chunks)
+    workers
+
+let make_grids ?(seed = 7) inst =
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  let prec = match Kernel.dtype k with Dtype.F32 -> Grid.Single | Dtype.F64 -> Grid.Double in
+  let make () = Grid.create ~prec ~nx:s.Instance.sx ~ny:s.Instance.sy ~nz:s.Instance.sz () in
+  let rng = Sorl_util.Rng.create seed in
+  let inputs =
+    Array.init (Kernel.num_buffers k) (fun _ ->
+        let g = make () in
+        Grid.random_init rng g;
+        g)
+  in
+  (inputs, make ())

@@ -1,0 +1,31 @@
+(** Reference interpreter for compiled variants.
+
+    Executes a variant on real grids, walking the iteration space in the
+    exact order the schedule prescribes: chunks round-robin across
+    simulated workers, tiles within a chunk, z/y point loops within a
+    tile, and an explicitly unrolled x loop (body repeated [unroll]
+    times per step, plus a remainder loop).  Out-of-grid loads clamp to
+    the boundary.
+
+    Tiles are disjoint, so any interleaving produces the same output;
+    the tests rely on this to check every schedule against the
+    untransformed {!Reference} executor. *)
+
+val run :
+  ?threads:int ->
+  Variant.t ->
+  inputs:Sorl_grid.Grid.t array ->
+  output:Sorl_grid.Grid.t ->
+  unit
+(** [run v ~inputs ~output] executes one time step.  [inputs] must have
+    one grid per kernel buffer, all matching the instance size, and
+    [output] the same shape.  [threads] (default 1) only affects the
+    traversal interleaving.  Raises [Invalid_argument] on shape or
+    buffer-count mismatch. *)
+
+val make_grids :
+  ?seed:int ->
+  Sorl_stencil.Instance.t ->
+  Sorl_grid.Grid.t array * Sorl_grid.Grid.t
+(** Allocate and pseudo-randomly fill input grids plus a zeroed output
+    grid for an instance (deterministic in [seed], default 7). *)

@@ -1,0 +1,40 @@
+open Sorl_stencil
+open Sorl_grid
+
+let run inst ~inputs ~output =
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  if Array.length inputs <> Kernel.num_buffers k then
+    invalid_arg "Reference.run: wrong number of input grids";
+  (* Gather taps directly from the kernel so this executor shares no
+     scheduling code with the interpreter it checks. *)
+  let taps =
+    List.concat
+      (List.mapi
+         (fun buffer p ->
+           List.map
+             (fun off -> (buffer, off, Kernel.coefficient k ~buffer off))
+             (Pattern.offsets p))
+         (Kernel.buffer_patterns k))
+  in
+  for z = 0 to s.Instance.sz - 1 do
+    for y = 0 to s.Instance.sy - 1 do
+      for x = 0 to s.Instance.sx - 1 do
+        let acc = ref 0. in
+        List.iter
+          (fun (b, (dx, dy, dz), w) ->
+            acc := !acc +. (w *. Grid.get_clamped inputs.(b) (x + dx) (y + dy) (z + dz)))
+          taps;
+        Grid.set output x y z !acc
+      done
+    done
+  done
+
+let step_count inst ~inputs ~output ~steps =
+  if steps < 1 then invalid_arg "Reference.step_count: steps must be >= 1";
+  for _ = 1 to steps - 1 do
+    run inst ~inputs ~output;
+    (* Ping-pong: the freshly written field becomes buffer 0. *)
+    Grid.blit ~src:output ~dst:inputs.(0)
+  done;
+  run inst ~inputs ~output

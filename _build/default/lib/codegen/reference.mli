@@ -1,0 +1,22 @@
+(** Untransformed reference executor.
+
+    Plain z/y/x triple loop with no blocking, unrolling or chunking —
+    the semantic oracle every compiled variant must agree with. *)
+
+val run :
+  Sorl_stencil.Instance.t ->
+  inputs:Sorl_grid.Grid.t array ->
+  output:Sorl_grid.Grid.t ->
+  unit
+(** One time step with boundary-clamped loads.  Same shape requirements
+    as {!Interp.run}. *)
+
+val step_count :
+  Sorl_stencil.Instance.t ->
+  inputs:Sorl_grid.Grid.t array ->
+  output:Sorl_grid.Grid.t ->
+  steps:int ->
+  unit
+(** [steps] successive applications, ping-ponging the first input grid
+    and the output (multi-buffer kernels keep the remaining inputs
+    fixed).  Raises [Invalid_argument] if [steps < 1]. *)

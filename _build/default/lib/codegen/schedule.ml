@@ -1,0 +1,70 @@
+open Sorl_stencil
+
+type t = {
+  size : Instance.size;
+  bx : int;
+  by : int;
+  bz : int;
+  unroll : int;
+  chunk : int;
+  ntx : int;
+  nty : int;
+  ntz : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let create inst (tn : Tuning.t) =
+  let s = Instance.size inst in
+  let bx = min tn.Tuning.bx s.Instance.sx in
+  let by = min tn.Tuning.by s.Instance.sy in
+  let bz = min (if Kernel.dims (Instance.kernel inst) = 2 then 1 else tn.Tuning.bz) s.Instance.sz in
+  {
+    size = s;
+    bx;
+    by;
+    bz;
+    unroll = max 1 tn.Tuning.u;
+    chunk = max 1 tn.Tuning.c;
+    ntx = ceil_div s.Instance.sx bx;
+    nty = ceil_div s.Instance.sy by;
+    ntz = ceil_div s.Instance.sz bz;
+  }
+
+let num_tiles t = t.ntx * t.nty * t.ntz
+let num_chunks t = ceil_div (num_tiles t) t.chunk
+
+type tile = { x0 : int; x1 : int; y0 : int; y1 : int; z0 : int; z1 : int }
+
+let tile t i =
+  if i < 0 || i >= num_tiles t then invalid_arg "Schedule.tile: index out of range";
+  let tx = i mod t.ntx in
+  let ty = i / t.ntx mod t.nty in
+  let tz = i / (t.ntx * t.nty) in
+  let x0 = tx * t.bx and y0 = ty * t.by and z0 = tz * t.bz in
+  {
+    x0;
+    x1 = min (x0 + t.bx) t.size.Instance.sx;
+    y0;
+    y1 = min (y0 + t.by) t.size.Instance.sy;
+    z0;
+    z1 = min (z0 + t.bz) t.size.Instance.sz;
+  }
+
+let tile_points tl = (tl.x1 - tl.x0) * (tl.y1 - tl.y0) * (tl.z1 - tl.z0)
+
+let chunk_tile_range t c =
+  if c < 0 || c >= num_chunks t then invalid_arg "Schedule.chunk_tile_range";
+  let lo = c * t.chunk in
+  (lo, min (lo + t.chunk) (num_tiles t))
+
+let assign_chunks t ~threads =
+  if threads <= 0 then invalid_arg "Schedule.assign_chunks: threads must be positive";
+  let nc = num_chunks t in
+  Array.init threads (fun w ->
+      let rec collect c acc = if c >= nc then List.rev acc else collect (c + threads) (c :: acc) in
+      Array.of_list (collect w []))
+
+let pp ppf t =
+  Format.fprintf ppf "tiles %dx%dx%d (blocks %dx%dx%d), unroll %d, chunk %d" t.ntx t.nty
+    t.ntz t.bx t.by t.bz t.unroll t.chunk

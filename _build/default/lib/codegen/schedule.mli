@@ -1,0 +1,45 @@
+(** Loop schedules: the concrete iteration-space decomposition a tuning
+    vector induces on an instance.
+
+    The schedule clamps block sizes to the grid, normalizes the unroll
+    factor ([u = 0] means "not unrolled", i.e. an effective factor of
+    1), decomposes the grid into tiles in x-fastest order and groups
+    consecutive tiles into chunks of [c] tiles — the unit of work handed
+    to one thread (§V). *)
+
+type t = {
+  size : Sorl_stencil.Instance.size;
+  bx : int;  (** effective x block (≤ sx) *)
+  by : int;
+  bz : int;
+  unroll : int;  (** effective unroll factor, ≥ 1 *)
+  chunk : int;  (** tiles per chunk *)
+  ntx : int;  (** tile count along x *)
+  nty : int;
+  ntz : int;
+}
+
+val create : Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> t
+
+val num_tiles : t -> int
+val num_chunks : t -> int
+
+type tile = { x0 : int; x1 : int; y0 : int; y1 : int; z0 : int; z1 : int }
+(** Half-open point ranges of one tile. *)
+
+val tile : t -> int -> tile
+(** [tile s i] for [i] in [\[0, num_tiles)], x-fastest tile order.
+    Border tiles are smaller. *)
+
+val tile_points : tile -> int
+
+val chunk_tile_range : t -> int -> int * int
+(** [chunk_tile_range s c] is the half-open tile-index range of chunk
+    [c]. *)
+
+val assign_chunks : t -> threads:int -> int array array
+(** Round-robin mapping of chunks to [threads] workers (the static
+    OpenMP-style schedule the cost model assumes): element [w] lists the
+    chunk indices of worker [w]. *)
+
+val pp : Format.formatter -> t -> unit

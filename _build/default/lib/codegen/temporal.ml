@@ -1,0 +1,128 @@
+open Sorl_stencil
+open Sorl_grid
+
+(* The valid box of local step [s] (0 = the freshly loaded extension,
+   [tb] = the tile itself): the tile extended by radius*(tb - s),
+   clamped to the domain.  Clamping at domain boundaries is exact
+   because boundary-clamped loads end dependences there. *)
+let ext_box (s : Instance.size) (tl : Schedule.tile) ~radius:(rx, ry, rz) ~tb ~step =
+  let g = tb - step in
+  ( max 0 (tl.Schedule.x0 - (rx * g)),
+    min s.Instance.sx (tl.Schedule.x1 + (rx * g)),
+    max 0 (tl.Schedule.y0 - (ry * g)),
+    min s.Instance.sy (tl.Schedule.y1 + (ry * g)),
+    max 0 (tl.Schedule.z0 - (rz * g)),
+    min s.Instance.sz (tl.Schedule.z1 + (rz * g)) )
+
+let box_points (x0, x1, y0, y1, z0, z1) = (x1 - x0) * (y1 - y0) * (z1 - z0)
+
+type footprint = { loaded_points : int; computed_points : int; tile_points : int }
+
+let footprints v ~time_block =
+  if time_block < 1 then invalid_arg "Temporal.footprints: time_block must be >= 1";
+  let inst = Variant.instance v in
+  let s = Instance.size inst in
+  let radius = Kernel.radius (Instance.kernel inst) in
+  let sched = Variant.schedule v in
+  let loaded = ref 0 and computed = ref 0 and tiles = ref 0 in
+  for t = 0 to Schedule.num_tiles sched - 1 do
+    let tl = Schedule.tile sched t in
+    tiles := !tiles + Schedule.tile_points tl;
+    loaded := !loaded + box_points (ext_box s tl ~radius ~tb:time_block ~step:0);
+    for step = 1 to time_block do
+      computed := !computed + box_points (ext_box s tl ~radius ~tb:time_block ~step)
+    done
+  done;
+  { loaded_points = !loaded; computed_points = !computed; tile_points = !tiles }
+
+let compute_inflation v ~time_block =
+  let f = footprints v ~time_block in
+  float_of_int f.computed_points /. float_of_int (f.tile_points * time_block)
+
+let run v ~time_block ~steps ~inputs ~output =
+  if time_block < 1 then invalid_arg "Temporal.run: time_block must be >= 1";
+  if steps < 1 then invalid_arg "Temporal.run: steps must be >= 1";
+  let inst = Variant.instance v in
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  if Array.length inputs <> Kernel.num_buffers k then
+    invalid_arg "Temporal.run: wrong number of input grids";
+  let shape_ok g =
+    Grid.nx g = s.Instance.sx && Grid.ny g = s.Instance.sy && Grid.nz g = s.Instance.sz
+  in
+  Array.iter (fun g -> if not (shape_ok g) then invalid_arg "Temporal.run: input shape") inputs;
+  if not (shape_ok output) then invalid_arg "Temporal.run: output shape";
+  let radius = Kernel.radius (Instance.kernel inst) in
+  let sched = Variant.schedule v in
+  (* taps: (buffer, dx, dy, dz, coeff) *)
+  let taps =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun buffer p ->
+              List.map
+                (fun off -> (buffer, off, Kernel.coefficient k ~buffer off))
+                (Pattern.offsets p))
+            (Kernel.buffer_patterns k)))
+  in
+  (* Local ping-pong scratch sized for the largest extension; reused
+     across tiles. *)
+  let max_ext_x = s.Instance.sx and max_ext_y = s.Instance.sy and max_ext_z = s.Instance.sz in
+  let scratch_a = Grid.create ~nx:max_ext_x ~ny:max_ext_y ~nz:max_ext_z () in
+  let scratch_b = Grid.create ~nx:max_ext_x ~ny:max_ext_y ~nz:max_ext_z () in
+  let current = Grid.copy inputs.(0) in
+  let next = Grid.create ~nx:s.Instance.sx ~ny:s.Instance.sy ~nz:s.Instance.sz () in
+  let remaining = ref steps in
+  while !remaining > 0 do
+    let tb = min time_block !remaining in
+    (* one chunk: advance every tile tb steps from [current] into
+       [next] using local trapezoids *)
+    for t = 0 to Schedule.num_tiles sched - 1 do
+      let tl = Schedule.tile sched t in
+      let bx0, bx1, by0, by1, bz0, bz1 = ext_box s tl ~radius ~tb ~step:0 in
+      (* load the extension from the global current field; scratch is
+         addressed in global coordinates for clarity (it is
+         full-grid-sized scratch, only the box region is touched) *)
+      for z = bz0 to bz1 - 1 do
+        for y = by0 to by1 - 1 do
+          for x = bx0 to bx1 - 1 do
+            Grid.set scratch_a x y z (Grid.get current x y z)
+          done
+        done
+      done;
+      let src = ref scratch_a and dst = ref scratch_b in
+      for step = 1 to tb do
+        let vx0, vx1, vy0, vy1, vz0, vz1 = ext_box s tl ~radius ~tb ~step in
+        for z = vz0 to vz1 - 1 do
+          for y = vy0 to vy1 - 1 do
+            for x = vx0 to vx1 - 1 do
+              let acc = ref 0. in
+              Array.iter
+                (fun (b, (dx, dy, dz), w) ->
+                  let v =
+                    if b = 0 then Grid.get_clamped !src (x + dx) (y + dy) (z + dz)
+                    else Grid.get_clamped inputs.(b) (x + dx) (y + dy) (z + dz)
+                  in
+                  acc := !acc +. (w *. v))
+                taps;
+              Grid.set !dst x y z !acc
+            done
+          done
+        done;
+        let tmp = !src in
+        src := !dst;
+        dst := tmp
+      done;
+      (* write the tile back *)
+      for z = tl.Schedule.z0 to tl.Schedule.z1 - 1 do
+        for y = tl.Schedule.y0 to tl.Schedule.y1 - 1 do
+          for x = tl.Schedule.x0 to tl.Schedule.x1 - 1 do
+            Grid.set next x y z (Grid.get !src x y z)
+          done
+        done
+      done
+    done;
+    Grid.blit ~src:next ~dst:current;
+    remaining := !remaining - tb
+  done;
+  Grid.blit ~src:current ~dst:output

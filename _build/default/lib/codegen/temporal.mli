@@ -1,0 +1,51 @@
+(** Temporal blocking (overlapped tiling with redundant halo compute).
+
+    The classic time-dimension stencil optimization (time skewing /
+    trapezoid tiling in the paper's related work, §I/§II): instead of
+    streaming the whole grid through memory once per time step, each
+    spatial tile advances [time_block] steps locally on a
+    halo-extended working copy before anything is written back —
+    memory traffic per step drops by roughly the blocking factor at
+    the price of recomputing shrinking halo regions.
+
+    The executor here implements the overlapped (redundant-compute)
+    variant: per chunk of [time_block] steps, the tile's footprint is
+    extended by [radius · time_block], and each local step shrinks the
+    valid region by the radius except along grid boundaries (where
+    clamping ends dependences).  Multi-buffer kernels time-step buffer
+    0 and read the remaining buffers in place, matching
+    {!Reference.step_count}'s ping-pong convention.
+
+    {!Cost_model.runtime} prices one sweep; {!step_runtime} prices the
+    per-step average under temporal blocking, letting the ablation
+    bench locate the memory-bound/compute-bound crossover. *)
+
+val run :
+  Variant.t ->
+  time_block:int ->
+  steps:int ->
+  inputs:Sorl_grid.Grid.t array ->
+  output:Sorl_grid.Grid.t ->
+  unit
+(** [run v ~time_block ~steps ~inputs ~output] advances [steps] time
+    steps; the result in [output] equals {!Reference.step_count}
+    exactly (unlike [Reference], the input grids are left untouched).
+    A trailing partial chunk handles [steps mod time_block].  Raises
+    [Invalid_argument] on nonpositive arguments or shape mismatch. *)
+
+type footprint = {
+  loaded_points : int;  (** Σ over tiles of the step-0 extension volume *)
+  computed_points : int;  (** Σ over tiles and local steps of computed points *)
+  tile_points : int;  (** Σ over tiles of the written tile volume *)
+}
+
+val footprints : Variant.t -> time_block:int -> footprint
+(** Aggregate volumes of one [time_block]-step chunk — the quantities
+    the temporal cost extension prices. *)
+
+val compute_inflation : Variant.t -> time_block:int -> float
+(** Redundant-compute factor: (points computed per chunk) / (tile
+    points × time_block) averaged over all tiles — 1.0 at
+    [time_block = 1], growing with the blocking factor and the stencil
+    radius, shrinking with tile size.  The analytic pricing lives in
+    {!Sorl_machine.Cost_model.temporal_runtime}. *)

@@ -1,0 +1,83 @@
+open Sorl_stencil
+open Sorl_grid
+
+type report = { checked : int; max_error : float }
+
+let check_variant ?(seed = 11) ?(eps = 1e-9) v =
+  let inst = Variant.instance v in
+  let inputs, out_i = Interp.make_grids ~seed inst in
+  Interp.run v ~inputs ~output:out_i;
+  let out_r = Grid.copy out_i in
+  Grid.fill out_r 0.;
+  Reference.run inst ~inputs ~output:out_r;
+  let err = Grid.max_abs_diff out_i out_r in
+  if err <= eps then Ok { checked = 1; max_error = err }
+  else
+    Error
+      (Printf.sprintf "%s deviates from the reference by %g (eps %g)" (Variant.name v) err eps)
+
+let default_battery ~dims =
+  let t bx by bz u c = Tuning.create ~bx ~by ~bz:(if dims = 2 then 1 else bz) ~u ~c in
+  [
+    t 2 2 2 0 1; (* minimal blocks, no unroll *)
+    t 7 3 2 4 3; (* remainder loops everywhere *)
+    t 1024 1024 1024 1 1; (* single full-grid tile *)
+    t 4 1024 4 8 2; (* maximal unroll *)
+    t 16 4 8 3 256; (* one giant chunk *)
+    t 5 5 5 5 5;
+  ]
+
+let check_kernel ?(seed = 11) ?(eps = 1e-9) ?schedules ?(extent = 12) k =
+  let rx, ry, rz = Kernel.radius k in
+  let dims = Kernel.dims k in
+  let need = 1 + (2 * max rx (max ry rz)) in
+  let n = max extent (need + 1) in
+  let inst =
+    if dims = 2 then Instance.create_xyz k ~sx:n ~sy:n ~sz:1
+    else Instance.create_xyz k ~sx:n ~sy:n ~sz:n
+  in
+  let schedules = match schedules with Some l -> l | None -> default_battery ~dims in
+  let checked = ref 0 and worst = ref 0. in
+  let rec spatial = function
+    | [] -> Ok ()
+    | tn :: rest -> (
+      match check_variant ~seed ~eps (Variant.compile inst tn) with
+      | Ok r ->
+        incr checked;
+        if r.max_error > !worst then worst := r.max_error;
+        spatial rest
+      | Error m -> Error m)
+  in
+  let temporal () =
+    (* time-blocked executor vs reference multi-step *)
+    let tn = List.hd schedules in
+    let v = Variant.compile inst tn in
+    let rec go = function
+      | [] -> Ok ()
+      | tb :: rest ->
+        let steps = tb + 1 in
+        let inputs, out_t = Interp.make_grids ~seed inst in
+        Temporal.run v ~time_block:tb ~steps ~inputs ~output:out_t;
+        let ref_inputs = Array.map Grid.copy inputs in
+        let out_r = Grid.copy out_t in
+        Grid.fill out_r 0.;
+        Reference.step_count inst ~inputs:ref_inputs ~output:out_r ~steps;
+        let err = Grid.max_abs_diff out_t out_r in
+        if err <= eps then begin
+          incr checked;
+          if err > !worst then worst := err;
+          go rest
+        end
+        else
+          Error
+            (Printf.sprintf "temporal executor (tb=%d) deviates by %g on %s" tb err
+               (Kernel.name k))
+    in
+    go [ 2; 3 ]
+  in
+  match spatial schedules with
+  | Error m -> Error m
+  | Ok () -> (
+    match temporal () with
+    | Error m -> Error m
+    | Ok () -> Ok { checked = !checked; max_error = !worst })

@@ -1,0 +1,29 @@
+(** User-facing semantics validation.
+
+    A user plugging a custom kernel into the tuner can check that any
+    schedule — or the temporal-blocking executor — computes exactly what
+    the untransformed reference computes, on a scaled-down instance of
+    the same kernel. *)
+
+type report = {
+  checked : int;  (** schedules exercised *)
+  max_error : float;  (** worst element-wise deviation observed *)
+}
+
+val check_variant :
+  ?seed:int -> ?eps:float -> Variant.t -> (report, string) result
+(** Execute the variant and the reference on identical random inputs
+    and compare ([eps] defaults to 1e-9). *)
+
+val check_kernel :
+  ?seed:int ->
+  ?eps:float ->
+  ?schedules:Sorl_stencil.Tuning.t list ->
+  ?extent:int ->
+  Sorl_stencil.Kernel.t ->
+  (report, string) result
+(** Validate a kernel on a small [extent]-sized instance (default 12 —
+    clamped up as needed to fit the kernel radius) across a default
+    battery of schedules (corner cases of blocking, unrolling and
+    chunking), plus the temporal executor at time blocks 2 and 3.
+    Returns the first failing schedule's description on error. *)

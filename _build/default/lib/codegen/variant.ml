@@ -1,0 +1,23 @@
+open Sorl_stencil
+
+type t = {
+  instance : Instance.t;
+  tuning : Tuning.t;
+  schedule : Schedule.t;
+  expr : Expr.t;
+}
+
+let compile instance tuning =
+  {
+    instance;
+    tuning;
+    schedule = Schedule.create instance tuning;
+    expr = Expr.of_kernel (Instance.kernel instance);
+  }
+
+let instance t = t.instance
+let tuning t = t.tuning
+let schedule t = t.schedule
+let expr t = t.expr
+let flops_per_point t = Expr.flops t.expr
+let name t = Printf.sprintf "%s@%s" (Instance.name t.instance) (Tuning.to_string t.tuning)

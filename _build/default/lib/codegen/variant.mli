@@ -1,0 +1,22 @@
+(** Compiled code variants.
+
+    A variant is the result of "compiling" a stencil instance with a
+    tuning vector: the per-point compute expression plus the loop
+    schedule.  It is the unit the interpreter executes, the C emitter
+    prints and the cost model prices — the stand-in for a
+    PATUS-generated binary. *)
+
+type t
+
+val compile : Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> t
+
+val instance : t -> Sorl_stencil.Instance.t
+val tuning : t -> Sorl_stencil.Tuning.t
+val schedule : t -> Schedule.t
+val expr : t -> Expr.t
+
+val flops_per_point : t -> int
+(** [Expr.flops] of the body. *)
+
+val name : t -> string
+(** ["instance@tuning"] identifier. *)

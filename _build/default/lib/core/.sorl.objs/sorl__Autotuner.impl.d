@@ -1,0 +1,1 @@
+lib/core/autotuner.ml: Array Features Fun Instance Kernel Printf Sorl_stencil Sorl_svmrank String Training Tuning

@@ -1,0 +1,1 @@
+lib/core/autotuner.mli: Sorl_machine Sorl_stencil Sorl_svmrank Training

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Autotuner Benchmarks Features Float Hashtbl Instance Kernel List Printf Sorl_machine Sorl_search Sorl_stencil Sorl_svmrank Sorl_util Training Tuning Tuning_problem

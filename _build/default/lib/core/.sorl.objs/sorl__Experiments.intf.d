@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Autotuner Sorl_machine Sorl_stencil Sorl_svmrank Sorl_util

@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Autotuner Instance Kernel Sorl_machine Sorl_search Sorl_stencil Sorl_util Tuning Tuning_problem

@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Autotuner Sorl_machine Sorl_search Sorl_stencil

@@ -1,0 +1,1 @@
+lib/core/training.ml: Array Features Float Hashtbl Instance Kernel List Printf Sorl_machine Sorl_stencil Sorl_svmrank Sorl_util Training_shapes Tuning

@@ -1,0 +1,1 @@
+lib/core/training.mli: Sorl_machine Sorl_stencil Sorl_svmrank

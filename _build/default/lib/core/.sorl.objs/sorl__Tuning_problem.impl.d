@@ -1,0 +1,1 @@
+lib/core/tuning_problem.ml: Instance Kernel Sorl_machine Sorl_search Sorl_stencil Tuning

@@ -1,0 +1,1 @@
+lib/core/tuning_problem.mli: Sorl_machine Sorl_search Sorl_stencil

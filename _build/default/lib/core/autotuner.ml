@@ -1,0 +1,72 @@
+open Sorl_stencil
+
+type solver =
+  | Sgd of Sorl_svmrank.Solver_sgd.params
+  | Dcd of Sorl_svmrank.Solver_dcd.params
+
+type t = { model : Sorl_svmrank.Model.t; mode : Features.mode }
+
+let default_solver = Sgd Sorl_svmrank.Solver_sgd.default_params
+
+let fit solver ds =
+  match solver with
+  | Sgd params -> Sorl_svmrank.Solver_sgd.train ~params ds
+  | Dcd params -> Sorl_svmrank.Solver_dcd.train ~params ds
+
+let train_on ?(solver = default_solver) ~mode ds =
+  if Sorl_svmrank.Dataset.dim ds <> Features.dim mode then
+    invalid_arg "Autotuner.train_on: dataset dimension does not match feature mode";
+  { model = fit solver ds; mode }
+
+let train ?(spec = Training.default_spec) ?(solver = default_solver) measure =
+  let ds = Training.generate ~spec measure in
+  train_on ~solver ~mode:spec.Training.mode ds
+
+let of_model ~mode model =
+  if Sorl_svmrank.Model.dim model <> Features.dim mode then
+    invalid_arg "Autotuner.of_model: model dimension does not match feature mode";
+  { model; mode }
+
+let model t = t.model
+let feature_mode t = t.mode
+
+let score t inst tuning =
+  Sorl_svmrank.Model.score t.model (Features.encode t.mode inst tuning)
+
+let rank t inst candidates =
+  let encode = Features.encoder t.mode inst in
+  let feats = Array.map encode candidates in
+  let order = Sorl_svmrank.Model.rank t.model feats in
+  Array.map (fun i -> candidates.(i)) order
+
+let best t inst candidates =
+  if Array.length candidates = 0 then invalid_arg "Autotuner.best: no candidates";
+  (rank t inst candidates).(0)
+
+let tune t inst =
+  best t inst (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)))
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Printf.sprintf "mode %s\n" (Features.mode_to_string t.mode));
+      output_string oc (Sorl_svmrank.Model.to_string t.model))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let mode =
+        match String.split_on_char ' ' header with
+        | [ "mode"; m ] -> (
+          try Features.mode_of_string m
+          with Invalid_argument _ -> failwith "Autotuner.load: unknown feature mode")
+        | _ -> failwith "Autotuner.load: missing mode header"
+      in
+      let rest = really_input_string ic (in_channel_length ic - pos_in ic) in
+      let model = Sorl_svmrank.Model.of_string rest in
+      of_model ~mode model)

@@ -1,0 +1,60 @@
+(** The ordinal-regression autotuner — the paper's contribution, end to
+    end.
+
+    Train once on synthetic stencils (§V-B), then rank arbitrary tuning
+    configurations for an unseen stencil instance without executing any
+    of them (§V-C): the top-ranked configuration is the tuner's answer.
+    The tuner can also act as a ranking oracle inside an iterative
+    search (see {!Hybrid}). *)
+
+type t
+
+type solver =
+  | Sgd of Sorl_svmrank.Solver_sgd.params
+  | Dcd of Sorl_svmrank.Solver_dcd.params
+
+val default_solver : solver
+(** Pegasos SGD with the paper's [C = 0.01]. *)
+
+val train :
+  ?spec:Training.spec ->
+  ?solver:solver ->
+  Sorl_machine.Measure.t ->
+  t
+(** Generate the training set on [measure] and fit the ranking model. *)
+
+val train_on :
+  ?solver:solver ->
+  mode:Sorl_stencil.Features.mode ->
+  Sorl_svmrank.Dataset.t ->
+  t
+(** Fit on an existing dataset (whose features must use [mode]). *)
+
+val of_model : mode:Sorl_stencil.Features.mode -> Sorl_svmrank.Model.t -> t
+
+val model : t -> Sorl_svmrank.Model.t
+val feature_mode : t -> Sorl_stencil.Features.mode
+
+val score : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> float
+(** Predicted-rank score; lower means predicted faster. *)
+
+val rank :
+  t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->
+  Sorl_stencil.Tuning.t array
+(** Candidates sorted best-first by predicted rank.  No execution
+    happens. *)
+
+val best :
+  t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->
+  Sorl_stencil.Tuning.t
+(** Top-ranked candidate.  Raises [Invalid_argument] on empty input. *)
+
+val tune : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t
+(** {!best} over the paper's pre-defined configuration set for the
+    instance's dimensionality (1600 or 8640 configurations, §VI-A). *)
+
+val save : t -> string -> unit
+(** Persist model weights + feature mode to a text file. *)
+
+val load : string -> t
+(** Raises [Failure] on malformed files. *)

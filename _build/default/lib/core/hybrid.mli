@@ -1,0 +1,36 @@
+(** Hybrid model-guided tuning (§I, §VII future work).
+
+    The paper proposes coupling the ranking model with iterative
+    compilation: ranking is nearly free, executing is not, so the model
+    can spend the measurement budget only on configurations it already
+    believes in.  Two couplings are provided:
+
+    - {!rank_then_measure}: rank the pre-defined configuration set,
+      measure the top [budget] candidates, return the measured best —
+      turns the standalone tuner's model-trusting answer into a
+      verified one at small cost;
+    - {!seeded_search}: run a search whose initial population is the
+      model's top-ranked configurations instead of random points. *)
+
+val rank_then_measure :
+  Autotuner.t ->
+  Sorl_machine.Measure.t ->
+  Sorl_stencil.Instance.t ->
+  budget:int ->
+  Sorl_stencil.Tuning.t * float
+(** Returns the measured-best tuning among the model's top [budget]
+    predictions and its runtime in seconds.  Raises [Invalid_argument]
+    when [budget < 1]. *)
+
+val seeded_search :
+  Autotuner.t ->
+  Sorl_machine.Measure.t ->
+  Sorl_stencil.Instance.t ->
+  budget:int ->
+  ?seed:int ->
+  ?population:int ->
+  unit ->
+  Sorl_stencil.Tuning.t * float * Sorl_search.Runner.outcome
+(** Generational GA whose initial population (default 32) is the
+    model's top-ranked configurations; returns the best tuning vector,
+    its runtime, and the full search outcome. *)

@@ -1,0 +1,61 @@
+(** Training-set generation (§V-B, Fig. 3).
+
+    Builds the ranking dataset the ordinal-regression model learns
+    from: the 200 synthetic training instances of
+    {!Sorl_stencil.Training_shapes} are each executed with a number of
+    randomly drawn tuning vectors — three-dimensional instances get
+    twice as many as two-dimensional ones, as in the paper — and the
+    measured runtimes, grouped per instance, expose the partial
+    rankings. *)
+
+type spec = {
+  size : int;  (** total number of stencil executions (samples) *)
+  mode : Sorl_stencil.Features.mode;  (** feature encoding *)
+  seed : int;  (** tuning-vector sampling seed *)
+}
+
+val default_spec : spec
+(** size 3840, [Extended] features, seed 5. *)
+
+val tuning_counts : size:int -> Sorl_stencil.Instance.t list -> int array
+(** Per-instance sample counts: proportional to weight 1 (2-D) or 2
+    (3-D), each at least 2 (a singleton exposes no ranking), summing
+    exactly to [size].  Raises [Invalid_argument] when [size] is
+    smaller than twice the instance count. *)
+
+val generate :
+  ?spec:spec ->
+  ?instances:Sorl_stencil.Instance.t list ->
+  Sorl_machine.Measure.t ->
+  Sorl_svmrank.Dataset.t
+(** Draw tuning vectors, measure every execution on [measure] and
+    assemble the query-grouped dataset ([instances] defaults to the 200
+    training instances; the query id is the instance's position). *)
+
+val generate_with_tunings :
+  ?spec:spec ->
+  ?instances:Sorl_stencil.Instance.t list ->
+  Sorl_machine.Measure.t ->
+  Sorl_svmrank.Dataset.t * Sorl_stencil.Tuning.t array
+(** Like {!generate} but also returns the tuning vector behind each
+    sample (indexed like the dataset's samples) — the classification
+    baseline and the guided-sampling analysis need them. *)
+
+val generate_guided :
+  ?spec:spec ->
+  ?instances:Sorl_stencil.Instance.t list ->
+  ?guided_fraction:float ->
+  Sorl_machine.Measure.t ->
+  Sorl_svmrank.Dataset.t
+(** Heuristic training-set generation — the mechanism the paper's §VII
+    proposes exploring instead of uniform random sampling.  Per
+    instance, the first [1 - guided_fraction] of the sample budget is
+    drawn log-uniformly as in {!generate}; the remainder is spent by a
+    greedy hill climber seeded at the best random draw, so the partial
+    rankings contain many more near-optimal, hard-to-order pairs.
+    Every point the climber evaluates enters the dataset, keeping the
+    measurement budget identical to {!generate}'s.
+    [guided_fraction] defaults to 0.5 and must be in [\[0, 1\]]. *)
+
+val generation_evaluations : spec -> int
+(** Number of measurements {!generate} will perform (= [spec.size]). *)

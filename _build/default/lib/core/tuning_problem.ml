@@ -1,0 +1,10 @@
+open Sorl_stencil
+
+let dims_of inst = Kernel.dims (Instance.kernel inst)
+let decode inst p = Tuning.of_array ~dims:(dims_of inst) p
+let encode inst t = Tuning.to_array ~dims:(dims_of inst) t
+
+let problem measure inst =
+  let dims = dims_of inst in
+  Sorl_search.Problem.create ~bounds:(Tuning.bounds ~dims)
+    ~eval:(fun p -> Sorl_machine.Measure.runtime measure inst (decode inst p))

@@ -1,0 +1,17 @@
+(** Bridging stencil tuning onto the generic search interface.
+
+    Wraps an [(instance, measure)] pair as a bounded integer-vector
+    minimization problem (runtime in seconds), the objective the §VI-A
+    baselines iterate on. *)
+
+val problem :
+  Sorl_machine.Measure.t -> Sorl_stencil.Instance.t -> Sorl_search.Problem.t
+(** 4-dimensional for 2-D kernels, 5-dimensional for 3-D ones; the
+    objective measures the decoded tuning vector. *)
+
+val decode :
+  Sorl_stencil.Instance.t -> int array -> Sorl_stencil.Tuning.t
+(** Interpret a search point as a tuning vector for the instance's
+    dimensionality. *)
+
+val encode : Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> int array

@@ -1,0 +1,1 @@
+lib/grid/grid.ml: Bigarray Float Sorl_util

@@ -1,0 +1,1 @@
+lib/grid/grid.mli: Sorl_util

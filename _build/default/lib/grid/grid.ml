@@ -1,0 +1,98 @@
+type precision = Single | Double
+
+(* Storage is always a float64 bigarray; [prec] records the declared
+   element type, used by the cost model for traffic estimates.  Storing
+   float32 data in a float64 array only changes rounding, which is
+   irrelevant for the reference executor (tests compare against the same
+   executor). *)
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  prec : precision;
+  data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+}
+
+let create ?(prec = Double) ~nx ~ny ~nz () =
+  if nx <= 0 || ny <= 0 || nz <= 0 then invalid_arg "Grid.create: dimensions must be positive";
+  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (nx * ny * nz) in
+  Bigarray.Array1.fill data 0.;
+  { nx; ny; nz; prec; data }
+
+let nx g = g.nx
+let ny g = g.ny
+let nz g = g.nz
+let precision g = g.prec
+let size g = g.nx * g.ny * g.nz
+let bytes_per_point g = match g.prec with Single -> 4 | Double -> 8
+
+let index g x y z =
+  if x < 0 || x >= g.nx || y < 0 || y >= g.ny || z < 0 || z >= g.nz then
+    invalid_arg "Grid: index out of bounds";
+  ((z * g.ny) + y) * g.nx + x
+
+let get g x y z = Bigarray.Array1.unsafe_get g.data (index g x y z)
+let set g x y z v = Bigarray.Array1.unsafe_set g.data (index g x y z) v
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let get_clamped g x y z =
+  let x = clamp x 0 (g.nx - 1) and y = clamp y 0 (g.ny - 1) and z = clamp z 0 (g.nz - 1) in
+  Bigarray.Array1.unsafe_get g.data (((z * g.ny) + y) * g.nx + x)
+
+let fill g v = Bigarray.Array1.fill g.data v
+
+let init g f =
+  for z = 0 to g.nz - 1 do
+    for y = 0 to g.ny - 1 do
+      for x = 0 to g.nx - 1 do
+        Bigarray.Array1.unsafe_set g.data (((z * g.ny) + y) * g.nx + x) (f x y z)
+      done
+    done
+  done
+
+let copy g =
+  let g' = create ~prec:g.prec ~nx:g.nx ~ny:g.ny ~nz:g.nz () in
+  Bigarray.Array1.blit g.data g'.data;
+  g'
+
+let same_shape a b = a.nx = b.nx && a.ny = b.ny && a.nz = b.nz
+
+let blit ~src ~dst =
+  if not (same_shape src dst) then invalid_arg "Grid.blit: shape mismatch";
+  Bigarray.Array1.blit src.data dst.data
+
+let iter g f =
+  for z = 0 to g.nz - 1 do
+    for y = 0 to g.ny - 1 do
+      for x = 0 to g.nx - 1 do
+        f x y z (Bigarray.Array1.unsafe_get g.data (((z * g.ny) + y) * g.nx + x))
+      done
+    done
+  done
+
+let fold g ~init ~f =
+  let acc = ref init in
+  for i = 0 to size g - 1 do
+    acc := f !acc (Bigarray.Array1.unsafe_get g.data i)
+  done;
+  !acc
+
+let max_abs_diff a b =
+  if not (same_shape a b) then invalid_arg "Grid.max_abs_diff: shape mismatch";
+  let worst = ref 0. in
+  for i = 0 to size a - 1 do
+    let d =
+      Float.abs
+        (Bigarray.Array1.unsafe_get a.data i -. Bigarray.Array1.unsafe_get b.data i)
+    in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let equal ?(eps = 1e-9) a b = same_shape a b && max_abs_diff a b <= eps
+
+let random_init rng g =
+  for i = 0 to size g - 1 do
+    Bigarray.Array1.unsafe_set g.data i (Sorl_util.Rng.uniform rng)
+  done

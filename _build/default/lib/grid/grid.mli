@@ -1,0 +1,61 @@
+(** Three-dimensional scalar fields.
+
+    A grid is a dense [nx × ny × nz] field of [float] stored in a flat
+    C-layout [Bigarray] (x fastest).  Two-dimensional stencils use
+    [nz = 1] (the paper's convention: 2-D is the [z = 0] plane of a 3-D
+    field, §III-A).  The element precision mirrors the paper's buffer
+    data types (float vs double); values are handled as OCaml [float]
+    either way, precision only affects storage (and the cost model's
+    bytes-per-point). *)
+
+type precision = Single | Double
+
+type t
+
+val create : ?prec:precision -> nx:int -> ny:int -> nz:int -> unit -> t
+(** Fresh zero-filled grid.  Dimensions must be positive.
+    [prec] defaults to [Double]. *)
+
+val nx : t -> int
+val ny : t -> int
+val nz : t -> int
+val precision : t -> precision
+
+val size : t -> int
+(** Total number of points. *)
+
+val bytes_per_point : t -> int
+(** 4 for [Single], 8 for [Double]. *)
+
+val get : t -> int -> int -> int -> float
+(** [get g x y z]; raises [Invalid_argument] out of bounds. *)
+
+val set : t -> int -> int -> int -> float -> unit
+
+val get_clamped : t -> int -> int -> int -> float
+(** Like {!get} but clamps each coordinate into the valid range —
+    the boundary handling used by the reference stencil executor. *)
+
+val fill : t -> float -> unit
+
+val init : t -> (int -> int -> int -> float) -> unit
+(** [init g f] sets every point to [f x y z]. *)
+
+val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Copy contents; shapes must match. *)
+
+val iter : t -> (int -> int -> int -> float -> unit) -> unit
+(** Iterate over all points in x-fastest order. *)
+
+val fold : t -> init:'a -> f:('a -> float -> 'a) -> 'a
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute element-wise difference; shapes must match. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** True when {!max_abs_diff} is at most [eps] (default 1e-9). *)
+
+val random_init : Sorl_util.Rng.t -> t -> unit
+(** Fill with uniform values in [\[0,1)]. *)

@@ -1,0 +1,1 @@
+lib/machine/cache_sim.ml: Array Dtype Instance Kernel List Machine_desc Pattern Schedule Sorl_codegen Sorl_stencil Variant

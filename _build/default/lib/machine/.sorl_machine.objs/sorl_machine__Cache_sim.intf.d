@@ -1,0 +1,1 @@
+lib/machine/cache_sim.mli: Machine_desc Sorl_codegen

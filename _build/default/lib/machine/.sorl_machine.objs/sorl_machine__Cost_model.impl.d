@@ -1,0 +1,1 @@
+lib/machine/cost_model.ml: Array Dtype Float Instance Kernel List Machine_desc Pattern Schedule Sorl_codegen Sorl_stencil Tuning Variant

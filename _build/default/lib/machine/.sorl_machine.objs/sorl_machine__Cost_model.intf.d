@@ -1,0 +1,1 @@
+lib/machine/cost_model.mli: Machine_desc Sorl_codegen Sorl_stencil

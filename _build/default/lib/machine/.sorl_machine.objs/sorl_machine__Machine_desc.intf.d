@@ -1,0 +1,1 @@
+lib/machine/machine_desc.mli: Format

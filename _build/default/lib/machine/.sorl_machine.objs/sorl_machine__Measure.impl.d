@@ -1,0 +1,1 @@
+lib/machine/measure.ml: Array Cost_model Hashtbl Instance Machine_desc Printf Sorl_codegen Sorl_stencil Sorl_util Tuning

@@ -1,0 +1,1 @@
+lib/machine/measure.mli: Machine_desc Sorl_stencil

@@ -1,0 +1,130 @@
+open Sorl_stencil
+open Sorl_codegen
+
+type cache = {
+  sets : int;
+  assoc : int;
+  line_bytes : int;
+  (* tags.(set) is the LRU-ordered list of resident line tags, most
+     recently used first. *)
+  tags : int array array;
+  fill : int array;  (* valid entries per set *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache ~size_bytes ~assoc ~line_bytes =
+  if size_bytes <= 0 || assoc <= 0 || line_bytes <= 0 then
+    invalid_arg "Cache_sim.create_cache: sizes must be positive";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache_sim.create_cache: capacity not divisible by assoc*line";
+  let sets = size_bytes / (assoc * line_bytes) in
+  {
+    sets;
+    assoc;
+    line_bytes;
+    tags = Array.make_matrix sets assoc (-1);
+    fill = Array.make sets 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access c addr =
+  let line = addr / c.line_bytes in
+  let set = line mod c.sets in
+  let ways = c.tags.(set) in
+  let n = c.fill.(set) in
+  (* Find the way holding this line. *)
+  let pos = ref (-1) in
+  for i = 0 to n - 1 do
+    if ways.(i) = line then pos := i
+  done;
+  if !pos >= 0 then begin
+    (* Hit: move to MRU position. *)
+    let tag = ways.(!pos) in
+    for i = !pos downto 1 do
+      ways.(i) <- ways.(i - 1)
+    done;
+    ways.(0) <- tag;
+    c.hits <- c.hits + 1;
+    true
+  end
+  else begin
+    (* Miss: insert at MRU, evicting LRU if full. *)
+    let last = min n (c.assoc - 1) in
+    for i = last downto 1 do
+      ways.(i) <- ways.(i - 1)
+    done;
+    ways.(0) <- line;
+    if n < c.assoc then c.fill.(set) <- n + 1;
+    c.misses <- c.misses + 1;
+    false
+  end
+
+let cache_stats c = (c.hits, c.misses)
+
+type hierarchy = { levels : cache array }
+
+let create (m : Machine_desc.t) ?(assoc = 8) () =
+  let line = m.Machine_desc.line_bytes in
+  let mk size = create_cache ~size_bytes:size ~assoc ~line_bytes:line in
+  {
+    levels =
+      [| mk m.Machine_desc.l1_bytes; mk m.Machine_desc.l2_bytes; mk m.Machine_desc.l3_bytes |];
+  }
+
+type level_stats = { accesses : int; misses : int }
+
+let touch h addr =
+  let rec go i = if i < Array.length h.levels && not (access h.levels.(i) addr) then go (i + 1) in
+  go 0
+
+let stats h =
+  Array.map
+    (fun c ->
+      let hits, misses = cache_stats c in
+      { accesses = hits + misses; misses })
+    h.levels
+
+let miss_ratio s = if s.accesses = 0 then 0. else float_of_int s.misses /. float_of_int s.accesses
+
+let run_variant h v =
+  let inst = Variant.instance v in
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  let sched = Variant.schedule v in
+  let bytes = Dtype.bytes (Kernel.dtype k) in
+  let sx = s.Instance.sx and sy = s.Instance.sy and sz = s.Instance.sz in
+  let grid_bytes = sx * sy * sz * bytes in
+  let clamp v lo hi = if v < lo then lo else if v > hi then hi else v in
+  let addr buffer x y z =
+    let x = clamp x 0 (sx - 1) and y = clamp y 0 (sy - 1) and z = clamp z 0 (sz - 1) in
+    (buffer * grid_bytes) + ((((z * sy) + y) * sx) + x) * bytes
+  in
+  let nbufs = Kernel.num_buffers k in
+  let taps =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun buffer p -> List.map (fun off -> (buffer, off)) (Pattern.offsets p))
+            (Kernel.buffer_patterns k)))
+  in
+  let out_base = nbufs * grid_bytes in
+  let do_point x y z =
+    Array.iter (fun (b, (dx, dy, dz)) -> touch h (addr b (x + dx) (y + dy) (z + dz))) taps;
+    touch h (out_base + ((((z * sy) + y) * sx) + x) * bytes)
+  in
+  (* Same traversal order as the interpreter (single worker). *)
+  for c = 0 to Schedule.num_chunks sched - 1 do
+    let lo, hi = Schedule.chunk_tile_range sched c in
+    for t = lo to hi - 1 do
+      let tl = Schedule.tile sched t in
+      for z = tl.Schedule.z0 to tl.Schedule.z1 - 1 do
+        for y = tl.Schedule.y0 to tl.Schedule.y1 - 1 do
+          for x = tl.Schedule.x0 to tl.Schedule.x1 - 1 do
+            do_point x y z
+          done
+        done
+      done
+    done
+  done

@@ -1,0 +1,47 @@
+(** Set-associative LRU cache simulator.
+
+    A trace-driven simulator used to sanity-check the analytic cost
+    model's reuse-level classification on small instances: the byte
+    addresses a variant's traversal touches are replayed through an
+    L1/L2/L3 hierarchy and the observed miss ratios are compared with
+    the model's predicted reuse level (see the cache tests and the
+    [ablation] bench).  Single-core: one hierarchy services the whole
+    traversal. *)
+
+type cache
+
+val create_cache : size_bytes:int -> assoc:int -> line_bytes:int -> cache
+(** Raises [Invalid_argument] unless sizes are positive, the line size
+    divides the capacity and the set count is at least 1. *)
+
+val access : cache -> int -> bool
+(** [access c addr] touches the byte address; returns [true] on hit and
+    updates LRU state. *)
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] so far. *)
+
+type hierarchy
+
+val create : Machine_desc.t -> ?assoc:int -> unit -> hierarchy
+(** Three-level hierarchy with the machine's capacities (default
+    associativity 8). *)
+
+type level_stats = { accesses : int; misses : int }
+
+val touch : hierarchy -> int -> unit
+(** Inclusive lookup: an access that misses a level proceeds to the
+    next; DRAM accesses are counted as L3 misses. *)
+
+val stats : hierarchy -> level_stats array
+(** Per-level statistics, index 0 = L1. *)
+
+val run_variant :
+  hierarchy -> Sorl_codegen.Variant.t -> unit
+(** Replay the full address trace of one variant execution (every tap
+    load and the output store, in schedule order) through the
+    hierarchy.  Grids are laid out consecutively; loads clamp to grid
+    bounds like the executor. *)
+
+val miss_ratio : level_stats -> float
+(** [misses / accesses] (0 when never accessed). *)

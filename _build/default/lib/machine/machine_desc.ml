@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  cores : int;
+  freq_hz : float;
+  l1_bytes : int;
+  l2_bytes : int;
+  l3_bytes : int;
+  line_bytes : int;
+  simd_bytes : int;
+  fma_per_cycle : int;
+  dram_bw : float;
+  l3_bw : float;
+  l2_bw_core : float;
+  chunk_dispatch_cycles : float;
+  launch_overhead_s : float;
+}
+
+let xeon_e5_2680_v3 =
+  {
+    name = "Intel Xeon E5-2680 v3";
+    cores = 12;
+    freq_hz = 2.5e9;
+    l1_bytes = 32 * 1024;
+    l2_bytes = 256 * 1024;
+    l3_bytes = 30 * 1024 * 1024;
+    line_bytes = 64;
+    simd_bytes = 32;
+    fma_per_cycle = 2;
+    dram_bw = 60e9;
+    l3_bw = 250e9;
+    l2_bw_core = 40e9;
+    chunk_dispatch_cycles = 1500.;
+    launch_overhead_s = 12e-6;
+  }
+
+let laptop_quad =
+  {
+    name = "generic quad-core laptop";
+    cores = 4;
+    freq_hz = 3.0e9;
+    l1_bytes = 32 * 1024;
+    l2_bytes = 512 * 1024;
+    l3_bytes = 8 * 1024 * 1024;
+    line_bytes = 64;
+    simd_bytes = 32;
+    fma_per_cycle = 2;
+    dram_bw = 25e9;
+    l3_bw = 120e9;
+    l2_bw_core = 35e9;
+    chunk_dispatch_cycles = 1200.;
+    launch_overhead_s = 8e-6;
+  }
+
+let validate t =
+  let err msg = Error (t.name ^ ": " ^ msg) in
+  if t.cores <= 0 then err "cores must be positive"
+  else if t.freq_hz <= 0. then err "frequency must be positive"
+  else if t.l1_bytes <= 0 || t.l2_bytes <= 0 || t.l3_bytes <= 0 then
+    err "cache capacities must be positive"
+  else if not (t.l1_bytes <= t.l2_bytes && t.l2_bytes <= t.l3_bytes) then
+    err "cache capacities must be ordered L1 <= L2 <= L3"
+  else if t.line_bytes <= 0 || t.simd_bytes <= 0 || t.fma_per_cycle <= 0 then
+    err "line/simd/fma must be positive"
+  else if t.dram_bw <= 0. || t.l3_bw <= 0. || t.l2_bw_core <= 0. then
+    err "bandwidths must be positive"
+  else if t.chunk_dispatch_cycles < 0. || t.launch_overhead_s < 0. then
+    err "overheads must be nonnegative"
+  else Ok ()
+
+let simd_lanes t ~bytes_per_elt = max 1 (t.simd_bytes / bytes_per_elt)
+
+let peak_flops t ~bytes_per_elt =
+  float_of_int t.cores *. t.freq_hz
+  *. float_of_int (t.fma_per_cycle * simd_lanes t ~bytes_per_elt * 2)
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d cores @ %.2f GHz, L1 %dK / L2 %dK / L3 %dM, DRAM %.0f GB/s"
+    t.name t.cores (t.freq_hz /. 1e9) (t.l1_bytes / 1024) (t.l2_bytes / 1024)
+    (t.l3_bytes / (1024 * 1024))
+    (t.dram_bw /. 1e9)

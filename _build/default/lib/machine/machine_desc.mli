@@ -1,0 +1,43 @@
+(** Machine descriptions.
+
+    The parameters the cost model needs to price a stencil variant:
+    core count and frequency, the cache hierarchy, sustained bandwidths
+    and SIMD width.  The default instance mirrors the paper's testbed,
+    an Intel Xeon E5-2680 v3 (12 cores @ 2.5 GHz, 32 KB L1d / 256 KB L2
+    per core, 30 MB shared L3, AVX2). *)
+
+type t = {
+  name : string;
+  cores : int;
+  freq_hz : float;
+  l1_bytes : int;  (** per-core L1d capacity *)
+  l2_bytes : int;  (** per-core L2 capacity *)
+  l3_bytes : int;  (** shared L3 capacity *)
+  line_bytes : int;
+  simd_bytes : int;  (** vector register width (32 = AVX2) *)
+  fma_per_cycle : int;  (** FMA issue slots per cycle per core *)
+  dram_bw : float;  (** sustained aggregate DRAM bandwidth, bytes/s *)
+  l3_bw : float;  (** sustained aggregate L3 bandwidth, bytes/s *)
+  l2_bw_core : float;  (** per-core L2 bandwidth, bytes/s *)
+  chunk_dispatch_cycles : float;  (** scheduler cost per chunk *)
+  launch_overhead_s : float;  (** parallel-region fork/join cost *)
+}
+
+val xeon_e5_2680_v3 : t
+(** The paper's evaluation platform. *)
+
+val laptop_quad : t
+(** A smaller 4-core machine, used by portability ablations. *)
+
+val validate : t -> (unit, string) result
+(** Check all parameters are positive and capacities ordered. *)
+
+val simd_lanes : t -> bytes_per_elt:int -> int
+(** Vector lanes for an element size (8 for float on AVX2, 4 for
+    double). *)
+
+val peak_flops : t -> bytes_per_elt:int -> float
+(** Machine peak in flop/s for an element type:
+    [cores · freq · fma_per_cycle · lanes · 2]. *)
+
+val pp : Format.formatter -> t -> unit

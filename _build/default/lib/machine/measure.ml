@@ -1,0 +1,50 @@
+open Sorl_stencil
+
+type backend =
+  | Model of { machine : Machine_desc.t; noise_amplitude : float; seed : int }
+  | Wallclock of { repeats : int }
+
+type t = { backend : backend; mutable evaluations : int }
+
+let model ?(noise_amplitude = 0.02) ?(seed = 42) machine =
+  if noise_amplitude < 0. then invalid_arg "Measure.model: negative noise amplitude";
+  { backend = Model { machine; noise_amplitude; seed }; evaluations = 0 }
+
+let wallclock ?(repeats = 3) () =
+  if repeats < 1 then invalid_arg "Measure.wallclock: repeats must be >= 1";
+  { backend = Wallclock { repeats }; evaluations = 0 }
+
+(* Stable key for a configuration, independent of evaluation order. *)
+let config_key inst tn =
+  Hashtbl.hash (Instance.name inst, tn.Tuning.bx, tn.Tuning.by, tn.Tuning.bz, tn.Tuning.u, tn.Tuning.c)
+
+let runtime t inst tn =
+  t.evaluations <- t.evaluations + 1;
+  match t.backend with
+  | Model { machine; noise_amplitude; seed } ->
+    let base = Cost_model.runtime_of machine inst tn in
+    if noise_amplitude = 0. then base
+    else begin
+      let u = Sorl_util.Rng.hash_noise ~seed ~key:(config_key inst tn) in
+      base *. (1. +. (noise_amplitude *. ((2. *. u) -. 1.)))
+    end
+  | Wallclock { repeats } ->
+    let v = Sorl_codegen.Variant.compile inst tn in
+    let inputs, output = Sorl_codegen.Interp.make_grids inst in
+    let samples =
+      Array.init repeats (fun _ ->
+          Sorl_util.Timer.time_unit (fun () ->
+              Sorl_codegen.Interp.run v ~inputs ~output))
+    in
+    Sorl_util.Stats.median samples
+
+let gflops t inst tn = Instance.total_flops inst /. runtime t inst tn /. 1e9
+let evaluations t = t.evaluations
+let reset_evaluations t = t.evaluations <- 0
+
+let descr t =
+  match t.backend with
+  | Model { machine; noise_amplitude; _ } ->
+    Printf.sprintf "cost-model(%s, noise %.1f%%)" machine.Machine_desc.name
+      (100. *. noise_amplitude)
+  | Wallclock { repeats } -> Printf.sprintf "wallclock(interpreter, %d repeats)" repeats

@@ -1,0 +1,41 @@
+(** Unified measurement of stencil executions.
+
+    The rest of the library asks a {!t} for the runtime of
+    [(instance, tuning)] and never cares whether the number came from
+    the analytic model or a real execution:
+
+    - {!model} prices variants with {!Cost_model} and attaches
+      deterministic multiplicative noise keyed on the configuration, so
+      a configuration always "measures" the same — like re-running on a
+      quiet machine — while different configurations see independent
+      perturbations;
+    - {!wallclock} compiles and actually runs the variant through the
+      interpreter on real grids and times it.
+
+    An evaluation counter makes search budgets observable. *)
+
+type t
+
+val model : ?noise_amplitude:float -> ?seed:int -> Machine_desc.t -> t
+(** Cost-model backend.  [noise_amplitude] (default 0.02) bounds the
+    relative perturbation; 0 disables noise.  [seed] (default 42) keys
+    the noise hash. *)
+
+val wallclock : ?repeats:int -> unit -> t
+(** Interpreter-execution backend; the median of [repeats] runs
+    (default 3) is reported.  Slow — meant for examples and validation,
+    not for the 1024-evaluation search experiments. *)
+
+val runtime : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> float
+(** Seconds for one sweep.  Counts one evaluation. *)
+
+val gflops : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> float
+(** Paper-convention GFlop/s of the same measurement.
+    Counts one evaluation. *)
+
+val evaluations : t -> int
+(** Number of {!runtime}/{!gflops} calls so far. *)
+
+val reset_evaluations : t -> unit
+
+val descr : t -> string

@@ -1,0 +1,1 @@
+lib/search/bandit.ml: Array Float Ga_common Problem Runner Sorl_util

@@ -1,0 +1,1 @@
+lib/search/bandit.mli: Problem Runner

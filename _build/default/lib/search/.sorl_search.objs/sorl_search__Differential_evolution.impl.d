@@ -1,0 +1,1 @@
+lib/search/differential_evolution.ml: Array Float Problem Runner Sorl_util

@@ -1,0 +1,1 @@
+lib/search/differential_evolution.mli: Problem Runner

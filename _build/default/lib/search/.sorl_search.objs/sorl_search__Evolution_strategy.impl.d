@@ -1,0 +1,1 @@
+lib/search/evolution_strategy.ml: Array Float Problem Runner Sorl_util

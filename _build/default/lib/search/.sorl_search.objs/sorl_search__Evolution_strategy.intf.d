@@ -1,0 +1,1 @@
+lib/search/evolution_strategy.mli: Problem Runner

@@ -1,0 +1,1 @@
+lib/search/ga_common.ml: Array Problem Sorl_util

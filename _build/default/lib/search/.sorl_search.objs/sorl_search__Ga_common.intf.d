@@ -1,0 +1,1 @@
+lib/search/ga_common.mli: Problem Sorl_util

@@ -1,0 +1,1 @@
+lib/search/ga_generational.ml: Array Ga_common Problem Runner Sorl_util

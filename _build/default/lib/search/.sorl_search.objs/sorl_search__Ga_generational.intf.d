@@ -1,0 +1,1 @@
+lib/search/ga_generational.mli: Problem Runner

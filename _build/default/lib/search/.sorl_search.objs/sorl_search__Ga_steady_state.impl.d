@@ -1,0 +1,1 @@
+lib/search/ga_steady_state.ml: Array Ga_common Problem Runner Sorl_util

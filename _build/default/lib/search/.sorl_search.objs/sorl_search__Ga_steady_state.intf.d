@@ -1,0 +1,1 @@
+lib/search/ga_steady_state.mli: Problem Runner

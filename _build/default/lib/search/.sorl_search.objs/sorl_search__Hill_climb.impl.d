@@ -1,0 +1,1 @@
+lib/search/hill_climb.ml: Array Problem Runner Sorl_util

@@ -1,0 +1,1 @@
+lib/search/hill_climb.mli: Problem Runner

@@ -1,0 +1,1 @@
+lib/search/particle_swarm.ml: Array Float Problem Runner Sorl_util

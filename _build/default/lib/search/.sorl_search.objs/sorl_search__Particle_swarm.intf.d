@@ -1,0 +1,1 @@
+lib/search/particle_swarm.mli: Problem Runner

@@ -1,0 +1,1 @@
+lib/search/portfolio.ml: List Problem Registry Runner

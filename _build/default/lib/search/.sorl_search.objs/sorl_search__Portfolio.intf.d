@@ -1,0 +1,1 @@
+lib/search/portfolio.mli: Problem Registry Runner

@@ -1,0 +1,1 @@
+lib/search/problem.ml: Array Float Sorl_util

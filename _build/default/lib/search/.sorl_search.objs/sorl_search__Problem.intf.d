@@ -1,0 +1,1 @@
+lib/search/problem.mli: Sorl_util

@@ -1,0 +1,1 @@
+lib/search/random_search.ml: Problem Runner Sorl_util

@@ -1,0 +1,1 @@
+lib/search/random_search.mli: Problem Runner

@@ -1,0 +1,1 @@
+lib/search/registry.mli: Problem Runner

@@ -1,0 +1,1 @@
+lib/search/runner.ml: Array Problem

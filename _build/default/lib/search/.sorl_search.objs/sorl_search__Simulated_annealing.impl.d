@@ -1,0 +1,1 @@
+lib/search/simulated_annealing.ml: Array Float Problem Runner Sorl_util

@@ -1,0 +1,1 @@
+lib/search/simulated_annealing.mli: Problem Runner

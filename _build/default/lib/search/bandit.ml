@@ -1,0 +1,73 @@
+type params = { elite : int; exploration : float }
+
+let default_params = { elite = 16; exploration = 1.2 }
+
+let operator_names = [| "random"; "mutate"; "crossover"; "differential" |]
+
+let run ?(seed = 0) ?(params = default_params) ?budget problem =
+  if params.elite < 4 then invalid_arg "Bandit: elite must be >= 4";
+  if params.exploration < 0. then invalid_arg "Bandit: exploration must be nonnegative";
+  let rng = Sorl_util.Rng.create seed in
+  let n_arms = Array.length operator_names in
+  let pulls = Array.make n_arms 0 in
+  let rewards = Array.make n_arms 0. in
+  let total = ref 0 in
+  let pick_arm () =
+    (* Play each arm once, then UCB1. *)
+    let unplayed = ref (-1) in
+    Array.iteri (fun i p -> if p = 0 && !unplayed < 0 then unplayed := i) pulls;
+    if !unplayed >= 0 then !unplayed
+    else begin
+      let best = ref 0 and best_v = ref neg_infinity in
+      for i = 0 to n_arms - 1 do
+        let mean = rewards.(i) /. float_of_int pulls.(i) in
+        let bonus =
+          params.exploration *. sqrt (log (float_of_int !total) /. float_of_int pulls.(i))
+        in
+        if mean +. bonus > !best_v then begin
+          best_v := mean +. bonus;
+          best := i
+        end
+      done;
+      !best
+    end
+  in
+  Runner.run_with ?budget problem (fun r ->
+      let evaluate g = { Ga_common.genome = g; cost = Runner.eval r g } in
+      let pop =
+        Array.init params.elite (fun _ -> evaluate (Problem.random_point problem rng))
+      in
+      Ga_common.sort_by_cost pop;
+      while true do
+        let arm = pick_arm () in
+        let proposal =
+          match arm with
+          | 0 -> Problem.random_point problem rng
+          | 1 ->
+            let g = Array.copy (Ga_common.tournament rng pop ~k:2).Ga_common.genome in
+            Problem.mutate_coord problem rng g (Sorl_util.Rng.int rng (Problem.dims problem));
+            g
+          | 2 ->
+            let a = Ga_common.tournament rng pop ~k:2 in
+            let b = Ga_common.tournament rng pop ~k:2 in
+            Ga_common.uniform_crossover rng a.Ga_common.genome b.Ga_common.genome
+          | _ ->
+            (* x_a + round(0.6 * (x_b - x_c)) coordinate-wise. *)
+            let a = (Ga_common.tournament rng pop ~k:2).Ga_common.genome in
+            let b = (Sorl_util.Rng.choose rng pop).Ga_common.genome in
+            let c = (Sorl_util.Rng.choose rng pop).Ga_common.genome in
+            Problem.clamp problem
+              (Array.init (Problem.dims problem) (fun i ->
+                   a.(i) + int_of_float (Float.round (0.6 *. float_of_int (b.(i) - c.(i))))))
+        in
+        let off = evaluate proposal in
+        let worst = ref 0 in
+        Array.iteri
+          (fun i ind -> if ind.Ga_common.cost > pop.(!worst).Ga_common.cost then worst := i)
+          pop;
+        let improved = off.Ga_common.cost < pop.(!worst).Ga_common.cost in
+        if improved then pop.(!worst) <- off;
+        incr total;
+        pulls.(arm) <- pulls.(arm) + 1;
+        rewards.(arm) <- rewards.(arm) +. (if improved then 1. else 0.)
+      done)

@@ -1,0 +1,23 @@
+(** UCB1 multi-armed-bandit search (OpenTuner-style meta-search,
+    §II/§VI-A).
+
+    Maintains an elite population and, at every step, lets a UCB1
+    bandit choose among heterogeneous proposal operators — random
+    sampling, single-coordinate mutation of an elite, uniform
+    crossover, and a differential step.  An operator is rewarded when
+    its proposal improves the population's worst elite, so the search
+    shifts budget toward whatever operator family is currently
+    productive, the behaviour the paper attributes to OpenTuner's
+    multi-armed-bandit technique. *)
+
+type params = {
+  elite : int;  (** elite pool size (default 16) *)
+  exploration : float;  (** UCB1 exploration constant (default 1.2) *)
+}
+
+val default_params : params
+
+val run : ?seed:int -> ?params:params -> ?budget:int -> Problem.t -> Runner.outcome
+
+val operator_names : string array
+(** Names of the proposal operators, in arm order. *)

@@ -1,0 +1,26 @@
+type individual = { genome : int array; cost : float }
+
+let tournament rng pop ~k =
+  if Array.length pop = 0 then invalid_arg "Ga_common.tournament: empty population";
+  let best = ref (Sorl_util.Rng.choose rng pop) in
+  for _ = 2 to k do
+    let c = Sorl_util.Rng.choose rng pop in
+    if c.cost < !best.cost then best := c
+  done;
+  !best
+
+let uniform_crossover rng a b =
+  Array.init (Array.length a) (fun i -> if Sorl_util.Rng.bool rng then a.(i) else b.(i))
+
+let mutate rng problem ~rate g =
+  let mutated = ref false in
+  for i = 0 to Array.length g - 1 do
+    if Sorl_util.Rng.uniform rng < rate then begin
+      Problem.mutate_coord problem rng g i;
+      mutated := true
+    end
+  done;
+  if not !mutated then
+    Problem.mutate_coord problem rng g (Sorl_util.Rng.int rng (Array.length g))
+
+let sort_by_cost pop = Array.sort (fun a b -> compare a.cost b.cost) pop

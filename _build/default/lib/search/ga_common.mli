@@ -1,0 +1,19 @@
+(** Genome operators shared by the two genetic algorithms. *)
+
+type individual = { genome : int array; cost : float }
+
+val tournament :
+  Sorl_util.Rng.t -> individual array -> k:int -> individual
+(** Best of [k] uniformly drawn members. *)
+
+val uniform_crossover :
+  Sorl_util.Rng.t -> int array -> int array -> int array
+(** Each coordinate from either parent with probability ½. *)
+
+val mutate :
+  Sorl_util.Rng.t -> Problem.t -> rate:float -> int array -> unit
+(** In-place: each coordinate perturbed with probability [rate]; at
+    least one coordinate is always perturbed. *)
+
+val sort_by_cost : individual array -> unit
+(** Ascending (best first), in place. *)

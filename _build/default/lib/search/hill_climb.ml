@@ -1,0 +1,28 @@
+type params = { patience : int }
+
+let default_params = { patience = 40 }
+
+let run ?(seed = 0) ?(params = default_params) ?budget problem =
+  if params.patience < 1 then invalid_arg "Hill_climb: patience must be >= 1";
+  let rng = Sorl_util.Rng.create seed in
+  Runner.run_with ?budget problem (fun r ->
+      while true do
+        (* One climb until patience runs out, then restart. *)
+        let cur = Problem.random_point problem rng in
+        let cur_cost = ref (Runner.eval r cur) in
+        let stale = ref 0 in
+        while !stale < params.patience do
+          let cand = Array.copy cur in
+          Problem.mutate_coord problem rng cand (Sorl_util.Rng.int rng (Problem.dims problem));
+          if Sorl_util.Rng.uniform rng < 0.3 then
+            Problem.mutate_coord problem rng cand
+              (Sorl_util.Rng.int rng (Problem.dims problem));
+          let c = Runner.eval r cand in
+          if c < !cur_cost then begin
+            Array.blit cand 0 cur 0 (Array.length cur);
+            cur_cost := c;
+            stale := 0
+          end
+          else incr stale
+        done
+      done)

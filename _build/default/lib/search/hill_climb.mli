@@ -1,0 +1,11 @@
+(** Random-restart stochastic hill climbing.
+
+    From a random start, repeatedly propose a mutation of 1-2
+    coordinates and accept improvements; restart from a fresh random
+    point after [patience] consecutive rejections. *)
+
+type params = { patience : int  (** rejections before restart (default 40) *) }
+
+val default_params : params
+
+val run : ?seed:int -> ?params:params -> ?budget:int -> Problem.t -> Runner.outcome

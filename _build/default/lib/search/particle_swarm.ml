@@ -1,0 +1,80 @@
+type params = { particles : int; inertia : float; cognitive : float; social : float }
+
+let default_params = { particles = 24; inertia = 0.7; cognitive = 1.4; social = 1.4 }
+
+let wide (lo, hi) = hi - lo >= 64 && lo >= 1
+
+let encode bounds p =
+  Array.mapi (fun i v -> if wide bounds.(i) then log (float_of_int v) else float_of_int v) p
+
+let decode problem bounds x =
+  Problem.clamp problem
+    (Array.mapi
+       (fun i v ->
+         let w = if wide bounds.(i) then exp v else v in
+         int_of_float (Float.round w))
+       x)
+
+type particle = {
+  x : float array;
+  v : float array;
+  pbest : float array;
+  mutable pbest_cost : float;
+}
+
+let run ?(seed = 0) ?(params = default_params) ?budget problem =
+  if params.particles < 2 then invalid_arg "Particle_swarm: need >= 2 particles";
+  if params.inertia < 0. || params.inertia >= 1. then
+    invalid_arg "Particle_swarm: inertia outside [0,1)";
+  let rng = Sorl_util.Rng.create seed in
+  let bounds = Problem.bounds problem in
+  let n = Array.length bounds in
+  (* velocity scale per coordinate: a fraction of the (relaxed) range *)
+  let vscale =
+    Array.map
+      (fun (lo, hi) ->
+        if wide (lo, hi) then (log (float_of_int hi) -. log (float_of_int lo)) /. 8.
+        else float_of_int (hi - lo) /. 8.)
+      bounds
+  in
+  Runner.run_with ?budget problem (fun r ->
+      let gbest = ref [||] and gbest_cost = ref infinity in
+      let swarm =
+        Array.init params.particles (fun _ ->
+            let x = encode bounds (Problem.random_point problem rng) in
+            let v =
+              Array.init n (fun i -> vscale.(i) *. ((2. *. Sorl_util.Rng.uniform rng) -. 1.))
+            in
+            let cost = Runner.eval r (decode problem bounds x) in
+            if cost < !gbest_cost then begin
+              gbest_cost := cost;
+              gbest := Array.copy x
+            end;
+            { x; v; pbest = Array.copy x; pbest_cost = cost })
+      in
+      while true do
+        Array.iter
+          (fun p ->
+            for i = 0 to n - 1 do
+              let r1 = Sorl_util.Rng.uniform rng and r2 = Sorl_util.Rng.uniform rng in
+              p.v.(i) <-
+                (params.inertia *. p.v.(i))
+                +. (params.cognitive *. r1 *. (p.pbest.(i) -. p.x.(i)))
+                +. (params.social *. r2 *. (!gbest.(i) -. p.x.(i)));
+              (* velocity clamp keeps the swarm inside a sane envelope *)
+              let vmax = 4. *. vscale.(i) in
+              if p.v.(i) > vmax then p.v.(i) <- vmax;
+              if p.v.(i) < -.vmax then p.v.(i) <- -.vmax;
+              p.x.(i) <- p.x.(i) +. p.v.(i)
+            done;
+            let cost = Runner.eval r (decode problem bounds p.x) in
+            if cost < p.pbest_cost then begin
+              p.pbest_cost <- cost;
+              Array.blit p.x 0 p.pbest 0 n
+            end;
+            if cost < !gbest_cost then begin
+              gbest_cost := cost;
+              gbest := Array.copy p.x
+            end)
+          swarm
+      done)

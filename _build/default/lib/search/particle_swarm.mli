@@ -1,0 +1,17 @@
+(** Particle swarm optimization (global-best topology).
+
+    Particles move in the continuous relaxation of the integer space
+    (log space for wide coordinates), with inertia plus cognitive and
+    social attraction; positions are rounded and clamped for
+    evaluation. *)
+
+type params = {
+  particles : int;  (** default 24 *)
+  inertia : float;  (** velocity carry-over (default 0.7) *)
+  cognitive : float;  (** pull toward the particle's own best (default 1.4) *)
+  social : float;  (** pull toward the swarm best (default 1.4) *)
+}
+
+val default_params : params
+
+val run : ?seed:int -> ?params:params -> ?budget:int -> Problem.t -> Runner.outcome

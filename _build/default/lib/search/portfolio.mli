@@ -1,0 +1,19 @@
+(** Algorithm-portfolio meta-search (successive halving).
+
+    OpenTuner-style "drop under-performing search algorithms in early
+    stages" (§VI-A): all candidate algorithms get a small slice of the
+    evaluation budget, the better half survives to a doubled slice, and
+    the last survivor spends everything that remains.  Every evaluation
+    of every round counts against the single global budget, so the
+    comparison with fixed-algorithm runs is fair. *)
+
+val run :
+  ?seed:int ->
+  ?algorithms:Registry.algorithm list ->
+  ?budget:int ->
+  Problem.t ->
+  Runner.outcome * string
+(** Returns the global outcome plus the name of the winning algorithm.
+    [algorithms] defaults to {!Registry.all}.  Raises
+    [Invalid_argument] when the list is empty or the budget is smaller
+    than 8 evaluations per algorithm. *)

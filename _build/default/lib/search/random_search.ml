@@ -1,0 +1,6 @@
+let run ?(seed = 0) ?budget problem =
+  let rng = Sorl_util.Rng.create seed in
+  Runner.run_with ?budget problem (fun r ->
+      while true do
+        ignore (Runner.eval r (Problem.random_point problem rng))
+      done)

@@ -1,0 +1,4 @@
+(** Pure random sampling baseline: draws independent points (log-uniform
+    on wide coordinates) until the budget is exhausted. *)
+
+val run : ?seed:int -> ?budget:int -> Problem.t -> Runner.outcome

@@ -1,0 +1,75 @@
+type algorithm = {
+  name : string;
+  descr : string;
+  run : seed:int -> budget:int -> Problem.t -> Runner.outcome;
+}
+
+let ga =
+  {
+    name = "ga";
+    descr = "generational genetic algorithm";
+    run = (fun ~seed ~budget p -> Ga_generational.run ~seed ~budget p);
+  }
+
+let de =
+  {
+    name = "de";
+    descr = "differential evolution (rand/1/bin)";
+    run = (fun ~seed ~budget p -> Differential_evolution.run ~seed ~budget p);
+  }
+
+let es =
+  {
+    name = "es";
+    descr = "(mu+lambda) evolution strategy";
+    run = (fun ~seed ~budget p -> Evolution_strategy.run ~seed ~budget p);
+  }
+
+let sga =
+  {
+    name = "sga";
+    descr = "steady-state genetic algorithm";
+    run = (fun ~seed ~budget p -> Ga_steady_state.run ~seed ~budget p);
+  }
+
+let all =
+  [
+    ga;
+    de;
+    es;
+    sga;
+    {
+      name = "random";
+      descr = "uniform random sampling";
+      run = (fun ~seed ~budget p -> Random_search.run ~seed ~budget p);
+    };
+    {
+      name = "hill";
+      descr = "random-restart hill climbing";
+      run = (fun ~seed ~budget p -> Hill_climb.run ~seed ~budget p);
+    };
+    {
+      name = "bandit";
+      descr = "UCB1 multi-armed-bandit operator selection";
+      run = (fun ~seed ~budget p -> Bandit.run ~seed ~budget p);
+    };
+    {
+      name = "sa";
+      descr = "simulated annealing (geometric cooling, reheats)";
+      run = (fun ~seed ~budget p -> Simulated_annealing.run ~seed ~budget p);
+    };
+    {
+      name = "pso";
+      descr = "particle swarm optimization (global-best)";
+      run = (fun ~seed ~budget p -> Particle_swarm.run ~seed ~budget p);
+    };
+  ]
+
+let paper_baselines = [ ga; de; es; sga ]
+
+let find name =
+  match List.find_opt (fun a -> String.equal a.name name) all with
+  | Some a -> a
+  | None -> raise Not_found
+
+let names () = List.map (fun a -> a.name) all

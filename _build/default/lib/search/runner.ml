@@ -1,0 +1,48 @@
+exception Out_of_budget
+
+type t = {
+  problem : Problem.t;
+  budget : int;
+  mutable evals : int;
+  mutable best : (int array * float) option;
+  curve : float array;
+}
+
+let create ?(budget = 1024) problem =
+  if budget <= 0 then invalid_arg "Runner.create: budget must be positive";
+  { problem; budget; evals = 0; best = None; curve = Array.make budget infinity }
+
+let eval t p =
+  if t.evals >= t.budget then raise Out_of_budget;
+  let c = Problem.eval t.problem p in
+  (match t.best with
+  | Some (_, bc) when bc <= c -> ()
+  | _ -> t.best <- Some (Problem.clamp t.problem p, c));
+  let bc = match t.best with Some (_, bc) -> bc | None -> c in
+  t.curve.(t.evals) <- bc;
+  t.evals <- t.evals + 1;
+  c
+
+let evaluations t = t.evals
+let budget t = t.budget
+let remaining t = t.budget - t.evals
+let best t = t.best
+let curve t = Array.sub t.curve 0 t.evals
+
+type outcome = {
+  best_point : int array;
+  best_cost : float;
+  evaluations : int;
+  curve : float array;
+}
+
+let finish t =
+  match t.best with
+  | None -> invalid_arg "Runner.finish: no evaluations"
+  | Some (p, c) ->
+    { best_point = Array.copy p; best_cost = c; evaluations = t.evals; curve = curve t }
+
+let run_with ?budget problem body =
+  let t = create ?budget problem in
+  (try body t with Out_of_budget -> ());
+  finish t

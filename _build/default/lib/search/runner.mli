@@ -1,0 +1,44 @@
+(** Budgeted evaluation with best-so-far tracking.
+
+    Every search algorithm evaluates through a runner, which enforces
+    the evaluation budget (raising {!Out_of_budget} internally — the
+    algorithms catch it and return) and records the best-so-far cost
+    after every evaluation, the convergence trace of Fig. 5. *)
+
+exception Out_of_budget
+
+type t
+
+val create : ?budget:int -> Problem.t -> t
+(** [budget] defaults to 1024, the paper's per-search evaluation count.
+    Must be positive. *)
+
+val eval : t -> int array -> float
+(** Evaluate and record; raises {!Out_of_budget} once the budget is
+    exhausted. *)
+
+val evaluations : t -> int
+val budget : t -> int
+val remaining : t -> int
+
+val best : t -> (int array * float) option
+(** Best point found so far, if any evaluation happened. *)
+
+val curve : t -> float array
+(** [curve t].(i) = best cost after evaluation [i+1]; length
+    {!evaluations}. *)
+
+type outcome = {
+  best_point : int array;
+  best_cost : float;
+  evaluations : int;
+  curve : float array;
+}
+
+val finish : t -> outcome
+(** Raises [Invalid_argument] when nothing was evaluated. *)
+
+val run_with :
+  ?budget:int -> Problem.t -> (t -> unit) -> outcome
+(** [run_with problem body] creates a runner, runs [body] (absorbing
+    {!Out_of_budget}) and returns the outcome. *)

@@ -1,0 +1,50 @@
+type params = { t0 : float; cooling : float; reheat_after : int }
+
+let default_params = { t0 = 0.5; cooling = 0.; reheat_after = 100 }
+
+let run ?(seed = 0) ?(params = default_params) ?budget problem =
+  if params.t0 <= 0. then invalid_arg "Simulated_annealing: t0 must be positive";
+  if params.reheat_after < 1 then invalid_arg "Simulated_annealing: reheat_after must be >= 1";
+  let rng = Sorl_util.Rng.create seed in
+  Runner.run_with ?budget problem (fun r ->
+      let cur = Problem.random_point problem rng in
+      let cur_cost = ref (Runner.eval r cur) in
+      let t_start = params.t0 *. Float.max !cur_cost 1e-12 in
+      let temp = ref t_start in
+      (* decay chosen so the temperature crosses ~1e-3 of its start by
+         budget exhaustion *)
+      let cooling =
+        if params.cooling > 0. then params.cooling
+        else exp (log 1e-3 /. float_of_int (Runner.budget r))
+      in
+      let rejected = ref 0 in
+      while true do
+        let cand = Array.copy cur in
+        Problem.mutate_coord problem rng cand (Sorl_util.Rng.int rng (Problem.dims problem));
+        if Sorl_util.Rng.uniform rng < 0.25 then
+          Problem.mutate_coord problem rng cand (Sorl_util.Rng.int rng (Problem.dims problem));
+        let c = Runner.eval r cand in
+        let accept =
+          c <= !cur_cost
+          || Sorl_util.Rng.uniform rng < exp ((!cur_cost -. c) /. Float.max !temp 1e-30)
+        in
+        if accept then begin
+          Array.blit cand 0 cur 0 (Array.length cur);
+          cur_cost := c;
+          rejected := 0
+        end
+        else begin
+          incr rejected;
+          if !rejected >= params.reheat_after then begin
+            temp := t_start;
+            rejected := 0;
+            (* restart from the best point found so far *)
+            match Runner.best r with
+            | Some (p, bc) ->
+              Array.blit p 0 cur 0 (Array.length cur);
+              cur_cost := bc
+            | None -> ()
+          end
+        end;
+        temp := !temp *. cooling
+      done)

@@ -1,0 +1,19 @@
+(** Simulated annealing with a geometric cooling schedule.
+
+    Metropolis acceptance over the integer-vector mutation
+    neighbourhood: worse moves are accepted with probability
+    [exp(-Δ/T)], where the temperature decays geometrically from
+    [t0 · (initial cost)] to near zero over the evaluation budget, and
+    occasional reheats escape deep basins. *)
+
+type params = {
+  t0 : float;  (** initial temperature as a fraction of the first cost
+                   (default 0.5) *)
+  cooling : float;  (** geometric decay per evaluation, derived from the
+                        budget when <= 0 (default 0.) *)
+  reheat_after : int;  (** rejected moves before reheating (default 100) *)
+}
+
+val default_params : params
+
+val run : ?seed:int -> ?params:params -> ?budget:int -> Problem.t -> Runner.outcome

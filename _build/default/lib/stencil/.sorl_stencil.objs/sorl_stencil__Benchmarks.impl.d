@@ -1,0 +1,1 @@
+lib/stencil/benchmarks.ml: Dtype Instance Kernel List Pattern String

@@ -1,0 +1,1 @@
+lib/stencil/benchmarks.mli: Instance Kernel

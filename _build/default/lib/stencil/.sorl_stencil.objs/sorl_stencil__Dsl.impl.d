@@ -1,0 +1,1 @@
+lib/stencil/dsl.ml: Buffer Dtype Fun Kernel List Pattern Printf String

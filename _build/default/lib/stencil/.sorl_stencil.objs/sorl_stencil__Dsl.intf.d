@@ -1,0 +1,1 @@
+lib/stencil/dsl.mli: Kernel

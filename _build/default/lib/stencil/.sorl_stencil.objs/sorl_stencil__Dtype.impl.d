@@ -1,0 +1,1 @@
+lib/stencil/dtype.ml: Format String

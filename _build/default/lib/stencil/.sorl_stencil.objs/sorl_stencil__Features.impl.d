@@ -1,0 +1,1 @@
+lib/stencil/features.ml: Array Dtype Float Hashtbl Instance Kernel List Pattern Printf Sorl_util String Tuning

@@ -1,0 +1,1 @@
+lib/stencil/features.mli: Instance Sorl_util Tuning

@@ -1,0 +1,1 @@
+lib/stencil/instance.ml: Format Kernel Printf

@@ -1,0 +1,1 @@
+lib/stencil/instance.mli: Format Kernel

@@ -1,0 +1,1 @@
+lib/stencil/kernel.ml: Char Dtype Format List Pattern String

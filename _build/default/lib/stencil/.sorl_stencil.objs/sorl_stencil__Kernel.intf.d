@@ -1,0 +1,1 @@
+lib/stencil/kernel.mli: Dtype Format Pattern

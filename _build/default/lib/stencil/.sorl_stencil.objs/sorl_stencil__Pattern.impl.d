@@ -1,0 +1,1 @@
+lib/stencil/pattern.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/stencil/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/stencil/training_shapes.ml: Dtype Instance Kernel List Pattern Printf

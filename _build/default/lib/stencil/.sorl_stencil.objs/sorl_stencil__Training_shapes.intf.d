@@ -1,0 +1,1 @@
+lib/stencil/training_shapes.mli: Instance Kernel

@@ -1,0 +1,1 @@
+lib/stencil/tuning.ml: Array Float Format List Printf Sorl_util

@@ -1,0 +1,1 @@
+lib/stencil/tuning.mli: Format Sorl_util

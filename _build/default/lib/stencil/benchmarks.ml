@@ -1,0 +1,88 @@
+let center = Pattern.of_offsets [ (0, 0, 0) ]
+
+let blur =
+  Kernel.simple ~name:"blur" ~pattern:(Pattern.hypercube ~dims:2 ~reach:2) ~dtype:Dtype.F32 ()
+
+let edge =
+  Kernel.simple ~name:"edge" ~pattern:(Pattern.hypercube ~dims:2 ~reach:1) ~dtype:Dtype.F32 ()
+
+let game_of_life =
+  Kernel.simple ~name:"game-of-life"
+    ~pattern:(Pattern.hypercube ~dims:2 ~reach:1)
+    ~dtype:Dtype.F32 ()
+
+let wave =
+  Kernel.create ~name:"wave"
+    ~buffers:[ Pattern.laplacian ~dims:3 ~reach:2; center ]
+    ~dtype:Dtype.F32 ()
+
+let tricubic =
+  Kernel.create ~name:"tricubic" ~dims:3
+    ~buffers:[ Pattern.box ~lo:(-1, -1, -1) ~hi:(2, 2, 2); center; center ]
+    ~dtype:Dtype.F32 ()
+
+let divergence =
+  let arm axis = Pattern.remove_center (Pattern.line ~axis ~reach:1) in
+  Kernel.create ~name:"divergence" ~dims:3
+    ~buffers:[ arm Pattern.X; arm Pattern.Y; arm Pattern.Z ]
+    ~dtype:Dtype.F64 ()
+
+let gradient =
+  Kernel.simple ~name:"gradient" ~dims:3
+    ~pattern:(Pattern.remove_center (Pattern.laplacian ~dims:3 ~reach:1))
+    ~dtype:Dtype.F64 ()
+
+let laplacian =
+  Kernel.simple ~name:"laplacian"
+    ~pattern:(Pattern.laplacian ~dims:3 ~reach:1)
+    ~dtype:Dtype.F64 ()
+
+let laplacian6 =
+  Kernel.simple ~name:"laplacian6"
+    ~pattern:(Pattern.laplacian ~dims:3 ~reach:3)
+    ~dtype:Dtype.F64 ()
+
+let kernels =
+  [ blur; edge; game_of_life; wave; tricubic; divergence; gradient; laplacian; laplacian6 ]
+
+let sq k n = Instance.create_xyz k ~sx:n ~sy:n ~sz:1
+let cube k n = Instance.create_xyz k ~sx:n ~sy:n ~sz:n
+
+let instances =
+  [
+    sq blur 1024;
+    Instance.create_xyz blur ~sx:1024 ~sy:768 ~sz:1;
+    sq edge 512;
+    sq edge 1024;
+    sq game_of_life 512;
+    sq game_of_life 1024;
+    cube wave 128;
+    cube wave 256;
+    cube tricubic 128;
+    cube tricubic 256;
+    cube divergence 128;
+    cube gradient 128;
+    cube gradient 256;
+    cube laplacian 128;
+    cube laplacian 256;
+    cube laplacian6 128;
+    cube laplacian6 256;
+  ]
+
+let kernel_by_name name =
+  match List.find_opt (fun k -> String.equal (Kernel.name k) name) kernels with
+  | Some k -> k
+  | None -> raise Not_found
+
+let instance_by_name name =
+  match List.find_opt (fun i -> String.equal (Instance.name i) name) instances with
+  | Some i -> i
+  | None -> raise Not_found
+
+let fig5_instances =
+  [
+    instance_by_name "gradient-256x256x256";
+    instance_by_name "tricubic-256x256x256";
+    instance_by_name "blur-1024x768";
+    instance_by_name "divergence-128x128x128";
+  ]

@@ -1,0 +1,41 @@
+(** The paper's test set (Table III): 9 stencil kernels, 17 benchmark
+    instances.
+
+    Shape notes where Table III is terse:
+    - [wave]: the "13 laplacian + 1" shape is the 13-point radius-2 star
+      on the current field plus the center of the previous-time field
+      (the classic second-order wave update), so the kernel reads two
+      buffers; Table III counts the main field ("1 float").
+    - [tricubic]: buffer 0 is the 4×4×4 cube ([-1..2] per axis); the two
+      remaining float buffers are read at the center (interpolation
+      coordinates).
+    - [divergence]: three double buffers, each read as a radius-1 line
+      along its own axis with the center not read — the union is the
+      6-point "laplacian (center point not read)" of Table III. *)
+
+val blur : Kernel.t
+val edge : Kernel.t
+val game_of_life : Kernel.t
+val wave : Kernel.t
+val tricubic : Kernel.t
+val divergence : Kernel.t
+val gradient : Kernel.t
+val laplacian : Kernel.t
+val laplacian6 : Kernel.t
+
+val kernels : Kernel.t list
+(** The 9 kernels in Table III order. *)
+
+val instances : Instance.t list
+(** The 17 test benchmarks in Table III order. *)
+
+val kernel_by_name : string -> Kernel.t
+(** Raises [Not_found] for unknown names. *)
+
+val instance_by_name : string -> Instance.t
+(** Lookup by {!Instance.name}, e.g. ["gradient-256x256x256"].
+    Raises [Not_found]. *)
+
+val fig5_instances : Instance.t list
+(** The four benchmarks detailed in Fig. 5: gradient-256³,
+    tricubic-256³, blur-1024×768, divergence-128³. *)

@@ -1,0 +1,189 @@
+let strip_comments src =
+  String.split_on_char '\n' src
+  |> List.map (fun line ->
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line)
+  |> String.concat "\n"
+
+let tokenize src =
+  let b = Buffer.create (String.length src * 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' | '}' | '(' | ')' | ',' ->
+        Buffer.add_char b ' ';
+        Buffer.add_char b c;
+        Buffer.add_char b ' '
+      | c -> Buffer.add_char b c)
+    (strip_comments src);
+  Buffer.contents b
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type state = {
+  mutable tokens : string list;
+  mutable dims : int option;
+  mutable dtype : Dtype.t;
+  mutable buffers : (string * Pattern.offset list) list;  (* reversed *)
+}
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.tokens with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+    st.tokens <- rest;
+    t
+
+let expect st want =
+  let t = next st in
+  if t <> want then fail "expected %S but found %S" want t
+
+let int_token st what =
+  let t = next st in
+  try int_of_string t with _ -> fail "expected %s (an integer) but found %S" what t
+
+let need_dims st what =
+  match st.dims with
+  | Some d -> d
+  | None -> fail "declare `dims' before using the %s shorthand" what
+
+(* one access item; returns the offsets it denotes *)
+let parse_access st =
+  match next st with
+  | "(" ->
+    let a = int_token st "offset" in
+    expect st ",";
+    let b = int_token st "offset" in
+    let c =
+      match peek st with
+      | Some "," ->
+        ignore (next st);
+        int_token st "offset"
+      | _ -> 0
+    in
+    expect st ")";
+    if abs a > Pattern.max_offset || abs b > Pattern.max_offset || abs c > Pattern.max_offset
+    then fail "offset (%d,%d,%d) exceeds the maximum offset %d" a b c Pattern.max_offset;
+    [ (a, b, c) ]
+  | "center" -> [ (0, 0, 0) ]
+  | "laplacian" ->
+    let r = int_token st "radius" in
+    Pattern.offsets (Pattern.laplacian ~dims:(need_dims st "laplacian") ~reach:r)
+  | "hypercube" ->
+    let r = int_token st "radius" in
+    Pattern.offsets (Pattern.hypercube ~dims:(need_dims st "hypercube") ~reach:r)
+  | "plane" ->
+    let r = int_token st "radius" in
+    ignore (need_dims st "plane");
+    Pattern.offsets (Pattern.hyperplane ~dims:3 ~reach:r)
+  | "line" -> (
+    let axis =
+      match next st with
+      | "x" -> Pattern.X
+      | "y" -> Pattern.Y
+      | "z" -> Pattern.Z
+      | t -> fail "expected an axis (x, y or z) but found %S" t
+    in
+    let r = int_token st "reach" in
+    Pattern.offsets (Pattern.line ~axis ~reach:r))
+  | t -> fail "expected an access but found %S" t
+
+let access_starts = [ "("; "center"; "laplacian"; "hypercube"; "plane"; "line" ]
+
+let parse_buffer st =
+  let name = next st in
+  expect st "reads";
+  let offs = ref (parse_access st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some t when List.mem t access_starts -> offs := !offs @ parse_access st
+    | _ -> continue := false
+  done;
+  if List.exists (fun (n, _) -> n = name) st.buffers then
+    fail "buffer %S declared twice" name;
+  st.buffers <- (name, !offs) :: st.buffers
+
+let rec parse_decls st =
+  match next st with
+  | "}" -> ()
+  | "dims" ->
+    let d = int_token st "dims" in
+    if d <> 2 && d <> 3 then fail "dims must be 2 or 3, not %d" d;
+    st.dims <- Some d;
+    parse_decls st
+  | "dtype" ->
+    (let t = next st in
+     try st.dtype <- Dtype.of_string t
+     with Invalid_argument _ -> fail "unknown dtype %S" t);
+    parse_decls st
+  | "buffer" ->
+    parse_buffer st;
+    parse_decls st
+  | t -> fail "expected a declaration (dims, dtype, buffer) or `}' but found %S" t
+
+let parse_kernel src =
+  let st = { tokens = tokenize src; dims = None; dtype = Dtype.F64; buffers = [] } in
+  expect st "stencil";
+  let name = next st in
+  if name = "{" then fail "missing stencil name";
+  expect st "{";
+  parse_decls st;
+  (match st.tokens with
+  | [] -> ()
+  | t :: _ -> fail "trailing input after the stencil body: %S" t);
+  match List.rev st.buffers with
+  | [] -> fail "stencil %S declares no buffer" name
+  | buffers ->
+    let patterns =
+      List.map
+        (fun (bname, offs) ->
+          match offs with
+          | [] -> fail "buffer %S reads nothing" bname
+          | offs -> Pattern.of_offsets offs)
+        buffers
+    in
+    Kernel.create ~name ?dims:st.dims ~buffers:patterns ~dtype:st.dtype ()
+
+let parse src =
+  match parse_kernel src with
+  | k -> Ok k
+  | exception Parse_error m -> Error m
+  | exception Invalid_argument m -> Error m
+
+let parse_exn src = match parse src with Ok k -> k | Error m -> failwith m
+
+let parse_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | src -> parse src
+  | exception Sys_error m -> Error m
+
+let print k =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "stencil %s {\n" (Kernel.name k);
+  Printf.bprintf b "  dims %d\n" (Kernel.dims k);
+  Printf.bprintf b "  dtype %s\n" (Dtype.to_string (Kernel.dtype k));
+  List.iteri
+    (fun i p ->
+      Printf.bprintf b "  buffer b%d reads" i;
+      List.iter
+        (fun (dx, dy, dz) -> Printf.bprintf b " (%d, %d, %d)" dx dy dz)
+        (Pattern.offsets p);
+      Buffer.add_char b '\n')
+    (Kernel.buffer_patterns k);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,47 @@
+(** A small textual stencil DSL.
+
+    The paper's tool chain starts from stencils written in a DSL
+    (PATUS); this front end lets users describe kernels as text and
+    feed them to the tuner without writing OCaml:
+
+    {v
+stencil heat3d {
+  dims 3
+  dtype double
+  buffer u reads laplacian 1
+  buffer c reads center
+}
+    v}
+
+    Grammar (whitespace-separated tokens; [#] starts a line comment):
+
+    {v
+file   := "stencil" NAME "{" decl* "}"
+decl   := "dims" INT                    # 2 or 3 (else inferred)
+        | "dtype" ("float" | "double")  # default double
+        | "buffer" NAME "reads" access+
+access := "(" INT "," INT ")"           # 2-D offset
+        | "(" INT "," INT "," INT ")"   # 3-D offset
+        | "center"                      # (0,0,0)
+        | "laplacian" INT               # star of that radius
+        | "hypercube" INT               # full cube/square
+        | "plane" INT                   # z = 0 square
+        | "line" ("x"|"y"|"z") INT      # axis segment
+    v}
+
+    Accesses of one buffer accumulate (union).  Shape shorthands follow
+    the declared (or later-inferred) dimensionality. *)
+
+val parse : string -> (Kernel.t, string) result
+(** Parse one stencil declaration.  The error string pinpoints the
+    offending token. *)
+
+val parse_exn : string -> Kernel.t
+(** Raises [Failure] with the parse error. *)
+
+val parse_file : string -> (Kernel.t, string) result
+(** Read and {!parse} a file; IO errors are returned as [Error]. *)
+
+val print : Kernel.t -> string
+(** Render a kernel back to DSL text ([parse (print k)] yields a
+    kernel equal to [k]). *)

@@ -1,0 +1,14 @@
+type t = F32 | F64
+
+let bytes = function F32 -> 4 | F64 -> 8
+let to_feature = function F32 -> 0. | F64 -> 1.
+let to_string = function F32 -> "float" | F64 -> "double"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "float" | "f32" | "single" -> F32
+  | "double" | "f64" -> F64
+  | other -> invalid_arg ("Dtype.of_string: " ^ other)
+
+let equal a b = a = b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

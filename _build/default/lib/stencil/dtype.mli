@@ -1,0 +1,20 @@
+(** Buffer element types (§III-A-2).
+
+    The paper assumes a stencil is homogeneous in its input type; the
+    feature encoding maps [F32 -> 0] and [F64 -> 1]. *)
+
+type t = F32 | F64
+
+val bytes : t -> int
+(** Storage size: 4 or 8. *)
+
+val to_feature : t -> float
+(** The paper's d component: 0. for float, 1. for double. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Accepts "float"/"f32"/"single" and "double"/"f64".
+    Raises [Invalid_argument] otherwise. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,225 @@
+type mode = Canonical | Extended
+
+let max_buffers = 4.
+let lg2 x = log x /. log 2.
+let lg2i x = lg2 (float_of_int x)
+
+(* Canonical layout (§III): pattern matrix, buffers, dtype, sizes,
+   tuning parameters. *)
+let pattern_base = 0
+let buffers_idx = Pattern.cells (* 343 *)
+let dtype_idx = buffers_idx + 1
+let size_base = dtype_idx + 1 (* 3 cells *)
+let tuning_base = size_base + 3 (* 5 cells: bx by bz u c *)
+let canonical_dim = tuning_base + 5 (* 353 *)
+
+(* Extended layout: hardware-independent derived features.  Continuous
+   interaction terms first, then one-hot bins that give the linear
+   ranker a piecewise-constant basis over each tuning parameter and
+   over the cache-relevant derived quantities (block-size preference is
+   not monotone, so log-scaled scalars alone cannot express it). *)
+let continuous_count = 10
+let block_bins = 11 (* log2(b) in 0..10 *)
+let unroll_bins = 9 (* u one-hot, 0..8 *)
+let chunk_bins = 9 (* log2(c) in 0..8 *)
+let ws_bins = 20 (* log2(working-set bytes), 10..29 *)
+let reuse_bins = 20 (* log2(streaming reuse bytes), 10..29 *)
+let count_bins = 13 (* log2(tiles|chunks)/2, 0..12 *)
+
+let continuous_base = canonical_dim
+let bx_bins_base = continuous_base + continuous_count
+let by_bins_base = bx_bins_base + block_bins
+let bz_bins_base = by_bins_base + block_bins
+let unroll_bins_base = bz_bins_base + block_bins
+let chunk_bins_base = unroll_bins_base + unroll_bins
+let ws_bins_base = chunk_bins_base + chunk_bins
+let reuse_bins_base = ws_bins_base + ws_bins
+let tiles_bins_base = reuse_bins_base + reuse_bins
+let chunks_bins_base = tiles_bins_base + count_bins
+let extended_dim = chunks_bins_base + count_bins
+
+let dim = function Canonical -> canonical_dim | Extended -> extended_dim
+
+let clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
+let clamp_int v lo hi = if v < lo then lo else if v > hi then hi else v
+let log2_bin v lo hi = clamp_int (int_of_float (Float.round (lg2 v)) - lo) 0 (hi - lo)
+
+(* Derived static quantities coupling instance and tuning. *)
+type derived = {
+  tile_pts : int;
+  ws_bytes : float;
+  reuse_bytes : float;
+  halo_frac : float;
+  tiles : int;
+  chunks : int;
+}
+
+let derive inst (t : Tuning.t) =
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  let bx = min t.Tuning.bx s.Instance.sx
+  and by = min t.Tuning.by s.Instance.sy
+  and bz = min t.Tuning.bz s.Instance.sz in
+  let tile_pts = bx * by * bz in
+  let bytes = float_of_int (Dtype.bytes (Kernel.dtype k)) in
+  let ws_pts, reuse_pts =
+    List.fold_left
+      (fun (ws, reuse) p ->
+        let rx, ry, rz = Pattern.radius p in
+        let ex = min (bx + (2 * rx)) s.Instance.sx
+        and ey = min (by + (2 * ry)) s.Instance.sy
+        and ez = min (bz + (2 * rz)) s.Instance.sz in
+        (ws + (ex * ey * ez), reuse + (ex * ey * min ((2 * rz) + 1) s.Instance.sz)))
+      (tile_pts, bx) (Kernel.buffer_patterns k)
+  in
+  let halo_frac =
+    float_of_int (ws_pts - (tile_pts * (Kernel.num_buffers k + 1))) /. float_of_int ws_pts
+  in
+  let ceil_div a b = (a + b - 1) / b in
+  let tiles = ceil_div s.Instance.sx bx * ceil_div s.Instance.sy by * ceil_div s.Instance.sz bz in
+  {
+    tile_pts;
+    ws_bytes = float_of_int ws_pts *. bytes;
+    reuse_bytes = float_of_int reuse_pts *. bytes;
+    halo_frac;
+    tiles;
+    chunks = ceil_div tiles t.Tuning.c;
+  }
+
+let continuous_features inst (t : Tuning.t) d =
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  let bx = min t.Tuning.bx s.Instance.sx
+  and by = min t.Tuning.by s.Instance.sy
+  and bz = min t.Tuning.bz s.Instance.sz in
+  let u_eff = max 1 t.Tuning.u in
+  [|
+    clamp01 (lg2i d.tile_pts /. 30.);
+    clamp01 (lg2 d.ws_bytes /. 35.);
+    clamp01 d.halo_frac;
+    clamp01 (float_of_int bx /. float_of_int s.Instance.sx);
+    clamp01 (float_of_int by /. float_of_int s.Instance.sy);
+    clamp01 (float_of_int bz /. float_of_int s.Instance.sz);
+    clamp01 (float_of_int (bx mod 8) /. 8.);
+    clamp01 (lg2i (u_eff * Kernel.taps k) /. 10.);
+    clamp01 (lg2i (max 1 d.tiles) /. 24.);
+    clamp01 (lg2i (max 1 d.chunks) /. 24.);
+  |]
+
+(* Instance-only entries, shared by every tuning vector of one
+   instance; [encoder] precomputes them so ranking thousands of
+   candidates re-derives only the tuning-dependent part. *)
+let instance_entries inst =
+  let k = Instance.kernel inst in
+  let s = Instance.size inst in
+  let nb = float_of_int (Kernel.num_buffers k) in
+  let entries = ref [] in
+  let push i v = if v <> 0. then entries := (i, v) :: !entries in
+  (* Pattern cells: per-offset access multiplicity, normalized. *)
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun o ->
+          let c = try Hashtbl.find counts o with Not_found -> 0 in
+          Hashtbl.replace counts o (c + 1))
+        (Pattern.offsets p))
+    (Kernel.buffer_patterns k);
+  Hashtbl.iter
+    (fun o c -> push (pattern_base + Pattern.cell_index o) (float_of_int c /. nb))
+    counts;
+  push buffers_idx (clamp01 (nb /. max_buffers));
+  push dtype_idx (Dtype.to_feature (Kernel.dtype k));
+  push size_base (clamp01 (lg2i s.Instance.sx /. 11.));
+  push (size_base + 1) (clamp01 (lg2i s.Instance.sy /. 11.));
+  push (size_base + 2) (clamp01 (lg2i s.Instance.sz /. 11.));
+  !entries
+
+let tuning_entries mode inst t =
+  let entries = ref [] in
+  let push i v = if v <> 0. then entries := (i, v) :: !entries in
+  push tuning_base (clamp01 (lg2i t.Tuning.bx /. 10.));
+  push (tuning_base + 1) (clamp01 (lg2i t.Tuning.by /. 10.));
+  push (tuning_base + 2) (clamp01 (lg2i t.Tuning.bz /. 10.));
+  push (tuning_base + 3) (clamp01 (float_of_int t.Tuning.u /. 8.));
+  push (tuning_base + 4) (clamp01 (lg2i t.Tuning.c /. 8.));
+  (match mode with
+  | Canonical -> ()
+  | Extended ->
+    let d = derive inst t in
+    Array.iteri (fun i v -> push (continuous_base + i) v) (continuous_features inst t d);
+    push (bx_bins_base + log2_bin (float_of_int t.Tuning.bx) 0 (block_bins - 1)) 1.;
+    push (by_bins_base + log2_bin (float_of_int t.Tuning.by) 0 (block_bins - 1)) 1.;
+    push (bz_bins_base + log2_bin (float_of_int t.Tuning.bz) 0 (block_bins - 1)) 1.;
+    push (unroll_bins_base + clamp_int t.Tuning.u 0 (unroll_bins - 1)) 1.;
+    push (chunk_bins_base + log2_bin (float_of_int t.Tuning.c) 0 (chunk_bins - 1)) 1.;
+    push (ws_bins_base + log2_bin d.ws_bytes 10 (10 + ws_bins - 1)) 1.;
+    push (reuse_bins_base + log2_bin d.reuse_bytes 10 (10 + reuse_bins - 1)) 1.;
+    push (tiles_bins_base + clamp_int (log2_bin (float_of_int (max 1 d.tiles)) 0 24 / 2) 0 (count_bins - 1)) 1.;
+    push
+      (chunks_bins_base
+      + clamp_int (log2_bin (float_of_int (max 1 d.chunks)) 0 24 / 2) 0 (count_bins - 1))
+      1.);
+  !entries
+
+let encoder mode inst =
+  let base = instance_entries inst in
+  let d = dim mode in
+  fun t -> Sorl_util.Sparse.of_list ~dim:d (base @ tuning_entries mode inst t)
+
+let encode mode inst t = (encoder mode inst) t
+let encode_dense mode inst t = Sorl_util.Sparse.to_dense (encode mode inst t)
+
+let continuous_names =
+  [|
+    "x:tile_volume"; "x:working_set"; "x:halo_fraction"; "x:cover_x"; "x:cover_y";
+    "x:cover_z"; "x:simd_remainder"; "x:unroll_pressure"; "x:tiles"; "x:chunks";
+  |]
+
+let names mode =
+  let base =
+    Array.init canonical_dim (fun i ->
+        if i < buffers_idx then begin
+          let dx, dy, dz = Pattern.offset_of_cell i in
+          Printf.sprintf "pat(%d,%d,%d)" dx dy dz
+        end
+        else if i = buffers_idx then "buffers"
+        else if i = dtype_idx then "dtype"
+        else if i < tuning_base then [| "size_x"; "size_y"; "size_z" |].(i - size_base)
+        else [| "t:bx"; "t:by"; "t:bz"; "t:unroll"; "t:chunk" |].(i - tuning_base))
+  in
+  match mode with
+  | Canonical -> base
+  | Extended ->
+    let bins prefix n offset =
+      Array.init n (fun i -> Printf.sprintf "%s_bin%d" prefix (i + offset))
+    in
+    Array.concat
+      [
+        base;
+        continuous_names;
+        bins "bx" block_bins 0;
+        bins "by" block_bins 0;
+        bins "bz" block_bins 0;
+        bins "u" unroll_bins 0;
+        bins "c" chunk_bins 0;
+        bins "ws" ws_bins 10;
+        bins "reuse" reuse_bins 10;
+        bins "tiles" count_bins 0;
+        bins "chunks" count_bins 0;
+      ]
+
+let tuning_feature_indices = function
+  | Canonical -> Array.init 5 (fun i -> tuning_base + i)
+  | Extended ->
+    Array.append
+      (Array.init 5 (fun i -> tuning_base + i))
+      (Array.init (extended_dim - canonical_dim) (fun i -> canonical_dim + i))
+
+let mode_to_string = function Canonical -> "canonical" | Extended -> "extended"
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "canonical" -> Canonical
+  | "extended" -> Extended
+  | other -> invalid_arg ("Features.mode_of_string: " ^ other)

@@ -1,0 +1,63 @@
+(** Feature encoding (§III).
+
+    A stencil execution [(k, s, t)] is summarized in a sparse feature
+    vector with every component normalized to [\[0, 1\]]:
+
+    - cells 0..342: the bounded-offset 7×7×7 pattern matrix; the cell of
+      offset [o] holds (number of buffers accessing [o]) / (number of
+      buffers), so single-buffer kernels store the paper's binary mask;
+    - buffer count (scaled by the maximum of 4);
+    - data type (0 float, 1 double);
+    - input size as [log2 s / log2 2048] per axis;
+    - tuning parameters: [log2 b / log2 1024] per block axis, [u / 8],
+      [log2 c / log2 256].
+
+    Two modes are provided.  [Canonical] is the literal encoding of
+    §III: a concatenation of instance and tuning features.  Because the
+    rank model is linear and pairs are always built within one instance,
+    instance features cancel in every pairwise constraint, so a
+    canonical model orders tuning vectors identically for every
+    instance.  [Extended] therefore appends hardware-independent
+    interaction features (tile volume, working-set size, halo fraction,
+    tile/grid ratios, unroll pressure, tile-count terms) that couple the
+    instance and the tuning vector while remaining purely static; this
+    is what lets the linear ranker specialize per stencil, and is the
+    default of the experiment drivers.
+
+    The extended block has two parts: continuous interaction terms
+    (tile volume, working-set size, halo fraction, grid-coverage
+    ratios, SIMD remainder, unroll pressure, tile/chunk counts) and
+    {e one-hot bin} features — log2 bins of each tuning parameter and
+    of the derived working-set / streaming-reuse sizes.  The bins give
+    the linear model a piecewise-constant basis: block-size preference
+    is not monotone (too small starves SIMD, too large spills the
+    cache), which no weighting of monotone scalars can express, while
+    "bx ∈ [32,128) good, working set past the L2 scale bad" is exactly
+    a linear function of bins.  The canonical-vs-extended gap is
+    quantified by the ablation bench. *)
+
+type mode = Canonical | Extended
+
+val dim : mode -> int
+(** Feature-space dimension (353 canonical, 480 extended). *)
+
+val encode : mode -> Instance.t -> Tuning.t -> Sorl_util.Sparse.t
+(** Feature vector of one stencil execution; all values in [\[0,1\]]. *)
+
+val encode_dense : mode -> Instance.t -> Tuning.t -> float array
+
+val encoder : mode -> Instance.t -> Tuning.t -> Sorl_util.Sparse.t
+(** [encoder mode inst] precomputes the instance-dependent entries and
+    returns a closure encoding tuning vectors of that instance — use it
+    when ranking many candidates for one instance. *)
+
+val names : mode -> string array
+(** Human-readable name per feature index (pattern cells are named by
+    their offset). *)
+
+val tuning_feature_indices : mode -> int array
+(** Indices whose value depends on the tuning vector (the only ones that
+    matter inside a pairwise constraint). *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode

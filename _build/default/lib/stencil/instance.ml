@@ -1,0 +1,34 @@
+type size = { sx : int; sy : int; sz : int }
+
+type t = { kernel : Kernel.t; size : size }
+
+let create kernel size =
+  if size.sx <= 0 || size.sy <= 0 || size.sz <= 0 then
+    invalid_arg "Instance.create: size must be positive";
+  if Kernel.dims kernel = 2 && size.sz <> 1 then
+    invalid_arg "Instance.create: 2-D kernel requires sz = 1";
+  let rx, ry, rz = Kernel.radius kernel in
+  if size.sx <= 2 * rx || size.sy <= 2 * ry || (Kernel.dims kernel = 3 && size.sz <= 2 * rz)
+  then invalid_arg "Instance.create: grid smaller than stencil radius";
+  { kernel; size }
+
+let create_xyz kernel ~sx ~sy ~sz = create kernel { sx; sy; sz }
+
+let kernel t = t.kernel
+let size t = t.size
+let points t = t.size.sx * t.size.sy * t.size.sz
+let total_flops t = float_of_int (points t) *. Kernel.flops_per_point t.kernel
+
+let size_to_string s =
+  if s.sz = 1 then Printf.sprintf "%dx%d" s.sx s.sy
+  else Printf.sprintf "%dx%dx%d" s.sx s.sy s.sz
+
+let name t = Printf.sprintf "%s-%s" (Kernel.name t.kernel) (size_to_string t.size)
+
+let equal a b = Kernel.equal a.kernel b.kernel && a.size = b.size
+
+let compare a b =
+  let c = compare (Kernel.name a.kernel) (Kernel.name b.kernel) in
+  if c <> 0 then c else compare a.size b.size
+
+let pp ppf t = Format.pp_print_string ppf (name t)

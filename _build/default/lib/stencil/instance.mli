@@ -1,0 +1,33 @@
+(** Stencil instances (§III-A): [q = (k, s)] — a kernel plus the input
+    size it runs on.  Instances are the unit of partial ranking: two
+    executions are comparable only when they share the instance. *)
+
+type size = { sx : int; sy : int; sz : int }
+
+type t
+
+val create : Kernel.t -> size -> t
+(** Raises [Invalid_argument] when a dimension is not positive, when a
+    2-D kernel has [sz <> 1], or when the grid is smaller than the
+    kernel radius along any used axis. *)
+
+val create_xyz : Kernel.t -> sx:int -> sy:int -> sz:int -> t
+
+val kernel : t -> Kernel.t
+val size : t -> size
+
+val points : t -> int
+(** Number of updated points, [sx·sy·sz]. *)
+
+val total_flops : t -> float
+(** [points · flops_per_point]. *)
+
+val name : t -> string
+(** ["kernel-SXxSYxSZ"], e.g. ["gradient-256x256x256"];
+    2-D instances omit the z extent. *)
+
+val size_to_string : size -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

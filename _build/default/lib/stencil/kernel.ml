@@ -1,0 +1,69 @@
+type t = {
+  name : string;
+  dims : int;
+  dtype : Dtype.t;
+  buffers : Pattern.t list;
+  union : Pattern.t;
+}
+
+let create ~name ?dims ~buffers ~dtype () =
+  if buffers = [] then invalid_arg "Kernel.create: no buffers";
+  let union =
+    match buffers with
+    | first :: rest -> List.fold_left Pattern.union first rest
+    | [] -> assert false
+  in
+  let planar = Pattern.is_2d union in
+  let dims =
+    match dims with
+    | None -> if planar then 2 else 3
+    | Some d ->
+      if d <> 2 && d <> 3 then invalid_arg "Kernel.create: dims must be 2 or 3";
+      if d = 2 && not planar then
+        invalid_arg "Kernel.create: 3-D pattern declared as 2-D";
+      d
+  in
+  { name; dims; dtype; buffers; union }
+
+let simple ~name ?dims ~pattern ~dtype () = create ~name ?dims ~buffers:[ pattern ] ~dtype ()
+
+let name t = t.name
+let dims t = t.dims
+let dtype t = t.dtype
+let num_buffers t = List.length t.buffers
+let buffer_patterns t = t.buffers
+let pattern t = t.union
+let taps t = List.fold_left (fun acc p -> acc + Pattern.num_points p) 0 t.buffers
+let flops_per_point t = 2. *. float_of_int (taps t)
+
+(* FNV-1a over the identifying data, mapped into [0.05, 1].  Weights are
+   arbitrary but fixed: the executor and the IR interpreter must agree,
+   and re-running an experiment must see identical kernels. *)
+let coefficient t ~buffer (dx, dy, dz) =
+  let p =
+    try List.nth t.buffers buffer
+    with Failure _ | Invalid_argument _ -> invalid_arg "Kernel.coefficient: buffer index"
+  in
+  if not (Pattern.mem p (dx, dy, dz)) then
+    invalid_arg "Kernel.coefficient: offset not accessed by buffer";
+  let h = ref 0x3bf29ce484222325 in
+  let mix byte = h := (!h lxor (byte land 0xff)) * 0x100000001b3 land max_int in
+  String.iter (fun c -> mix (Char.code c)) t.name;
+  mix buffer;
+  mix (dx + 8);
+  mix (dy + 8);
+  mix (dz + 8);
+  let u = float_of_int (!h land 0xFFFFFF) /. float_of_int 0x1000000 in
+  0.05 +. (0.95 *. u)
+
+let radius t = Pattern.radius t.union
+
+let equal a b =
+  String.equal a.name b.name && a.dims = b.dims
+  && Dtype.equal a.dtype b.dtype
+  && List.length a.buffers = List.length b.buffers
+  && List.for_all2 Pattern.equal a.buffers b.buffers
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%dD, %d buffers, %a, %d taps)" t.name t.dims (num_buffers t)
+    Dtype.pp t.dtype (taps t)

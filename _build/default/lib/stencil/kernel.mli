@@ -1,0 +1,57 @@
+(** Stencil kernels (§III-A): [k = (s, b, d)] — pattern, buffer count and
+    data type — plus a per-buffer access decomposition and deterministic
+    tap coefficients so the kernel can actually be executed.
+
+    A kernel reads [b] input buffers; buffer [i] is accessed at the
+    offsets of its own sub-pattern (the paper's divergence example reads
+    its three buffers along different axes).  The kernel pattern exposed
+    to the feature encoding is the union ("sum of accesses") of the
+    sub-patterns. *)
+
+type t
+
+val create :
+  name:string -> ?dims:int -> buffers:Pattern.t list -> dtype:Dtype.t -> unit -> t
+(** [create ~name ~buffers ~dtype ()] builds a kernel reading
+    [List.length buffers] buffers, buffer [i] at the offsets
+    [List.nth buffers i].  [dims] defaults to 3 when any sub-pattern
+    leaves the z=0 plane and 2 otherwise; passing [~dims:3] forces a
+    planar pattern to be interpreted as a 3-D kernel.
+    Raises [Invalid_argument] on an empty buffer list, a [dims] outside
+    {2,3}, or a 3-D pattern declared as [~dims:2]. *)
+
+val simple :
+  name:string -> ?dims:int -> pattern:Pattern.t -> dtype:Dtype.t -> unit -> t
+(** Single-buffer kernel. *)
+
+val name : t -> string
+val dims : t -> int
+(** 2 or 3. *)
+
+val dtype : t -> Dtype.t
+val num_buffers : t -> int
+val buffer_patterns : t -> Pattern.t list
+
+val pattern : t -> Pattern.t
+(** Union of the per-buffer access patterns. *)
+
+val taps : t -> int
+(** Total number of accesses per written point
+    (sum of sub-pattern sizes). *)
+
+val flops_per_point : t -> float
+(** Arithmetic per written point: one multiply and one add per tap
+    ([2 · taps]), the convention used for GFlop/s reporting. *)
+
+val coefficient : t -> buffer:int -> Pattern.offset -> float
+(** Deterministic tap weight in [\[0.05, 1\]], a pure function of the
+    kernel name, buffer index and offset.  Gives every kernel fixed,
+    reproducible semantics for the executor and its tests.
+    Raises [Invalid_argument] if the buffer index is out of range or the
+    offset is not accessed by that buffer. *)
+
+val radius : t -> int * int * int
+(** Per-axis radius of the union pattern. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

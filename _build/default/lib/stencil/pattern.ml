@@ -1,0 +1,127 @@
+type offset = int * int * int
+
+let max_offset = 3
+let side = (2 * max_offset) + 1
+let cells = side * side * side
+
+type t = offset list (* sorted, unique, nonempty *)
+
+let valid (dx, dy, dz) =
+  let ok d = abs d <= max_offset in
+  ok dx && ok dy && ok dz
+
+let of_offsets offs =
+  if offs = [] then invalid_arg "Pattern.of_offsets: empty pattern";
+  List.iter
+    (fun o -> if not (valid o) then invalid_arg "Pattern.of_offsets: offset out of range")
+    offs;
+  List.sort_uniq compare offs
+
+let offsets t = t
+let num_points = List.length
+let mem t o = List.mem o t
+let union a b = List.sort_uniq compare (a @ b)
+let is_2d t = List.for_all (fun (_, _, dz) -> dz = 0) t
+
+let radius t =
+  List.fold_left
+    (fun (rx, ry, rz) (dx, dy, dz) -> (max rx (abs dx), max ry (abs dy), max rz (abs dz)))
+    (0, 0, 0) t
+
+let contains_center t = mem t (0, 0, 0)
+
+let cell_index (dx, dy, dz) =
+  if not (valid (dx, dy, dz)) then invalid_arg "Pattern.cell_index: offset out of range";
+  (((dz + max_offset) * side) + (dy + max_offset)) * side + (dx + max_offset)
+
+let offset_of_cell i =
+  if i < 0 || i >= cells then invalid_arg "Pattern.offset_of_cell: index out of range";
+  let dx = (i mod side) - max_offset in
+  let dy = (i / side mod side) - max_offset in
+  let dz = (i / (side * side)) - max_offset in
+  (dx, dy, dz)
+
+let to_mask t =
+  let m = Array.make cells 0. in
+  List.iter (fun o -> m.(cell_index o) <- 1.) t;
+  m
+
+let of_mask m =
+  if Array.length m <> cells then invalid_arg "Pattern.of_mask: wrong length";
+  let offs = ref [] in
+  Array.iteri (fun i v -> if v <> 0. then offs := offset_of_cell i :: !offs) m;
+  of_offsets !offs
+
+type axis = X | Y | Z
+
+let check_reach reach =
+  if reach < 1 || reach > max_offset then invalid_arg "Pattern: reach out of [1, max_offset]"
+
+let line ~axis ~reach =
+  check_reach reach;
+  let point d = match axis with X -> (d, 0, 0) | Y -> (0, d, 0) | Z -> (0, 0, d) in
+  of_offsets (List.init ((2 * reach) + 1) (fun i -> point (i - reach)))
+
+let range reach = List.init ((2 * reach) + 1) (fun i -> i - reach)
+
+let check_dims dims =
+  if dims <> 2 && dims <> 3 then invalid_arg "Pattern: dims must be 2 or 3"
+
+let hyperplane ~dims ~reach =
+  check_dims dims;
+  check_reach reach;
+  (* The z = 0 plane square regardless of dims; for a 2-D kernel this is
+     the whole pattern, for a 3-D kernel it is a planar slab. *)
+  ignore dims;
+  let pts =
+    List.concat_map (fun dx -> List.map (fun dy -> (dx, dy, 0)) (range reach)) (range reach)
+  in
+  of_offsets pts
+
+let hypercube ~dims ~reach =
+  check_dims dims;
+  check_reach reach;
+  let zs = if dims = 3 then range reach else [ 0 ] in
+  let pts =
+    List.concat_map
+      (fun dx -> List.concat_map (fun dy -> List.map (fun dz -> (dx, dy, dz)) zs) (range reach))
+      (range reach)
+  in
+  of_offsets pts
+
+let laplacian ~dims ~reach =
+  check_dims dims;
+  check_reach reach;
+  let arms axis = List.filter_map (fun d -> if d = 0 then None else Some d) (range reach)
+                  |> List.map (fun d ->
+                         match axis with X -> (d, 0, 0) | Y -> (0, d, 0) | Z -> (0, 0, d))
+  in
+  let axes = if dims = 3 then [ X; Y; Z ] else [ X; Y ] in
+  of_offsets ((0, 0, 0) :: List.concat_map arms axes)
+
+let box ~lo:(lx, ly, lz) ~hi:(hx, hy, hz) =
+  if lx > hx || ly > hy || lz > hz then invalid_arg "Pattern.box: lo > hi";
+  let pts = ref [] in
+  for dz = lz to hz do
+    for dy = ly to hy do
+      for dx = lx to hx do
+        pts := (dx, dy, dz) :: !pts
+      done
+    done
+  done;
+  of_offsets !pts
+
+let remove_center t =
+  match List.filter (fun o -> o <> (0, 0, 0)) t with
+  | [] -> invalid_arg "Pattern.remove_center: pattern would be empty"
+  | rest -> rest
+
+let equal a b = a = b
+let compare = compare
+
+let pp ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf (dx, dy, dz) -> Format.fprintf ppf "(%d,%d,%d)" dx dy dz))
+    t

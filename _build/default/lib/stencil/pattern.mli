@@ -1,0 +1,97 @@
+(** Stencil access patterns (§III-A-1).
+
+    A pattern is the set of neighbour offsets a stencil reads, relative
+    to the written point.  Following the paper, every pattern lives in a
+    bounded-offset three-dimensional binary matrix: with the global
+    maximum offset {!max_offset}[ = 3] the matrix is 7×7×7, and
+    two-dimensional patterns are the special case confined to the
+    [dz = 0] plane.  Patterns are stored sparsely as a sorted list of
+    offsets. *)
+
+type offset = int * int * int
+(** [(dx, dy, dz)], each component in [\[-max_offset, max_offset\]]. *)
+
+type t
+
+val max_offset : int
+(** Global bound on any offset component (3). *)
+
+val side : int
+(** Side of the bounding binary matrix ([2*max_offset + 1] = 7). *)
+
+val cells : int
+(** Number of cells of the bounding matrix ([side³] = 343). *)
+
+val of_offsets : offset list -> t
+(** Build a pattern; duplicates are merged.  Raises [Invalid_argument]
+    if any component exceeds {!max_offset} or the list is empty. *)
+
+val offsets : t -> offset list
+(** Sorted unique offsets. *)
+
+val num_points : t -> int
+
+val mem : t -> offset -> bool
+
+val union : t -> t -> t
+(** Union of access sets — the paper's "sum of accesses" for kernels
+    reading several buffers. *)
+
+val is_2d : t -> bool
+(** True when every offset has [dz = 0]. *)
+
+val radius : t -> int * int * int
+(** Per-axis maximum absolute offset [(rx, ry, rz)]. *)
+
+val contains_center : t -> bool
+
+val cell_index : offset -> int
+(** Row-major index of an offset inside the bounding matrix, in
+    [\[0, cells)].  Used by the feature encoding. *)
+
+val offset_of_cell : int -> offset
+(** Inverse of {!cell_index}. *)
+
+val to_mask : t -> float array
+(** Dense 0/1 bounding-matrix representation, length {!cells}. *)
+
+val of_mask : float array -> t
+(** Rebuild from a dense mask (nonzero = present).  Inverse of
+    {!to_mask} up to 0/1 values. *)
+
+(* Constructors for the four training shape families of Fig. 1. *)
+
+type axis = X | Y | Z
+
+val line : axis:axis -> reach:int -> t
+(** Points [-reach..reach] along one axis (center included).
+    [reach] in [\[1, max_offset\]]. *)
+
+val hyperplane : dims:int -> reach:int -> t
+(** Fully populated square/cube of side [2*reach+1] in the plane
+    ([dims = 2] gives the z=0 plane square — a 2-D hypercube; [dims = 3]
+    gives the x-y plane slab of a 3-D field, i.e. the z=0 plane as a
+    plane inside 3-D). *)
+
+val hypercube : dims:int -> reach:int -> t
+(** All offsets with every component in [\[-reach, reach\]] (components
+    beyond [dims] fixed to 0). *)
+
+val laplacian : dims:int -> reach:int -> t
+(** Center plus [-reach..reach] along each of the first [dims] axes
+    (the star stencil: 5-point for [dims=2, reach=1], 7-point for
+    [dims=3, reach=1], 13-point for [dims=3, reach=2], 19-point for
+    [dims=3, reach=3]). *)
+
+val box : lo:offset -> hi:offset -> t
+(** All offsets in the inclusive axis-aligned box; used for asymmetric
+    patterns such as tricubic's 4×4×4 cube. *)
+
+val remove_center : t -> t
+(** Drop the center point (e.g. gradient/divergence stencils read the
+    neighbours but not the center).  Raises [Invalid_argument] if the
+    result would be empty. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

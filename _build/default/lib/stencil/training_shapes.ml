@@ -1,0 +1,85 @@
+let sizes_2d = [ 256; 512; 1024; 2048 ]
+let sizes_3d = [ 64; 128; 256 ]
+
+(* 30 base shape variants: (name, dims, pattern). *)
+let shape_variants =
+  let reaches = [ 1; 2; 3 ] in
+  let lines2d =
+    List.concat_map
+      (fun r ->
+        [
+          (Printf.sprintf "line-x-r%d-2d" r, 2, Pattern.line ~axis:Pattern.X ~reach:r);
+          (Printf.sprintf "line-y-r%d-2d" r, 2, Pattern.line ~axis:Pattern.Y ~reach:r);
+        ])
+      reaches
+  in
+  let lines3d =
+    List.concat_map
+      (fun r ->
+        [
+          (Printf.sprintf "line-x-r%d-3d" r, 3, Pattern.line ~axis:Pattern.X ~reach:r);
+          (Printf.sprintf "line-y-r%d-3d" r, 3, Pattern.line ~axis:Pattern.Y ~reach:r);
+          (Printf.sprintf "line-z-r%d-3d" r, 3, Pattern.line ~axis:Pattern.Z ~reach:r);
+        ])
+      reaches
+  in
+  let hyperplanes =
+    List.map
+      (fun r -> (Printf.sprintf "hyperplane-r%d-3d" r, 3, Pattern.hyperplane ~dims:3 ~reach:r))
+      reaches
+  in
+  let hypercubes2d =
+    List.map
+      (fun r -> (Printf.sprintf "hypercube-r%d-2d" r, 2, Pattern.hypercube ~dims:2 ~reach:r))
+      reaches
+  in
+  let hypercubes3d =
+    List.map
+      (fun r -> (Printf.sprintf "hypercube-r%d-3d" r, 3, Pattern.hypercube ~dims:3 ~reach:r))
+      reaches
+  in
+  let laplacians2d =
+    List.map
+      (fun r -> (Printf.sprintf "laplacian-r%d-2d" r, 2, Pattern.laplacian ~dims:2 ~reach:r))
+      reaches
+  in
+  let laplacians3d =
+    List.map
+      (fun r -> (Printf.sprintf "laplacian-r%d-3d" r, 3, Pattern.laplacian ~dims:3 ~reach:r))
+      reaches
+  in
+  lines2d @ lines3d @ hyperplanes @ hypercubes2d @ hypercubes3d @ laplacians2d @ laplacians3d
+
+let kernels =
+  let center = Pattern.of_offsets [ (0, 0, 0) ] in
+  List.concat
+    (List.mapi
+       (fun i (name, dims, pattern) ->
+         let float_variant =
+           Kernel.create ~name:(name ^ "-f32") ~dims ~buffers:[ pattern ] ~dtype:Dtype.F32 ()
+         in
+         (* Every third shape's double variant also reads a second,
+            center-only buffer, covering multi-buffer kernels. *)
+         let buffers = if i mod 3 = 0 then [ pattern; center ] else [ pattern ] in
+         let double_variant =
+           Kernel.create ~name:(name ^ "-f64") ~dims ~buffers ~dtype:Dtype.F64 ()
+         in
+         [ float_variant; double_variant ])
+       shape_variants)
+
+let instances =
+  let all =
+    List.concat_map
+      (fun k ->
+        if Kernel.dims k = 2 then
+          List.map (fun n -> Instance.create_xyz k ~sx:n ~sy:n ~sz:1) sizes_2d
+        else List.map (fun n -> Instance.create_xyz k ~sx:n ~sy:n ~sz:n) sizes_3d)
+      kernels
+  in
+  (* 24 2-D kernels × 4 sizes + 36 3-D kernels × 3 sizes = 204; keep the
+     paper's 200 by dropping the last four deterministically. *)
+  List.filteri (fun i _ -> i < 200) all
+
+let () =
+  assert (List.length kernels = 60);
+  assert (List.length instances = 200)

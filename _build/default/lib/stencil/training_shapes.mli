@@ -1,0 +1,29 @@
+(** Training-set stencils (§V-B, Fig. 1).
+
+    The training phase generates 60 synthetic stencil codes from the
+    four shape families of Fig. 1 — line, hyperplane, hypercube,
+    laplacian — at different offsets (reach 1..3), dimensionalities,
+    buffer counts and buffer types, and instantiates them at the paper's
+    input sizes: 64³, 128³ and 256³ for 3-D kernels; 256², 512², 1024²
+    and 2048² for 2-D ones, giving 200 training instances.
+
+    None of the Table III test kernels appears verbatim in this set at a
+    test size/shape combination except through family resemblance, which
+    is the point: the model must generalize from the synthetic shapes to
+    the unseen test stencils. *)
+
+val kernels : Kernel.t list
+(** Exactly 60 kernels: 30 shape variants (12 two-dimensional, 18
+    three-dimensional) × 2 type variants (float single-buffer, and
+    double with an extra center-read buffer on every third shape). *)
+
+val instances : Instance.t list
+(** Exactly 200 instances: each 2-D kernel at the four 2-D sizes and
+    each 3-D kernel at the three 3-D sizes, truncated deterministically
+    from 204 to the paper's 200. *)
+
+val sizes_2d : int list
+(** [256; 512; 1024; 2048]. *)
+
+val sizes_3d : int list
+(** [64; 128; 256]. *)

@@ -1,0 +1,1 @@
+lib/svmrank/dataset.ml: Array Buffer Float Fun Hashtbl List Printf Seq Sorl_util String

@@ -1,0 +1,1 @@
+lib/svmrank/dataset.mli: Sorl_util

@@ -1,0 +1,1 @@
+lib/svmrank/eval.ml: Array Dataset Float Hashtbl List Model Sorl_util

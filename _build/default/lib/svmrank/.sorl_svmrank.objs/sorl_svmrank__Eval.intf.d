@@ -1,0 +1,1 @@
+lib/svmrank/eval.mli: Dataset Model

@@ -1,0 +1,1 @@
+lib/svmrank/explain.ml: Array Float Hashtbl List Model Sorl_util String

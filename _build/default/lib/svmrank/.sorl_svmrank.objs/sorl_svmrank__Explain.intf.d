@@ -1,0 +1,1 @@
+lib/svmrank/explain.mli: Model Sorl_util

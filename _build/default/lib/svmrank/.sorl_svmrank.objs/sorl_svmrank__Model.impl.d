@@ -1,0 +1,1 @@
+lib/svmrank/model.ml: Array Buffer Fun List Printf Sorl_util String

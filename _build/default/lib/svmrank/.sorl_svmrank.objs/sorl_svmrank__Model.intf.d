@@ -1,0 +1,1 @@
+lib/svmrank/model.mli: Sorl_util

@@ -1,0 +1,1 @@
+lib/svmrank/rff.ml: Array Dataset Float List Sorl_util

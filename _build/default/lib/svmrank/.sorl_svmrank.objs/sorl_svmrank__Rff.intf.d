@@ -1,0 +1,1 @@
+lib/svmrank/rff.mli: Dataset Sorl_util

@@ -1,0 +1,1 @@
+lib/svmrank/solver_common.ml: Array Dataset Float Sorl_util

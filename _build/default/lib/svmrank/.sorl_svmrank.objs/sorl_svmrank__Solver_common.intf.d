@@ -1,0 +1,1 @@
+lib/svmrank/solver_common.mli: Dataset Sorl_util

@@ -1,0 +1,1 @@
+lib/svmrank/solver_dcd.mli: Dataset Model Sorl_util

@@ -1,0 +1,1 @@
+lib/svmrank/solver_logistic.ml: Array Dataset Float Model Solver_common Sorl_util

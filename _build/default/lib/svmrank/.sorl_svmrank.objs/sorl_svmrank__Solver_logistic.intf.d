@@ -1,0 +1,1 @@
+lib/svmrank/solver_logistic.mli: Dataset Model Sorl_util

@@ -1,0 +1,1 @@
+lib/svmrank/solver_sgd.ml: Array Dataset Model Solver_common Sorl_util

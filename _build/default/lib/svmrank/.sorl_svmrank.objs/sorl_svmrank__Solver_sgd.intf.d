@@ -1,0 +1,1 @@
+lib/svmrank/solver_sgd.mli: Dataset Model Sorl_util

@@ -1,0 +1,121 @@
+type query_result = { query : int; tau : float; samples : int; top1_regret : float }
+
+let per_query model ds =
+  let samples = Dataset.samples ds in
+  let results = ref [] in
+  Array.iter
+    (fun q ->
+      let idxs = Dataset.query_members ds q in
+      if Array.length idxs >= 2 then begin
+        let runtimes = Array.map (fun i -> samples.(i).Dataset.runtime) idxs in
+        let scores = Array.map (fun i -> Model.score model samples.(i).Dataset.features) idxs in
+        let tau = Sorl_util.Rank_correlation.kendall_tau runtimes scores in
+        let best_true = Array.fold_left Float.min runtimes.(0) runtimes in
+        let best_pred = ref 0 in
+        Array.iteri (fun k s -> if s < scores.(!best_pred) then best_pred := k) scores;
+        let top1_regret = (runtimes.(!best_pred) -. best_true) /. best_true in
+        results := { query = q; tau; samples = Array.length idxs; top1_regret } :: !results
+      end)
+    (Dataset.query_ids ds);
+  Array.of_list (List.rev !results)
+
+let taus model ds = Array.map (fun r -> r.tau) (per_query model ds)
+
+let mean_tau model ds =
+  let ts = taus model ds in
+  if Array.length ts = 0 then invalid_arg "Eval.mean_tau: no rankable query";
+  Sorl_util.Stats.mean ts
+
+let swapped_pair_rate model ds =
+  let pairs = Dataset.pairs ds in
+  if Array.length pairs = 0 then 0.
+  else begin
+    let samples = Dataset.samples ds in
+    let bad =
+      Array.fold_left
+        (fun acc (slower, faster) ->
+          let s_slow = Model.score model samples.(slower).Dataset.features in
+          let s_fast = Model.score model samples.(faster).Dataset.features in
+          if s_slow <= s_fast then acc + 1 else acc)
+        0 pairs
+    in
+    float_of_int bad /. float_of_int (Array.length pairs)
+  end
+
+(* Per-query ordering by a scorer, ties broken by index for
+   determinism. *)
+let order_by values idxs =
+  let order = Array.copy idxs in
+  Array.sort
+    (fun a b ->
+      let c = compare (values a) (values b) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+let mean_over_queries ds f =
+  let acc = ref 0. and n = ref 0 in
+  Array.iter
+    (fun q ->
+      let idxs = Dataset.query_members ds q in
+      if Array.length idxs >= 2 then begin
+        acc := !acc +. f idxs;
+        incr n
+      end)
+    (Dataset.query_ids ds);
+  if !n = 0 then invalid_arg "Eval: no rankable query";
+  !acc /. float_of_int !n
+
+let precision_at_k model ds ~k =
+  if k < 1 then invalid_arg "Eval.precision_at_k: k must be >= 1";
+  let samples = Dataset.samples ds in
+  mean_over_queries ds (fun idxs ->
+      let kq = min k (Array.length idxs) in
+      let by_runtime = order_by (fun i -> samples.(i).Dataset.runtime) idxs in
+      let by_score =
+        order_by (fun i -> Model.score model samples.(i).Dataset.features) idxs
+      in
+      let truth = Array.sub by_runtime 0 kq and pred = Array.sub by_score 0 kq in
+      let hits = Array.fold_left (fun acc i -> if Array.mem i truth then acc + 1 else acc) 0 pred in
+      float_of_int hits /. float_of_int kq)
+
+let ndcg_at_k model ds ~k =
+  if k < 1 then invalid_arg "Eval.ndcg_at_k: k must be >= 1";
+  let samples = Dataset.samples ds in
+  mean_over_queries ds (fun idxs ->
+      let kq = min k (Array.length idxs) in
+      let best =
+        Array.fold_left (fun acc i -> Float.min acc samples.(i).Dataset.runtime) infinity idxs
+      in
+      (* graded relevance in (0, 1]: 1 for the optimum *)
+      let rel i = best /. samples.(i).Dataset.runtime in
+      let dcg order =
+        let acc = ref 0. in
+        for pos = 0 to kq - 1 do
+          acc := !acc +. (rel order.(pos) /. Float.log2 (float_of_int (pos + 2)))
+        done;
+        !acc
+      in
+      let by_score =
+        order_by (fun i -> Model.score model samples.(i).Dataset.features) idxs
+      in
+      let ideal = order_by (fun i -> samples.(i).Dataset.runtime) idxs in
+      let denom = dcg ideal in
+      if denom = 0. then 0. else dcg by_score /. denom)
+
+let cross_validate ?(folds = 5) ?(seed = 11) ~train ds =
+  if folds < 2 then invalid_arg "Eval.cross_validate: need >= 2 folds";
+  let ids = Dataset.query_ids ds in
+  if Array.length ids < folds then invalid_arg "Eval.cross_validate: fewer queries than folds";
+  let rng = Sorl_util.Rng.create seed in
+  Sorl_util.Rng.shuffle rng ids;
+  let all = Dataset.samples ds in
+  let fold_of = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun i q -> Hashtbl.replace fold_of q (i mod folds)) ids;
+  Array.init folds (fun f ->
+      let in_fold s = Hashtbl.find fold_of s.Dataset.query = f in
+      let tr = Array.to_list all |> List.filter (fun s -> not (in_fold s)) in
+      let te = Array.to_list all |> List.filter in_fold in
+      let train_ds = Dataset.create ~dim:(Dataset.dim ds) tr in
+      let test_ds = Dataset.create ~dim:(Dataset.dim ds) te in
+      mean_tau (train train_ds) test_ds)

@@ -1,0 +1,49 @@
+(** Ranking-quality evaluation (§VI-B).
+
+    Per-query Kendall τ between the model's predicted ordering and the
+    ground-truth runtime ordering — the paper's Fig. 6/7 metric — plus
+    top-1 quality measures for the autotuning use case. *)
+
+type query_result = {
+  query : int;
+  tau : float;  (** Kendall τ between score and runtime orderings *)
+  samples : int;
+  top1_regret : float;
+      (** (runtime of predicted-best − best runtime) / best runtime *)
+}
+
+val per_query : Model.t -> Dataset.t -> query_result array
+(** One result per query with at least two samples, in dataset query
+    order. *)
+
+val taus : Model.t -> Dataset.t -> float array
+(** Just the τ column of {!per_query}. *)
+
+val mean_tau : Model.t -> Dataset.t -> float
+(** Mean per-query τ. Raises [Invalid_argument] when no query has ≥ 2
+    samples. *)
+
+val swapped_pair_rate : Model.t -> Dataset.t -> float
+(** Fraction of all within-query strict pairs the model orders wrongly
+    — the quantity Eq. (3) minimizes a convex upper bound of. *)
+
+val precision_at_k : Model.t -> Dataset.t -> k:int -> float
+(** Mean over queries of |predicted top-k ∩ true top-k| / k — the
+    autotuning-relevant question "does the model's shortlist contain
+    the actually-fast configurations?".  Queries with fewer than [k]
+    samples use their size instead.  Raises [Invalid_argument] when
+    [k < 1]. *)
+
+val ndcg_at_k : Model.t -> Dataset.t -> k:int -> float
+(** Mean normalized discounted cumulative gain at [k], with graded
+    relevance [best/runtime] per sample, the standard
+    learning-to-rank quality metric alongside τ. *)
+
+val cross_validate :
+  ?folds:int ->
+  ?seed:int ->
+  train:(Dataset.t -> Model.t) ->
+  Dataset.t ->
+  float array
+(** Query-level k-fold cross-validation (default 5 folds): returns the
+    mean held-out τ of each fold. *)

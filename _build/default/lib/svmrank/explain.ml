@@ -1,0 +1,49 @@
+type contribution = { index : int; name : string; weight : float }
+
+let check_names names model =
+  if Array.length names <> Model.dim model then
+    invalid_arg "Explain: names arity does not match model dimension"
+
+let top_weights ~names ?(k = 20) model =
+  check_names names model;
+  let w = Model.weights model in
+  let all =
+    Array.to_list (Array.mapi (fun index weight -> { index; name = names.(index); weight }) w)
+    |> List.filter (fun c -> c.weight <> 0.)
+    |> List.sort (fun a b -> compare (Float.abs b.weight) (Float.abs a.weight))
+  in
+  List.filteri (fun i _ -> i < k) all
+
+let score_breakdown ~names model phi =
+  check_names names model;
+  let w = Model.weights model in
+  Array.to_list (Sorl_util.Sparse.nonzeros phi)
+  |> List.filter_map (fun (i, v) ->
+         let contribution = w.(i) *. v in
+         if contribution = 0. then None
+         else Some { index = i; name = names.(i); weight = contribution })
+  |> List.sort (fun a b -> compare (Float.abs b.weight) (Float.abs a.weight))
+
+let group_of name =
+  let cut = ref (String.length name) in
+  String.iteri
+    (fun i c -> if (c = '_' || c = ':' || c = '(') && i < !cut then cut := i)
+    name;
+  String.sub name 0 !cut
+
+let weight_mass_by_group ~names model =
+  check_names names model;
+  let w = Model.weights model in
+  let total = Array.fold_left (fun acc v -> acc +. Float.abs v) 0. w in
+  if total = 0. then []
+  else begin
+    let tbl = Hashtbl.create 16 in
+    Array.iteri
+      (fun i v ->
+        let g = group_of names.(i) in
+        let cur = try Hashtbl.find tbl g with Not_found -> 0. in
+        Hashtbl.replace tbl g (cur +. Float.abs v))
+      w;
+    Hashtbl.fold (fun g mass acc -> (g, mass /. total) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  end

@@ -1,0 +1,30 @@
+(** Model introspection.
+
+    A linear ranking model is directly interpretable: the weight of a
+    feature is its marginal contribution to the predicted slowness
+    score.  This module pairs weights with feature names so users (and
+    the CLI's [inspect] command) can see what the tuner learned —
+    e.g. that weight mass sits on the working-set bins rather than on
+    raw block sizes. *)
+
+type contribution = {
+  index : int;
+  name : string;
+  weight : float;  (** positive = predicts slower *)
+}
+
+val top_weights : names:string array -> ?k:int -> Model.t -> contribution list
+(** The [k] (default 20) largest-magnitude weights, sorted by
+    decreasing magnitude.  [names] must have one entry per model
+    dimension (use {!Sorl_stencil.Features.names}). *)
+
+val score_breakdown :
+  names:string array -> Model.t -> Sorl_util.Sparse.t -> contribution list
+(** Per-feature contributions [w_i·φ_i] to one candidate's score,
+    nonzero entries only, sorted by decreasing magnitude.  The sum of
+    the weights equals {!Model.score}. *)
+
+val weight_mass_by_group : names:string array -> Model.t -> (string * float) list
+(** Share of total |w| mass per feature-name prefix (the part before
+    the first '_', ':' or '('), sorted by decreasing share — a quick
+    view of which feature families the model actually uses. *)

@@ -1,0 +1,66 @@
+type t = { w : float array }
+
+let create w = { w = Array.copy w }
+let dim t = Array.length t.w
+let weights t = Array.copy t.w
+
+let score t phi =
+  if Sorl_util.Sparse.dim phi <> Array.length t.w then
+    invalid_arg "Model.score: dimension mismatch";
+  Sorl_util.Sparse.dot_dense phi t.w
+
+let rank t candidates =
+  let scores = Array.map (score t) candidates in
+  let idx = Array.init (Array.length candidates) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare scores.(a) scores.(b) in
+      if c <> 0 then c else compare a b)
+    idx;
+  idx
+
+let best t candidates =
+  if Array.length candidates = 0 then invalid_arg "Model.best: no candidates";
+  (rank t candidates).(0)
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "sorl-rank-model 1\ndim %d\n" (Array.length t.w));
+  Array.iteri (fun i v -> if v <> 0. then Buffer.add_string b (Printf.sprintf "%d %.17g\n" i v)) t.w;
+  Buffer.contents b
+
+let of_string s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | magic :: dim_line :: rest ->
+    if not (String.length magic >= 15 && String.sub magic 0 15 = "sorl-rank-model") then
+      failwith "Model.of_string: bad magic";
+    let dim =
+      match String.split_on_char ' ' dim_line with
+      | [ "dim"; d ] -> ( try int_of_string d with _ -> failwith "Model.of_string: bad dim")
+      | _ -> failwith "Model.of_string: bad dim line"
+    in
+    if dim <= 0 then failwith "Model.of_string: nonpositive dim";
+    let w = Array.make dim 0. in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ i; v ] -> (
+          try w.(int_of_string i) <- float_of_string v
+          with _ -> failwith "Model.of_string: bad weight line")
+        | _ -> failwith "Model.of_string: bad weight line")
+      rest;
+    { w }
+  | _ -> failwith "Model.of_string: truncated"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,35 @@
+(** Linear ranking models.
+
+    A model is a weight vector [w]; the score [w·φ(q,t)] is a monotone
+    proxy of runtime — {e smaller score means predicted faster}.
+    Sorting candidate configurations by ascending score yields the
+    predicted ranking (§IV-C), and the first element is the
+    configuration the autotuner selects. *)
+
+type t
+
+val create : Sorl_util.Vec.t -> t
+(** Wrap a weight vector. *)
+
+val dim : t -> int
+val weights : t -> Sorl_util.Vec.t
+(** A copy of the weight vector. *)
+
+val score : t -> Sorl_util.Sparse.t -> float
+(** [w·φ]; lower is predicted-faster. *)
+
+val rank : t -> Sorl_util.Sparse.t array -> int array
+(** Permutation of candidate indices sorted best (lowest score) first.
+    Stable for equal scores. *)
+
+val best : t -> Sorl_util.Sparse.t array -> int
+(** First element of {!rank}.  Raises [Invalid_argument] on empty. *)
+
+val save : t -> string -> unit
+(** Write a small text format (dimension + nonzero weights). *)
+
+val load : string -> t
+(** Raises [Failure] on malformed files. *)
+
+val to_string : t -> string
+val of_string : string -> t

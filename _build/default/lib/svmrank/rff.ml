@@ -1,0 +1,37 @@
+type t = {
+  omega : float array array;  (* output_dim rows of input_dim *)
+  phase : float array;
+  scale : float;
+  input_dim : int;
+}
+
+let create ?(seed = 97) ~gamma ~input_dim ~output_dim () =
+  if input_dim <= 0 || output_dim <= 0 then invalid_arg "Rff.create: dimensions must be positive";
+  if gamma <= 0. then invalid_arg "Rff.create: gamma must be positive";
+  let rng = Sorl_util.Rng.create seed in
+  let freq = sqrt (2. *. gamma) in
+  let omega =
+    Array.init output_dim (fun _ ->
+        Array.init input_dim (fun _ -> freq *. Sorl_util.Rng.gaussian rng))
+  in
+  let phase = Array.init output_dim (fun _ -> Sorl_util.Rng.float rng (2. *. Float.pi)) in
+  { omega; phase; scale = sqrt (2. /. float_of_int output_dim); input_dim }
+
+let input_dim t = t.input_dim
+let output_dim t = Array.length t.omega
+
+let transform t x =
+  if Sorl_util.Sparse.dim x <> t.input_dim then invalid_arg "Rff.transform: dimension mismatch";
+  let out =
+    Array.mapi
+      (fun j row -> t.scale *. cos (Sorl_util.Sparse.dot_dense x row +. t.phase.(j)))
+      t.omega
+  in
+  Sorl_util.Sparse.of_dense out
+
+let transform_dataset t ds =
+  let samples =
+    Array.to_list (Dataset.samples ds)
+    |> List.map (fun s -> { s with Dataset.features = transform t s.Dataset.features })
+  in
+  Dataset.create ~dim:(output_dim t) samples

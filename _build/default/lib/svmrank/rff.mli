@@ -1,0 +1,28 @@
+(** Random Fourier features (Rahimi & Recht) — an RBF-kernel
+    approximation for the rank-SVM.
+
+    The paper trains with a linear kernel for speed (§V-D).  Mapping
+    inputs through [z(x) = sqrt(2/D) · cos(Ωx + b)] with Gaussian [Ω]
+    approximates the RBF kernel [exp(-γ‖x-x'‖²)] while keeping the
+    solver linear, so the pairwise machinery is reused unchanged.  The
+    kernel ablation uses this to ask whether a nonlinear kernel on the
+    paper's literal (canonical) encoding can substitute for the
+    extended feature engineering. *)
+
+type t
+
+val create : ?seed:int -> gamma:float -> input_dim:int -> output_dim:int -> unit -> t
+(** Draw a feature map: [output_dim] random directions with frequencies
+    scaled by [sqrt (2γ)] and uniform phases.  Deterministic in
+    [seed].  Raises [Invalid_argument] on nonpositive dimensions or
+    [gamma]. *)
+
+val input_dim : t -> int
+val output_dim : t -> int
+
+val transform : t -> Sorl_util.Sparse.t -> Sorl_util.Sparse.t
+(** Map one input vector (the result is dense in sparse clothing). *)
+
+val transform_dataset : t -> Dataset.t -> Dataset.t
+(** Map every sample's features, preserving queries, runtimes and
+    tags. *)

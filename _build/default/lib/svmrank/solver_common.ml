@@ -1,0 +1,28 @@
+let pair_diffs ds pairs =
+  let samples = Dataset.samples ds in
+  Array.map
+    (fun (slower, faster) ->
+      Sorl_util.Sparse.sub samples.(slower).Dataset.features samples.(faster).Dataset.features)
+    pairs
+
+let objective ~c zs w =
+  let m = Array.length zs in
+  if m = 0 then invalid_arg "Solver_common.objective: no pairs";
+  let hinge =
+    Array.fold_left
+      (fun acc z -> acc +. Float.max 0. (1. -. Sorl_util.Sparse.dot_dense z w))
+      0. zs
+  in
+  (0.5 *. Sorl_util.Vec.norm2 w) +. (c /. float_of_int m *. hinge)
+
+let hinge_error_rate zs w =
+  let m = Array.length zs in
+  if m = 0 then 0.
+  else begin
+    let bad =
+      Array.fold_left
+        (fun acc z -> if Sorl_util.Sparse.dot_dense z w <= 0. then acc + 1 else acc)
+        0 zs
+    in
+    float_of_int bad /. float_of_int m
+  end

@@ -1,0 +1,16 @@
+(** Shared pieces of the rank-SVM solvers. *)
+
+val pair_diffs : Dataset.t -> (int * int) array -> Sorl_util.Sparse.t array
+(** [z_p = φ(slower) − φ(faster)] for each pair.  Within-query pairs
+    share their instance features, which cancel, so these vectors are
+    very sparse (only tuning-dependent coordinates survive). *)
+
+val objective :
+  c:float -> Sorl_util.Sparse.t array -> Sorl_util.Vec.t -> float
+(** The primal objective of Eq. (3):
+    [½‖w‖² + (C/m)·Σ_p max(0, 1 − w·z_p)].
+    Raises [Invalid_argument] when there are no pairs. *)
+
+val hinge_error_rate : Sorl_util.Sparse.t array -> Sorl_util.Vec.t -> float
+(** Fraction of pairs ordered wrongly ([w·z ≤ 0]) — the training
+    swapped-pair rate the optimization minimizes a convex bound of. *)

@@ -1,0 +1,57 @@
+type params = {
+  c : float;
+  max_passes : int;
+  tol : float;
+  max_pairs_per_query : int option;
+  seed : int;
+}
+
+let default_params =
+  { c = 100.; max_passes = 50; tol = 1e-4; max_pairs_per_query = Some 500; seed = 1 }
+
+let train_on_pairs ?(params = default_params) ~dim zs =
+  if params.c <= 0. then invalid_arg "Solver_dcd: C must be positive";
+  if params.max_passes < 1 then invalid_arg "Solver_dcd: max_passes must be >= 1";
+  let m = Array.length zs in
+  if m = 0 then invalid_arg "Solver_dcd: no pairs";
+  let upper = params.c /. float_of_int m in
+  let alpha = Array.make m 0. in
+  let w = Array.make dim 0. in
+  let qii = Array.map Sorl_util.Sparse.norm2 zs in
+  let order = Array.init m (fun i -> i) in
+  let rng = Sorl_util.Rng.create params.seed in
+  let pass = ref 0 and converged = ref false in
+  while (not !converged) && !pass < params.max_passes do
+    incr pass;
+    Sorl_util.Rng.shuffle rng order;
+    let worst = ref 0. in
+    Array.iter
+      (fun p ->
+        if qii.(p) > 0. then begin
+          let g = Sorl_util.Sparse.dot_dense zs.(p) w -. 1. in
+          (* Projected gradient at the current alpha. *)
+          let pg =
+            if alpha.(p) <= 0. then Float.min g 0.
+            else if alpha.(p) >= upper then Float.max g 0.
+            else g
+          in
+          if Float.abs pg > !worst then worst := Float.abs pg;
+          if pg <> 0. then begin
+            let a_new = Float.max 0. (Float.min upper (alpha.(p) -. (g /. qii.(p)))) in
+            let delta = a_new -. alpha.(p) in
+            if delta <> 0. then begin
+              alpha.(p) <- a_new;
+              Sorl_util.Sparse.axpy_dense delta zs.(p) w
+            end
+          end
+        end)
+      order;
+    if !worst < params.tol then converged := true
+  done;
+  Model.create w
+
+let train ?(params = default_params) ds =
+  let rng = Sorl_util.Rng.create (params.seed + 104729) in
+  let pairs = Dataset.pairs ?max_per_query:params.max_pairs_per_query ~rng ds in
+  if Array.length pairs = 0 then invalid_arg "Solver_dcd.train: dataset exposes no pairs";
+  train_on_pairs ~params ~dim:(Dataset.dim ds) (Solver_common.pair_diffs ds pairs)

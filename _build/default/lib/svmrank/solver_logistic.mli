@@ -1,0 +1,29 @@
+(** Pairwise logistic solver (RankNet-style).
+
+    Replaces the hinge of Eq. (3) with the logistic loss
+    [log(1 + exp(-w·z_p))] plus L2 regularization — the smooth
+    pairwise-ranking objective of Burges et al.'s RankNet restricted to
+    a linear scorer.  Included as a third solver for the ablation:
+    the ranking it produces is typically indistinguishable from the
+    SVM's, showing the formulation (pairwise ordering), not the
+    particular convex surrogate, carries the paper's result. *)
+
+type params = {
+  lambda : float;  (** L2 regularization (default 1e-4) *)
+  epochs : int;  (** passes over the pairs (default 30) *)
+  learning_rate : float;  (** initial SGD step (default 1.0) *)
+  max_pairs_per_query : int option;  (** default Some 500 *)
+  seed : int;
+}
+
+val default_params : params
+
+val train : ?params:params -> Dataset.t -> Model.t
+(** Raises [Invalid_argument] when the dataset exposes no strict
+    pairs. *)
+
+val train_on_pairs :
+  ?params:params -> dim:int -> Sorl_util.Sparse.t array -> Model.t
+
+val objective : lambda:float -> Sorl_util.Sparse.t array -> Sorl_util.Vec.t -> float
+(** [λ/2‖w‖² + (1/m)·Σ log(1 + exp(-w·z))], exposed for tests. *)

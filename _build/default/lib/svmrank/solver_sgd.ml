@@ -1,0 +1,54 @@
+type params = {
+  c : float;
+  epochs : int;
+  batch : int;
+  average : bool;
+  max_pairs_per_query : int option;
+  seed : int;
+}
+
+let default_params =
+  { c = 100.; epochs = 20; batch = 16; average = true; max_pairs_per_query = Some 500; seed = 1 }
+
+let check params =
+  if params.c <= 0. then invalid_arg "Solver_sgd: C must be positive";
+  if params.epochs < 1 then invalid_arg "Solver_sgd: epochs must be >= 1";
+  if params.batch < 1 then invalid_arg "Solver_sgd: batch must be >= 1"
+
+let train_on_pairs ?(params = default_params) ~dim zs =
+  check params;
+  let m = Array.length zs in
+  if m = 0 then invalid_arg "Solver_sgd: no pairs";
+  let rng = Sorl_util.Rng.create params.seed in
+  let lambda = 1. /. params.c in
+  let w = Array.make dim 0. in
+  let w_sum = Array.make dim 0. in
+  let radius = 1. /. sqrt lambda in
+  let steps = max 1 (params.epochs * m / params.batch) in
+  for t = 1 to steps do
+    let eta = 1. /. (lambda *. float_of_int t) in
+    (* Shrink from the regularizer. *)
+    Sorl_util.Vec.scale_inplace (1. -. (eta *. lambda)) w;
+    (* Mini-batch subgradient of the hinge terms. *)
+    let per = eta /. float_of_int params.batch in
+    for _ = 1 to params.batch do
+      let z = zs.(Sorl_util.Rng.int rng m) in
+      if Sorl_util.Sparse.dot_dense z w < 1. then Sorl_util.Sparse.axpy_dense per z w
+    done;
+    (* Pegasos projection onto the ball of radius 1/sqrt(lambda). *)
+    let n = Sorl_util.Vec.norm w in
+    if n > radius then Sorl_util.Vec.scale_inplace (radius /. n) w;
+    if params.average then Sorl_util.Vec.axpy 1. w w_sum
+  done;
+  if params.average then begin
+    Sorl_util.Vec.scale_inplace (1. /. float_of_int steps) w_sum;
+    Model.create w_sum
+  end
+  else Model.create w
+
+let train ?(params = default_params) ds =
+  check params;
+  let rng = Sorl_util.Rng.create (params.seed + 7919) in
+  let pairs = Dataset.pairs ?max_per_query:params.max_pairs_per_query ~rng ds in
+  if Array.length pairs = 0 then invalid_arg "Solver_sgd.train: dataset exposes no pairs";
+  train_on_pairs ~params ~dim:(Dataset.dim ds) (Solver_common.pair_diffs ds pairs)

@@ -1,0 +1,1 @@
+lib/util/ascii_plot.ml: Array Buffer Bytes Float List Printf Stats String

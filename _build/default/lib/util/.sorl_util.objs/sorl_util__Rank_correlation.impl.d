@@ -1,0 +1,1 @@
+lib/util/rank_correlation.ml: Array

@@ -1,0 +1,1 @@
+lib/util/sparse.ml: Array Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/util/sparse.mli: Format

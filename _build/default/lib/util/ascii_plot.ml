@@ -1,0 +1,147 @@
+let bar_chart ?(width = 50) ~title items =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  let max_v = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. items in
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items in
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if max_v <= 0. then 0
+        else int_of_float (Float.max 0. v /. max_v *. float_of_int width)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s | %s %.4g\n" label_w label (String.make n '#') v))
+    items;
+  Buffer.contents buf
+
+let grouped_bars ?(width = 40) ~title ~series groups =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let glyphs = [| '#'; '='; '*'; '+'; 'o'; '@'; '%'; '~'; ':'; '.' |] in
+  let max_v =
+    List.fold_left
+      (fun acc (_, vs) -> Array.fold_left Float.max acc vs)
+      0. groups
+  in
+  let series_w = List.fold_left (fun acc s -> max acc (String.length s)) 0 series in
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  legend %c = %s\n" glyphs.(si mod Array.length glyphs) s))
+    series;
+  List.iter
+    (fun (group, vs) ->
+      Buffer.add_string buf (Printf.sprintf "%s\n" group);
+      Array.iteri
+        (fun si v ->
+          let g = glyphs.(si mod Array.length glyphs) in
+          let n =
+            if max_v <= 0. then 0
+            else int_of_float (Float.max 0. v /. max_v *. float_of_int width)
+          in
+          let name = List.nth series si in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s |%s %.4g\n" series_w name (String.make n g) v))
+        vs)
+    groups;
+  Buffer.contents buf
+
+let line_chart ?(width = 72) ?(height = 20) ~title ~x_label ~y_label seriess =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (title ^ "\n");
+  let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '~' |] in
+  let all_pts = List.concat_map (fun (_, pts) -> Array.to_list pts) seriess in
+  match all_pts with
+  | [] ->
+    Buffer.add_string buf "  (no data)\n";
+    Buffer.contents buf
+  | (x0, y0) :: rest ->
+    let xmin, xmax, ymin, ymax =
+      List.fold_left
+        (fun (a, b, c, d) (x, y) ->
+          (Float.min a x, Float.max b x, Float.min c y, Float.max d y))
+        (x0, x0, y0, y0) rest
+    in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let g = glyphs.(si mod Array.length glyphs) in
+        Array.iter
+          (fun (x, y) ->
+            let cx = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+            let cy = int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1)) in
+            let cy = height - 1 - cy in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then grid.(cy).(cx) <- g)
+          pts)
+      seriess;
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = %s\n" glyphs.(si mod Array.length glyphs) name))
+      seriess;
+    Buffer.add_string buf (Printf.sprintf "  %s (max %.4g)\n" y_label ymax);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: %.4g .. %.4g (min y %.4g)\n" x_label xmin xmax ymin);
+    Buffer.contents buf
+
+let box_plots ?(width = 60) ~title items =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  match items with
+  | [] ->
+    Buffer.add_string buf "  (no data)\n";
+    Buffer.contents buf
+  | _ ->
+    let lo =
+      List.fold_left
+        (fun acc (_, b) ->
+          let m =
+            Array.fold_left Float.min b.Stats.low_whisker b.Stats.outliers
+          in
+          Float.min acc m)
+        infinity items
+    in
+    let hi =
+      List.fold_left
+        (fun acc (_, b) ->
+          let m =
+            Array.fold_left Float.max b.Stats.high_whisker b.Stats.outliers
+          in
+          Float.max acc m)
+        neg_infinity items
+    in
+    let span = if hi > lo then hi -. lo else 1. in
+    let pos v =
+      let p = int_of_float ((v -. lo) /. span *. float_of_int (width - 1)) in
+      if p < 0 then 0 else if p >= width then width - 1 else p
+    in
+    let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items in
+    List.iter
+      (fun (label, b) ->
+        let row = Bytes.make width ' ' in
+        let open Stats in
+        for i = pos b.low_whisker to pos b.high_whisker do
+          Bytes.set row i '-'
+        done;
+        for i = pos b.q1 to pos b.q3 do
+          Bytes.set row i '='
+        done;
+        Bytes.set row (pos b.low_whisker) '|';
+        Bytes.set row (pos b.high_whisker) '|';
+        Bytes.set row (pos b.med) 'M';
+        Array.iter (fun o -> Bytes.set row (pos o) 'o') b.outliers;
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s [%s] med=%.3f\n" label_w label
+             (Bytes.to_string row) b.med))
+      items;
+    Buffer.add_string buf (Printf.sprintf "  scale: %.3f .. %.3f\n" lo hi);
+    Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Minimal ASCII plotting used to render the paper's figures in the
+    terminal: grouped bar charts (Fig. 4), multi-series line charts on a
+    log-x axis (Fig. 5), scatter/series strips (Fig. 6) and box plots
+    (Fig. 7). *)
+
+val bar_chart :
+  ?width:int -> title:string -> (string * float) list -> string
+(** Horizontal bars, one per labelled value, scaled to [width]
+    characters (default 50).  Negative values are clamped to zero. *)
+
+val grouped_bars :
+  ?width:int ->
+  title:string ->
+  series:string list ->
+  (string * float array) list ->
+  string
+(** One block per group label with a bar per series; [series] gives the
+    legend.  Each group's value array must match the series arity. *)
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  (string * (float * float) array) list ->
+  string
+(** Character-grid line chart for several named series; points are
+    plotted with per-series glyphs, with axis ranges covering all
+    series. *)
+
+val box_plots :
+  ?width:int -> title:string -> (string * Stats.box) list -> string
+(** One text row per labelled box: whiskers, quartile box and median
+    marker scaled to a common range. *)

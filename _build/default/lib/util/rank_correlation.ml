@@ -1,0 +1,144 @@
+let check2 name xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg (name ^ ": length mismatch");
+  if Array.length xs < 2 then invalid_arg (name ^ ": need at least 2 points")
+
+(* Counting concordant/discordant pairs directly.  Used both as the
+   reference implementation and for the naive entry point. *)
+let pair_counts xs ys =
+  let n = Array.length xs in
+  let concordant = ref 0 and discordant = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let dx = compare xs.(i) xs.(j) and dy = compare ys.(i) ys.(j) in
+      if dx <> 0 && dy <> 0 then
+        if dx = dy then incr concordant else incr discordant
+    done
+  done;
+  (!concordant, !discordant)
+
+let kendall_tau_naive xs ys =
+  check2 "Rank_correlation.kendall_tau_naive" xs ys;
+  let c, d = pair_counts xs ys in
+  if c + d = 0 then 0. else float_of_int (c - d) /. float_of_int (c + d)
+
+(* Merge sort that counts inversions in [a] between [lo, hi).  [tmp] is
+   scratch space of the same length as [a]. *)
+let rec count_inversions a tmp lo hi =
+  if hi - lo <= 1 then 0
+  else begin
+    let mid = (lo + hi) / 2 in
+    let inv = count_inversions a tmp lo mid + count_inversions a tmp mid hi in
+    let i = ref lo and j = ref mid and k = ref lo and inv = ref inv in
+    while !i < mid && !j < hi do
+      if a.(!i) <= a.(!j) then begin
+        tmp.(!k) <- a.(!i);
+        incr i
+      end else begin
+        tmp.(!k) <- a.(!j);
+        inv := !inv + (mid - !i);
+        incr j
+      end;
+      incr k
+    done;
+    while !i < mid do tmp.(!k) <- a.(!i); incr i; incr k done;
+    while !j < hi do tmp.(!k) <- a.(!j); incr j; incr k done;
+    Array.blit tmp lo a lo (hi - lo);
+    !inv
+  end
+
+(* Sort indices by xs (breaking ties by ys), then count inversions of the
+   ys sequence: each inversion is a discordant pair when there are no
+   ties.  With ties present we fall back to the O(n^2) count, which is
+   fine for the query sizes we rank (tens to a few hundred items). *)
+let has_ties xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  let tied = ref false in
+  for i = 0 to Array.length ys - 2 do
+    if ys.(i) = ys.(i + 1) then tied := true
+  done;
+  !tied
+
+let count_discordant xs ys =
+  check2 "Rank_correlation.count_discordant" xs ys;
+  if has_ties xs || has_ties ys then snd (pair_counts xs ys)
+  else begin
+    let n = Array.length xs in
+    let idx = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let c = compare xs.(i) xs.(j) in
+        if c <> 0 then c else compare ys.(i) ys.(j))
+      idx;
+    let seq = Array.map (fun i -> ys.(i)) idx in
+    let tmp = Array.make n 0. in
+    count_inversions seq tmp 0 n
+  end
+
+let kendall_tau xs ys =
+  check2 "Rank_correlation.kendall_tau" xs ys;
+  if has_ties xs || has_ties ys then kendall_tau_naive xs ys
+  else begin
+    let n = Array.length xs in
+    let total = n * (n - 1) / 2 in
+    let d = count_discordant xs ys in
+    1. -. (2. *. float_of_int d /. float_of_int total)
+  end
+
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare xs.(i) xs.(j)) idx;
+  let out = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    (* Find the run of ties starting at !i and give it the mid-rank. *)
+    let j = ref !i in
+    while !j < n - 1 && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do incr j done;
+    let midrank = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do out.(idx.(k)) <- midrank done;
+    i := !j + 1
+  done;
+  out
+
+let pearson xs ys =
+  let n = float_of_int (Array.length xs) in
+  let mx = Array.fold_left ( +. ) 0. xs /. n in
+  let my = Array.fold_left ( +. ) 0. ys /. n in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+
+let spearman_rho xs ys =
+  check2 "Rank_correlation.spearman_rho" xs ys;
+  pearson (ranks xs) (ranks ys)
+
+let tied_pairs xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  let n = Array.length ys in
+  let total = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n - 1 && ys.(!j + 1) = ys.(!i) do incr j done;
+    let run = !j - !i + 1 in
+    total := !total + (run * (run - 1) / 2);
+    i := !j + 1
+  done;
+  !total
+
+let kendall_tau_b xs ys =
+  check2 "Rank_correlation.kendall_tau_b" xs ys;
+  let c, d = pair_counts xs ys in
+  let n = Array.length xs in
+  let n0 = n * (n - 1) / 2 in
+  let n1 = tied_pairs xs and n2 = tied_pairs ys in
+  let denom = sqrt (float_of_int (n0 - n1) *. float_of_int (n0 - n2)) in
+  if denom = 0. then 0. else float_of_int (c - d) /. denom

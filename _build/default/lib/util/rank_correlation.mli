@@ -1,0 +1,33 @@
+(** Rank correlation coefficients.
+
+    Kendall's τ is the evaluation metric of the paper (§VI-B):
+    [τ = (concordant - discordant) / (concordant + discordant)] over all
+    pairs of items ranked by two criteria.  We use the τ-a variant, which
+    matches the paper's definition [1 - 2·Dis / (m choose 2)]; ties are
+    counted as neither concordant nor discordant and reported
+    separately by {!kendall_tau_b} which corrects for them. *)
+
+val kendall_tau : float array -> float array -> float
+(** [kendall_tau xs ys] computes τ-a between the orderings induced by
+    [xs] and [ys] (same length, at least 2).  O(n log n) via
+    inversion counting.  Raises [Invalid_argument] on length mismatch or
+    fewer than 2 points. *)
+
+val kendall_tau_b : float array -> float array -> float
+(** τ-b, the tie-corrected variant:
+    [(C - D) / sqrt((n0 - n1)(n0 - n2))] where [n1], [n2] count tied
+    pairs in each input.  Equal to τ-a when there are no ties. *)
+
+val kendall_tau_naive : float array -> float array -> float
+(** O(n²) direct pair enumeration of τ-a; reference implementation used
+    by the test suite to validate {!kendall_tau}. *)
+
+val spearman_rho : float array -> float array -> float
+(** Spearman's rank correlation coefficient (Pearson correlation of the
+    mid-ranks). *)
+
+val ranks : float array -> float array
+(** [ranks xs] assigns 1-based mid-ranks (ties share the average rank). *)
+
+val count_discordant : float array -> float array -> int
+(** Number of strictly discordant pairs between the two orderings. *)

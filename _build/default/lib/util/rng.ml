@@ -1,0 +1,114 @@
+(* xoshiro256** with splitmix64 seeding (Blackman & Vigna, public domain
+   reference implementations). *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) land max_int in
+  create seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec loop () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r n64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int n64) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let uniform t =
+  (* 53 random bits mapped to [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let float t x = uniform t *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  if 3 * k >= n then begin
+    (* Dense case: shuffle a full index array and take a prefix. *)
+    let idx = Array.init n (fun i -> i) in
+    shuffle t idx;
+    Array.sub idx 0 k
+  end else begin
+    (* Sparse case: rejection with a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let c = int t n in
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.add seen c ();
+        out.(!filled) <- c;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let hash_noise ~seed ~key =
+  let state = ref (Int64.of_int (seed * 0x51_7c_c1 + key)) in
+  let z = splitmix64_next state in
+  let r = Int64.shift_right_logical z 11 in
+  Int64.to_float r *. 0x1.0p-53

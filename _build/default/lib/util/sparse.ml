@@ -1,0 +1,149 @@
+type t = { dim : int; idx : int array; v : float array }
+
+let of_list ~dim pairs =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= dim then invalid_arg "Sparse.of_list: index out of range")
+    pairs;
+  let tbl = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (i, x) ->
+      let cur = try Hashtbl.find tbl i with Not_found -> 0. in
+      Hashtbl.replace tbl i (cur +. x))
+    pairs;
+  let entries =
+    Hashtbl.fold (fun i x acc -> if x = 0. then acc else (i, x) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { dim; idx = Array.of_list (List.map fst entries); v = Array.of_list (List.map snd entries) }
+
+let of_dense a =
+  let entries = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if a.(i) <> 0. then entries := (i, a.(i)) :: !entries
+  done;
+  let entries = !entries in
+  { dim = Array.length a;
+    idx = Array.of_list (List.map fst entries);
+    v = Array.of_list (List.map snd entries) }
+
+let to_dense t =
+  let a = Array.make t.dim 0. in
+  Array.iteri (fun k i -> a.(i) <- t.v.(k)) t.idx;
+  a
+
+let dim t = t.dim
+let nnz t = Array.length t.idx
+
+let get t i =
+  if i < 0 || i >= t.dim then invalid_arg "Sparse.get: index out of range";
+  (* Binary search over the sorted index array. *)
+  let lo = ref 0 and hi = ref (Array.length t.idx - 1) and found = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.idx.(mid) = i then begin
+      found := t.v.(mid);
+      lo := !hi + 1
+    end
+    else if t.idx.(mid) < i then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let nonzeros t = Array.init (nnz t) (fun k -> (t.idx.(k), t.v.(k)))
+
+let dot a b =
+  if a.dim <> b.dim then invalid_arg "Sparse.dot: dimension mismatch";
+  let acc = ref 0. and i = ref 0 and j = ref 0 in
+  let na = Array.length a.idx and nb = Array.length b.idx in
+  while !i < na && !j < nb do
+    let ia = a.idx.(!i) and ib = b.idx.(!j) in
+    if ia = ib then begin
+      acc := !acc +. (a.v.(!i) *. b.v.(!j));
+      incr i;
+      incr j
+    end
+    else if ia < ib then incr i
+    else incr j
+  done;
+  !acc
+
+let dot_dense t d =
+  if Array.length d < t.dim then invalid_arg "Sparse.dot_dense: dense side too short";
+  let acc = ref 0. in
+  Array.iteri (fun k i -> acc := !acc +. (t.v.(k) *. d.(i))) t.idx;
+  !acc
+
+let axpy_dense a t d =
+  if Array.length d < t.dim then invalid_arg "Sparse.axpy_dense: dense side too short";
+  Array.iteri (fun k i -> d.(i) <- d.(i) +. (a *. t.v.(k))) t.idx
+
+let merge op a b =
+  if a.dim <> b.dim then invalid_arg "Sparse.merge: dimension mismatch";
+  let out = ref [] in
+  let na = Array.length a.idx and nb = Array.length b.idx in
+  let i = ref 0 and j = ref 0 in
+  let push idx v = if v <> 0. then out := (idx, v) :: !out in
+  while !i < na || !j < nb do
+    if !i < na && (!j >= nb || a.idx.(!i) < b.idx.(!j)) then begin
+      push a.idx.(!i) (op a.v.(!i) 0.);
+      incr i
+    end
+    else if !j < nb && (!i >= na || b.idx.(!j) < a.idx.(!i)) then begin
+      push b.idx.(!j) (op 0. b.v.(!j));
+      incr j
+    end
+    else begin
+      push a.idx.(!i) (op a.v.(!i) b.v.(!j));
+      incr i;
+      incr j
+    end
+  done;
+  let entries = List.rev !out in
+  { dim = a.dim;
+    idx = Array.of_list (List.map fst entries);
+    v = Array.of_list (List.map snd entries) }
+
+let sub a b = merge ( -. ) a b
+
+let scale a t =
+  if a = 0. then { dim = t.dim; idx = [||]; v = [||] }
+  else { t with v = Array.map (fun x -> a *. x) t.v }
+
+let norm2 t = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. t.v
+
+let map_values f t =
+  let entries = ref [] in
+  for k = Array.length t.idx - 1 downto 0 do
+    let x = f t.v.(k) in
+    if x <> 0. then entries := (t.idx.(k), x) :: !entries
+  done;
+  let entries = !entries in
+  { dim = t.dim;
+    idx = Array.of_list (List.map fst entries);
+    v = Array.of_list (List.map snd entries) }
+
+let concat ts =
+  let total = List.fold_left (fun acc t -> acc + t.dim) 0 ts in
+  let entries = ref [] in
+  let offset = ref 0 in
+  List.iter
+    (fun t ->
+      Array.iteri (fun k i -> entries := (i + !offset, t.v.(k)) :: !entries) t.idx;
+      offset := !offset + t.dim)
+    ts;
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) !entries in
+  { dim = total;
+    idx = Array.of_list (List.map fst entries);
+    v = Array.of_list (List.map snd entries) }
+
+let equal ?(eps = 1e-12) a b =
+  a.dim = b.dim
+  &&
+  let d = sub a b in
+  Array.for_all (fun x -> Float.abs x <= eps) d.v
+
+let pp ppf t =
+  Format.fprintf ppf "{dim=%d;@ " t.dim;
+  Array.iteri (fun k i -> Format.fprintf ppf "%d:%g@ " i t.v.(k)) t.idx;
+  Format.fprintf ppf "}"

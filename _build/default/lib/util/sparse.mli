@@ -1,0 +1,57 @@
+(** Sparse float vectors (sorted index/value pairs).
+
+    The stencil pattern occupies a bounded-offset 7×7×7 cube of which
+    only a handful of cells are set (§III-A), so feature vectors are
+    stored sparsely and densified only where a solver needs it. *)
+
+type t
+(** Immutable sparse vector: a fixed dimension plus the nonzero
+    entries sorted by index. *)
+
+val of_list : dim:int -> (int * float) list -> t
+(** Build from (index, value) pairs.  Duplicate indices are summed,
+    explicit zeros dropped, indices must be inside [\[0, dim)]. *)
+
+val of_dense : float array -> t
+(** Keep only nonzero entries. *)
+
+val to_dense : t -> float array
+
+val dim : t -> int
+
+val nnz : t -> int
+(** Number of stored nonzeros. *)
+
+val get : t -> int -> float
+(** [get v i] is the [i]-th coordinate (0 where not stored). *)
+
+val nonzeros : t -> (int * float) array
+(** Stored entries, sorted by index. *)
+
+val dot : t -> t -> float
+(** Sparse-sparse inner product. *)
+
+val dot_dense : t -> float array -> float
+(** Sparse-dense inner product.  The dense side must have dimension at
+    least {!dim}. *)
+
+val axpy_dense : float -> t -> float array -> unit
+(** [axpy_dense a x y] performs [y <- y + a·x] with sparse [x]. *)
+
+val sub : t -> t -> t
+(** Element-wise difference (dimensions must match). *)
+
+val scale : float -> t -> t
+
+val norm2 : t -> float
+
+val map_values : (float -> float) -> t -> t
+(** Apply a function to each stored value (zeros produced are dropped). *)
+
+val concat : t list -> t
+(** Concatenate along the index axis; the result dimension is the sum of
+    input dimensions. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+let check_nonempty name xs = if Array.length xs = 0 then invalid_arg name
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile_sorted ys p =
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ((1. -. frac) *. ys.(lo)) +. (frac *. ys.(hi))
+  end
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  percentile_sorted (sorted_copy xs) p
+
+let median xs = percentile xs 50.
+
+let geometric_mean xs =
+  check_nonempty "Stats.geometric_mean" xs;
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geometric_mean: nonpositive input";
+        acc +. log x)
+      0. xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+type box = {
+  low_whisker : float;
+  q1 : float;
+  med : float;
+  q3 : float;
+  high_whisker : float;
+  outliers : float array;
+}
+
+let box_plot xs =
+  check_nonempty "Stats.box_plot" xs;
+  let ys = sorted_copy xs in
+  let q1 = percentile_sorted ys 25. in
+  let med = percentile_sorted ys 50. in
+  let q3 = percentile_sorted ys 75. in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) in
+  let hi_fence = q3 +. (1.5 *. iqr) in
+  let inside = Array.to_list ys |> List.filter (fun x -> x >= lo_fence && x <= hi_fence) in
+  (* Quartiles are interpolated, so the extreme inside point can land
+     strictly inside the box; clamp whiskers to the box edges to keep
+     low <= q1 <= q3 <= high. *)
+  let low_whisker, high_whisker =
+    match inside with
+    | [] -> (q1, q3)
+    | first :: _ ->
+      let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+      (Float.min first q1, Float.max (last inside) q3)
+  in
+  let outliers =
+    Array.of_list (Array.to_list ys |> List.filter (fun x -> x < lo_fence || x > hi_fence))
+  in
+  { low_whisker; q1; med; q3; high_whisker; outliers }
+
+let silverman_bandwidth xs =
+  check_nonempty "Stats.silverman_bandwidth" xs;
+  let n = float_of_int (Array.length xs) in
+  let sd = stddev xs in
+  let ys = sorted_copy xs in
+  let iqr = percentile_sorted ys 75. -. percentile_sorted ys 25. in
+  let scale =
+    if sd = 0. && iqr = 0. then 1.
+    else if iqr = 0. then sd
+    else if sd = 0. then iqr /. 1.34
+    else Float.min sd (iqr /. 1.34)
+  in
+  0.9 *. scale *. (n ** -0.2)
+
+let kde ?bandwidth sample xs =
+  check_nonempty "Stats.kde" sample;
+  let h =
+    match bandwidth with
+    | Some h when h > 0. -> h
+    | Some _ -> invalid_arg "Stats.kde: bandwidth must be positive"
+    | None ->
+      let h = silverman_bandwidth sample in
+      if h > 0. then h else 1e-3
+  in
+  let n = float_of_int (Array.length sample) in
+  let norm = 1. /. (n *. h *. sqrt (2. *. Float.pi)) in
+  let density x =
+    let acc =
+      Array.fold_left
+        (fun acc s ->
+          let u = (x -. s) /. h in
+          acc +. exp (-0.5 *. u *. u))
+        0. sample
+    in
+    norm *. acc
+  in
+  Array.map density xs
+
+let histogram ~bins xs =
+  check_nonempty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi
+    (fun i c ->
+      let blo = lo +. (float_of_int i *. width) in
+      (blo, blo +. width, c))
+    counts

@@ -1,0 +1,50 @@
+(** Descriptive statistics used by the evaluation harness: summary
+    statistics, quartile/box-plot summaries (Fig. 7), and a Gaussian
+    kernel density estimate (the violin overlays of Fig. 7). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (denominator [n-1]); 0 for singletons. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element.  Raises [Invalid_argument] on empty. *)
+
+val median : float array -> float
+(** Median (average of the two central order statistics for even [n]). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation
+    between closest ranks. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean; all inputs must be positive. *)
+
+type box = {
+  low_whisker : float;   (** smallest point within 1.5 IQR of Q1 *)
+  q1 : float;
+  med : float;
+  q3 : float;
+  high_whisker : float;  (** largest point within 1.5 IQR of Q3 *)
+  outliers : float array;
+}
+(** Tukey box-plot summary. *)
+
+val box_plot : float array -> box
+(** Box-plot summary of a sample.  Raises [Invalid_argument] on empty. *)
+
+val kde : ?bandwidth:float -> float array -> float array -> float array
+(** [kde ~bandwidth sample xs] evaluates a Gaussian kernel density
+    estimate of [sample] at each point of [xs].  When [bandwidth] is
+    omitted, Silverman's rule of thumb is used. *)
+
+val silverman_bandwidth : float array -> float
+(** Silverman's rule-of-thumb bandwidth for a sample. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per bin over the data
+    range. *)

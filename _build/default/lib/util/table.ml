@@ -1,0 +1,88 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | None -> List.map (fun _ -> Left) headers
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns arity mismatch";
+      a
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let l = (width - n) / 2 in
+      String.make l ' ' ^ s ^ String.make (width - n - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line aligns cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line (List.map (fun _ -> Center) t.headers) t.headers;
+  rule ();
+  List.iter (function Rule -> rule () | Cells cells -> line t.aligns cells) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 3) x = Printf.sprintf "%.*f" digits x
+
+let fmt_time s =
+  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.2fms" (s *. 1e3)
+  else if s < 120. then Printf.sprintf "%.2fs" s
+  else begin
+    let m = int_of_float (s /. 60.) in
+    Printf.sprintf "%dm%02ds" m (int_of_float (s -. float_of_int (m * 60)))
+  end

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the benchmark harness output. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Left] for
+    every column; when given it must have one entry per header. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have the same arity as the header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule row. *)
+
+val render : t -> string
+(** Render with box-drawing rules, padded columns. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point formatting helper, default 3 digits. *)
+
+val fmt_time : float -> string
+(** Human-friendly seconds formatting: "412us", "3.2ms", "1.25s",
+    "4m12s". *)

@@ -1,0 +1,13 @@
+(** Wall-clock timing helpers for Table II style measurements. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall
+    time in seconds. *)
+
+val time_unit : (unit -> unit) -> float
+(** Elapsed seconds of a unit-returning thunk. *)
+
+val time_repeat : ?min_time:float -> (unit -> unit) -> float
+(** [time_repeat f] runs [f] enough times to accumulate at least
+    [min_time] seconds (default 0.01) and returns the mean per-call
+    time.  Used for sub-millisecond phases such as ranking. *)

@@ -1,0 +1,53 @@
+type t = float array
+
+let create n = Array.make n 0.
+let copy = Array.copy
+let dim = Array.length
+
+let check2 name x y =
+  if Array.length x <> Array.length y then invalid_arg (name ^ ": dimension mismatch")
+
+let dot x y =
+  check2 "Vec.dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = dot x x
+let norm x = sqrt (norm2 x)
+let scale a x = Array.map (fun v -> a *. v) x
+
+let scale_inplace a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let add x y =
+  check2 "Vec.add" x y;
+  Array.mapi (fun i v -> v +. y.(i)) x
+
+let sub x y =
+  check2 "Vec.sub" x y;
+  Array.mapi (fun i v -> v -. y.(i)) x
+
+let axpy a x y =
+  check2 "Vec.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let equal ?(eps = 1e-12) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  Array.iteri (fun i v -> if Float.abs (v -. y.(i)) > eps then ok := false) x;
+  !ok
+
+let pp ppf x =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf v -> Format.fprintf ppf "%g" v))
+    x

@@ -1,0 +1,42 @@
+(** Dense float vectors.
+
+    Thin wrappers over [float array] used by the rank-SVM solvers.  All
+    binary operations require equal dimensions and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val copy : t -> t
+
+val dim : t -> int
+
+val dot : t -> t -> float
+(** Inner product. *)
+
+val norm2 : t -> float
+(** Squared Euclidean norm. *)
+
+val norm : t -> float
+(** Euclidean norm. *)
+
+val scale : float -> t -> t
+(** [scale a x] is a fresh vector [a·x]. *)
+
+val scale_inplace : float -> t -> unit
+
+val add : t -> t -> t
+(** Fresh element-wise sum. *)
+
+val sub : t -> t -> t
+(** Fresh element-wise difference. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- y + a·x] in place. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Element-wise comparison with absolute tolerance (default 1e-12). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Benchmarks Features Float Instance Kernel Lazy List Sorl Sorl_baselines Sorl_machine Sorl_stencil Sorl_svmrank Sorl_util Tuning

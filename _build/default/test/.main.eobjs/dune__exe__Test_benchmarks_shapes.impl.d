@@ -1,0 +1,1 @@
+test/test_benchmarks_shapes.ml: Alcotest Benchmarks Dtype Features Instance Kernel List Sorl_stencil Sorl_util String Training_shapes Tuning

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Benchmarks Features Filename Instance Kernel Lazy List Sorl Sorl_machine Sorl_search Sorl_stencil Sorl_svmrank Sorl_util String Sys Training_shapes Tuning

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Benchmarks Dsl Dtype Filename Instance Kernel List Pattern QCheck2 QCheck_alcotest Result Sorl_codegen Sorl_grid Sorl_stencil String Sys Tuning

@@ -1,0 +1,1 @@
+test/test_eval_extras.ml: Alcotest Array Dataset Eval Explain Filename List Model Sorl_search Sorl_svmrank Sorl_util String Sys

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Benchmarks Features Float Instance List Sorl Sorl_machine Sorl_search Sorl_stencil Sorl_svmrank String Tuning

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Benchmarks Features Hashtbl List Pattern QCheck2 QCheck_alcotest Sorl_stencil Sorl_util Tuning

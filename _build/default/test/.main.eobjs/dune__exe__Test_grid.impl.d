@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Grid Sorl_grid Sorl_util

@@ -1,0 +1,1 @@
+test/test_kernel_instance.ml: Alcotest Benchmarks Dtype Instance Kernel Pattern Sorl_stencil

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Benchmarks Cache_sim Cost_model Float Instance Machine_desc Measure Result Sorl_codegen Sorl_machine Sorl_stencil Sorl_util Tuning

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array List Pattern QCheck2 QCheck_alcotest Sorl_stencil

@@ -1,0 +1,1 @@
+test/test_rank_correlation.ml: Alcotest Array Float QCheck2 QCheck_alcotest Rank_correlation Sorl_util

@@ -1,0 +1,1 @@
+test/test_rff_validate.ml: Alcotest Array Benchmarks Dsl Float Instance Kernel List Result Sorl_codegen Sorl_stencil Sorl_svmrank Sorl_util Tuning

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Hashtbl Int64 List QCheck2 QCheck_alcotest Rng Sorl_util Stats

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Float List Problem QCheck2 QCheck_alcotest Registry Runner Sorl_search Sorl_util

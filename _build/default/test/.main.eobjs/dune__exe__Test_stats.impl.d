@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float QCheck2 QCheck_alcotest Rng Sorl_util Stats

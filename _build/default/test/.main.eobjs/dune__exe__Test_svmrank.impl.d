@@ -1,0 +1,1 @@
+test/test_svmrank.ml: Alcotest Array Dataset Eval Filename List Model QCheck2 QCheck_alcotest Solver_common Solver_dcd Solver_sgd Sorl_svmrank Sorl_util Sys

@@ -1,0 +1,1 @@
+test/test_table_plot.ml: Alcotest Ascii_plot Sorl_util Stats String Sys Table Timer

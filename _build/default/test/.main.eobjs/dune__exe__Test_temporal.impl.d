@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Benchmarks Instance Interp Kernel List Printf Reference Sorl_codegen Sorl_grid Sorl_machine Sorl_stencil Temporal Tuning Variant

@@ -1,0 +1,1 @@
+test/test_tuning.ml: Alcotest Array Hashtbl Sorl_stencil Sorl_util Tuning

@@ -1,0 +1,1 @@
+test/test_vec_sparse.ml: Alcotest Array Float QCheck2 QCheck_alcotest Sorl_util Sparse Vec

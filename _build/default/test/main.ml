@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "sorl"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("rank-correlation", Test_rank_correlation.suite);
+      ("vec-sparse", Test_vec_sparse.suite);
+      ("table-plot", Test_table_plot.suite);
+      ("grid", Test_grid.suite);
+      ("pattern", Test_pattern.suite);
+      ("kernel-instance", Test_kernel_instance.suite);
+      ("tuning", Test_tuning.suite);
+      ("features", Test_features.suite);
+      ("benchmarks-shapes", Test_benchmarks_shapes.suite);
+      ("dsl", Test_dsl.suite);
+      ("codegen", Test_codegen.suite);
+      ("machine", Test_machine.suite);
+      ("svmrank", Test_svmrank.suite);
+      ("search", Test_search.suite);
+      ("core", Test_core.suite);
+      ("baselines", Test_baselines.suite);
+      ("temporal", Test_temporal.suite);
+      ("eval-extras", Test_eval_extras.suite);
+      ("rff-validate", Test_rff_validate.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the §IV-A baseline tuners (regression and classification)
+   and for the pairwise logistic solver, plus their comparison against
+   the ordinal regression tuner on the cost-model substrate. *)
+
+open Sorl_stencil
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let machine = Sorl_machine.Machine_desc.xeon_e5_2680_v3
+let measure () = Sorl_machine.Measure.model machine
+
+let tiny_instances =
+  [
+    Instance.create_xyz Benchmarks.edge ~sx:256 ~sy:256 ~sz:1;
+    Instance.create_xyz Benchmarks.laplacian ~sx:64 ~sy:64 ~sz:64;
+    Instance.create_xyz Benchmarks.gradient ~sx:64 ~sy:64 ~sz:64;
+    Instance.create_xyz Benchmarks.blur ~sx:512 ~sy:512 ~sz:1;
+    Instance.create_xyz Benchmarks.laplacian6 ~sx:64 ~sy:64 ~sz:64;
+  ]
+
+let spec size = { Sorl.Training.size; mode = Features.Extended; seed = 5 }
+
+let data =
+  lazy
+    (let ms = measure () in
+     Sorl.Training.generate_with_tunings ~spec:(spec 600) ~instances:tiny_instances ms)
+
+(* ---- Regression baseline ---- *)
+
+let test_regression_trains_and_ranks () =
+  let ds, _ = Lazy.force data in
+  let model = Sorl_baselines.Regression_tuner.train ~mode:Features.Extended ds in
+  let inst = List.nth tiny_instances 1 in
+  let rng = Sorl_util.Rng.create 3 in
+  let candidates = Array.init 40 (fun _ -> Tuning.random rng ~dims:3) in
+  let ranked = Sorl_baselines.Regression_tuner.rank model inst candidates in
+  checki "permutation size" 40 (Array.length ranked);
+  let sort a = List.sort Tuning.compare (Array.to_list a) in
+  checkb "is a permutation" true (sort candidates = sort ranked);
+  checkb "best is head" true
+    (Tuning.equal ranked.(0) (Sorl_baselines.Regression_tuner.best model inst candidates))
+
+let test_regression_predicts_scale () =
+  (* log-runtime predictions should correlate with actual runtimes on
+     the training data itself. *)
+  let ds, _ = Lazy.force data in
+  let model = Sorl_baselines.Regression_tuner.train ~mode:Features.Extended ds in
+  let samples = Sorl_svmrank.Dataset.samples ds in
+  let actual = Array.map (fun s -> log s.Sorl_svmrank.Dataset.runtime) samples in
+  let predicted =
+    Array.map
+      (fun s -> Sorl_baselines.Regression_tuner.predict_log_runtime model s.Sorl_svmrank.Dataset.features)
+      samples
+  in
+  let rho = Sorl_util.Rank_correlation.spearman_rho actual predicted in
+  checkb "predictions correlate (rho > 0.7)" true (rho > 0.7)
+
+let test_regression_validation () =
+  let ds, _ = Lazy.force data in
+  Alcotest.check_raises "mode mismatch"
+    (Invalid_argument "Regression_tuner.train: dataset dimension does not match feature mode")
+    (fun () ->
+      ignore (Sorl_baselines.Regression_tuner.train ~mode:Features.Canonical ds));
+  let model = Sorl_baselines.Regression_tuner.train ~mode:Features.Extended ds in
+  Alcotest.check_raises "empty candidates"
+    (Invalid_argument "Regression_tuner.best: no candidates") (fun () ->
+      ignore (Sorl_baselines.Regression_tuner.best model (List.hd tiny_instances) [||]))
+
+(* ---- Classification baseline ---- *)
+
+let trained_classifier =
+  lazy
+    (let ds, tunings = Lazy.force data in
+     let ms = measure () in
+     Sorl_baselines.Classification_tuner.train
+       ~params:{ Sorl_baselines.Classification_tuner.default_params with classes = 8 }
+       ms ds ~instances:tiny_instances
+       ~tunings:(fun i -> Some tunings.(i)))
+
+let test_classification_classes () =
+  let c = Lazy.force trained_classifier in
+  let classes = Sorl_baselines.Classification_tuner.classes c in
+  checkb "has classes" true (Array.length classes >= 2);
+  Array.iter (fun t -> checkb "classes valid" true (Tuning.is_valid t)) classes;
+  checkb "labelling cost counted" true
+    (Sorl_baselines.Classification_tuner.extra_measurements c > 0)
+
+let test_classification_predicts_dimensionality () =
+  let c = Lazy.force trained_classifier in
+  List.iter
+    (fun inst ->
+      let t = Sorl_baselines.Classification_tuner.predict c inst in
+      checkb "valid tuning" true (Tuning.is_valid t);
+      if Kernel.dims (Instance.kernel inst) = 2 then
+        checki "2d prediction planar" 1 t.Tuning.bz)
+    tiny_instances
+
+let test_classification_bounded_by_classes () =
+  (* the predicted configuration is always one of the class set *)
+  let c = Lazy.force trained_classifier in
+  let classes = Array.to_list (Sorl_baselines.Classification_tuner.classes c) in
+  List.iter
+    (fun inst ->
+      let t = Sorl_baselines.Classification_tuner.predict c inst in
+      checkb "prediction in class set" true (List.exists (Tuning.equal t) classes))
+    tiny_instances
+
+(* ---- The paper's core claim: ordinal regression beats both ---- *)
+
+let test_ordinal_beats_baselines_on_ranking () =
+  let ds, _ = Lazy.force data in
+  let ms = measure () in
+  let ordinal = Sorl.Autotuner.train_on ~mode:Features.Extended ds in
+  let regression = Sorl_baselines.Regression_tuner.train ~mode:Features.Extended ds in
+  (* held-out tau over fresh random configurations *)
+  let inst = List.nth tiny_instances 2 in
+  let rng = Sorl_util.Rng.create 77 in
+  let tunings = Array.init 60 (fun _ -> Tuning.random rng ~dims:3) in
+  let runtimes = Array.map (Sorl_machine.Measure.runtime ms inst) tunings in
+  let tau_of score =
+    Sorl_util.Rank_correlation.kendall_tau runtimes (Array.map score tunings)
+  in
+  let tau_ord = tau_of (fun t -> Sorl.Autotuner.score ordinal inst t) in
+  let tau_reg =
+    tau_of (fun t ->
+        Sorl_baselines.Regression_tuner.predict_log_runtime regression
+          (Features.encode Features.Extended inst t))
+  in
+  checkb "ordinal tau positive" true (tau_ord > 0.3);
+  (* the regression baseline may be close, but must not dominate *)
+  checkb "ordinal at least comparable" true (tau_ord >= tau_reg -. 0.1)
+
+(* ---- Logistic (RankNet-style) solver ---- *)
+
+let planted () =
+  let rng = Sorl_util.Rng.create 42 in
+  let samples = ref [] in
+  for q = 0 to 9 do
+    for _ = 0 to 7 do
+      let x0 = Sorl_util.Rng.uniform rng and x1 = Sorl_util.Rng.uniform rng in
+      let rt = 1e-3 *. exp ((2. *. x0) -. x1) in
+      samples :=
+        {
+          Sorl_svmrank.Dataset.query = q;
+          features = Sorl_util.Sparse.of_dense [| x0; x1 |];
+          runtime = rt;
+          tag = "";
+        }
+        :: !samples
+    done
+  done;
+  Sorl_svmrank.Dataset.create ~dim:2 !samples
+
+let test_logistic_recovers_planted () =
+  let ds = planted () in
+  let model = Sorl_svmrank.Solver_logistic.train ds in
+  checkb "tau high" true (Sorl_svmrank.Eval.mean_tau model ds > 0.9)
+
+let test_logistic_objective_decreases () =
+  let ds = planted () in
+  let zs =
+    Sorl_svmrank.Solver_common.pair_diffs ds (Sorl_svmrank.Dataset.pairs ds)
+  in
+  let model = Sorl_svmrank.Solver_logistic.train_on_pairs ~dim:2 zs in
+  let f0 = Sorl_svmrank.Solver_logistic.objective ~lambda:1e-4 zs (Array.make 2 0.) in
+  let f = Sorl_svmrank.Solver_logistic.objective ~lambda:1e-4 zs (Sorl_svmrank.Model.weights model) in
+  checkb "objective decreased" true (f < f0)
+
+let test_logistic_agrees_with_svm () =
+  let ds = planted () in
+  let logistic = Sorl_svmrank.Solver_logistic.train ds in
+  let svm = Sorl_svmrank.Solver_dcd.train ds in
+  let t1 = Sorl_svmrank.Eval.mean_tau logistic ds in
+  let t2 = Sorl_svmrank.Eval.mean_tau svm ds in
+  checkb "same ballpark" true (Float.abs (t1 -. t2) < 0.1)
+
+let test_logistic_validation () =
+  Alcotest.check_raises "no pairs" (Invalid_argument "Solver_logistic: no pairs")
+    (fun () -> ignore (Sorl_svmrank.Solver_logistic.train_on_pairs ~dim:2 [||]))
+
+let suite =
+  [
+    Alcotest.test_case "regression trains/ranks" `Quick test_regression_trains_and_ranks;
+    Alcotest.test_case "regression predicts scale" `Quick test_regression_predicts_scale;
+    Alcotest.test_case "regression validation" `Quick test_regression_validation;
+    Alcotest.test_case "classification classes" `Quick test_classification_classes;
+    Alcotest.test_case "classification dims" `Quick test_classification_predicts_dimensionality;
+    Alcotest.test_case "classification bounded" `Quick test_classification_bounded_by_classes;
+    Alcotest.test_case "ordinal vs baselines" `Quick test_ordinal_beats_baselines_on_ranking;
+    Alcotest.test_case "logistic recovers planted" `Quick test_logistic_recovers_planted;
+    Alcotest.test_case "logistic objective" `Quick test_logistic_objective_decreases;
+    Alcotest.test_case "logistic vs svm" `Quick test_logistic_agrees_with_svm;
+    Alcotest.test_case "logistic validation" `Quick test_logistic_validation;
+  ]

@@ -1,0 +1,131 @@
+(* Tests pinning the Table III benchmark set and the §V-B training
+   shapes to the paper's numbers. *)
+
+open Sorl_stencil
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_table3_counts () =
+  checki "9 kernels" 9 (List.length Benchmarks.kernels);
+  checki "17 benchmarks" 17 (List.length Benchmarks.instances)
+
+let test_table3_shapes () =
+  (* Shape column of Table III. *)
+  checki "blur 5x5" 25 (Kernel.taps Benchmarks.blur);
+  checki "edge 3x3" 9 (Kernel.taps Benchmarks.edge);
+  checki "game-of-life 3x3" 9 (Kernel.taps Benchmarks.game_of_life);
+  checki "wave 13 laplacian + 1" 14 (Kernel.taps Benchmarks.wave);
+  checki "tricubic 4x4x4 (+2 coord reads)" 66 (Kernel.taps Benchmarks.tricubic);
+  checki "divergence 6" 6 (Kernel.taps Benchmarks.divergence);
+  checki "gradient 6" 6 (Kernel.taps Benchmarks.gradient);
+  checki "laplacian 7" 7 (Kernel.taps Benchmarks.laplacian);
+  checki "laplacian6 19" 19 (Kernel.taps Benchmarks.laplacian6)
+
+let test_table3_types () =
+  let f32 = [ Benchmarks.blur; Benchmarks.edge; Benchmarks.game_of_life; Benchmarks.wave;
+              Benchmarks.tricubic ] in
+  let f64 = [ Benchmarks.divergence; Benchmarks.gradient; Benchmarks.laplacian;
+              Benchmarks.laplacian6 ] in
+  List.iter (fun k -> checkb (Kernel.name k ^ " float") true (Kernel.dtype k = Dtype.F32)) f32;
+  List.iter (fun k -> checkb (Kernel.name k ^ " double") true (Kernel.dtype k = Dtype.F64)) f64
+
+let test_table3_buffers () =
+  checki "tricubic reads 3" 3 (Kernel.num_buffers Benchmarks.tricubic);
+  checki "divergence reads 3" 3 (Kernel.num_buffers Benchmarks.divergence);
+  checki "gradient reads 1" 1 (Kernel.num_buffers Benchmarks.gradient)
+
+let test_table3_dims () =
+  List.iter
+    (fun k -> checki (Kernel.name k ^ " 2d") 2 (Kernel.dims k))
+    [ Benchmarks.blur; Benchmarks.edge; Benchmarks.game_of_life ];
+  List.iter
+    (fun k -> checki (Kernel.name k ^ " 3d") 3 (Kernel.dims k))
+    [ Benchmarks.wave; Benchmarks.tricubic; Benchmarks.divergence; Benchmarks.gradient;
+      Benchmarks.laplacian; Benchmarks.laplacian6 ]
+
+let test_lookup () =
+  checkb "kernel lookup" true
+    (Kernel.equal (Benchmarks.kernel_by_name "blur") Benchmarks.blur);
+  checkb "instance lookup" true
+    (String.equal
+       (Instance.name (Benchmarks.instance_by_name "edge-1024x1024"))
+       "edge-1024x1024");
+  Alcotest.check_raises "unknown kernel" Not_found (fun () ->
+      ignore (Benchmarks.kernel_by_name "nope"));
+  Alcotest.check_raises "unknown instance" Not_found (fun () ->
+      ignore (Benchmarks.instance_by_name "blur-7x7"))
+
+let test_instance_names_unique () =
+  let names = List.map Instance.name Benchmarks.instances in
+  checki "unique" 17 (List.length (List.sort_uniq compare names))
+
+let test_fig5_subset () =
+  let names = List.map Instance.name Benchmarks.fig5_instances in
+  Alcotest.(check (list string)) "fig5 benchmarks"
+    [ "gradient-256x256x256"; "tricubic-256x256x256"; "blur-1024x768";
+      "divergence-128x128x128" ]
+    names
+
+let test_training_counts () =
+  (* §V-B: 60 generated codes, 200 instances. *)
+  checki "60 kernels" 60 (List.length Training_shapes.kernels);
+  checki "200 instances" 200 (List.length Training_shapes.instances)
+
+let test_training_kernel_names_unique () =
+  let names = List.map Kernel.name Training_shapes.kernels in
+  checki "unique names" 60 (List.length (List.sort_uniq compare names))
+
+let test_training_mix () =
+  let k2 = List.filter (fun k -> Kernel.dims k = 2) Training_shapes.kernels in
+  let k3 = List.filter (fun k -> Kernel.dims k = 3) Training_shapes.kernels in
+  checki "24 two-dimensional" 24 (List.length k2);
+  checki "36 three-dimensional" 36 (List.length k3);
+  let f32 = List.filter (fun k -> Kernel.dtype k = Dtype.F32) Training_shapes.kernels in
+  checki "half float" 30 (List.length f32);
+  checkb "some multi-buffer kernels" true
+    (List.exists (fun k -> Kernel.num_buffers k > 1) Training_shapes.kernels)
+
+let test_training_sizes () =
+  List.iter
+    (fun i ->
+      let s = Instance.size i in
+      if Kernel.dims (Instance.kernel i) = 2 then begin
+        checkb "2d size from paper list" true (List.mem s.Instance.sx Training_shapes.sizes_2d);
+        checki "square" s.Instance.sx s.Instance.sy
+      end
+      else begin
+        checkb "3d size from paper list" true (List.mem s.Instance.sx Training_shapes.sizes_3d);
+        checki "cube y" s.Instance.sx s.Instance.sy;
+        checki "cube z" s.Instance.sx s.Instance.sz
+      end)
+    Training_shapes.instances
+
+let test_training_instances_valid_for_features () =
+  (* Every training instance must encode without exceptions. *)
+  let t = Tuning.default ~dims:3 in
+  List.iter
+    (fun i ->
+      let dims = Kernel.dims (Instance.kernel i) in
+      let t = if dims = 2 then Tuning.default ~dims:2 else t in
+      let v = Features.encode Features.Extended i t in
+      checki "dim" (Features.dim Features.Extended) (Sorl_util.Sparse.dim v))
+    Training_shapes.instances
+
+let suite =
+  [
+    Alcotest.test_case "Table III counts" `Quick test_table3_counts;
+    Alcotest.test_case "Table III shapes" `Quick test_table3_shapes;
+    Alcotest.test_case "Table III types" `Quick test_table3_types;
+    Alcotest.test_case "Table III buffers" `Quick test_table3_buffers;
+    Alcotest.test_case "Table III dims" `Quick test_table3_dims;
+    Alcotest.test_case "lookups" `Quick test_lookup;
+    Alcotest.test_case "instance names unique" `Quick test_instance_names_unique;
+    Alcotest.test_case "Fig. 5 subset" `Quick test_fig5_subset;
+    Alcotest.test_case "training counts (60/200)" `Quick test_training_counts;
+    Alcotest.test_case "training names unique" `Quick test_training_kernel_names_unique;
+    Alcotest.test_case "training mix" `Quick test_training_mix;
+    Alcotest.test_case "training sizes" `Quick test_training_sizes;
+    Alcotest.test_case "training instances encodable" `Quick
+      test_training_instances_valid_for_features;
+  ]

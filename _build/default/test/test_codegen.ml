@@ -1,0 +1,272 @@
+(* Tests for the code-generation substrate: the expression IR, the loop
+   schedule, the interpreter (against the reference executor — the key
+   semantics-preservation property) and the C emitter. *)
+
+open Sorl_stencil
+open Sorl_codegen
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let feq = Alcotest.float 1e-9
+
+let small_inst kernel n =
+  let dims = Kernel.dims kernel in
+  if dims = 2 then Instance.create_xyz kernel ~sx:n ~sy:n ~sz:1
+  else Instance.create_xyz kernel ~sx:n ~sy:n ~sz:n
+
+(* ---- Expr ---- *)
+
+let test_expr_of_kernel () =
+  let e = Expr.of_kernel Benchmarks.laplacian in
+  checki "one load per tap" 7 (List.length (Expr.loads e));
+  (* mul per tap + (taps-1) adds *)
+  checki "flops" 13 (Expr.flops e)
+
+let test_expr_eval () =
+  let k = Benchmarks.laplacian in
+  let e = Expr.of_kernel k in
+  (* load = 1 everywhere -> value = sum of coefficients *)
+  let v = Expr.eval e ~load:(fun _ _ -> 1.) in
+  let expected =
+    List.fold_left
+      (fun acc off -> acc +. Kernel.coefficient k ~buffer:0 off)
+      0.
+      (Pattern.offsets (Kernel.pattern k))
+  in
+  Alcotest.check feq "weighted sum" expected v
+
+let test_expr_to_c () =
+  let e = Expr.of_kernel Benchmarks.gradient in
+  let s = Expr.to_c e in
+  checkb "references in0" true
+    (String.length s > 0
+    && (let found = ref false in
+        String.iteri
+          (fun i _ ->
+            if i + 3 <= String.length s && String.sub s i 3 = "in0" then found := true)
+          s;
+        !found))
+
+(* ---- Schedule ---- *)
+
+let test_schedule_clamps () =
+  let inst = small_inst Benchmarks.laplacian 16 in
+  let s = Schedule.create inst (Tuning.create ~bx:1024 ~by:8 ~bz:1024 ~u:0 ~c:4) in
+  checki "bx clamped to grid" 16 s.Schedule.bx;
+  checki "bz clamped" 16 s.Schedule.bz;
+  checki "unroll 0 -> 1" 1 s.Schedule.unroll
+
+let test_schedule_2d_forces_bz () =
+  let inst = Instance.create_xyz Benchmarks.edge ~sx:32 ~sy:32 ~sz:1 in
+  let s = Schedule.create inst (Tuning.create ~bx:8 ~by:8 ~bz:64 ~u:2 ~c:2) in
+  checki "2d bz" 1 s.Schedule.bz
+
+let test_schedule_tiles_cover () =
+  let inst = small_inst Benchmarks.laplacian 10 in
+  (* 10 / 4 -> 3 tiles per axis with a remainder tile of extent 2. *)
+  let s = Schedule.create inst (Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:2) in
+  checki "tiles" 27 (Schedule.num_tiles s);
+  checki "chunks" 14 (Schedule.num_chunks s);
+  let covered = Array.make (10 * 10 * 10) false in
+  for i = 0 to Schedule.num_tiles s - 1 do
+    let tl = Schedule.tile s i in
+    checkb "nonempty" true (Schedule.tile_points tl > 0);
+    for z = tl.Schedule.z0 to tl.Schedule.z1 - 1 do
+      for y = tl.Schedule.y0 to tl.Schedule.y1 - 1 do
+        for x = tl.Schedule.x0 to tl.Schedule.x1 - 1 do
+          let idx = (((z * 10) + y) * 10) + x in
+          checkb "no overlap" false covered.(idx);
+          covered.(idx) <- true
+        done
+      done
+    done
+  done;
+  checkb "full cover" true (Array.for_all Fun.id covered)
+
+let test_schedule_chunk_ranges_partition () =
+  let inst = small_inst Benchmarks.laplacian 10 in
+  let s = Schedule.create inst (Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:5) in
+  let total = ref 0 in
+  let prev_hi = ref 0 in
+  for c = 0 to Schedule.num_chunks s - 1 do
+    let lo, hi = Schedule.chunk_tile_range s c in
+    checki "contiguous" !prev_hi lo;
+    prev_hi := hi;
+    total := !total + (hi - lo)
+  done;
+  checki "chunks partition tiles" (Schedule.num_tiles s) !total
+
+let test_assign_chunks_round_robin () =
+  let inst = small_inst Benchmarks.laplacian 10 in
+  let s = Schedule.create inst (Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:2) in
+  let workers = Schedule.assign_chunks s ~threads:4 in
+  checki "4 workers" 4 (Array.length workers);
+  let all = Array.to_list workers |> Array.concat |> Array.to_list |> List.sort compare in
+  checki "all chunks assigned once" (Schedule.num_chunks s) (List.length all);
+  Alcotest.(check (list int)) "exactly chunk ids"
+    (List.init (Schedule.num_chunks s) Fun.id)
+    all
+
+(* ---- Interp vs Reference (semantics preservation) ---- *)
+
+let agree ?(threads = 1) kernel n tuning =
+  let inst = small_inst kernel n in
+  let v = Variant.compile inst tuning in
+  let inputs, out1 = Interp.make_grids ~seed:11 inst in
+  Interp.run ~threads v ~inputs ~output:out1;
+  let out2 = Sorl_grid.Grid.copy out1 in
+  Sorl_grid.Grid.fill out2 0.;
+  Reference.run inst ~inputs ~output:out2;
+  Sorl_grid.Grid.max_abs_diff out1 out2 < 1e-9
+
+let test_interp_matches_reference_all_kernels () =
+  List.iter
+    (fun k ->
+      let n = if Kernel.dims k = 2 then 20 else 12 in
+      let dims = Kernel.dims k in
+      let t = Tuning.default ~dims in
+      checkb (Kernel.name k ^ " agrees") true (agree k n t))
+    Benchmarks.kernels
+
+let test_interp_unroll_remainder () =
+  (* bx not divisible by unroll: remainder loop exercised. *)
+  let t = Tuning.create ~bx:7 ~by:3 ~bz:2 ~u:4 ~c:3 in
+  checkb "remainder handled" true (agree Benchmarks.laplacian 13 t)
+
+let test_interp_thread_interleaving_irrelevant () =
+  let t = Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:2 ~c:2 in
+  checkb "1 thread" true (agree ~threads:1 Benchmarks.gradient 12 t);
+  checkb "5 threads" true (agree ~threads:5 Benchmarks.gradient 12 t)
+
+let test_interp_validation () =
+  let inst = small_inst Benchmarks.laplacian 8 in
+  let v = Variant.compile inst (Tuning.default ~dims:3) in
+  let _inputs, output = Interp.make_grids inst in
+  Alcotest.check_raises "wrong buffer count"
+    (Invalid_argument "Interp.run: wrong number of input grids") (fun () ->
+      Interp.run v ~inputs:[||] ~output);
+  let bad = Sorl_grid.Grid.create ~nx:4 ~ny:8 ~nz:8 () in
+  Alcotest.check_raises "wrong shape" (Invalid_argument "Interp.run: input shape")
+    (fun () -> Interp.run v ~inputs:[| bad |] ~output)
+
+let test_reference_step_count () =
+  (* Two explicit steps equal step_count ~steps:2. *)
+  let inst = small_inst Benchmarks.laplacian 8 in
+  let inputs1, out1 = Interp.make_grids ~seed:3 inst in
+  Reference.run inst ~inputs:inputs1 ~output:out1;
+  Sorl_grid.Grid.blit ~src:out1 ~dst:inputs1.(0);
+  Reference.run inst ~inputs:inputs1 ~output:out1;
+  let inputs2, out2 = Interp.make_grids ~seed:3 inst in
+  Reference.step_count inst ~inputs:inputs2 ~output:out2 ~steps:2;
+  checkb "two steps agree" true (Sorl_grid.Grid.max_abs_diff out1 out2 < 1e-9);
+  Alcotest.check_raises "steps >= 1"
+    (Invalid_argument "Reference.step_count: steps must be >= 1") (fun () ->
+      Reference.step_count inst ~inputs:inputs2 ~output:out2 ~steps:0)
+
+(* ---- Emit_c ---- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_emit_c_structure () =
+  let inst = small_inst Benchmarks.laplacian 64 in
+  let v = Variant.compile inst (Tuning.create ~bx:16 ~by:8 ~bz:8 ~u:4 ~c:2) in
+  let c = Emit_c.emit v in
+  checkb "has pragma" true (contains c "#pragma omp parallel for schedule(static, 2)");
+  checkb "has unrolled loop" true (contains c "/* unrolled x4 */");
+  checkb "has tile decomposition" true (contains c "int tile = 0");
+  checkb "has main" true (contains c "int main(void)");
+  checkb "double type" true (contains c "double *restrict out");
+  checkb "signature matches" true (contains c (Emit_c.kernel_signature v))
+
+let test_emit_c_no_unroll () =
+  let inst = small_inst Benchmarks.edge 64 in
+  let v = Variant.compile inst (Tuning.create ~bx:16 ~by:8 ~bz:1 ~u:0 ~c:1) in
+  let c = Emit_c.emit v in
+  checkb "plain x loop" true (contains c "for (int x = x0; x < x1; x++)");
+  checkb "float type" true (contains c "float *restrict out")
+
+(* ---- property: random schedules preserve semantics ---- *)
+
+let gen_case =
+  QCheck2.Gen.(
+    let* bx = int_range 2 16 in
+    let* by = int_range 2 16 in
+    let* bz = int_range 2 16 in
+    let* u = int_range 0 8 in
+    let* c = int_range 1 9 in
+    let* kidx = int_range 0 8 in
+    return (bx, by, bz, u, c, kidx))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60 ~name:"any schedule preserves stencil semantics"
+         gen_case
+         (fun (bx, by, bz, u, c, kidx) ->
+           let k = List.nth Benchmarks.kernels kidx in
+           let dims = Kernel.dims k in
+           let t =
+             Tuning.create ~bx ~by ~bz:(if dims = 2 then 1 else bz) ~u ~c
+           in
+           agree k (if dims = 2 then 14 else 9) t));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"tiles partition any rectangular grid"
+         QCheck2.Gen.(
+           let* sx = int_range 3 30 in
+           let* sy = int_range 3 30 in
+           let* sz = int_range 3 30 in
+           let* bx = int_range 2 32 in
+           let* by = int_range 2 32 in
+           let* bz = int_range 2 32 in
+           return (sx, sy, sz, bx, by, bz))
+         (fun (sx, sy, sz, bx, by, bz) ->
+           let inst = Instance.create_xyz Benchmarks.laplacian ~sx ~sy ~sz in
+           let s = Schedule.create inst (Tuning.create ~bx ~by ~bz ~u:1 ~c:1) in
+           let total = ref 0 in
+           for i = 0 to Schedule.num_tiles s - 1 do
+             total := !total + Schedule.tile_points (Schedule.tile s i)
+           done;
+           !total = sx * sy * sz));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:40 ~name:"temporal blocking preserves semantics"
+         QCheck2.Gen.(
+           let* tb = int_range 1 4 in
+           let* steps = int_range 1 6 in
+           let* bx = int_range 2 8 in
+           let* by = int_range 2 8 in
+           return (tb, steps, bx, by))
+         (fun (tb, steps, bx, by) ->
+           let inst = Instance.create_xyz Benchmarks.laplacian ~sx:8 ~sy:8 ~sz:8 in
+           let v = Variant.compile inst (Tuning.create ~bx ~by ~bz:4 ~u:1 ~c:2) in
+           let inputs, out_t = Interp.make_grids ~seed:5 inst in
+           Temporal.run v ~time_block:tb ~steps ~inputs ~output:out_t;
+           let ref_inputs = Array.map Sorl_grid.Grid.copy inputs in
+           let out_r = Sorl_grid.Grid.copy out_t in
+           Sorl_grid.Grid.fill out_r 0.;
+           Reference.step_count inst ~inputs:ref_inputs ~output:out_r ~steps;
+           Sorl_grid.Grid.max_abs_diff out_t out_r < 1e-9));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "expr of kernel" `Quick test_expr_of_kernel;
+    Alcotest.test_case "expr eval" `Quick test_expr_eval;
+    Alcotest.test_case "expr to C" `Quick test_expr_to_c;
+    Alcotest.test_case "schedule clamps" `Quick test_schedule_clamps;
+    Alcotest.test_case "schedule 2d bz" `Quick test_schedule_2d_forces_bz;
+    Alcotest.test_case "tiles cover grid" `Quick test_schedule_tiles_cover;
+    Alcotest.test_case "chunk ranges partition" `Quick test_schedule_chunk_ranges_partition;
+    Alcotest.test_case "assign chunks" `Quick test_assign_chunks_round_robin;
+    Alcotest.test_case "interp = reference (all kernels)" `Quick
+      test_interp_matches_reference_all_kernels;
+    Alcotest.test_case "unroll remainder" `Quick test_interp_unroll_remainder;
+    Alcotest.test_case "thread interleaving" `Quick test_interp_thread_interleaving_irrelevant;
+    Alcotest.test_case "interp validation" `Quick test_interp_validation;
+    Alcotest.test_case "reference step_count" `Quick test_reference_step_count;
+    Alcotest.test_case "emit C structure" `Quick test_emit_c_structure;
+    Alcotest.test_case "emit C no unroll" `Quick test_emit_c_no_unroll;
+  ]
+  @ qcheck_tests

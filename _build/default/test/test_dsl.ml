@@ -1,0 +1,155 @@
+(* Tests for the stencil DSL front end. *)
+
+open Sorl_stencil
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let ok src =
+  match Dsl.parse src with Ok k -> k | Error m -> Alcotest.failf "unexpected parse error: %s" m
+
+let err src =
+  match Dsl.parse src with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  | Error m -> m
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_parse_minimal () =
+  let k = ok "stencil five { dims 2 dtype float buffer u reads laplacian 1 }" in
+  Alcotest.check Alcotest.string "name" "five" (Kernel.name k);
+  checki "dims" 2 (Kernel.dims k);
+  checki "taps" 5 (Kernel.taps k);
+  checkb "dtype" true (Kernel.dtype k = Dtype.F32)
+
+let test_parse_explicit_offsets () =
+  let k = ok "stencil g { buffer u reads (1,0,0) (-1, 0, 0) (0,1,0) (0,-1,0) }" in
+  checki "taps" 4 (Kernel.taps k);
+  checkb "no center" false (Pattern.contains_center (Kernel.pattern k));
+  (* 3-D inferred? all offsets planar -> 2-D *)
+  checki "inferred 2d" 2 (Kernel.dims k)
+
+let test_parse_2d_offsets () =
+  let k = ok "stencil e { buffer u reads (1,1) (-1,-1) (0,0) }" in
+  checki "taps" 3 (Kernel.taps k);
+  checki "dims" 2 (Kernel.dims k)
+
+let test_parse_multibuffer_and_comments () =
+  let src =
+    "# a wave-like kernel\n\
+     stencil w {\n\
+    \  dims 3          # three-dimensional\n\
+    \  dtype double\n\
+    \  buffer u reads laplacian 2\n\
+    \  buffer u_old reads center\n\
+     }"
+  in
+  let k = ok src in
+  checki "buffers" 2 (Kernel.num_buffers k);
+  checki "taps" 14 (Kernel.taps k)
+
+let test_parse_shorthands () =
+  let k =
+    ok "stencil s { dims 3 buffer a reads line x 2 line y 1 buffer b reads hypercube 1 }"
+  in
+  checki "buffers" 2 (Kernel.num_buffers k);
+  (* line x 2 (5) U line y 1 (3, center shared) = 7 *)
+  checki "buffer a taps" 7 (Pattern.num_points (List.nth (Kernel.buffer_patterns k) 0));
+  checki "buffer b taps" 27 (Pattern.num_points (List.nth (Kernel.buffer_patterns k) 1))
+
+let test_parse_plane () =
+  let k = ok "stencil p { dims 3 buffer u reads plane 1 }" in
+  checki "taps" 9 (Kernel.taps k);
+  checki "declared 3d" 3 (Kernel.dims k)
+
+let test_errors () =
+  checkb "missing name" true (contains (err "stencil { }") "name");
+  checkb "no buffer" true (contains (err "stencil x { dims 2 }") "no buffer");
+  checkb "shorthand needs dims" true
+    (contains (err "stencil x { buffer u reads laplacian 1 }") "dims");
+  checkb "bad dims" true (contains (err "stencil x { dims 5 }") "dims must be 2 or 3");
+  checkb "bad dtype" true (contains (err "stencil x { dtype int }") "dtype");
+  checkb "offset too large" true
+    (contains (err "stencil x { buffer u reads (9,0,0) }") "maximum offset");
+  checkb "duplicate buffer" true
+    (contains (err "stencil x { buffer u reads center buffer u reads center }") "twice");
+  checkb "trailing garbage" true
+    (contains (err "stencil x { buffer u reads center } extra") "trailing");
+  checkb "truncated" true (contains (err "stencil x { buffer u reads") "end of input")
+
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun k ->
+      let k' = Dsl.parse_exn (Dsl.print k) in
+      checki (Kernel.name k ^ " dims") (Kernel.dims k) (Kernel.dims k');
+      checki (Kernel.name k ^ " taps") (Kernel.taps k) (Kernel.taps k');
+      checki (Kernel.name k ^ " buffers") (Kernel.num_buffers k) (Kernel.num_buffers k');
+      checkb (Kernel.name k ^ " patterns") true
+        (List.for_all2 Pattern.equal (Kernel.buffer_patterns k) (Kernel.buffer_patterns k')))
+    Benchmarks.kernels
+
+let test_parse_file () =
+  let path = Filename.temp_file "sorl" ".stencil" in
+  let oc = open_out path in
+  output_string oc "stencil filed { dims 3 buffer u reads laplacian 1 }";
+  close_out oc;
+  (match Dsl.parse_file path with
+  | Ok k -> checki "taps" 7 (Kernel.taps k)
+  | Error m -> Alcotest.failf "parse_file failed: %s" m);
+  Sys.remove path;
+  checkb "missing file is an Error" true (Result.is_error (Dsl.parse_file path))
+
+let test_parsed_kernel_runs_end_to_end () =
+  (* a DSL-defined kernel flows through compile/interp/tune unchanged *)
+  let k = ok "stencil dsl9 { dims 2 dtype float buffer img reads hypercube 1 }" in
+  let inst = Instance.create_xyz k ~sx:24 ~sy:24 ~sz:1 in
+  let v = Sorl_codegen.Variant.compile inst (Tuning.create ~bx:8 ~by:8 ~bz:1 ~u:2 ~c:2) in
+  let inputs, out1 = Sorl_codegen.Interp.make_grids inst in
+  Sorl_codegen.Interp.run v ~inputs ~output:out1;
+  let out2 = Sorl_grid.Grid.copy out1 in
+  Sorl_grid.Grid.fill out2 0.;
+  Sorl_codegen.Reference.run inst ~inputs ~output:out2;
+  checkb "semantics" true (Sorl_grid.Grid.max_abs_diff out1 out2 < 1e-9)
+
+let gen_random_kernel =
+  QCheck2.Gen.(
+    let offset = int_range (-Pattern.max_offset) Pattern.max_offset in
+    let* offs = list_size (int_range 1 20) (triple offset offset offset) in
+    let* dtype = oneofl [ Dtype.F32; Dtype.F64 ] in
+    let* extra_center_buffer = bool in
+    let pattern = Pattern.of_offsets offs in
+    let buffers =
+      if extra_center_buffer then [ pattern; Pattern.of_offsets [ (0, 0, 0) ] ]
+      else [ pattern ]
+    in
+    return (Kernel.create ~name:"prop" ~buffers ~dtype ()))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"print/parse roundtrip on random kernels"
+         gen_random_kernel (fun k ->
+           let k' = Dsl.parse_exn (Dsl.print k) in
+           Kernel.dims k = Kernel.dims k'
+           && Dtype.equal (Kernel.dtype k) (Kernel.dtype k')
+           && List.for_all2 Pattern.equal (Kernel.buffer_patterns k)
+                (Kernel.buffer_patterns k')));
+  ]
+
+let suite =
+  qcheck_tests
+  @ [
+    Alcotest.test_case "minimal" `Quick test_parse_minimal;
+    Alcotest.test_case "explicit offsets" `Quick test_parse_explicit_offsets;
+    Alcotest.test_case "2d offsets" `Quick test_parse_2d_offsets;
+    Alcotest.test_case "multi-buffer + comments" `Quick test_parse_multibuffer_and_comments;
+    Alcotest.test_case "shorthands" `Quick test_parse_shorthands;
+    Alcotest.test_case "plane" `Quick test_parse_plane;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "benchmark roundtrip" `Quick test_roundtrip_benchmarks;
+    Alcotest.test_case "parse file" `Quick test_parse_file;
+    Alcotest.test_case "end to end" `Quick test_parsed_kernel_runs_end_to_end;
+  ]

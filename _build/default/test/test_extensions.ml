@@ -1,0 +1,173 @@
+(* Tests for the extensions beyond the paper's core pipeline: guided
+   training-set generation (§VII), held-out generalization taus, the
+   extra search algorithms and machine portability. *)
+
+open Sorl_stencil
+module E = Sorl.Experiments
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let machine = Sorl_machine.Machine_desc.xeon_e5_2680_v3
+let measure () = Sorl_machine.Measure.model machine
+
+let tiny_instances =
+  [
+    Instance.create_xyz Benchmarks.edge ~sx:256 ~sy:256 ~sz:1;
+    Instance.create_xyz Benchmarks.laplacian ~sx:64 ~sy:64 ~sz:64;
+    Instance.create_xyz Benchmarks.gradient ~sx:64 ~sy:64 ~sz:64;
+  ]
+
+let spec size = { Sorl.Training.size; mode = Features.Extended; seed = 5 }
+
+(* ---- guided training generation ---- *)
+
+let test_guided_same_budget () =
+  let ms = measure () in
+  let ds =
+    Sorl.Training.generate_guided ~spec:(spec 120) ~instances:tiny_instances ms
+  in
+  checki "measurements = size" 120 (Sorl_machine.Measure.evaluations ms);
+  checki "samples = size" 120 (Sorl_svmrank.Dataset.num_samples ds);
+  checki "all queries present" 3 (Sorl_svmrank.Dataset.num_queries ds)
+
+let test_guided_covers_good_region () =
+  (* guided sampling must put more of its budget near the optimum than
+     uniform sampling: compare the per-instance share of samples within
+     2x of the instance's best sampled runtime *)
+  let share ds =
+    let samples = Sorl_svmrank.Dataset.samples ds in
+    let total = ref 0 and good = ref 0 in
+    Array.iter
+      (fun q ->
+        let members = Sorl_svmrank.Dataset.query_members ds q in
+        let rts = Array.map (fun i -> samples.(i).Sorl_svmrank.Dataset.runtime) members in
+        let best = Array.fold_left Float.min rts.(0) rts in
+        Array.iter
+          (fun rt ->
+            incr total;
+            if rt < 2. *. best then incr good)
+          rts)
+      (Sorl_svmrank.Dataset.query_ids ds);
+    float_of_int !good /. float_of_int !total
+  in
+  let random_ds = Sorl.Training.generate ~spec:(spec 240) ~instances:tiny_instances (measure ()) in
+  let guided_ds =
+    Sorl.Training.generate_guided ~spec:(spec 240) ~instances:tiny_instances (measure ())
+  in
+  checkb "guided denser near optimum" true (share guided_ds > share random_ds)
+
+let test_guided_validation () =
+  Alcotest.check_raises "fraction range"
+    (Invalid_argument "Training.generate_guided: guided_fraction outside [0,1]") (fun () ->
+      ignore
+        (Sorl.Training.generate_guided ~spec:(spec 120) ~instances:tiny_instances
+           ~guided_fraction:1.5 (measure ())))
+
+let test_generate_with_tunings_aligned () =
+  let ms = measure () in
+  let ds, tunings =
+    Sorl.Training.generate_with_tunings ~spec:(spec 90) ~instances:tiny_instances ms
+  in
+  checki "one tuning per sample" (Sorl_svmrank.Dataset.num_samples ds) (Array.length tunings);
+  (* tags embed the tuning string: spot-check alignment *)
+  let samples = Sorl_svmrank.Dataset.samples ds in
+  Array.iteri
+    (fun i s ->
+      let expect = Tuning.to_string tunings.(i) in
+      let tag = s.Sorl_svmrank.Dataset.tag in
+      let n = String.length tag and m = String.length expect in
+      checkb "tag embeds tuning" true (n >= m && String.sub tag (n - m) m = expect))
+    samples
+
+(* ---- held-out generalization ---- *)
+
+let test_test_set_taus () =
+  let ms = measure () in
+  let tuner =
+    Sorl.Autotuner.train ~spec:(spec 400) (measure ())
+  in
+  let taus = E.test_set_taus ~samples_per_instance:24 ms tuner tiny_instances in
+  checki "one per instance" 3 (List.length taus);
+  List.iter
+    (fun (name, tau) ->
+      checkb "named" true (String.length name > 0);
+      checkb "tau in range" true (tau >= -1. && tau <= 1.))
+    taus;
+  (* training on 400 points of the full shape set should generalize
+     positively to these simple kernels *)
+  let mean = List.fold_left (fun acc (_, t) -> acc +. t) 0. taus /. 3. in
+  checkb "positive generalization" true (mean > 0.2)
+
+(* ---- new search algorithms ---- *)
+
+let sphere =
+  Sorl_search.Problem.create
+    ~bounds:[| (2, 1024); (2, 1024); (0, 8) |]
+    ~eval:(fun p ->
+      let d0 = float_of_int (p.(0) - 300) and d1 = float_of_int (p.(1) - 300) in
+      let d2 = float_of_int (p.(2) - 4) in
+      (d0 *. d0) +. (d1 *. d1) +. (100. *. d2 *. d2))
+
+let test_sa_converges () =
+  let o = Sorl_search.Simulated_annealing.run ~seed:3 ~budget:512 sphere in
+  checki "budget" 512 o.Sorl_search.Runner.evaluations;
+  checkb "good solution" true (o.Sorl_search.Runner.best_cost < 20000.)
+
+let test_pso_converges () =
+  let o = Sorl_search.Particle_swarm.run ~seed:3 ~budget:512 sphere in
+  checki "budget" 512 o.Sorl_search.Runner.evaluations;
+  checkb "good solution" true (o.Sorl_search.Runner.best_cost < 20000.)
+
+let test_new_algorithms_registered () =
+  List.iter
+    (fun name ->
+      let a = Sorl_search.Registry.find name in
+      checkb "registered" true (String.equal a.Sorl_search.Registry.name name))
+    [ "sa"; "pso" ]
+
+let test_sa_validation () =
+  Alcotest.check_raises "t0" (Invalid_argument "Simulated_annealing: t0 must be positive")
+    (fun () ->
+      ignore
+        (Sorl_search.Simulated_annealing.run
+           ~params:{ Sorl_search.Simulated_annealing.default_params with t0 = 0. }
+           sphere))
+
+let test_pso_validation () =
+  Alcotest.check_raises "particles" (Invalid_argument "Particle_swarm: need >= 2 particles")
+    (fun () ->
+      ignore
+        (Sorl_search.Particle_swarm.run
+           ~params:{ Sorl_search.Particle_swarm.default_params with particles = 1 }
+           sphere))
+
+(* ---- machine portability ---- *)
+
+let test_cost_model_machine_sensitive () =
+  (* The same configuration must be priced differently on different
+     machines, and the best configuration of a set can change — the
+     §I performance-portability motivation. *)
+  let xeon = Sorl_machine.Machine_desc.xeon_e5_2680_v3 in
+  let laptop = Sorl_machine.Machine_desc.laptop_quad in
+  let inst = List.nth tiny_instances 1 in
+  let t = Tuning.create ~bx:64 ~by:8 ~bz:8 ~u:4 ~c:4 in
+  let rt_x = Sorl_machine.Cost_model.runtime_of xeon inst t in
+  let rt_l = Sorl_machine.Cost_model.runtime_of laptop inst t in
+  checkb "different machines, different prices" true (rt_x <> rt_l);
+  checkb "fewer cores slower here" true (rt_l > rt_x)
+
+let suite =
+  [
+    Alcotest.test_case "guided: same budget" `Quick test_guided_same_budget;
+    Alcotest.test_case "guided: denser near optimum" `Quick test_guided_covers_good_region;
+    Alcotest.test_case "guided: validation" `Quick test_guided_validation;
+    Alcotest.test_case "tunings aligned with samples" `Quick test_generate_with_tunings_aligned;
+    Alcotest.test_case "held-out taus" `Quick test_test_set_taus;
+    Alcotest.test_case "simulated annealing" `Quick test_sa_converges;
+    Alcotest.test_case "particle swarm" `Quick test_pso_converges;
+    Alcotest.test_case "new algorithms registered" `Quick test_new_algorithms_registered;
+    Alcotest.test_case "sa validation" `Quick test_sa_validation;
+    Alcotest.test_case "pso validation" `Quick test_pso_validation;
+    Alcotest.test_case "machine sensitivity" `Quick test_cost_model_machine_sensitive;
+  ]

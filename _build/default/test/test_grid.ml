@@ -1,0 +1,98 @@
+(* Tests for Sorl_grid.Grid. *)
+
+open Sorl_grid
+
+let feq = Alcotest.float 1e-12
+let checkb = Alcotest.check Alcotest.bool
+
+let test_create_zeroed () =
+  let g = Grid.create ~nx:3 ~ny:4 ~nz:5 () in
+  Alcotest.check Alcotest.int "size" 60 (Grid.size g);
+  Alcotest.check feq "zero" 0. (Grid.get g 2 3 4);
+  Alcotest.check Alcotest.int "bytes double" 8 (Grid.bytes_per_point g)
+
+let test_precision () =
+  let g = Grid.create ~prec:Grid.Single ~nx:2 ~ny:2 ~nz:1 () in
+  Alcotest.check Alcotest.int "bytes single" 4 (Grid.bytes_per_point g)
+
+let test_dim_validation () =
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Grid.create: dimensions must be positive")
+    (fun () -> ignore (Grid.create ~nx:0 ~ny:1 ~nz:1 ()))
+
+let test_get_set () =
+  let g = Grid.create ~nx:4 ~ny:3 ~nz:2 () in
+  Grid.set g 1 2 1 7.5;
+  Alcotest.check feq "readback" 7.5 (Grid.get g 1 2 1);
+  Alcotest.check feq "others untouched" 0. (Grid.get g 0 2 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Grid: index out of bounds") (fun () ->
+      ignore (Grid.get g 4 0 0))
+
+let test_index_order () =
+  (* x is the fastest dimension: distinct (x,y,z) map to distinct cells. *)
+  let g = Grid.create ~nx:2 ~ny:2 ~nz:2 () in
+  Grid.init g (fun x y z -> float_of_int ((x * 100) + (y * 10) + z));
+  Alcotest.check feq "corner" 110. (Grid.get g 1 1 0);
+  Alcotest.check feq "other corner" 11. (Grid.get g 0 1 1)
+
+let test_clamped () =
+  let g = Grid.create ~nx:3 ~ny:3 ~nz:1 () in
+  Grid.init g (fun x y _ -> float_of_int (x + (10 * y)));
+  Alcotest.check feq "clamp low x" (Grid.get g 0 1 0) (Grid.get_clamped g (-5) 1 0);
+  Alcotest.check feq "clamp high y" (Grid.get g 1 2 0) (Grid.get_clamped g 1 99 0);
+  Alcotest.check feq "clamp z" (Grid.get g 2 2 0) (Grid.get_clamped g 2 2 3)
+
+let test_fill_copy_blit () =
+  let g = Grid.create ~nx:2 ~ny:2 ~nz:1 () in
+  Grid.fill g 3.;
+  let h = Grid.copy g in
+  Grid.set g 0 0 0 9.;
+  Alcotest.check feq "copy detached" 3. (Grid.get h 0 0 0);
+  Grid.blit ~src:g ~dst:h;
+  Alcotest.check feq "blit" 9. (Grid.get h 0 0 0);
+  let different = Grid.create ~nx:3 ~ny:2 ~nz:1 () in
+  Alcotest.check_raises "blit shape" (Invalid_argument "Grid.blit: shape mismatch") (fun () ->
+      Grid.blit ~src:g ~dst:different)
+
+let test_iter_fold () =
+  let g = Grid.create ~nx:2 ~ny:3 ~nz:1 () in
+  Grid.init g (fun x y _ -> float_of_int (x + y)) ;
+  let sum = Grid.fold g ~init:0. ~f:( +. ) in
+  Alcotest.check feq "fold sum" 9. sum;
+  let count = ref 0 in
+  Grid.iter g (fun _ _ _ _ -> incr count);
+  Alcotest.check Alcotest.int "iter visits all" 6 !count
+
+let test_diff_equal () =
+  let a = Grid.create ~nx:2 ~ny:2 ~nz:1 () in
+  let b = Grid.copy a in
+  Grid.set b 1 1 0 1e-12;
+  checkb "equal within eps" true (Grid.equal ~eps:1e-9 a b);
+  Grid.set b 1 1 0 0.5;
+  Alcotest.check feq "max diff" 0.5 (Grid.max_abs_diff a b);
+  checkb "not equal" false (Grid.equal a b)
+
+let test_random_init_deterministic () =
+  let mk seed =
+    let g = Grid.create ~nx:4 ~ny:4 ~nz:1 () in
+    Grid.random_init (Sorl_util.Rng.create seed) g;
+    g
+  in
+  checkb "same seed same grid" true (Grid.equal (mk 3) (mk 3));
+  checkb "different seed differs" false (Grid.equal (mk 3) (mk 4));
+  let g = mk 5 in
+  let inside = Grid.fold g ~init:true ~f:(fun acc v -> acc && v >= 0. && v < 1.) in
+  checkb "values in [0,1)" true inside
+
+let suite =
+  [
+    Alcotest.test_case "create zeroed" `Quick test_create_zeroed;
+    Alcotest.test_case "precision" `Quick test_precision;
+    Alcotest.test_case "dimension validation" `Quick test_dim_validation;
+    Alcotest.test_case "get/set + bounds" `Quick test_get_set;
+    Alcotest.test_case "index order" `Quick test_index_order;
+    Alcotest.test_case "clamped access" `Quick test_clamped;
+    Alcotest.test_case "fill/copy/blit" `Quick test_fill_copy_blit;
+    Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+    Alcotest.test_case "diff/equal" `Quick test_diff_equal;
+    Alcotest.test_case "random init" `Quick test_random_init_deterministic;
+  ]

@@ -1,0 +1,93 @@
+(* Tests for Kernel, Instance, Dtype. *)
+
+open Sorl_stencil
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let feq = Alcotest.float 1e-12
+
+let test_dtype () =
+  checki "float bytes" 4 (Dtype.bytes Dtype.F32);
+  checki "double bytes" 8 (Dtype.bytes Dtype.F64);
+  Alcotest.check feq "feature float" 0. (Dtype.to_feature Dtype.F32);
+  Alcotest.check feq "feature double" 1. (Dtype.to_feature Dtype.F64);
+  checkb "parse" true (Dtype.equal (Dtype.of_string "double") Dtype.F64);
+  checkb "parse alias" true (Dtype.equal (Dtype.of_string "F32") Dtype.F32);
+  Alcotest.check_raises "bad dtype" (Invalid_argument "Dtype.of_string: int") (fun () ->
+      ignore (Dtype.of_string "int"))
+
+let test_kernel_simple () =
+  let k =
+    Kernel.simple ~name:"k" ~pattern:(Pattern.laplacian ~dims:2 ~reach:1) ~dtype:Dtype.F32 ()
+  in
+  checki "dims inferred 2" 2 (Kernel.dims k);
+  checki "buffers" 1 (Kernel.num_buffers k);
+  checki "taps" 5 (Kernel.taps k);
+  Alcotest.check feq "flops = 2 taps" 10. (Kernel.flops_per_point k)
+
+let test_kernel_dims_inference_and_override () =
+  let planar = Pattern.hypercube ~dims:2 ~reach:1 in
+  let k3 = Kernel.simple ~name:"k3" ~dims:3 ~pattern:planar ~dtype:Dtype.F64 () in
+  checki "planar forced 3d" 3 (Kernel.dims k3);
+  Alcotest.check_raises "3d pattern declared 2d"
+    (Invalid_argument "Kernel.create: 3-D pattern declared as 2-D") (fun () ->
+      ignore
+        (Kernel.simple ~name:"bad" ~dims:2
+           ~pattern:(Pattern.laplacian ~dims:3 ~reach:1)
+           ~dtype:Dtype.F32 ()));
+  Alcotest.check_raises "no buffers" (Invalid_argument "Kernel.create: no buffers")
+    (fun () -> ignore (Kernel.create ~name:"none" ~buffers:[] ~dtype:Dtype.F32 ()))
+
+let test_kernel_multi_buffer_union () =
+  let k = Benchmarks.divergence in
+  checki "3 buffers" 3 (Kernel.num_buffers k);
+  checki "taps total 6" 6 (Kernel.taps k);
+  checki "union pattern 6 points" 6 (Pattern.num_points (Kernel.pattern k));
+  checkb "center not read" false (Pattern.contains_center (Kernel.pattern k))
+
+let test_coefficients_deterministic () =
+  let k = Benchmarks.laplacian in
+  let c1 = Kernel.coefficient k ~buffer:0 (1, 0, 0) in
+  let c2 = Kernel.coefficient k ~buffer:0 (1, 0, 0) in
+  Alcotest.check feq "stable" c1 c2;
+  checkb "in range" true (c1 >= 0.05 && c1 <= 1.);
+  let c3 = Kernel.coefficient k ~buffer:0 (0, 1, 0) in
+  checkb "offset-sensitive" false (c1 = c3);
+  let other = Benchmarks.laplacian6 in
+  let c4 = Kernel.coefficient other ~buffer:0 (1, 0, 0) in
+  checkb "name-sensitive" false (c1 = c4);
+  Alcotest.check_raises "not accessed"
+    (Invalid_argument "Kernel.coefficient: offset not accessed by buffer") (fun () ->
+      ignore (Kernel.coefficient k ~buffer:0 (3, 3, 3)))
+
+let test_instance () =
+  let i = Instance.create_xyz Benchmarks.laplacian ~sx:64 ~sy:64 ~sz:64 in
+  checki "points" (64 * 64 * 64) (Instance.points i);
+  Alcotest.check feq "flops" (float_of_int (64 * 64 * 64) *. 14.) (Instance.total_flops i);
+  Alcotest.check Alcotest.string "name" "laplacian-64x64x64" (Instance.name i)
+
+let test_instance_2d_naming () =
+  let i = Instance.create_xyz Benchmarks.blur ~sx:1024 ~sy:768 ~sz:1 in
+  Alcotest.check Alcotest.string "2d name omits z" "blur-1024x768" (Instance.name i)
+
+let test_instance_validation () =
+  Alcotest.check_raises "2d kernel with sz>1"
+    (Invalid_argument "Instance.create: 2-D kernel requires sz = 1") (fun () ->
+      ignore (Instance.create_xyz Benchmarks.blur ~sx:64 ~sy:64 ~sz:2));
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Instance.create: size must be positive")
+    (fun () -> ignore (Instance.create_xyz Benchmarks.blur ~sx:0 ~sy:64 ~sz:1));
+  Alcotest.check_raises "too small for radius"
+    (Invalid_argument "Instance.create: grid smaller than stencil radius") (fun () ->
+      ignore (Instance.create_xyz Benchmarks.laplacian6 ~sx:4 ~sy:64 ~sz:64))
+
+let suite =
+  [
+    Alcotest.test_case "dtype" `Quick test_dtype;
+    Alcotest.test_case "kernel simple" `Quick test_kernel_simple;
+    Alcotest.test_case "kernel dims" `Quick test_kernel_dims_inference_and_override;
+    Alcotest.test_case "multi-buffer union" `Quick test_kernel_multi_buffer_union;
+    Alcotest.test_case "coefficients" `Quick test_coefficients_deterministic;
+    Alcotest.test_case "instance" `Quick test_instance;
+    Alcotest.test_case "instance 2d naming" `Quick test_instance_2d_naming;
+    Alcotest.test_case "instance validation" `Quick test_instance_validation;
+  ]

@@ -1,0 +1,150 @@
+(* Tests for Sorl_stencil.Pattern — the §III-A shape encoding. *)
+
+open Sorl_stencil
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_constants () =
+  checki "max offset" 3 Pattern.max_offset;
+  checki "side" 7 Pattern.side;
+  checki "cells" 343 Pattern.cells
+
+let test_of_offsets_dedup_sort () =
+  let p = Pattern.of_offsets [ (1, 0, 0); (0, 0, 0); (1, 0, 0) ] in
+  checki "deduplicated" 2 (Pattern.num_points p);
+  checkb "mem" true (Pattern.mem p (1, 0, 0));
+  checkb "not mem" false (Pattern.mem p (0, 1, 0))
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Pattern.of_offsets: empty pattern")
+    (fun () -> ignore (Pattern.of_offsets []));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Pattern.of_offsets: offset out of range") (fun () ->
+      ignore (Pattern.of_offsets [ (4, 0, 0) ]))
+
+let test_cell_index_roundtrip () =
+  for i = 0 to Pattern.cells - 1 do
+    checki "roundtrip" i (Pattern.cell_index (Pattern.offset_of_cell i))
+  done;
+  checki "center cell" ((Pattern.cells - 1) / 2) (Pattern.cell_index (0, 0, 0))
+
+let test_mask_roundtrip () =
+  let p = Pattern.laplacian ~dims:3 ~reach:2 in
+  let m = Pattern.to_mask p in
+  checki "mask length" Pattern.cells (Array.length m);
+  let ones = Array.fold_left (fun acc v -> acc + int_of_float v) 0 m in
+  checki "mask ones = points" (Pattern.num_points p) ones;
+  checkb "roundtrip" true (Pattern.equal p (Pattern.of_mask m))
+
+let test_line () =
+  let p = Pattern.line ~axis:Pattern.Y ~reach:2 in
+  checki "5 points" 5 (Pattern.num_points p);
+  checkb "along y" true (Pattern.mem p (0, -2, 0) && Pattern.mem p (0, 2, 0));
+  checkb "2d" true (Pattern.is_2d p);
+  Alcotest.check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "radius" (0, 2, 0)
+    (Pattern.radius p)
+
+let test_hypercube () =
+  checki "3x3 square" 9 (Pattern.num_points (Pattern.hypercube ~dims:2 ~reach:1));
+  checki "5x5 square" 25 (Pattern.num_points (Pattern.hypercube ~dims:2 ~reach:2));
+  checki "3^3 cube" 27 (Pattern.num_points (Pattern.hypercube ~dims:3 ~reach:1));
+  checkb "2d flag" true (Pattern.is_2d (Pattern.hypercube ~dims:2 ~reach:2));
+  checkb "3d flag" false (Pattern.is_2d (Pattern.hypercube ~dims:3 ~reach:1))
+
+let test_hyperplane () =
+  let p = Pattern.hyperplane ~dims:3 ~reach:1 in
+  checki "3x3 plane" 9 (Pattern.num_points p);
+  checkb "planar" true (Pattern.is_2d p)
+
+let test_laplacian_point_counts () =
+  (* The classic star sizes from Table III. *)
+  checki "5-point" 5 (Pattern.num_points (Pattern.laplacian ~dims:2 ~reach:1));
+  checki "7-point" 7 (Pattern.num_points (Pattern.laplacian ~dims:3 ~reach:1));
+  checki "13-point" 13 (Pattern.num_points (Pattern.laplacian ~dims:3 ~reach:2));
+  checki "19-point" 19 (Pattern.num_points (Pattern.laplacian ~dims:3 ~reach:3))
+
+let test_box () =
+  let p = Pattern.box ~lo:(-1, -1, -1) ~hi:(2, 2, 2) in
+  checki "tricubic 4x4x4" 64 (Pattern.num_points p);
+  checkb "asymmetric corner" true (Pattern.mem p (2, 2, 2));
+  checkb "outside" false (Pattern.mem p (-2, 0, 0));
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Pattern.box: lo > hi") (fun () ->
+      ignore (Pattern.box ~lo:(1, 0, 0) ~hi:(0, 0, 0)))
+
+let test_remove_center () =
+  let p = Pattern.remove_center (Pattern.laplacian ~dims:3 ~reach:1) in
+  checki "6 points" 6 (Pattern.num_points p);
+  checkb "no center" false (Pattern.contains_center p);
+  Alcotest.check_raises "would be empty"
+    (Invalid_argument "Pattern.remove_center: pattern would be empty") (fun () ->
+      ignore (Pattern.remove_center (Pattern.of_offsets [ (0, 0, 0) ])))
+
+let test_union () =
+  let a = Pattern.line ~axis:Pattern.X ~reach:1 in
+  let b = Pattern.line ~axis:Pattern.Y ~reach:1 in
+  let u = Pattern.union a b in
+  checki "5-point star" 5 (Pattern.num_points u);
+  checkb "idempotent" true (Pattern.equal u (Pattern.union u u))
+
+let test_reach_validation () =
+  Alcotest.check_raises "reach 0" (Invalid_argument "Pattern: reach out of [1, max_offset]")
+    (fun () -> ignore (Pattern.line ~axis:Pattern.X ~reach:0));
+  Alcotest.check_raises "reach 4" (Invalid_argument "Pattern: reach out of [1, max_offset]")
+    (fun () -> ignore (Pattern.laplacian ~dims:3 ~reach:4));
+  Alcotest.check_raises "dims" (Invalid_argument "Pattern: dims must be 2 or 3") (fun () ->
+      ignore (Pattern.hypercube ~dims:1 ~reach:1))
+
+let gen_offset =
+  QCheck2.Gen.(
+    let c = int_range (-Pattern.max_offset) Pattern.max_offset in
+    triple c c c)
+
+let gen_pattern = QCheck2.Gen.(list_size (int_range 1 30) gen_offset)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"mask roundtrip" gen_pattern (fun offs ->
+           let p = Pattern.of_offsets offs in
+           Pattern.equal p (Pattern.of_mask (Pattern.to_mask p))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"union commutative"
+         QCheck2.Gen.(pair gen_pattern gen_pattern)
+         (fun (a, b) ->
+           let pa = Pattern.of_offsets a and pb = Pattern.of_offsets b in
+           Pattern.equal (Pattern.union pa pb) (Pattern.union pb pa)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"radius bounds every offset" gen_pattern
+         (fun offs ->
+           let p = Pattern.of_offsets offs in
+           let rx, ry, rz = Pattern.radius p in
+           List.for_all
+             (fun (dx, dy, dz) -> abs dx <= rx && abs dy <= ry && abs dz <= rz)
+             (Pattern.offsets p)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"num_points = |offsets| and sorted unique"
+         gen_pattern (fun offs ->
+           let p = Pattern.of_offsets offs in
+           let l = Pattern.offsets p in
+           List.length l = Pattern.num_points p
+           && l = List.sort_uniq compare l));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "of_offsets dedup" `Quick test_of_offsets_dedup_sort;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "cell index roundtrip" `Quick test_cell_index_roundtrip;
+    Alcotest.test_case "mask roundtrip" `Quick test_mask_roundtrip;
+    Alcotest.test_case "line" `Quick test_line;
+    Alcotest.test_case "hypercube" `Quick test_hypercube;
+    Alcotest.test_case "hyperplane" `Quick test_hyperplane;
+    Alcotest.test_case "laplacian sizes" `Quick test_laplacian_point_counts;
+    Alcotest.test_case "box" `Quick test_box;
+    Alcotest.test_case "remove center" `Quick test_remove_center;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "reach validation" `Quick test_reach_validation;
+  ]
+  @ qcheck_tests

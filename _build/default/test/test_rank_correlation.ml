@@ -1,0 +1,112 @@
+(* Tests for Sorl_util.Rank_correlation — the paper's Fig. 6/7 metric. *)
+
+open Sorl_util
+
+let feq = Alcotest.float 1e-9
+let checkb = Alcotest.check Alcotest.bool
+
+let test_perfect_agreement () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.check feq "tau = 1" 1. (Rank_correlation.kendall_tau xs xs);
+  Alcotest.check feq "rho = 1" 1. (Rank_correlation.spearman_rho xs xs)
+
+let test_perfect_disagreement () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  let ys = [| 5.; 4.; 3.; 2.; 1. |] in
+  Alcotest.check feq "tau = -1" (-1.) (Rank_correlation.kendall_tau xs ys);
+  Alcotest.check feq "rho = -1" (-1.) (Rank_correlation.spearman_rho xs ys)
+
+let test_one_swap () =
+  (* One adjacent swap among 4 items: 1 discordant pair of 6. *)
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = [| 1.; 3.; 2.; 4. |] in
+  Alcotest.check Alcotest.int "discordant" 1 (Rank_correlation.count_discordant xs ys);
+  Alcotest.check feq "tau" (1. -. (2. /. 6.)) (Rank_correlation.kendall_tau xs ys)
+
+let test_monotone_invariance () =
+  (* tau depends only on orderings. *)
+  let xs = [| 0.1; 0.7; 0.3; 0.9 |] in
+  let ys = [| 3.; 1.; 8.; 2. |] in
+  let t1 = Rank_correlation.kendall_tau xs ys in
+  let t2 = Rank_correlation.kendall_tau (Array.map (fun x -> exp x) xs) ys in
+  Alcotest.check feq "monotone transform invariant" t1 t2
+
+let test_ties () =
+  let xs = [| 1.; 1.; 2. |] in
+  let ys = [| 1.; 2.; 3. |] in
+  (* Pairs: (0,1) tied in xs -> skipped; (0,2),(1,2) concordant. *)
+  Alcotest.check feq "tau-a with ties" 1. (Rank_correlation.kendall_tau xs ys);
+  checkb "tau-b corrects for ties" true (Rank_correlation.kendall_tau_b xs ys < 1.)
+
+let test_tau_b_no_ties_equals_tau_a () =
+  let xs = [| 4.; 2.; 9.; 1. |] and ys = [| 1.; 3.; 2.; 4. |] in
+  Alcotest.check feq "tau-b = tau-a"
+    (Rank_correlation.kendall_tau xs ys)
+    (Rank_correlation.kendall_tau_b xs ys)
+
+let test_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Rank_correlation.kendall_tau: length mismatch") (fun () ->
+      ignore (Rank_correlation.kendall_tau [| 1.; 2. |] [| 1. |]));
+  Alcotest.check_raises "too short"
+    (Invalid_argument "Rank_correlation.kendall_tau: need at least 2 points") (fun () ->
+      ignore (Rank_correlation.kendall_tau [| 1. |] [| 1. |]))
+
+let test_ranks_midrank () =
+  let r = Rank_correlation.ranks [| 10.; 20.; 20.; 30. |] in
+  Alcotest.(check (array (float 1e-9))) "midranks" [| 1.; 2.5; 2.5; 4. |] r
+
+let test_spearman_known () =
+  (* Classic example: rho of a single swap. *)
+  let xs = [| 1.; 2.; 3. |] and ys = [| 1.; 3.; 2. |] in
+  Alcotest.check feq "rho" 0.5 (Rank_correlation.spearman_rho xs ys)
+
+let gen_pairs =
+  (* An index-proportional jitter makes all values distinct so both
+     implementations take their tie-free fast paths. *)
+  let distinct a = Array.mapi (fun i v -> v +. (float_of_int i *. 1e-7)) a in
+  QCheck2.Gen.(
+    let* n = int_range 2 60 in
+    let* xs = array_size (return n) (float_range (-1000.) 1000.) in
+    let* ys = array_size (return n) (float_range (-1000.) 1000.) in
+    return (distinct xs, distinct ys))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"fast tau = naive tau" gen_pairs
+         (fun (xs, ys) ->
+           Float.abs
+             (Rank_correlation.kendall_tau xs ys -. Rank_correlation.kendall_tau_naive xs ys)
+           < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"tau in [-1,1]" gen_pairs (fun (xs, ys) ->
+           let t = Rank_correlation.kendall_tau xs ys in
+           t >= -1. && t <= 1.));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"tau symmetric" gen_pairs (fun (xs, ys) ->
+           Float.abs
+             (Rank_correlation.kendall_tau xs ys -. Rank_correlation.kendall_tau ys xs)
+           < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"tau(x, -x) = -1" gen_pairs (fun (xs, _) ->
+           Float.abs (Rank_correlation.kendall_tau xs (Array.map Float.neg xs) +. 1.) < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"spearman in [-1,1]" gen_pairs (fun (xs, ys) ->
+           let r = Rank_correlation.spearman_rho xs ys in
+           r >= -1.0000001 && r <= 1.0000001));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "perfect agreement" `Quick test_perfect_agreement;
+    Alcotest.test_case "perfect disagreement" `Quick test_perfect_disagreement;
+    Alcotest.test_case "one swap" `Quick test_one_swap;
+    Alcotest.test_case "monotone invariance" `Quick test_monotone_invariance;
+    Alcotest.test_case "ties" `Quick test_ties;
+    Alcotest.test_case "tau-b equals tau-a without ties" `Quick test_tau_b_no_ties_equals_tau_a;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "midranks" `Quick test_ranks_midrank;
+    Alcotest.test_case "spearman known value" `Quick test_spearman_known;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,114 @@
+(* Tests for the random-Fourier-features map and the user-facing
+   semantics validation API. *)
+
+open Sorl_stencil
+module Sparse = Sorl_util.Sparse
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---- Rff ---- *)
+
+let test_rff_shape_and_range () =
+  let map = Sorl_svmrank.Rff.create ~gamma:1. ~input_dim:10 ~output_dim:64 () in
+  checki "input dim" 10 (Sorl_svmrank.Rff.input_dim map);
+  checki "output dim" 64 (Sorl_svmrank.Rff.output_dim map);
+  let z = Sorl_svmrank.Rff.transform map (Sparse.of_dense (Array.make 10 0.3)) in
+  checki "transformed dim" 64 (Sparse.dim z);
+  let bound = sqrt (2. /. 64.) +. 1e-9 in
+  Array.iter
+    (fun (_, v) -> checkb "within cosine envelope" true (Float.abs v <= bound))
+    (Sparse.nonzeros z)
+
+let test_rff_deterministic () =
+  let m1 = Sorl_svmrank.Rff.create ~seed:3 ~gamma:1. ~input_dim:5 ~output_dim:32 () in
+  let m2 = Sorl_svmrank.Rff.create ~seed:3 ~gamma:1. ~input_dim:5 ~output_dim:32 () in
+  let x = Sparse.of_dense [| 0.1; 0.9; 0.; 0.4; 0.5 |] in
+  checkb "same seed same map" true
+    (Sparse.equal (Sorl_svmrank.Rff.transform m1 x) (Sorl_svmrank.Rff.transform m2 x))
+
+let test_rff_approximates_rbf () =
+  (* inner products in feature space approximate exp(-gamma d^2) *)
+  let gamma = 0.8 in
+  let map = Sorl_svmrank.Rff.create ~seed:5 ~gamma ~input_dim:6 ~output_dim:4096 () in
+  let rng = Sorl_util.Rng.create 7 in
+  for _ = 1 to 10 do
+    let a = Array.init 6 (fun _ -> Sorl_util.Rng.uniform rng) in
+    let b = Array.init 6 (fun _ -> Sorl_util.Rng.uniform rng) in
+    let za = Sorl_svmrank.Rff.transform map (Sparse.of_dense a) in
+    let zb = Sorl_svmrank.Rff.transform map (Sparse.of_dense b) in
+    let d2 =
+      Array.fold_left ( +. ) 0. (Array.mapi (fun i x -> (x -. b.(i)) ** 2.) a)
+    in
+    let expected = exp (-.gamma *. d2) in
+    let got = Sparse.dot za zb in
+    checkb "kernel approximation within 0.06" true (Float.abs (got -. expected) < 0.06)
+  done
+
+let test_rff_validation () =
+  Alcotest.check_raises "gamma" (Invalid_argument "Rff.create: gamma must be positive")
+    (fun () -> ignore (Sorl_svmrank.Rff.create ~gamma:0. ~input_dim:2 ~output_dim:2 ()));
+  let map = Sorl_svmrank.Rff.create ~gamma:1. ~input_dim:4 ~output_dim:8 () in
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Rff.transform: dimension mismatch")
+    (fun () -> ignore (Sorl_svmrank.Rff.transform map (Sparse.of_dense [| 1. |])))
+
+let test_rff_dataset_transform () =
+  let sample q v rt =
+    { Sorl_svmrank.Dataset.query = q; features = Sparse.of_dense v; runtime = rt; tag = "x" }
+  in
+  let ds =
+    Sorl_svmrank.Dataset.create ~dim:3
+      [ sample 0 [| 1.; 0.; 0. |] 1.; sample 0 [| 0.; 1.; 0. |] 2. ]
+  in
+  let map = Sorl_svmrank.Rff.create ~gamma:1. ~input_dim:3 ~output_dim:16 () in
+  let ds' = Sorl_svmrank.Rff.transform_dataset map ds in
+  checki "dim" 16 (Sorl_svmrank.Dataset.dim ds');
+  checki "samples preserved" 2 (Sorl_svmrank.Dataset.num_samples ds');
+  let s = (Sorl_svmrank.Dataset.samples ds').(1) in
+  Alcotest.check (Alcotest.float 0.) "runtime preserved" 2. s.Sorl_svmrank.Dataset.runtime;
+  Alcotest.check Alcotest.string "tag preserved" "x" s.Sorl_svmrank.Dataset.tag
+
+(* ---- Validate ---- *)
+
+let test_validate_variant_ok () =
+  let inst = Instance.create_xyz Benchmarks.laplacian ~sx:10 ~sy:10 ~sz:10 in
+  let v = Sorl_codegen.Variant.compile inst (Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:3 ~c:2) in
+  match Sorl_codegen.Validate.check_variant v with
+  | Ok r ->
+    checki "one check" 1 r.Sorl_codegen.Validate.checked;
+    checkb "tiny error" true (r.Sorl_codegen.Validate.max_error <= 1e-9)
+  | Error m -> Alcotest.failf "unexpected failure: %s" m
+
+let test_validate_kernel_battery () =
+  List.iter
+    (fun k ->
+      match Sorl_codegen.Validate.check_kernel k with
+      | Ok r -> checkb (Kernel.name k ^ " battery") true (r.Sorl_codegen.Validate.checked >= 8)
+      | Error m -> Alcotest.failf "%s failed validation: %s" (Kernel.name k) m)
+    [ Benchmarks.laplacian; Benchmarks.edge; Benchmarks.divergence ]
+
+let test_validate_deep_kernel_extent_clamp () =
+  (* laplacian6 has radius 3: the default 12-extent must be raised
+     internally rather than rejected *)
+  match Sorl_codegen.Validate.check_kernel ~extent:4 Benchmarks.laplacian6 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "extent clamping failed: %s" m
+
+let test_validate_dsl_kernel () =
+  let k =
+    Dsl.parse_exn "stencil v { dims 3 dtype float buffer u reads laplacian 2 buffer c reads center }"
+  in
+  checkb "DSL kernel validates" true (Result.is_ok (Sorl_codegen.Validate.check_kernel k))
+
+let suite =
+  [
+    Alcotest.test_case "rff shape/range" `Quick test_rff_shape_and_range;
+    Alcotest.test_case "rff deterministic" `Quick test_rff_deterministic;
+    Alcotest.test_case "rff approximates rbf" `Quick test_rff_approximates_rbf;
+    Alcotest.test_case "rff validation" `Quick test_rff_validation;
+    Alcotest.test_case "rff dataset transform" `Quick test_rff_dataset_transform;
+    Alcotest.test_case "validate variant" `Quick test_validate_variant_ok;
+    Alcotest.test_case "validate kernel battery" `Quick test_validate_kernel_battery;
+    Alcotest.test_case "validate extent clamp" `Quick test_validate_deep_kernel_extent_clamp;
+    Alcotest.test_case "validate DSL kernel" `Quick test_validate_dsl_kernel;
+  ]

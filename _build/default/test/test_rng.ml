@@ -1,0 +1,167 @@
+(* Tests for Sorl_util.Rng: determinism, ranges, distributional sanity
+   and the helpers used by the search/training code. *)
+
+open Sorl_util
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create 5 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.check Alcotest.int64 "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  (* advancing one does not affect the other *)
+  let _ = Rng.bits64 a in
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  checkb "streams diverge after unequal advances" false (Int64.equal va vb)
+
+let test_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  checkb "split produces a distinct stream" false (Int64.equal va vb)
+
+let test_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 13 in
+    checkb "int in [0,13)" true (v >= 0 && v < 13)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "n = 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in_inclusive () =
+  let rng = Rng.create 7 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 2000 do
+    let v = Rng.int_in rng 3 6 in
+    checkb "in [3,6]" true (v >= 3 && v <= 6);
+    if v = 3 then seen_lo := true;
+    if v = 6 then seen_hi := true
+  done;
+  checkb "lo reachable" true !seen_lo;
+  checkb "hi reachable" true !seen_hi
+
+let test_int_in_singleton () =
+  let rng = Rng.create 9 in
+  check Alcotest.int "singleton range" 4 (Rng.int_in rng 4 4)
+
+let test_uniform_range_and_mean () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let u = Rng.uniform rng in
+    checkb "u in [0,1)" true (u >= 0. && u < 1.);
+    acc := !acc +. u
+  done;
+  let mean = !acc /. float_of_int n in
+  checkb "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng) in
+  let mean = Stats.mean xs and sd = Stats.stddev xs in
+  checkb "gaussian mean ~ 0" true (Float.abs mean < 0.05);
+  checkb "gaussian sd ~ 1" true (Float.abs (sd -. 1.) < 0.05)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 17 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_choose () =
+  let rng = Rng.create 19 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    checkb "choose returns member" true (Array.mem (Rng.choose rng a) a)
+  done;
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 23 in
+  (* both the dense and the sparse internal paths *)
+  List.iter
+    (fun (k, n) ->
+      let s = Rng.sample_without_replacement rng k n in
+      check Alcotest.int "count" k (Array.length s);
+      let tbl = Hashtbl.create k in
+      Array.iter
+        (fun v ->
+          checkb "in range" true (v >= 0 && v < n);
+          checkb "distinct" false (Hashtbl.mem tbl v);
+          Hashtbl.add tbl v ())
+        s)
+    [ (10, 12); (5, 1000); (0, 4); (7, 7) ]
+
+let test_hash_noise_stable () =
+  let a = Rng.hash_noise ~seed:1 ~key:42 in
+  let b = Rng.hash_noise ~seed:1 ~key:42 in
+  check (Alcotest.float 0.) "stable" a b;
+  let c = Rng.hash_noise ~seed:2 ~key:42 in
+  let d = Rng.hash_noise ~seed:1 ~key:43 in
+  checkb "seed-sensitive" false (a = c);
+  checkb "key-sensitive" false (a = d);
+  checkb "in [0,1)" true (a >= 0. && a < 1.)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"int always within bound"
+         QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 500))
+         (fun (seed, n) ->
+           let rng = Rng.create seed in
+           let v = Rng.int rng n in
+           v >= 0 && v < n));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"sample_without_replacement distinct"
+         QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 60))
+         (fun (seed, n) ->
+           let rng = Rng.create seed in
+           let k = min n (n / 2) in
+           let s = Rng.sample_without_replacement rng k n in
+           let l = Array.to_list s in
+           List.length (List.sort_uniq compare l) = k));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int rejects nonpositive" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int_in inclusive" `Quick test_int_in_inclusive;
+    Alcotest.test_case "int_in singleton" `Quick test_int_in_singleton;
+    Alcotest.test_case "uniform range and mean" `Quick test_uniform_range_and_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "hash_noise stability" `Quick test_hash_noise_stable;
+  ]
+  @ qcheck_tests

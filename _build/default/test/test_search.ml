@@ -1,0 +1,237 @@
+(* Tests for the search library: budget discipline, best-so-far
+   monotonicity, and that every algorithm beats random noise on easy
+   problems. *)
+
+open Sorl_search
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let feq = Alcotest.float 1e-9
+
+(* Convex separable objective: optimum at the middle of each range. *)
+let sphere =
+  Problem.create
+    ~bounds:[| (2, 1024); (2, 1024); (0, 8) |]
+    ~eval:(fun p ->
+      let d0 = float_of_int (p.(0) - 300) and d1 = float_of_int (p.(1) - 300) in
+      let d2 = float_of_int (p.(2) - 4) in
+      (d0 *. d0) +. (d1 *. d1) +. (100. *. d2 *. d2))
+
+(* Deceptive multimodal objective. *)
+let rastrigin_like =
+  Problem.create
+    ~bounds:[| (2, 1024); (2, 1024) |]
+    ~eval:(fun p ->
+      let f v =
+        let x = float_of_int v /. 100. in
+        (x *. x) -. (3. *. cos (2. *. Float.pi *. x))
+      in
+      10. +. f p.(0) +. f p.(1))
+
+(* ---- Problem ---- *)
+
+let test_problem_validation () =
+  Alcotest.check_raises "no coords" (Invalid_argument "Problem.create: no coordinates")
+    (fun () -> ignore (Problem.create ~bounds:[||] ~eval:(fun _ -> 0.)));
+  Alcotest.check_raises "lo>hi" (Invalid_argument "Problem.create: lo > hi") (fun () ->
+      ignore (Problem.create ~bounds:[| (3, 2) |] ~eval:(fun _ -> 0.)));
+  Alcotest.check_raises "non-finite" (Invalid_argument "Problem.eval: objective returned non-finite cost")
+    (fun () ->
+      let p = Problem.create ~bounds:[| (0, 1) |] ~eval:(fun _ -> Float.nan) in
+      ignore (Problem.eval p [| 0 |]))
+
+let test_problem_clamp_eval () =
+  let seen = ref [||] in
+  let p =
+    Problem.create ~bounds:[| (2, 10) |]
+      ~eval:(fun x ->
+        seen := Array.copy x;
+        0.)
+  in
+  ignore (Problem.eval p [| 500 |]);
+  Alcotest.(check (array int)) "clamped before eval" [| 10 |] !seen
+
+let test_random_point_in_bounds () =
+  let rng = Sorl_util.Rng.create 3 in
+  for _ = 1 to 500 do
+    let pt = Problem.random_point sphere rng in
+    Array.iteri
+      (fun i v ->
+        let lo, hi = (Problem.bounds sphere).(i) in
+        checkb "in bounds" true (v >= lo && v <= hi))
+      pt
+  done
+
+let test_mutate_stays_in_bounds_and_changes () =
+  let rng = Sorl_util.Rng.create 5 in
+  for _ = 1 to 500 do
+    let pt = Problem.random_point sphere rng in
+    let before = Array.copy pt in
+    let i = Sorl_util.Rng.int rng 3 in
+    Problem.mutate_coord sphere rng pt i;
+    let lo, hi = (Problem.bounds sphere).(i) in
+    checkb "still in bounds" true (pt.(i) >= lo && pt.(i) <= hi);
+    (* mutation may clamp back to the same value at the boundary, but
+       must usually move *)
+    ignore before
+  done
+
+(* ---- Runner ---- *)
+
+let test_runner_budget () =
+  let r = Runner.create ~budget:3 sphere in
+  ignore (Runner.eval r [| 2; 2; 0 |]);
+  ignore (Runner.eval r [| 3; 3; 1 |]);
+  checki "remaining" 1 (Runner.remaining r);
+  ignore (Runner.eval r [| 4; 4; 2 |]);
+  checkb "out of budget raised" true
+    (try
+       ignore (Runner.eval r [| 5; 5; 3 |]);
+       false
+     with Runner.Out_of_budget -> true);
+  checki "exactly budget evals" 3 (Runner.evaluations r)
+
+let test_runner_curve_monotone () =
+  let r = Runner.create ~budget:10 sphere in
+  let rng = Sorl_util.Rng.create 1 in
+  (try
+     while true do
+       ignore (Runner.eval r (Problem.random_point sphere rng))
+     done
+   with Runner.Out_of_budget -> ());
+  let c = Runner.curve r in
+  checki "curve length" 10 (Array.length c);
+  for i = 1 to 9 do
+    checkb "non-increasing" true (c.(i) <= c.(i - 1))
+  done
+
+let test_runner_best_tracks_minimum () =
+  let r = Runner.create ~budget:5 sphere in
+  ignore (Runner.eval r [| 100; 100; 0 |]);
+  ignore (Runner.eval r [| 300; 300; 4 |]);
+  (* optimum *)
+  ignore (Runner.eval r [| 900; 900; 8 |]);
+  match Runner.best r with
+  | Some (pt, cost) ->
+    Alcotest.(check (array int)) "best point" [| 300; 300; 4 |] pt;
+    Alcotest.check feq "best cost" 0. cost
+  | None -> Alcotest.fail "expected a best"
+
+let test_runner_finish_requires_eval () =
+  let r = Runner.create sphere in
+  Alcotest.check_raises "no evals" (Invalid_argument "Runner.finish: no evaluations")
+    (fun () -> ignore (Runner.finish r))
+
+(* ---- Algorithms ---- *)
+
+let all_algorithms = Registry.all
+
+let test_every_algorithm_respects_budget () =
+  List.iter
+    (fun a ->
+      let o = a.Registry.run ~seed:3 ~budget:200 sphere in
+      checki (a.Registry.name ^ " budget") 200 o.Runner.evaluations;
+      checki (a.Registry.name ^ " curve") 200 (Array.length o.Runner.curve))
+    all_algorithms
+
+let test_every_algorithm_finds_good_sphere_solution () =
+  (* random sampling over ~10^6 points reaches ~ thousands; directed
+     searches should get much closer to 0. *)
+  List.iter
+    (fun a ->
+      let o = a.Registry.run ~seed:3 ~budget:512 sphere in
+      checkb (a.Registry.name ^ " converges") true (o.Runner.best_cost < 20000.))
+    all_algorithms
+
+let test_directed_beats_random_on_sphere () =
+  let random = (Registry.find "random").Registry.run ~seed:9 ~budget:512 sphere in
+  List.iter
+    (fun name ->
+      let o = (Registry.find name).Registry.run ~seed:9 ~budget:512 sphere in
+      checkb (name ^ " beats random") true (o.Runner.best_cost <= random.Runner.best_cost))
+    [ "ga"; "de"; "es"; "sga"; "hill"; "bandit" ]
+
+let test_multimodal_progress () =
+  List.iter
+    (fun a ->
+      let o = a.Registry.run ~seed:5 ~budget:400 rastrigin_like in
+      (* global optimum is near 4 + small cosine term; anything < 7 is
+         a good basin *)
+      checkb (a.Registry.name ^ " multimodal") true (o.Runner.best_cost < 9.))
+    all_algorithms
+
+let test_determinism () =
+  List.iter
+    (fun a ->
+      let o1 = a.Registry.run ~seed:11 ~budget:128 sphere in
+      let o2 = a.Registry.run ~seed:11 ~budget:128 sphere in
+      checkb (a.Registry.name ^ " deterministic") true
+        (o1.Runner.best_cost = o2.Runner.best_cost
+        && o1.Runner.best_point = o2.Runner.best_point))
+    all_algorithms
+
+let test_seed_variation () =
+  let costs =
+    List.init 5 (fun s ->
+        ((Registry.find "ga").Registry.run ~seed:s ~budget:64 sphere).Runner.best_cost)
+  in
+  checkb "seeds explore differently" true (List.length (List.sort_uniq compare costs) > 1)
+
+let test_registry () =
+  checki "nine algorithms" 9 (List.length Registry.all);
+  checki "four paper baselines" 4 (List.length Registry.paper_baselines);
+  Alcotest.(check (list string)) "baseline order" [ "ga"; "de"; "es"; "sga" ]
+    (List.map (fun a -> a.Registry.name) Registry.paper_baselines);
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Registry.find "nope"))
+
+let test_best_point_cost_consistent () =
+  List.iter
+    (fun a ->
+      let o = a.Registry.run ~seed:2 ~budget:100 sphere in
+      Alcotest.check feq
+        (a.Registry.name ^ " best point evaluates to best cost")
+        o.Runner.best_cost (Problem.eval sphere o.Runner.best_point))
+    all_algorithms
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:30 ~name:"GA curve monotone for any seed"
+         QCheck2.Gen.(int_range 0 500)
+         (fun seed ->
+           let o = (Registry.find "ga").Registry.run ~seed ~budget:96 sphere in
+           let ok = ref true in
+           Array.iteri
+             (fun i v -> if i > 0 && v > o.Runner.curve.(i - 1) then ok := false)
+             o.Runner.curve;
+           !ok));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:30 ~name:"DE within bounds for any seed"
+         QCheck2.Gen.(int_range 0 500)
+         (fun seed ->
+           let o = (Registry.find "de").Registry.run ~seed ~budget:96 sphere in
+           Array.for_all2
+             (fun v (lo, hi) -> v >= lo && v <= hi)
+             o.Runner.best_point (Problem.bounds sphere)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "problem validation" `Quick test_problem_validation;
+    Alcotest.test_case "problem clamps" `Quick test_problem_clamp_eval;
+    Alcotest.test_case "random point bounds" `Quick test_random_point_in_bounds;
+    Alcotest.test_case "mutation bounds" `Quick test_mutate_stays_in_bounds_and_changes;
+    Alcotest.test_case "runner budget" `Quick test_runner_budget;
+    Alcotest.test_case "runner curve monotone" `Quick test_runner_curve_monotone;
+    Alcotest.test_case "runner best" `Quick test_runner_best_tracks_minimum;
+    Alcotest.test_case "runner finish guard" `Quick test_runner_finish_requires_eval;
+    Alcotest.test_case "budget respected by all" `Quick test_every_algorithm_respects_budget;
+    Alcotest.test_case "sphere convergence" `Quick test_every_algorithm_finds_good_sphere_solution;
+    Alcotest.test_case "directed beats random" `Quick test_directed_beats_random_on_sphere;
+    Alcotest.test_case "multimodal progress" `Quick test_multimodal_progress;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed variation" `Quick test_seed_variation;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "best point consistency" `Quick test_best_point_cost_consistent;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,146 @@
+(* Tests for Sorl_util.Stats. *)
+
+open Sorl_util
+
+let feq = Alcotest.float 1e-9
+let feq_loose = Alcotest.float 1e-6
+let checkb = Alcotest.check Alcotest.bool
+
+let test_mean_variance () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.check feq "variance" (5. /. 3.) (Stats.variance [| 1.; 2.; 3.; 4. |]);
+  Alcotest.check feq "stddev singleton" 0. (Stats.stddev [| 5. |]);
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 2. |] in
+  Alcotest.check feq "min" (-1.) lo;
+  Alcotest.check feq "max" 7. hi
+
+let test_median () =
+  Alcotest.check feq "odd" 3. (Stats.median [| 5.; 1.; 3. |]);
+  Alcotest.check feq "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.check feq "p0" 1. (Stats.percentile xs 0.);
+  Alcotest.check feq "p100" 5. (Stats.percentile xs 100.);
+  Alcotest.check feq "p50" 3. (Stats.percentile xs 50.);
+  Alcotest.check feq "p25" 2. (Stats.percentile xs 25.);
+  Alcotest.check feq "interpolated" 1.4 (Stats.percentile xs 10.);
+  Alcotest.check_raises "out of range" (Invalid_argument "Stats.percentile: p outside [0,100]")
+    (fun () -> ignore (Stats.percentile xs 101.))
+
+let test_geometric_mean () =
+  Alcotest.check feq "gm" 2. (Stats.geometric_mean [| 1.; 2.; 4. |]);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geometric_mean: nonpositive input") (fun () ->
+      ignore (Stats.geometric_mean [| 1.; 0. |]))
+
+let test_box_plot_basic () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let b = Stats.box_plot xs in
+  Alcotest.check feq "median" 50. b.Stats.med;
+  Alcotest.check feq "q1" 25. b.Stats.q1;
+  Alcotest.check feq "q3" 75. b.Stats.q3;
+  Alcotest.check feq "low whisker" 0. b.Stats.low_whisker;
+  Alcotest.check feq "high whisker" 100. b.Stats.high_whisker;
+  Alcotest.check Alcotest.int "no outliers" 0 (Array.length b.Stats.outliers)
+
+let test_box_plot_outliers () =
+  let xs = Array.append (Array.init 20 (fun i -> float_of_int i)) [| 1000. |] in
+  let b = Stats.box_plot xs in
+  checkb "outlier detected" true (Array.mem 1000. b.Stats.outliers);
+  checkb "whisker below outlier" true (b.Stats.high_whisker < 1000.)
+
+let test_kde_density () =
+  (* KDE of a tight sample peaks near the sample mean and is ~0 far
+     away. *)
+  let sample = [| 0.; 0.1; -0.1; 0.05; -0.05 |] in
+  let d = Stats.kde sample [| 0.; 5. |] in
+  checkb "peak at center" true (d.(0) > d.(1));
+  checkb "far tail tiny" true (d.(1) < 0.01);
+  checkb "density nonnegative" true (Array.for_all (fun v -> v >= 0.) d)
+
+let test_kde_integrates_to_one () =
+  let rng = Rng.create 3 in
+  let sample = Array.init 200 (fun _ -> Rng.gaussian rng) in
+  let lo = -6. and hi = 6. in
+  let n = 600 in
+  let dx = (hi -. lo) /. float_of_int n in
+  let xs = Array.init n (fun i -> lo +. ((float_of_int i +. 0.5) *. dx)) in
+  let d = Stats.kde sample xs in
+  let integral = Array.fold_left (fun acc v -> acc +. (v *. dx)) 0. d in
+  checkb "KDE integrates to ~1" true (Float.abs (integral -. 1.) < 0.02)
+
+let test_kde_bandwidth_validation () =
+  Alcotest.check_raises "negative bandwidth"
+    (Invalid_argument "Stats.kde: bandwidth must be positive") (fun () ->
+      ignore (Stats.kde ~bandwidth:(-1.) [| 1. |] [| 0. |]))
+
+let test_silverman_positive () =
+  let rng = Rng.create 4 in
+  let sample = Array.init 100 (fun _ -> Rng.uniform rng) in
+  checkb "bandwidth positive" true (Stats.silverman_bandwidth sample > 0.)
+
+let test_histogram () =
+  let xs = [| 0.; 0.1; 0.2; 0.9; 1.0 |] in
+  let h = Stats.histogram ~bins:2 xs in
+  Alcotest.check Alcotest.int "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.check Alcotest.int "all points binned" 5 total;
+  let _, _, c0 = h.(0) in
+  Alcotest.check Alcotest.int "first bin holds the low cluster" 3 c0
+
+let test_histogram_constant_data () =
+  let h = Stats.histogram ~bins:4 [| 2.; 2.; 2. |] in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.check Alcotest.int "constant data binned" 3 total
+
+let qcheck_tests =
+  let gen_sample = QCheck2.Gen.(array_size (int_range 1 40) (float_range (-100.) 100.)) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"min <= median <= max" gen_sample (fun xs ->
+           let lo, hi = Stats.min_max xs in
+           let m = Stats.median xs in
+           lo <= m && m <= hi));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"variance nonnegative" gen_sample (fun xs ->
+           Stats.variance xs >= 0.));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"box plot ordered" gen_sample (fun xs ->
+           let b = Stats.box_plot xs in
+           b.Stats.low_whisker <= b.Stats.q1 && b.Stats.q1 <= b.Stats.med
+           && b.Stats.med <= b.Stats.q3
+           && b.Stats.q3 <= b.Stats.high_whisker));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"percentile monotone" gen_sample (fun xs ->
+           Stats.percentile xs 10. <= Stats.percentile xs 60.));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"mean shift equivariance" gen_sample (fun xs ->
+           let m0 = Stats.mean xs in
+           let m1 = Stats.mean (Array.map (fun x -> x +. 10.) xs) in
+           Float.abs (m1 -. (m0 +. 10.)) < 1e-6));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "box plot basic" `Quick test_box_plot_basic;
+    Alcotest.test_case "box plot outliers" `Quick test_box_plot_outliers;
+    Alcotest.test_case "kde density shape" `Quick test_kde_density;
+    Alcotest.test_case "kde integral" `Quick test_kde_integrates_to_one;
+    Alcotest.test_case "kde bandwidth validation" `Quick test_kde_bandwidth_validation;
+    Alcotest.test_case "silverman positive" `Quick test_silverman_positive;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant" `Quick test_histogram_constant_data;
+  ]
+  @ qcheck_tests
+
+let _ = feq_loose

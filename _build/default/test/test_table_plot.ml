@@ -1,0 +1,85 @@
+(* Tests for the text rendering helpers (Table, Ascii_plot, Timer). *)
+
+open Sorl_util
+
+let checkb = Alcotest.check Alcotest.bool
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  checkb "has header" true (contains s "name");
+  checkb "has cells" true (contains s "alpha" && contains s "22");
+  checkb "right aligned" true (contains s "    1 |")
+
+let test_table_arity_checks () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "row arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ]);
+  Alcotest.check_raises "aligns arity" (Invalid_argument "Table.create: aligns arity mismatch")
+    (fun () -> ignore (Table.create ~aligns:[ Table.Left ] [ "a"; "b" ]))
+
+let test_fmt_time () =
+  checkb "us" true (contains (Table.fmt_time 5e-5) "us");
+  checkb "ms" true (contains (Table.fmt_time 0.005) "ms");
+  checkb "s" true (contains (Table.fmt_time 2.5) "s");
+  Alcotest.check Alcotest.string "minutes" "4m12s" (Table.fmt_time 252.)
+
+let test_bar_chart () =
+  let s = Ascii_plot.bar_chart ~title:"t" [ ("a", 2.); ("bb", 1.) ] in
+  checkb "labels present" true (contains s "a" && contains s "bb");
+  checkb "bars scale" true (contains s "##")
+
+let test_grouped_bars () =
+  let s =
+    Ascii_plot.grouped_bars ~title:"g" ~series:[ "s1"; "s2" ]
+      [ ("g1", [| 1.; 2. |]); ("g2", [| 0.5; 0.1 |]) ]
+  in
+  checkb "legend" true (contains s "legend");
+  checkb "groups" true (contains s "g1" && contains s "g2")
+
+let test_line_chart () =
+  let s =
+    Ascii_plot.line_chart ~title:"conv" ~x_label:"evals" ~y_label:"gflops"
+      [ ("ga", [| (1., 1.); (2., 3.) |]); ("de", [| (1., 2.); (2., 2.5) |]) ]
+  in
+  checkb "title" true (contains s "conv");
+  checkb "series names" true (contains s "ga" && contains s "de");
+  checkb "axis span" true (contains s "evals")
+
+let test_line_chart_empty () =
+  let s = Ascii_plot.line_chart ~title:"e" ~x_label:"x" ~y_label:"y" [ ("none", [||]) ] in
+  checkb "handles empty" true (contains s "no data")
+
+let test_box_plots () =
+  let b = Stats.box_plot [| 1.; 2.; 3.; 4.; 100. |] in
+  let s = Ascii_plot.box_plots ~title:"taus" [ ("s1", b) ] in
+  checkb "median marker" true (contains s "M");
+  checkb "outlier marker" true (contains s "o");
+  checkb "label" true (contains s "s1")
+
+let test_timer () =
+  let r, dt = Timer.time (fun () -> 42) in
+  Alcotest.check Alcotest.int "result" 42 r;
+  checkb "time nonnegative" true (dt >= 0.);
+  let per = Timer.time_repeat ~min_time:0.001 (fun () -> ignore (Sys.opaque_identity (1 + 1))) in
+  checkb "repeat positive" true (per > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity_checks;
+    Alcotest.test_case "fmt_time" `Quick test_fmt_time;
+    Alcotest.test_case "bar chart" `Quick test_bar_chart;
+    Alcotest.test_case "grouped bars" `Quick test_grouped_bars;
+    Alcotest.test_case "line chart" `Quick test_line_chart;
+    Alcotest.test_case "line chart empty" `Quick test_line_chart_empty;
+    Alcotest.test_case "box plots" `Quick test_box_plots;
+    Alcotest.test_case "timer" `Quick test_timer;
+  ]

@@ -1,0 +1,112 @@
+(* Tests for the temporal-blocking executor and its cost extension. *)
+
+open Sorl_stencil
+open Sorl_codegen
+
+let checkb = Alcotest.check Alcotest.bool
+let feq = Alcotest.float 1e-9
+let machine = Sorl_machine.Machine_desc.xeon_e5_2680_v3
+
+let small_inst kernel n =
+  if Kernel.dims kernel = 2 then Instance.create_xyz kernel ~sx:n ~sy:n ~sz:1
+  else Instance.create_xyz kernel ~sx:n ~sy:n ~sz:n
+
+let temporal_matches_reference kernel n tuning ~time_block ~steps =
+  let inst = small_inst kernel n in
+  let v = Variant.compile inst tuning in
+  let inputs, out_t = Interp.make_grids ~seed:13 inst in
+  Temporal.run v ~time_block ~steps ~inputs ~output:out_t;
+  (* Temporal.run leaves inputs untouched; reference mutates, so give
+     it copies. *)
+  let ref_inputs = Array.map Sorl_grid.Grid.copy inputs in
+  let out_r = Sorl_grid.Grid.copy out_t in
+  Sorl_grid.Grid.fill out_r 0.;
+  Reference.step_count inst ~inputs:ref_inputs ~output:out_r ~steps;
+  Sorl_grid.Grid.max_abs_diff out_t out_r < 1e-9
+
+let test_single_step_matches () =
+  let t = Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:2 ~c:2 in
+  checkb "tb=1 steps=1" true
+    (temporal_matches_reference Benchmarks.laplacian 10 t ~time_block:1 ~steps:1)
+
+let test_blocked_matches_reference () =
+  let t = Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:1 in
+  List.iter
+    (fun (tb, steps) ->
+      checkb
+        (Printf.sprintf "tb=%d steps=%d" tb steps)
+        true
+        (temporal_matches_reference Benchmarks.laplacian 10 t ~time_block:tb ~steps))
+    [ (2, 2); (2, 4); (3, 3); (4, 4); (2, 5) (* partial trailing chunk *) ]
+
+let test_blocked_matches_2d () =
+  let t = Tuning.create ~bx:8 ~by:4 ~bz:1 ~u:2 ~c:2 in
+  checkb "2d blur tb=2" true
+    (temporal_matches_reference Benchmarks.blur 16 t ~time_block:2 ~steps:4)
+
+let test_blocked_matches_multibuffer () =
+  (* wave reads a second constant buffer: ping-pong only buffer 0 *)
+  let t = Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:1 in
+  checkb "wave tb=2" true
+    (temporal_matches_reference Benchmarks.wave 10 t ~time_block:2 ~steps:4)
+
+let test_blocked_matches_wide_radius () =
+  let t = Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:1 in
+  checkb "laplacian6 (radius 3) tb=2" true
+    (temporal_matches_reference Benchmarks.laplacian6 12 t ~time_block:2 ~steps:4)
+
+let test_inputs_untouched () =
+  let inst = small_inst Benchmarks.laplacian 8 in
+  let v = Variant.compile inst (Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:1) in
+  let inputs, output = Interp.make_grids ~seed:3 inst in
+  let snapshot = Sorl_grid.Grid.copy inputs.(0) in
+  Temporal.run v ~time_block:2 ~steps:4 ~inputs ~output;
+  checkb "inputs preserved" true (Sorl_grid.Grid.equal snapshot inputs.(0))
+
+let test_validation () =
+  let inst = small_inst Benchmarks.laplacian 8 in
+  let v = Variant.compile inst (Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:1 ~c:1) in
+  let inputs, output = Interp.make_grids inst in
+  Alcotest.check_raises "tb >= 1" (Invalid_argument "Temporal.run: time_block must be >= 1")
+    (fun () -> Temporal.run v ~time_block:0 ~steps:1 ~inputs ~output);
+  Alcotest.check_raises "steps >= 1" (Invalid_argument "Temporal.run: steps must be >= 1")
+    (fun () -> Temporal.run v ~time_block:2 ~steps:0 ~inputs ~output)
+
+let test_inflation_properties () =
+  let inst = small_inst Benchmarks.laplacian 32 in
+  let v = Variant.compile inst (Tuning.create ~bx:8 ~by:8 ~bz:8 ~u:1 ~c:1) in
+  Alcotest.check feq "tb=1 no redundancy" 1. (Temporal.compute_inflation v ~time_block:1);
+  let i2 = Temporal.compute_inflation v ~time_block:2 in
+  let i4 = Temporal.compute_inflation v ~time_block:4 in
+  checkb "inflation grows with tb" true (1. < i2 && i2 < i4);
+  (* bigger tiles amortize the halo better *)
+  let big = Variant.compile inst (Tuning.create ~bx:32 ~by:32 ~bz:32 ~u:1 ~c:1) in
+  checkb "bigger tile, smaller inflation" true
+    (Temporal.compute_inflation big ~time_block:4 < i4)
+
+let test_temporal_cost_model () =
+  (* memory-bound kernel: temporal blocking must pay off at moderate tb *)
+  let inst = Benchmarks.instance_by_name "laplacian-256x256x256" in
+  let v = Variant.compile inst (Tuning.create ~bx:64 ~by:8 ~bz:8 ~u:4 ~c:4) in
+  let base = Sorl_machine.Cost_model.temporal_runtime machine v ~time_block:1 in
+  Alcotest.check feq "tb=1 equals plain runtime" (Sorl_machine.Cost_model.runtime machine v) base;
+  let t2 = Sorl_machine.Cost_model.temporal_runtime machine v ~time_block:2 in
+  checkb "tb=2 helps the memory-bound stencil" true (t2 < base);
+  (* extreme blocking of tiny tiles drowns in redundant compute *)
+  let tiny = Variant.compile inst (Tuning.create ~bx:4 ~by:4 ~bz:4 ~u:4 ~c:4) in
+  let tiny1 = Sorl_machine.Cost_model.temporal_runtime machine tiny ~time_block:1 in
+  let tiny8 = Sorl_machine.Cost_model.temporal_runtime machine tiny ~time_block:8 in
+  checkb "tb=8 on 4^3 tiles hurts" true (tiny8 > tiny1)
+
+let suite =
+  [
+    Alcotest.test_case "tb=1 matches" `Quick test_single_step_matches;
+    Alcotest.test_case "blocked matches reference" `Quick test_blocked_matches_reference;
+    Alcotest.test_case "blocked 2d" `Quick test_blocked_matches_2d;
+    Alcotest.test_case "blocked multi-buffer" `Quick test_blocked_matches_multibuffer;
+    Alcotest.test_case "blocked radius-3" `Quick test_blocked_matches_wide_radius;
+    Alcotest.test_case "inputs untouched" `Quick test_inputs_untouched;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "inflation properties" `Quick test_inflation_properties;
+    Alcotest.test_case "temporal cost model" `Quick test_temporal_cost_model;
+  ]

@@ -1,0 +1,109 @@
+(* Tests for Tuning — the §III-B / §V parameter space. *)
+
+open Sorl_stencil
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_create_validation () =
+  let t = Tuning.create ~bx:64 ~by:8 ~bz:8 ~u:4 ~c:4 in
+  checkb "valid" true (Tuning.is_valid t);
+  Alcotest.check_raises "block too small" (Invalid_argument "Tuning.create: parameter out of range")
+    (fun () -> ignore (Tuning.create ~bx:1 ~by:8 ~bz:8 ~u:4 ~c:4));
+  Alcotest.check_raises "unroll too big" (Invalid_argument "Tuning.create: parameter out of range")
+    (fun () -> ignore (Tuning.create ~bx:8 ~by:8 ~bz:8 ~u:9 ~c:4));
+  (* bz = 1 marks a 2-D tuning and is allowed *)
+  checkb "bz=1 valid" true (Tuning.is_valid (Tuning.create ~bx:8 ~by:8 ~bz:1 ~u:0 ~c:1))
+
+let test_clamp () =
+  let t = Tuning.clamp { Tuning.bx = 5000; by = 0; bz = 1; u = -3; c = 999 } in
+  checki "bx clamped" Tuning.block_max t.Tuning.bx;
+  checki "by clamped" Tuning.block_min t.Tuning.by;
+  checki "bz kept 1" 1 t.Tuning.bz;
+  checki "u clamped" 0 t.Tuning.u;
+  checki "c clamped" Tuning.chunk_max t.Tuning.c;
+  checkb "clamped valid" true (Tuning.is_valid t)
+
+let test_random_in_range () =
+  let rng = Sorl_util.Rng.create 3 in
+  for _ = 1 to 500 do
+    let t2 = Tuning.random rng ~dims:2 in
+    checkb "2d valid" true (Tuning.is_valid t2);
+    checki "2d bz" 1 t2.Tuning.bz;
+    let t3 = Tuning.random rng ~dims:3 in
+    checkb "3d valid" true (Tuning.is_valid t3);
+    checkb "3d bz in block range" true (t3.Tuning.bz >= 2 && t3.Tuning.bz <= 1024)
+  done
+
+let test_random_log_spread () =
+  (* Log-uniform draws should hit both small and large octaves. *)
+  let rng = Sorl_util.Rng.create 9 in
+  let small = ref 0 and large = ref 0 in
+  for _ = 1 to 400 do
+    let t = Tuning.random rng ~dims:3 in
+    if t.Tuning.bx <= 8 then incr small;
+    if t.Tuning.bx >= 256 then incr large
+  done;
+  checkb "small blocks seen" true (!small > 20);
+  checkb "large blocks seen" true (!large > 20)
+
+let test_array_roundtrip () =
+  let t3 = Tuning.create ~bx:16 ~by:32 ~bz:4 ~u:6 ~c:8 in
+  checki "3d arity" 5 (Tuning.space_dims ~dims:3);
+  checkb "3d roundtrip" true
+    (Tuning.equal t3 (Tuning.of_array ~dims:3 (Tuning.to_array ~dims:3 t3)));
+  let t2 = Tuning.create ~bx:16 ~by:32 ~bz:1 ~u:6 ~c:8 in
+  checki "2d arity" 4 (Tuning.space_dims ~dims:2);
+  checkb "2d roundtrip" true
+    (Tuning.equal t2 (Tuning.of_array ~dims:2 (Tuning.to_array ~dims:2 t2)));
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Tuning.of_array: wrong arity")
+    (fun () -> ignore (Tuning.of_array ~dims:3 [| 1; 2 |]))
+
+let test_of_array_clamps () =
+  let t = Tuning.of_array ~dims:3 [| 100000; 1; 1; 99; 0 |] in
+  checkb "clamped to valid" true (Tuning.is_valid t)
+
+let test_bounds () =
+  let b3 = Tuning.bounds ~dims:3 in
+  checki "3d bounds arity" 5 (Array.length b3);
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "block bound" (2, 1024) b3.(0);
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "unroll bound" (0, 8) b3.(3);
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "chunk bound" (1, 256) b3.(4)
+
+let test_predefined_sets_paper_sizes () =
+  (* §VI-A: 1600 configurations for 2-D, 8640 for 3-D. *)
+  let s2 = Tuning.predefined_set ~dims:2 in
+  let s3 = Tuning.predefined_set ~dims:3 in
+  checki "2d set" 1600 (Array.length s2);
+  checki "3d set" 8640 (Array.length s3);
+  Array.iter (fun t -> checkb "2d member valid" true (Tuning.is_valid t)) s2;
+  Array.iter (fun t -> checkb "3d member valid" true (Tuning.is_valid t)) s3;
+  Array.iter (fun t -> checki "2d member planar" 1 t.Tuning.bz) s2
+
+let test_predefined_sets_distinct () =
+  let distinct a =
+    let tbl = Hashtbl.create (Array.length a) in
+    Array.iter (fun t -> Hashtbl.replace tbl t ()) a;
+    Hashtbl.length tbl
+  in
+  checki "2d distinct" 1600 (distinct (Tuning.predefined_set ~dims:2));
+  checki "3d distinct" 8640 (distinct (Tuning.predefined_set ~dims:3))
+
+let test_default () =
+  checkb "2d default valid" true (Tuning.is_valid (Tuning.default ~dims:2));
+  checkb "3d default valid" true (Tuning.is_valid (Tuning.default ~dims:3));
+  checki "2d default planar" 1 (Tuning.default ~dims:2).Tuning.bz
+
+let suite =
+  [
+    Alcotest.test_case "create/validation" `Quick test_create_validation;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "random in range" `Quick test_random_in_range;
+    Alcotest.test_case "random log spread" `Quick test_random_log_spread;
+    Alcotest.test_case "array roundtrip" `Quick test_array_roundtrip;
+    Alcotest.test_case "of_array clamps" `Quick test_of_array_clamps;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "predefined set sizes (paper)" `Quick test_predefined_sets_paper_sizes;
+    Alcotest.test_case "predefined sets distinct" `Quick test_predefined_sets_distinct;
+    Alcotest.test_case "defaults" `Quick test_default;
+  ]
