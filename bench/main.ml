@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- fig4 fig7    # selected experiments
 
    Experiments: table2 table3 fig4 fig5 fig6 fig7 ablation baselines
-   extensions stability csv micro.
+   extensions stability csv perf micro.
    See DESIGN.md for the experiment index and EXPERIMENTS.md for the
    paper-vs-measured discussion of one full run. *)
 
@@ -761,6 +761,98 @@ let csv () =
              Printf.sprintf "%d,%d,%.6f" tr.E.size i taus.(i)))
        (Lazy.force sweep_models))
 
+(* ---- Parallel execution engine: serial vs pool ---- *)
+
+let datasets_identical a b =
+  let sa = Sorl_svmrank.Dataset.samples a and sb = Sorl_svmrank.Dataset.samples b in
+  Array.length sa = Array.length sb
+  && Array.for_all2
+       (fun x y ->
+         x.Sorl_svmrank.Dataset.query = y.Sorl_svmrank.Dataset.query
+         && x.Sorl_svmrank.Dataset.runtime = y.Sorl_svmrank.Dataset.runtime
+         && x.Sorl_svmrank.Dataset.tag = y.Sorl_svmrank.Dataset.tag
+         && Sorl_util.Sparse.equal ~eps:0. x.Sorl_svmrank.Dataset.features
+              y.Sorl_svmrank.Dataset.features)
+       sa sb
+
+let perf () =
+  header "Parallel execution engine: serial vs pool timing";
+  let domains = Sorl_util.Pool.default_domains () in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "pool size %d (host reports %d core%s)\n" domains cores
+    (if cores = 1 then "" else "s");
+  if domains = 1 then
+    print_endline
+      "note: pool size 1 — the \"parallel\" column degenerates to serial;\n\
+       set Sorl_POOL_DOMAINS to force a larger pool.";
+  let spec = { Sorl.Training.size = 16000; mode = Features.Extended; seed = 5 } in
+  let generate_at d =
+    Sorl_util.Pool.with_domains d (fun () ->
+        (* fresh measure so evaluation counts don't accumulate *)
+        let m = Sorl_machine.Measure.model machine in
+        Sorl_util.Timer.time (fun () -> Sorl.Training.generate ~spec m))
+  in
+  let ds_serial, gen_serial_s = generate_at 1 in
+  let ds_par, gen_par_s = generate_at domains in
+  let gen_ok = datasets_identical ds_serial ds_par in
+  let tuner = Sorl.Autotuner.train_on ~mode:Features.Extended ds_serial in
+  let inst = Benchmarks.instance_by_name "gradient-256x256x256" in
+  let set = Tuning.predefined_set ~dims:3 in
+  let rank_at d =
+    Sorl_util.Pool.with_domains d (fun () ->
+        let order = Sorl.Autotuner.rank tuner inst set in
+        let s =
+          Sorl_util.Timer.time_repeat (fun () -> ignore (Sorl.Autotuner.rank tuner inst set))
+        in
+        (order, s))
+  in
+  let order_serial, rank_serial_s = rank_at 1 in
+  let order_par, rank_par_s = rank_at domains in
+  let rank_ok = order_serial = order_par in
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+      [ "stage"; "serial"; Printf.sprintf "parallel (%d)" domains; "speedup"; "identical" ]
+  in
+  let row name serial par ok =
+    Table.add_row t
+      [
+        name;
+        Table.fmt_time serial;
+        Table.fmt_time par;
+        Printf.sprintf "%.2fx" (serial /. par);
+        (if ok then "yes" else "NO");
+      ]
+  in
+  row "training generation (16000)" gen_serial_s gen_par_s gen_ok;
+  row "rank 8640 candidates" rank_serial_s rank_par_s rank_ok;
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"domain_count\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"stages\": {\n\
+      \    \"training_generation_16000\": {\n\
+      \      \"serial_s\": %.6f,\n\
+      \      \"parallel_s\": %.6f,\n\
+      \      \"speedup\": %.3f,\n\
+      \      \"identical\": %b\n\
+      \    },\n\
+      \    \"rank_8640\": {\n\
+      \      \"serial_s\": %.6f,\n\
+      \      \"parallel_s\": %.6f,\n\
+      \      \"speedup\": %.3f,\n\
+      \      \"identical\": %b\n\
+      \    }\n\
+      \  }\n\
+       }\n"
+      domains cores gen_serial_s gen_par_s (gen_serial_s /. gen_par_s) gen_ok rank_serial_s
+      rank_par_s (rank_serial_s /. rank_par_s) rank_ok
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  print_endline "wrote BENCH_parallel.json"
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let micro () =
@@ -836,6 +928,7 @@ let experiments =
     ("extensions", extensions);
     ("stability", stability);
     ("csv", csv);
+    ("perf", perf);
     ("micro", micro);
   ]
 

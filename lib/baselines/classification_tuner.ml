@@ -123,7 +123,7 @@ let train ?(params = default_params) measure ds ~instances ~tunings =
             Sorl_util.Sparse.axpy_dense (-1.) phi weights.(!pred)
           end
         end;
-        Array.iteri (fun ci w -> Sorl_util.Vec.axpy 1. w sums.(ci)) weights)
+        Array.iteri (fun ci w -> Sorl_util.Vec.add_inplace sums.(ci) w) weights)
       data
   done;
   let total = float_of_int (params.epochs * Array.length data) in

@@ -40,7 +40,7 @@ let train ?(params = default_params) ~mode ds =
         Sorl_util.Vec.scale_inplace (1. -. (eta *. params.lambda)) w;
         Sorl_util.Sparse.axpy_dense (-.eta *. err) x w;
         bias := !bias -. (eta *. err);
-        Sorl_util.Vec.axpy 1. w w_sum;
+        Sorl_util.Vec.add_inplace w_sum w;
         bias_sum := !bias_sum +. !bias)
       order
   done;

@@ -34,9 +34,19 @@ let score t inst tuning =
   Sorl_svmrank.Model.score t.model (Features.encode t.mode inst tuning)
 
 let rank t inst candidates =
-  let encode = Features.encoder t.mode inst in
-  let feats = Array.map encode candidates in
-  let order = Sorl_svmrank.Model.rank t.model feats in
+  (* Score candidates in parallel chunks straight from their entry
+     lists; [entry_scorer] is bit-identical to encode-then-score, so
+     the ranking matches the serial path exactly. *)
+  let entries = Features.encoder_entries t.mode inst in
+  let n = Array.length candidates in
+  let scores = Array.make n 0. in
+  ignore
+    (Sorl_util.Pool.parallel_chunks n (fun lo hi ->
+         let score = Sorl_svmrank.Model.entry_scorer t.model in
+         for i = lo to hi - 1 do
+           scores.(i) <- score (entries candidates.(i))
+         done));
+  let order = Sorl_svmrank.Model.sort_by_score scores in
   Array.map (fun i -> candidates.(i)) order
 
 let best t inst candidates =

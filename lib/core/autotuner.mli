@@ -42,7 +42,9 @@ val rank :
   t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->
   Sorl_stencil.Tuning.t array
 (** Candidates sorted best-first by predicted rank.  No execution
-    happens. *)
+    happens.  Scoring is chunked over the {!Sorl_util.Pool}; the
+    resulting order is identical for every pool size and matches
+    sorting by {!score}. *)
 
 val best :
   t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->

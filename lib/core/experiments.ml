@@ -13,7 +13,10 @@ let fig45_training_sizes = [ 960; 3840; 6720; 16000 ]
 
 let train_models ?(mode = Features.Extended) ?(solver = Autotuner.default_solver) ?(seed = 5)
     ?instances ~sizes measure =
-  List.map
+  (* Each size is an independent generate-and-fit; fan the sweep out
+     over the pool (generation's own inner parallelism degrades to
+     serial inside a worker). *)
+  Sorl_util.Pool.parallel_map_list
     (fun size ->
       let spec = { Training.size; mode; seed } in
       let dataset, generation_s =
@@ -77,7 +80,7 @@ let oracle_runtime measure inst =
     infinity (predefined_for inst)
 
 let fig4 ?(budget = 1024) ?(seed = 17) measure ~tuners instances =
-  List.map
+  Sorl_util.Pool.parallel_map_list
     (fun inst ->
       let searches = run_searches ~budget ~seed measure inst in
       let search_runtime_s =
@@ -115,29 +118,27 @@ type fig5_row = {
 }
 
 let fig5 ?(budget = 1024) ?(seed = 17) ?(compile_overhead_s = 45.) measure ~tuners instances =
-  List.map
+  Sorl_util.Pool.parallel_map_list
     (fun inst ->
       let flops = Instance.total_flops inst in
       let gflops rt = flops /. rt /. 1e9 in
-      (* Custom problem accumulating the execution time spent searching. *)
-      let spent = ref 0. in
-      let problem =
-        Sorl_search.Problem.create
-          ~bounds:(Tuning.bounds ~dims:(Kernel.dims (Instance.kernel inst)))
-          ~eval:(fun p ->
-            let rt = Sorl_machine.Measure.runtime measure inst (Tuning_problem.decode inst p) in
-            spent := !spent +. rt +. compile_overhead_s;
-            rt)
-      in
+      let problem = Tuning_problem.problem measure inst in
       let curves, tts =
         List.split
           (List.map
              (fun algo ->
-               spent := 0.;
                let outcome = algo.Sorl_search.Registry.run ~seed ~budget problem in
                let curve = Array.map gflops outcome.Sorl_search.Runner.curve in
+               (* Time-to-solution: every evaluation costs its measured
+                  runtime plus one compile.  The runner accounts costs
+                  in evaluation order, so this is deterministic even
+                  when the search evaluates generations in parallel. *)
+               let spent =
+                 outcome.Sorl_search.Runner.total_cost
+                 +. (float_of_int outcome.Sorl_search.Runner.evaluations *. compile_overhead_s)
+               in
                ( (algo.Sorl_search.Registry.name, curve),
-                 (algo.Sorl_search.Registry.name, !spent) ))
+                 (algo.Sorl_search.Registry.name, spent) ))
              Sorl_search.Registry.paper_baselines)
       in
       let regs, reg_tts =
@@ -166,9 +167,14 @@ let fig5 ?(budget = 1024) ?(seed = 17) ?(compile_overhead_s = 45.) measure ~tune
 (* ---- Fig. 6 / 7 ---- *)
 
 let test_set_taus ?(samples_per_instance = 64) ?(seed = 23) measure tuner instances =
-  let rng = Sorl_util.Rng.create seed in
-  List.map
-    (fun inst ->
+  (* One derived generator per instance, as in training-set generation:
+     each benchmark's test sample is independent of the others, so the
+     per-benchmark loop fans out over the pool deterministically. *)
+  let insts = Array.of_list instances in
+  Sorl_util.Pool.parallel_map_list
+    (fun qi ->
+      let inst = insts.(qi) in
+      let rng = Sorl_util.Rng.create (Sorl_util.Rng.derive_seed seed qi) in
       let dims = Kernel.dims (Instance.kernel inst) in
       let seen = Hashtbl.create samples_per_instance in
       let tunings = ref [] in
@@ -183,7 +189,7 @@ let test_set_taus ?(samples_per_instance = 64) ?(seed = 23) measure tuner instan
       let runtimes = Array.map (Sorl_machine.Measure.runtime measure inst) tunings in
       let scores = Array.map (Autotuner.score tuner inst) tunings in
       (Instance.name inst, Sorl_util.Rank_correlation.kendall_tau runtimes scores))
-    instances
+    (List.init (Array.length insts) Fun.id)
 
 let taus_on_own_training_set tr =
   Sorl_svmrank.Eval.taus (Autotuner.model tr.tuner) tr.dataset

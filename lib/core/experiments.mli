@@ -2,7 +2,12 @@
 
     The benchmark executable is a thin printer over these functions, so
     the test suite can exercise the same code paths at reduced scale.
-    All drivers are deterministic given their seeds. *)
+    All drivers are deterministic given their seeds, for every
+    {!Sorl_util.Pool} size: the sweeps over training sizes
+    ({!train_models}), benchmarks ({!fig4}, {!fig5}) and test instances
+    ({!test_set_taus}) fan out over the pool with order-preserving
+    assembly, and every per-item computation derives its own random
+    stream. *)
 
 type trained = {
   size : int;  (** training-set size (samples) *)
@@ -71,9 +76,10 @@ type fig5_row = {
       (** per search: best-so-far GFlop/s after each evaluation *)
   f5_regression_gflops : (int * float) list;  (** per training size *)
   f5_time_to_solution : (string * float) list;
-      (** per method, modeled tuning seconds: searches pay each
-          evaluated variant's execution plus the synthetic per-variant
-          compile overhead; regression entries pay ranking time only *)
+      (** per method, modeled tuning seconds: searches pay the runner's
+          accumulated evaluation cost ({!Sorl_search.Runner.total_cost})
+          plus the synthetic per-variant compile overhead per
+          evaluation; regression entries pay ranking time only *)
 }
 
 val fig5 :
@@ -106,7 +112,8 @@ val test_set_taus :
   Sorl_stencil.Instance.t list ->
   (string * float) list
 (** Held-out ranking quality: for each {e unseen} instance, measure
-    [samples_per_instance] (default 64) random tuning vectors and
+    [samples_per_instance] (default 64) random tuning vectors — drawn
+    from a per-instance generator derived from [(seed, position)] — and
     report Kendall τ between the model's scores and the measured
     runtimes.  The paper evaluates τ on the training set only; this is
     the stronger generalization check. *)

@@ -52,34 +52,47 @@ let tuning_counts ~size instances =
 (* Shared sample-assembly machinery: per instance, a strategy produces
    [count] distinct tuning vectors (receiving the runtime of each draw,
    so guided strategies can adapt); every evaluated point becomes a
-   dataset sample. *)
+   dataset sample.
+
+   Each instance draws from its own generator seeded by
+   [Rng.derive_seed spec.seed qi], so its sample block depends only on
+   [(spec, instance)] and blocks can be produced concurrently.  Blocks
+   are assembled in instance order, making the dataset identical for
+   every pool size. *)
 let build ~spec ~instances ~strategy =
   let counts = tuning_counts ~size:spec.size instances in
-  let samples = ref [] in
-  let tunings = ref [] in
-  List.iteri
-    (fun qi inst ->
-      let encode = Features.encoder spec.mode inst in
-      let record t runtime =
-        let sample =
-          {
-            Sorl_svmrank.Dataset.query = qi;
-            features = encode t;
-            runtime;
-            tag = Printf.sprintf "%s@%s" (Instance.name inst) (Tuning.to_string t);
-          }
+  let insts = Array.of_list instances in
+  let blocks =
+    Sorl_util.Pool.parallel_map
+      (fun qi ->
+        let inst = insts.(qi) in
+        let rng = Sorl_util.Rng.create (Sorl_util.Rng.derive_seed spec.seed qi) in
+        let encode = Features.encoder spec.mode inst in
+        let samples = ref [] in
+        let tunings = ref [] in
+        let record t runtime =
+          let sample =
+            {
+              Sorl_svmrank.Dataset.query = qi;
+              features = encode t;
+              runtime;
+              tag = Printf.sprintf "%s@%s" (Instance.name inst) (Tuning.to_string t);
+            }
+          in
+          samples := sample :: !samples;
+          tunings := t :: !tunings
         in
-        samples := sample :: !samples;
-        tunings := t :: !tunings
-      in
-      strategy ~query:qi ~inst ~count:counts.(qi) ~record)
-    instances;
-  ( Sorl_svmrank.Dataset.create ~dim:(Features.dim spec.mode) (List.rev !samples),
-    Array.of_list (List.rev !tunings) )
+        strategy ~rng ~query:qi ~inst ~count:counts.(qi) ~record;
+        (List.rev !samples, List.rev !tunings))
+      (Array.init (Array.length insts) Fun.id)
+  in
+  let blocks = Array.to_list blocks in
+  ( Sorl_svmrank.Dataset.create ~dim:(Features.dim spec.mode) (List.concat_map fst blocks),
+    Array.of_list (List.concat_map snd blocks) )
 
 (* Uniform (log-uniform on block/chunk sizes) random sampling (§V-B);
    duplicates are redrawn since they carry no ranking information. *)
-let random_strategy rng measure ~query:_ ~inst ~count ~record =
+let random_strategy measure ~rng ~query:_ ~inst ~count ~record =
   let dims = Kernel.dims (Instance.kernel inst) in
   let seen = Hashtbl.create 16 in
   let drawn = ref 0 in
@@ -96,15 +109,14 @@ let generate_with_tunings ?(spec = default_spec) ?instances measure =
   let instances =
     match instances with Some l -> l | None -> Training_shapes.instances
   in
-  let rng = Sorl_util.Rng.create spec.seed in
-  build ~spec ~instances ~strategy:(random_strategy rng measure)
+  build ~spec ~instances ~strategy:(random_strategy measure)
 
 let generate ?spec ?instances measure = fst (generate_with_tunings ?spec ?instances measure)
 
 (* Guided sampling (§VII): random prefix, then a greedy hill climb from
    the best random draw; each proposal is measured once and recorded
    whether accepted or not. *)
-let guided_strategy rng measure ~guided_fraction ~query:_ ~inst ~count ~record =
+let guided_strategy measure ~guided_fraction ~rng ~query:_ ~inst ~count ~record =
   let dims = Kernel.dims (Instance.kernel inst) in
   let seen = Hashtbl.create 16 in
   let n_random = max 2 (int_of_float (Float.round ((1. -. guided_fraction) *. float_of_int count))) in
@@ -159,7 +171,6 @@ let generate_guided ?(spec = default_spec) ?instances ?(guided_fraction = 0.5) m
   let instances =
     match instances with Some l -> l | None -> Training_shapes.instances
   in
-  let rng = Sorl_util.Rng.create spec.seed in
-  fst (build ~spec ~instances ~strategy:(guided_strategy rng measure ~guided_fraction))
+  fst (build ~spec ~instances ~strategy:(guided_strategy measure ~guided_fraction))
 
 let generation_evaluations spec = spec.size

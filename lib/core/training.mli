@@ -6,7 +6,13 @@
     randomly drawn tuning vectors — three-dimensional instances get
     twice as many as two-dimensional ones, as in the paper — and the
     measured runtimes, grouped per instance, expose the partial
-    rankings. *)
+    rankings.
+
+    Generation is parallel over instances: each instance's sample block
+    is drawn from a private generator derived from [(seed, query id)]
+    via {!Sorl_util.Rng.derive_seed} and blocks are concatenated in
+    instance order, so the dataset is bit-identical for every
+    {!Sorl_util.Pool} size (serial included). *)
 
 type spec = {
   size : int;  (** total number of stencil executions (samples) *)

@@ -4,22 +4,34 @@ type backend =
   | Model of { machine : Machine_desc.t; noise_amplitude : float; seed : int }
   | Wallclock of { repeats : int }
 
-type t = { backend : backend; mutable evaluations : int }
+type t = { backend : backend; evaluations : int Atomic.t }
 
 let model ?(noise_amplitude = 0.02) ?(seed = 42) machine =
   if noise_amplitude < 0. then invalid_arg "Measure.model: negative noise amplitude";
-  { backend = Model { machine; noise_amplitude; seed }; evaluations = 0 }
+  { backend = Model { machine; noise_amplitude; seed }; evaluations = Atomic.make 0 }
 
 let wallclock ?(repeats = 3) () =
   if repeats < 1 then invalid_arg "Measure.wallclock: repeats must be >= 1";
-  { backend = Wallclock { repeats }; evaluations = 0 }
+  { backend = Wallclock { repeats }; evaluations = Atomic.make 0 }
 
-(* Stable key for a configuration, independent of evaluation order. *)
+(* Stable key for a configuration, independent of evaluation order.
+   [Hashtbl.hash] on the whole tuple only keeps ~30 bits and readily
+   collides across the 8640-point predefined sets, which would glue the
+   "measurement noise" of unrelated configurations together.  Instead
+   chain each raw field through a full-avalanche 64-bit mixer. *)
 let config_key inst tn =
-  Hashtbl.hash (Instance.name inst, tn.Tuning.bx, tn.Tuning.by, tn.Tuning.bz, tn.Tuning.u, tn.Tuning.c)
+  let mix h v = Sorl_util.Rng.mix64 (Int64.logxor h (Int64.of_int v)) in
+  let h = Int64.of_int 0x5bd1e995 in
+  let h = mix h (Hashtbl.hash (Instance.name inst)) in
+  let h = mix h tn.Tuning.bx in
+  let h = mix h tn.Tuning.by in
+  let h = mix h tn.Tuning.bz in
+  let h = mix h tn.Tuning.u in
+  let h = mix h tn.Tuning.c in
+  Int64.to_int h land max_int
 
 let runtime t inst tn =
-  t.evaluations <- t.evaluations + 1;
+  Atomic.incr t.evaluations;
   match t.backend with
   | Model { machine; noise_amplitude; seed } ->
     let base = Cost_model.runtime_of machine inst tn in
@@ -39,8 +51,8 @@ let runtime t inst tn =
     Sorl_util.Stats.median samples
 
 let gflops t inst tn = Instance.total_flops inst /. runtime t inst tn /. 1e9
-let evaluations t = t.evaluations
-let reset_evaluations t = t.evaluations <- 0
+let evaluations t = Atomic.get t.evaluations
+let reset_evaluations t = Atomic.set t.evaluations 0
 
 let descr t =
   match t.backend with

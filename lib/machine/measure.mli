@@ -12,7 +12,9 @@
     - {!wallclock} compiles and actually runs the variant through the
       interpreter on real grids and times it.
 
-    An evaluation counter makes search budgets observable. *)
+    An evaluation counter makes search budgets observable.  The counter
+    is atomic, so a single measure may be shared by domains evaluating
+    configurations in parallel (the model backend is otherwise pure). *)
 
 type t
 

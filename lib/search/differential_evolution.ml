@@ -24,10 +24,14 @@ let run ?(seed = 0) ?(params = default_params) ?budget problem =
   let bounds = Problem.bounds problem in
   let n = Array.length bounds in
   Runner.run_with ?budget problem (fun r ->
-      let xs =
-        Array.init params.population (fun _ -> encode bounds (Problem.random_point problem rng))
-      in
-      let costs = Array.map (fun x -> Runner.eval r (decode problem bounds x)) xs in
+      (* Only the initial population is batchable: the generation loop
+         below updates members in place, so later donors legitimately
+         see earlier replacements within the same generation. *)
+      let xs = Array.make params.population [||] in
+      for i = 0 to params.population - 1 do
+        xs.(i) <- encode bounds (Problem.random_point problem rng)
+      done;
+      let costs = Runner.eval_batch r (Array.map (decode problem bounds) xs) in
       while true do
         for i = 0 to params.population - 1 do
           (* Three distinct members, all different from i. *)

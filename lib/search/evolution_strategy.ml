@@ -32,35 +32,40 @@ let run ?(seed = 0) ?(params = default_params) ?budget problem =
   let bounds = Problem.bounds problem in
   let n = Array.length bounds in
   Runner.run_with ?budget problem (fun r ->
-      let make_individual x sigma =
-        { x; sigma; cost = Runner.eval r (decode problem bounds x) }
+      (* Draw a whole generation's (x, sigma) pairs serially, then
+         price them in one parallel batch; evaluation consumes no
+         randomness, so the random stream is pool-size independent. *)
+      let evaluate_all cands =
+        let costs =
+          Runner.eval_batch r (Array.map (fun (x, _) -> decode problem bounds x) cands)
+        in
+        Array.mapi (fun i (x, sigma) -> { x; sigma; cost = costs.(i) }) cands
       in
-      let pop =
-        ref
-          (Array.init params.mu (fun _ ->
-               make_individual (encode bounds (Problem.random_point problem rng))
-                 (initial_sigma bounds)))
-      in
+      let init = Array.make params.mu ([||], [||]) in
+      for i = 0 to params.mu - 1 do
+        init.(i) <- (encode bounds (Problem.random_point problem rng), initial_sigma bounds)
+      done;
+      let pop = ref (evaluate_all init) in
       Array.sort (fun a b -> compare a.cost b.cost) !pop;
       while true do
-        let offspring =
-          Array.init params.lambda (fun _ ->
-              let parent = !pop.(Sorl_util.Rng.int rng params.mu) in
-              let global = exp (params.tau *. Sorl_util.Rng.gaussian rng) in
-              let sigma =
-                Array.map
-                  (fun s ->
-                    Float.max 1e-3
-                      (s *. global *. exp (params.tau *. Sorl_util.Rng.gaussian rng)))
-                  parent.sigma
-              in
-              let x =
-                Array.init n (fun i ->
-                    parent.x.(i) +. (sigma.(i) *. Sorl_util.Rng.gaussian rng))
-              in
-              make_individual x sigma)
-        in
-        let all = Array.append !pop offspring in
+        let cands = Array.make params.lambda ([||], [||]) in
+        for k = 0 to params.lambda - 1 do
+          let parent = !pop.(Sorl_util.Rng.int rng params.mu) in
+          let global = exp (params.tau *. Sorl_util.Rng.gaussian rng) in
+          let sigma =
+            Array.map
+              (fun s ->
+                Float.max 1e-3
+                  (s *. global *. exp (params.tau *. Sorl_util.Rng.gaussian rng)))
+              parent.sigma
+          in
+          let x =
+            Array.init n (fun i ->
+                parent.x.(i) +. (sigma.(i) *. Sorl_util.Rng.gaussian rng))
+          in
+          cands.(k) <- (x, sigma)
+        done;
+        let all = Array.append !pop (evaluate_all cands) in
         Array.sort (fun a b -> compare a.cost b.cost) all;
         pop := Array.sub all 0 params.mu
       done)

@@ -19,21 +19,27 @@ let check p =
   if p.mutation_rate < 0. || p.mutation_rate > 1. then
     invalid_arg "Ga_generational: mutation_rate outside [0,1]"
 
+(* All random draws happen while building a generation's genomes, on
+   the calling domain; evaluation itself consumes no randomness.  Each
+   generation can therefore be evaluated as one batch over the pool
+   without perturbing the random stream. *)
 let run ?(seed = 0) ?(params = default_params) ?budget problem =
   check params;
   let rng = Sorl_util.Rng.create seed in
   Runner.run_with ?budget problem (fun r ->
-      let evaluate g = { Ga_common.genome = g; cost = Runner.eval r g } in
-      let pop =
-        ref (Array.init params.population (fun _ -> evaluate (Problem.random_point problem rng)))
+      let evaluate_all genomes =
+        let costs = Runner.eval_batch r genomes in
+        Array.mapi (fun i g -> { Ga_common.genome = g; cost = costs.(i) }) genomes
       in
+      let init = Array.make params.population [||] in
+      for i = 0 to params.population - 1 do
+        init.(i) <- Problem.random_point problem rng
+      done;
+      let pop = ref (evaluate_all init) in
       Ga_common.sort_by_cost !pop;
       while true do
-        let next = Array.make params.population !pop.(0) in
-        for i = 0 to params.elite - 1 do
-          next.(i) <- !pop.(i)
-        done;
-        for i = params.elite to params.population - 1 do
+        let children = Array.make (params.population - params.elite) [||] in
+        for i = 0 to Array.length children - 1 do
           let a = Ga_common.tournament rng !pop ~k:params.tournament in
           let child =
             if Sorl_util.Rng.uniform rng < params.crossover_rate then begin
@@ -43,8 +49,9 @@ let run ?(seed = 0) ?(params = default_params) ?budget problem =
             else Array.copy a.Ga_common.genome
           in
           Ga_common.mutate rng problem ~rate:params.mutation_rate child;
-          next.(i) <- evaluate child
+          children.(i) <- child
         done;
+        let next = Array.append (Array.sub !pop 0 params.elite) (evaluate_all children) in
         Ga_common.sort_by_cost next;
         pop := next
       done)

@@ -5,34 +5,56 @@ type t = {
   budget : int;
   mutable evals : int;
   mutable best : (int array * float) option;
+  mutable cost_sum : float;
   curve : float array;
 }
 
 let create ?(budget = 1024) problem =
   if budget <= 0 then invalid_arg "Runner.create: budget must be positive";
-  { problem; budget; evals = 0; best = None; curve = Array.make budget infinity }
+  { problem; budget; evals = 0; best = None; cost_sum = 0.; curve = Array.make budget infinity }
 
-let eval t p =
-  if t.evals >= t.budget then raise Out_of_budget;
-  let c = Problem.eval t.problem p in
+(* Book-keeping for one completed evaluation; always runs on the main
+   domain, in evaluation order. *)
+let record t p c =
   (match t.best with
   | Some (_, bc) when bc <= c -> ()
   | _ -> t.best <- Some (Problem.clamp t.problem p, c));
   let bc = match t.best with Some (_, bc) -> bc | None -> c in
   t.curve.(t.evals) <- bc;
   t.evals <- t.evals + 1;
+  t.cost_sum <- t.cost_sum +. c
+
+let eval t p =
+  if t.evals >= t.budget then raise Out_of_budget;
+  let c = Problem.eval t.problem p in
+  record t p c;
   c
+
+let eval_batch t ps =
+  let k = Array.length ps in
+  let m = min k (t.budget - t.evals) in
+  if m = 0 && k > 0 then raise Out_of_budget;
+  let costs =
+    Sorl_util.Pool.parallel_map (Problem.eval t.problem) (Array.sub ps 0 m)
+  in
+  (* Record sequentially in submission order so best-so-far, curve and
+     cost accounting are identical to [m] serial [eval] calls. *)
+  Array.iteri (fun i c -> record t ps.(i) c) costs;
+  if m < k then raise Out_of_budget;
+  costs
 
 let evaluations t = t.evals
 let budget t = t.budget
 let remaining t = t.budget - t.evals
 let best t = t.best
 let curve t = Array.sub t.curve 0 t.evals
+let total_cost t = t.cost_sum
 
 type outcome = {
   best_point : int array;
   best_cost : float;
   evaluations : int;
+  total_cost : float;
   curve : float array;
 }
 
@@ -40,7 +62,13 @@ let finish t =
   match t.best with
   | None -> invalid_arg "Runner.finish: no evaluations"
   | Some (p, c) ->
-    { best_point = Array.copy p; best_cost = c; evaluations = t.evals; curve = curve t }
+    {
+      best_point = Array.copy p;
+      best_cost = c;
+      evaluations = t.evals;
+      total_cost = t.cost_sum;
+      curve = curve t;
+    }
 
 let run_with ?budget problem body =
   let t = create ?budget problem in

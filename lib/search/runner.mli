@@ -17,9 +17,23 @@ val eval : t -> int array -> float
 (** Evaluate and record; raises {!Out_of_budget} once the budget is
     exhausted. *)
 
+val eval_batch : t -> int array array -> float array
+(** [eval_batch t ps] evaluates the points concurrently over the
+    {!Sorl_util.Pool} and then records them in submission order, so the
+    best-so-far state, convergence curve and cost accounting are
+    exactly those of the equivalent serial {!eval} sequence (the
+    problem must be safe to evaluate from several domains — the
+    measure-backed problems are).  If the remaining budget covers only
+    a prefix, that prefix is evaluated and recorded before
+    {!Out_of_budget} is raised; the budget is never exceeded. *)
+
 val evaluations : t -> int
 val budget : t -> int
 val remaining : t -> int
+
+val total_cost : t -> float
+(** Sum of all evaluated costs so far — the total simulated runtime a
+    search has spent, used for time-budget accounting. *)
 
 val best : t -> (int array * float) option
 (** Best point found so far, if any evaluation happened. *)
@@ -32,6 +46,7 @@ type outcome = {
   best_point : int array;
   best_cost : float;
   evaluations : int;
+  total_cost : float;  (** sum of all evaluated costs (see {!total_cost}) *)
   curve : float array;
 }
 

@@ -51,6 +51,18 @@ val encoder : mode -> Instance.t -> Tuning.t -> Sorl_util.Sparse.t
     returns a closure encoding tuning vectors of that instance — use it
     when ranking many candidates for one instance. *)
 
+val encoder_entries : mode -> Instance.t -> Tuning.t -> (int * float) list
+(** Like {!encoder} but returns the raw (index, value) entry list the
+    sparse vector is built from (possibly with duplicate indices, which
+    sum).  Feed it to {!Sorl_svmrank.Model.entry_scorer} to score
+    candidates without materializing a vector per candidate. *)
+
+val encode_batch : mode -> Instance.t -> Tuning.t array -> Sorl_util.Sparse.t array
+(** [encode_batch mode inst ts] encodes many tuning vectors of one
+    instance through a single reused dense scratch buffer, avoiding the
+    per-candidate hash table of {!encode}.  Element [i] is bit-identical
+    to [encode mode inst ts.(i)]. *)
+
 val names : mode -> string array
 (** Human-readable name per feature index (pattern cells are named by
     their offset). *)

@@ -1,23 +1,28 @@
 type query_result = { query : int; tau : float; samples : int; top1_regret : float }
 
+(* Queries are scored independently (the model is read-only), so they
+   fan out over the pool; results keep query-id order regardless of
+   pool size. *)
 let per_query model ds =
   let samples = Dataset.samples ds in
-  let results = ref [] in
-  Array.iter
-    (fun q ->
-      let idxs = Dataset.query_members ds q in
-      if Array.length idxs >= 2 then begin
-        let runtimes = Array.map (fun i -> samples.(i).Dataset.runtime) idxs in
-        let scores = Array.map (fun i -> Model.score model samples.(i).Dataset.features) idxs in
-        let tau = Sorl_util.Rank_correlation.kendall_tau runtimes scores in
-        let best_true = Array.fold_left Float.min runtimes.(0) runtimes in
-        let best_pred = ref 0 in
-        Array.iteri (fun k s -> if s < scores.(!best_pred) then best_pred := k) scores;
-        let top1_regret = (runtimes.(!best_pred) -. best_true) /. best_true in
-        results := { query = q; tau; samples = Array.length idxs; top1_regret } :: !results
-      end)
-    (Dataset.query_ids ds);
-  Array.of_list (List.rev !results)
+  let results =
+    Sorl_util.Pool.parallel_map
+      (fun q ->
+        let idxs = Dataset.query_members ds q in
+        if Array.length idxs < 2 then None
+        else begin
+          let runtimes = Array.map (fun i -> samples.(i).Dataset.runtime) idxs in
+          let scores = Array.map (fun i -> Model.score model samples.(i).Dataset.features) idxs in
+          let tau = Sorl_util.Rank_correlation.kendall_tau runtimes scores in
+          let best_true = Array.fold_left Float.min runtimes.(0) runtimes in
+          let best_pred = ref 0 in
+          Array.iteri (fun k s -> if s < scores.(!best_pred) then best_pred := k) scores;
+          let top1_regret = (runtimes.(!best_pred) -. best_true) /. best_true in
+          Some { query = q; tau; samples = Array.length idxs; top1_regret }
+        end)
+      (Dataset.query_ids ds)
+  in
+  Array.of_list (List.filter_map Fun.id (Array.to_list results))
 
 let taus model ds = Array.map (fun r -> r.tau) (per_query model ds)
 

@@ -9,15 +9,39 @@ let score t phi =
     invalid_arg "Model.score: dimension mismatch";
   Sorl_util.Sparse.dot_dense phi t.w
 
-let rank t candidates =
-  let scores = Array.map (score t) candidates in
-  let idx = Array.init (Array.length candidates) (fun i -> i) in
+(* Scores a raw entry list without materializing a sparse vector.  The
+   accumulation into the scratch (list order, per index) followed by a
+   sum over the sorted touched indices with zeros skipped replays the
+   exact float operations of [Sparse.of_list] + [dot_dense], so the
+   result is bit-identical to [score t (Sparse.of_list ~dim entries)].
+   The closure owns its scratch: create one scorer per domain. *)
+let entry_scorer t =
+  let w = t.w in
+  let scratch = Array.make (Array.length w) 0. in
+  fun entries ->
+    List.iter (fun (i, x) -> scratch.(i) <- scratch.(i) +. x) entries;
+    let touched = List.sort_uniq compare (List.map fst entries) in
+    let acc = ref 0. in
+    List.iter
+      (fun i ->
+        let v = scratch.(i) in
+        if v <> 0. then acc := !acc +. (v *. w.(i));
+        scratch.(i) <- 0.)
+      touched;
+    !acc
+
+let score_batch t candidates = Sorl_util.Pool.parallel_map (score t) candidates
+
+let sort_by_score scores =
+  let idx = Array.init (Array.length scores) (fun i -> i) in
   Array.sort
     (fun a b ->
       let c = compare scores.(a) scores.(b) in
       if c <> 0 then c else compare a b)
     idx;
   idx
+
+let rank t candidates = sort_by_score (score_batch t candidates)
 
 let best t candidates =
   if Array.length candidates = 0 then invalid_arg "Model.best: no candidates";

@@ -18,9 +18,26 @@ val weights : t -> Sorl_util.Vec.t
 val score : t -> Sorl_util.Sparse.t -> float
 (** [w·φ]; lower is predicted-faster. *)
 
+val entry_scorer : t -> (int * float) list -> float
+(** [entry_scorer t] returns a closure scoring raw (index, value) entry
+    lists (duplicates sum) without building a sparse vector, via a
+    private dense scratch.  Bit-identical to
+    [score t (Sparse.of_list ~dim entries)].  The closure is not
+    reentrant: create one scorer per domain when scoring in parallel. *)
+
+val score_batch : t -> Sorl_util.Sparse.t array -> float array
+(** Scores of all candidates, computed in parallel over the
+    {!Sorl_util.Pool} (element order preserved; each score equals
+    [score t candidates.(i)] exactly). *)
+
+val sort_by_score : float array -> int array
+(** Permutation of indices sorting the given scores ascending, ties
+    broken by index (stable). *)
+
 val rank : t -> Sorl_util.Sparse.t array -> int array
 (** Permutation of candidate indices sorted best (lowest score) first.
-    Stable for equal scores. *)
+    Stable for equal scores.  Scoring runs over the {!Sorl_util.Pool};
+    the ranking is identical for every pool size. *)
 
 val best : t -> Sorl_util.Sparse.t array -> int
 (** First element of {!rank}.  Raises [Invalid_argument] on empty. *)

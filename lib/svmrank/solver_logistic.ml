@@ -45,7 +45,7 @@ let train_on_pairs ?(params = default_params) ~dim zs =
         let g = 1. /. (1. +. exp (Float.max (-35.) (Float.min 35. s))) in
         Sorl_util.Vec.scale_inplace (1. -. (eta *. params.lambda)) w;
         Sorl_util.Sparse.axpy_dense (eta *. g) z w;
-        Sorl_util.Vec.axpy 1. w w_sum)
+        Sorl_util.Vec.add_inplace w_sum w)
       order
   done;
   Sorl_util.Vec.scale_inplace (1. /. float_of_int !steps) w_sum;

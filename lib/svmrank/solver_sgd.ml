@@ -38,7 +38,7 @@ let train_on_pairs ?(params = default_params) ~dim zs =
     (* Pegasos projection onto the ball of radius 1/sqrt(lambda). *)
     let n = Sorl_util.Vec.norm w in
     if n > radius then Sorl_util.Vec.scale_inplace (radius /. n) w;
-    if params.average then Sorl_util.Vec.axpy 1. w w_sum
+    if params.average then Sorl_util.Vec.add_inplace w_sum w
   done;
   if params.average then begin
     Sorl_util.Vec.scale_inplace (1. /. float_of_int steps) w_sum;

@@ -46,43 +46,73 @@ let rec count_inversions a tmp lo hi =
     !inv
   end
 
-(* Sort indices by xs (breaking ties by ys), then count inversions of the
-   ys sequence: each inversion is a discordant pair when there are no
-   ties.  With ties present we fall back to the O(n^2) count, which is
-   fine for the query sizes we rank (tens to a few hundred items). *)
-let has_ties xs =
-  let ys = Array.copy xs in
-  Array.sort compare ys;
-  let tied = ref false in
-  for i = 0 to Array.length ys - 2 do
-    if ys.(i) = ys.(i + 1) then tied := true
-  done;
-  !tied
+(* Knight's O(n log n) algorithm: sort indices by (x, then y) and count
+   inversions of the resulting y sequence.  Pairs tied in x are sorted
+   by y, so they contribute no inversion; pairs tied in y compare with
+   [<=] in the merge, so they contribute none either.  Inversions are
+   therefore exactly the strictly discordant pairs, ties included. *)
+let ys_by_x xs ys =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = compare xs.(i) xs.(j) in
+      if c <> 0 then c else compare ys.(i) ys.(j))
+    idx;
+  Array.map (fun i -> ys.(i)) idx
 
 let count_discordant xs ys =
   check2 "Rank_correlation.count_discordant" xs ys;
-  if has_ties xs || has_ties ys then snd (pair_counts xs ys)
-  else begin
-    let n = Array.length xs in
-    let idx = Array.init n (fun i -> i) in
-    Array.sort
-      (fun i j ->
-        let c = compare xs.(i) xs.(j) in
-        if c <> 0 then c else compare ys.(i) ys.(j))
-      idx;
-    let seq = Array.map (fun i -> ys.(i)) idx in
-    let tmp = Array.make n 0. in
-    count_inversions seq tmp 0 n
-  end
+  let seq = ys_by_x xs ys in
+  let n = Array.length seq in
+  let tmp = Array.make n 0. in
+  count_inversions seq tmp 0 n
+
+let tied_pairs xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  let n = Array.length ys in
+  let total = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n - 1 && ys.(!j + 1) = ys.(!i) do incr j done;
+    let run = !j - !i + 1 in
+    total := !total + (run * (run - 1) / 2);
+    i := !j + 1
+  done;
+  !total
+
+(* Pairs tied in both inputs simultaneously: runs of equal (x, y). *)
+let joint_tied_pairs xs ys =
+  let n = Array.length xs in
+  let pairs = Array.init n (fun i -> (xs.(i), ys.(i))) in
+  Array.sort compare pairs;
+  let total = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n - 1 && pairs.(!j + 1) = pairs.(!i) do incr j done;
+    let run = !j - !i + 1 in
+    total := !total + (run * (run - 1) / 2);
+    i := !j + 1
+  done;
+  !total
+
+(* Concordant + discordant = pairs tied in neither input, by
+   inclusion-exclusion over the tie counts. *)
+let comparable_pairs xs ys =
+  let n = Array.length xs in
+  let n0 = n * (n - 1) / 2 in
+  n0 - tied_pairs xs - tied_pairs ys + joint_tied_pairs xs ys
 
 let kendall_tau xs ys =
   check2 "Rank_correlation.kendall_tau" xs ys;
-  if has_ties xs || has_ties ys then kendall_tau_naive xs ys
+  let cd = comparable_pairs xs ys in
+  if cd = 0 then 0.
   else begin
-    let n = Array.length xs in
-    let total = n * (n - 1) / 2 in
     let d = count_discordant xs ys in
-    1. -. (2. *. float_of_int d /. float_of_int total)
+    float_of_int (cd - (2 * d)) /. float_of_int cd
   end
 
 let ranks xs =
@@ -119,26 +149,15 @@ let spearman_rho xs ys =
   check2 "Rank_correlation.spearman_rho" xs ys;
   pearson (ranks xs) (ranks ys)
 
-let tied_pairs xs =
-  let ys = Array.copy xs in
-  Array.sort compare ys;
-  let n = Array.length ys in
-  let total = ref 0 in
-  let i = ref 0 in
-  while !i < n do
-    let j = ref !i in
-    while !j < n - 1 && ys.(!j + 1) = ys.(!i) do incr j done;
-    let run = !j - !i + 1 in
-    total := !total + (run * (run - 1) / 2);
-    i := !j + 1
-  done;
-  !total
-
 let kendall_tau_b xs ys =
   check2 "Rank_correlation.kendall_tau_b" xs ys;
-  let c, d = pair_counts xs ys in
   let n = Array.length xs in
   let n0 = n * (n - 1) / 2 in
   let n1 = tied_pairs xs and n2 = tied_pairs ys in
   let denom = sqrt (float_of_int (n0 - n1) *. float_of_int (n0 - n2)) in
-  if denom = 0. then 0. else float_of_int (c - d) /. denom
+  if denom = 0. then 0.
+  else begin
+    let cd = comparable_pairs xs ys in
+    let d = count_discordant xs ys in
+    float_of_int (cd - (2 * d)) /. denom
+  end

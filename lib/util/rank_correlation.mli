@@ -8,19 +8,23 @@
     separately by {!kendall_tau_b} which corrects for them. *)
 
 val kendall_tau : float array -> float array -> float
-(** [kendall_tau xs ys] computes τ-a between the orderings induced by
-    [xs] and [ys] (same length, at least 2).  O(n log n) via
-    inversion counting.  Raises [Invalid_argument] on length mismatch or
-    fewer than 2 points. *)
+(** [kendall_tau xs ys] computes τ between the orderings induced by
+    [xs] and [ys] (same length, at least 2): [(C - D) / (C + D)] over
+    strictly concordant/discordant pairs, 0 when every pair is tied.
+    O(n log n) for any input — discordant pairs via Knight's
+    sort-and-count-inversions, tie corrections from sorted run lengths.
+    Raises [Invalid_argument] on length mismatch or fewer than 2
+    points. *)
 
 val kendall_tau_b : float array -> float array -> float
 (** τ-b, the tie-corrected variant:
     [(C - D) / sqrt((n0 - n1)(n0 - n2))] where [n1], [n2] count tied
-    pairs in each input.  Equal to τ-a when there are no ties. *)
+    pairs in each input.  Equal to {!kendall_tau} when there are no
+    ties.  Also O(n log n). *)
 
 val kendall_tau_naive : float array -> float array -> float
-(** O(n²) direct pair enumeration of τ-a; reference implementation used
-    by the test suite to validate {!kendall_tau}. *)
+(** O(n²) direct pair enumeration; reference implementation used by the
+    test suite as the oracle for {!kendall_tau}. *)
 
 val spearman_rho : float array -> float array -> float
 (** Spearman's rank correlation coefficient (Pearson correlation of the

@@ -112,3 +112,16 @@ let hash_noise ~seed ~key =
   let z = splitmix64_next state in
   let r = Int64.shift_right_logical z 11 in
   Int64.to_float r *. 0x1.0p-53
+
+(* splitmix64 finalizer: a full-avalanche 64-bit mixer. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let derive_seed seed i =
+  let open Int64 in
+  let h = mix64 (add (of_int seed) 0x9E3779B97F4A7C15L) in
+  let h = mix64 (logxor h (mul (of_int i) 0xFF51AFD7ED558CCDL)) in
+  to_int h land Stdlib.max_int

@@ -59,3 +59,15 @@ val hash_noise : seed:int -> key:int -> float
     [\[0,1)] that depends only on [(seed, key)].  Used to attach stable
     "measurement noise" to a configuration independent of evaluation
     order. *)
+
+val mix64 : int64 -> int64
+(** Full-avalanche 64-bit mixer (the splitmix64 finalizer): every input
+    bit flips each output bit with probability ~1/2.  Building block
+    for order-independent hash keys. *)
+
+val derive_seed : int -> int -> int
+(** [derive_seed seed i] deterministically derives an independent
+    63-bit seed for the [i]-th member of a family of generators — e.g.
+    one generator per training instance, so each instance's sample
+    block is reproducible in isolation regardless of evaluation
+    order. *)

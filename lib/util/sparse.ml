@@ -17,6 +17,18 @@ let of_list ~dim pairs =
   in
   { dim; idx = Array.of_list (List.map fst entries); v = Array.of_list (List.map snd entries) }
 
+let of_sorted ~dim idx v =
+  let n = Array.length idx in
+  if Array.length v <> n then invalid_arg "Sparse.of_sorted: length mismatch";
+  for k = 0 to n - 1 do
+    if idx.(k) < 0 || idx.(k) >= dim then
+      invalid_arg "Sparse.of_sorted: index out of range";
+    if k > 0 && idx.(k) <= idx.(k - 1) then
+      invalid_arg "Sparse.of_sorted: indices not strictly increasing";
+    if v.(k) = 0. then invalid_arg "Sparse.of_sorted: explicit zero entry"
+  done;
+  { dim; idx = Array.copy idx; v = Array.copy v }
+
 let of_dense a =
   let entries = ref [] in
   for i = Array.length a - 1 downto 0 do

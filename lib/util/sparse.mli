@@ -12,6 +12,13 @@ val of_list : dim:int -> (int * float) list -> t
 (** Build from (index, value) pairs.  Duplicate indices are summed,
     explicit zeros dropped, indices must be inside [\[0, dim)]. *)
 
+val of_sorted : dim:int -> int array -> float array -> t
+(** [of_sorted ~dim idx v] builds a vector directly from parallel
+    index/value arrays that are already strictly increasing in index
+    with no zero values — the invariant {!of_list} establishes, checked
+    here in O(nnz) without the hashing/sorting pass.  The arrays are
+    copied.  Raises [Invalid_argument] if the invariant is violated. *)
+
 val of_dense : float array -> t
 (** Keep only nonzero entries. *)
 

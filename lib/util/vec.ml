@@ -17,7 +17,18 @@ let dot x y =
 
 let norm2 x = dot x x
 let norm x = sqrt (norm2 x)
-let scale a x = Array.map (fun v -> a *. v) x
+
+(* The fresh-result operations below use explicit loops over a
+   preallocated array rather than [Array.map]/[Array.mapi]: the closure
+   passed to [map] is not inlined by the bytecode/native compilers we
+   target, and the solvers call these in inner loops. *)
+let scale a x =
+  let n = Array.length x in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- a *. x.(i)
+  done;
+  out
 
 let scale_inplace a x =
   for i = 0 to Array.length x - 1 do
@@ -26,11 +37,33 @@ let scale_inplace a x =
 
 let add x y =
   check2 "Vec.add" x y;
-  Array.mapi (fun i v -> v +. y.(i)) x
+  let n = Array.length x in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- x.(i) +. y.(i)
+  done;
+  out
 
 let sub x y =
   check2 "Vec.sub" x y;
-  Array.mapi (fun i v -> v -. y.(i)) x
+  let n = Array.length x in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- x.(i) -. y.(i)
+  done;
+  out
+
+let add_inplace x y =
+  check2 "Vec.add_inplace" x y;
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) +. y.(i)
+  done
+
+let sub_inplace x y =
+  check2 "Vec.sub_inplace" x y;
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) -. y.(i)
+  done
 
 let axpy a x y =
   check2 "Vec.axpy" x y;

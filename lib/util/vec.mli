@@ -33,6 +33,14 @@ val add : t -> t -> t
 val sub : t -> t -> t
 (** Fresh element-wise difference. *)
 
+val add_inplace : t -> t -> unit
+(** [add_inplace x y] performs [x <- x + y] in place, allocating
+    nothing. *)
+
+val sub_inplace : t -> t -> unit
+(** [sub_inplace x y] performs [x <- x - y] in place, allocating
+    nothing. *)
+
 val axpy : float -> t -> t -> unit
 (** [axpy a x y] performs [y <- y + a·x] in place. *)
 

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "sorl"
     [
       ("rng", Test_rng.suite);
+      ("pool", Test_pool.suite);
       ("stats", Test_stats.suite);
       ("rank-correlation", Test_rank_correlation.suite);
       ("vec-sparse", Test_vec_sparse.suite);

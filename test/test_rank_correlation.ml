@@ -71,6 +71,33 @@ let gen_pairs =
     let* ys = array_size (return n) (float_range (-1000.) 1000.) in
     return (distinct xs, distinct ys))
 
+let gen_tied_pairs =
+  (* Values drawn from a handful of levels, so ties — including joint
+     ties — are everywhere. *)
+  QCheck2.Gen.(
+    let* n = int_range 2 60 in
+    let level = map float_of_int (int_range 0 4) in
+    let* xs = array_size (return n) level in
+    let* ys = array_size (return n) level in
+    return (xs, ys))
+
+(* O(n²) reference for tau-b, independent of the library's tie
+   machinery. *)
+let naive_tau_b xs ys =
+  let n = Array.length xs in
+  let c = ref 0 and d = ref 0 and tx = ref 0 and ty = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let dx = compare xs.(i) xs.(j) and dy = compare ys.(i) ys.(j) in
+      if dx = 0 then incr tx;
+      if dy = 0 then incr ty;
+      if dx <> 0 && dy <> 0 then if dx = dy then incr c else incr d
+    done
+  done;
+  let n0 = n * (n - 1) / 2 in
+  let denom = sqrt (float_of_int (n0 - !tx) *. float_of_int (n0 - !ty)) in
+  if denom = 0. then 0. else float_of_int (!c - !d) /. denom
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -79,6 +106,16 @@ let qcheck_tests =
            Float.abs
              (Rank_correlation.kendall_tau xs ys -. Rank_correlation.kendall_tau_naive xs ys)
            < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500 ~name:"fast tau = naive tau (heavy ties)" gen_tied_pairs
+         (fun (xs, ys) ->
+           Float.abs
+             (Rank_correlation.kendall_tau xs ys -. Rank_correlation.kendall_tau_naive xs ys)
+           < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500 ~name:"tau-b = naive tau-b (heavy ties)" gen_tied_pairs
+         (fun (xs, ys) ->
+           Float.abs (Rank_correlation.kendall_tau_b xs ys -. naive_tau_b xs ys) < 1e-9));
     QCheck_alcotest.to_alcotest
       (QCheck2.Test.make ~count:300 ~name:"tau in [-1,1]" gen_pairs (fun (xs, ys) ->
            let t = Rank_correlation.kendall_tau xs ys in

@@ -28,6 +28,15 @@ let test_vec_ops () =
   Vec.scale_inplace 3. w;
   Alcotest.(check (array (float 1e-9))) "scale_inplace" [| 3.; 6. |] w
 
+let test_vec_inplace () =
+  let x = [| 1.; 2. |] in
+  Vec.add_inplace x [| 3.; 5. |];
+  Alcotest.(check (array (float 1e-9))) "add_inplace" [| 4.; 7. |] x;
+  Vec.sub_inplace x [| 1.; 1. |];
+  Alcotest.(check (array (float 1e-9))) "sub_inplace" [| 3.; 6. |] x;
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Vec.add_inplace: dimension mismatch")
+    (fun () -> Vec.add_inplace [| 1. |] [| 1.; 2. |])
+
 let test_vec_equal () =
   checkb "equal within eps" true (Vec.equal ~eps:1e-6 [| 1. |] [| 1. +. 1e-8 |]);
   checkb "not equal" false (Vec.equal [| 1. |] [| 2. |]);
@@ -49,6 +58,20 @@ let test_sparse_of_list () =
   Alcotest.check_raises "index out of range"
     (Invalid_argument "Sparse.of_list: index out of range") (fun () ->
       ignore (Sparse.of_list ~dim:2 [ (2, 1.) ]))
+
+let test_sparse_of_sorted () =
+  let s = Sparse.of_sorted ~dim:5 [| 1; 3 |] [| 2.; -1. |] in
+  let via_list = Sparse.of_list ~dim:5 [ (1, 2.); (3, -1.) ] in
+  checkb "matches of_list" true (Sparse.equal ~eps:0. s via_list);
+  Alcotest.check_raises "not increasing"
+    (Invalid_argument "Sparse.of_sorted: indices not strictly increasing") (fun () ->
+      ignore (Sparse.of_sorted ~dim:5 [| 3; 1 |] [| 1.; 1. |]));
+  Alcotest.check_raises "explicit zero" (Invalid_argument "Sparse.of_sorted: explicit zero entry")
+    (fun () -> ignore (Sparse.of_sorted ~dim:5 [| 1 |] [| 0. |]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Sparse.of_sorted: index out of range")
+    (fun () -> ignore (Sparse.of_sorted ~dim:5 [| 7 |] [| 1. |]));
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Sparse.of_sorted: length mismatch")
+    (fun () -> ignore (Sparse.of_sorted ~dim:5 [| 1; 2 |] [| 1. |]))
 
 let test_sparse_get_binary_search () =
   let s = Sparse.of_list ~dim:100 [ (3, 1.); (50, 2.); (99, 3.) ] in
@@ -126,8 +149,10 @@ let suite =
     Alcotest.test_case "vec norms" `Quick test_vec_norms;
     Alcotest.test_case "vec ops" `Quick test_vec_ops;
     Alcotest.test_case "vec equal" `Quick test_vec_equal;
+    Alcotest.test_case "vec inplace ops" `Quick test_vec_inplace;
     Alcotest.test_case "sparse roundtrip" `Quick test_sparse_roundtrip;
     Alcotest.test_case "sparse of_list" `Quick test_sparse_of_list;
+    Alcotest.test_case "sparse of_sorted" `Quick test_sparse_of_sorted;
     Alcotest.test_case "sparse get" `Quick test_sparse_get_binary_search;
     Alcotest.test_case "sparse dot" `Quick test_sparse_dot;
     Alcotest.test_case "sparse axpy_dense" `Quick test_sparse_axpy_dense;
