@@ -92,7 +92,7 @@ let table2 () =
           string_of_int r.E.t2_size;
           Table.fmt_time r.E.t2_generation_s;
           Table.fmt_time r.E.t2_training_s;
-          Table.fmt_time r.E.t2_regression_s;
+          Printf.sprintf "%s (n=%d)" (Table.fmt_time r.E.t2_regression_s) r.E.t2_regression_reps;
         ])
     rows;
   Table.print t
@@ -801,7 +801,7 @@ let perf () =
   let rank_at d =
     Sorl_util.Pool.with_domains d (fun () ->
         let order = Sorl.Autotuner.rank tuner inst set in
-        let s =
+        let s, _reps =
           Sorl_util.Timer.time_repeat (fun () -> ignore (Sorl.Autotuner.rank tuner inst set))
         in
         (order, s))
@@ -826,6 +826,25 @@ let perf () =
   row "training generation (16000)" gen_serial_s gen_par_s gen_ok;
   row "rank 8640 candidates" rank_serial_s rank_par_s rank_ok;
   Table.print t;
+  (* Per-stage telemetry: trace one reduced-scale generate + train + rank
+     and embed the counters/spans in the JSON report.  Resets any
+     telemetry collected so far so the section covers exactly this
+     pipeline. *)
+  let was_on = Sorl_util.Telemetry.enabled () in
+  Sorl_util.Telemetry.set_enabled true;
+  Sorl_util.Telemetry.reset ();
+  let telemetry_json =
+    let m = Sorl_machine.Measure.model machine in
+    let spec = { Sorl.Training.size = 960; mode = Features.Extended; seed = 5 } in
+    let ds = Sorl.Training.generate ~spec m in
+    let tuner = Sorl.Autotuner.train_on ~mode:Features.Extended ds in
+    ignore (Sorl.Autotuner.rank tuner inst set);
+    Sorl_util.Telemetry.report_json ()
+  in
+  if not was_on then begin
+    Sorl_util.Telemetry.set_enabled false;
+    Sorl_util.Telemetry.reset ()
+  end;
   let json =
     Printf.sprintf
       "{\n\
@@ -844,10 +863,11 @@ let perf () =
       \      \"speedup\": %.3f,\n\
       \      \"identical\": %b\n\
       \    }\n\
-      \  }\n\
+      \  },\n\
+      \  \"telemetry\": %s\n\
        }\n"
       domains cores gen_serial_s gen_par_s (gen_serial_s /. gen_par_s) gen_ok rank_serial_s
-      rank_par_s (rank_serial_s /. rank_par_s) rank_ok
+      rank_par_s (rank_serial_s /. rank_par_s) rank_ok telemetry_json
   in
   let oc = open_out "BENCH_parallel.json" in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
@@ -913,6 +933,53 @@ let micro () =
     tests;
   Table.print t
 
+(* ---- telemetry overhead ---- *)
+
+let telemetry_overhead () =
+  header "Telemetry overhead: disabled-path cost relative to Autotuner.rank";
+  let was_on = Sorl_util.Telemetry.enabled () in
+  Sorl_util.Telemetry.set_enabled false;
+  let c = Sorl_util.Telemetry.counter "bench.overhead" in
+  let h = Sorl_util.Telemetry.histogram "bench.overhead_s" in
+  let iters = 1_000_000 in
+  let batch_s, _ =
+    Sorl_util.Timer.time_repeat ~min_time:0.2 (fun () ->
+        for i = 1 to iters do
+          Sorl_util.Telemetry.span "bench/overhead" (fun () ->
+              Sorl_util.Telemetry.incr c;
+              Sorl_util.Telemetry.observe h (Sys.opaque_identity (float_of_int i)))
+        done)
+  in
+  (* each iteration exercises one disabled span + counter + histogram *)
+  let per_op_s = batch_s /. float_of_int (3 * iters) in
+  let m = Sorl_machine.Measure.model machine in
+  let spec = { Sorl.Training.size = 960; mode = Features.Extended; seed = 5 } in
+  let tuner = Sorl.Autotuner.train_on ~mode:Features.Extended (Sorl.Training.generate ~spec m) in
+  let inst = Benchmarks.instance_by_name "gradient-256x256x256" in
+  let set = Tuning.predefined_set ~dims:3 in
+  let rank_s, _ =
+    Sorl_util.Timer.time_repeat ~min_time:0.2 (fun () ->
+        ignore (Sorl.Autotuner.rank tuner inst set))
+  in
+  if was_on then Sorl_util.Telemetry.set_enabled true;
+  (* Disabled instrumentation on the rank path: the rank span, the
+     candidate counter and one enabled-check per chunk — bounded by a
+     handful of ops per call, scored here as 8 for slack. *)
+  let overhead_s = 8. *. per_op_s in
+  let rel = overhead_s /. rank_s in
+  Printf.printf "disabled telemetry op: %.1f ns (span+counter+histogram avg)\n"
+    (per_op_s *. 1e9);
+  Printf.printf "Autotuner.rank (8640 candidates): %s\n" (Table.fmt_time rank_s);
+  Printf.printf "estimated disabled overhead per rank: %.5f%% (budget 1%%)\n" (rel *. 100.);
+  if rel > 0.01 then
+    if Sys.getenv_opt "CI" <> None then
+      Printf.printf "WARNING: disabled-telemetry overhead exceeds the 1%% budget\n"
+    else begin
+      Printf.eprintf "FAIL: disabled-telemetry overhead exceeds the 1%% budget\n";
+      exit 1
+    end
+  else print_endline "OK: disabled telemetry is below the 1% budget"
+
 (* ---- driver ---- *)
 
 let experiments =
@@ -930,15 +997,30 @@ let experiments =
     ("csv", csv);
     ("perf", perf);
     ("micro", micro);
+    ("telemetry-overhead", telemetry_overhead);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: [] -> List.map fst experiments
-    | _ :: args -> args
-    | [] -> assert false
+  let args = List.tl (Array.to_list Sys.argv) in
+  let trace_out =
+    List.find_map
+      (fun a ->
+        if String.starts_with ~prefix:"--trace-out=" a then
+          Some (String.sub a 12 (String.length a - 12))
+        else None)
+      args
   in
+  let trace = List.mem "--trace" args || trace_out <> None in
+  let args =
+    List.filter
+      (fun a -> a <> "--trace" && not (String.starts_with ~prefix:"--trace-out=" a))
+      args
+  in
+  if trace then begin
+    Sorl_util.Telemetry.set_enabled true;
+    Sorl_util.Telemetry.reset ()
+  end;
+  let requested = match args with [] -> List.map fst experiments | l -> l in
   Printf.printf "substrate: %s\n" (Sorl_machine.Measure.descr measure);
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -951,4 +1033,13 @@ let () =
         exit 1)
     requested;
   Printf.printf "\ntotal bench wall time: %s\n"
-    (Table.fmt_time (Unix.gettimeofday () -. t0))
+    (Table.fmt_time (Unix.gettimeofday () -. t0));
+  if trace then begin
+    print_newline ();
+    print_string (Sorl_util.Telemetry.summary ());
+    Option.iter
+      (fun path ->
+        Sorl_util.Telemetry.write_chrome_json path;
+        Printf.printf "trace written to %s\n" path)
+      trace_out
+  end

@@ -50,6 +50,34 @@ let mode_arg =
   in
   Arg.(value & opt mode_conv Features.Extended & info [ "features" ] ~docv:"MODE" ~doc)
 
+let trace_arg =
+  let doc = "Enable telemetry (spans, counters, histograms) and print the trace summary." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_out_arg =
+  let doc = "Write a Chrome trace-event JSON report to $(docv) (implies $(b,--trace))." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Runs [f] with telemetry enabled when requested, then prints the span
+   tree / counters / histograms and writes the Chrome-trace JSON. *)
+let with_trace trace trace_out f =
+  let tracing = trace || trace_out <> None in
+  if tracing then begin
+    Sorl_util.Telemetry.set_enabled true;
+    Sorl_util.Telemetry.reset ()
+  end;
+  let r = f ~tracing () in
+  if tracing then begin
+    print_newline ();
+    print_string (Sorl_util.Telemetry.summary ());
+    Option.iter
+      (fun path ->
+        Sorl_util.Telemetry.write_chrome_json path;
+        Printf.printf "trace written to %s\n" path)
+      trace_out
+  end;
+  r
+
 let lookup_instance name =
   match Benchmarks.instance_by_name name with
   | inst -> Ok inst
@@ -90,13 +118,30 @@ let list_cmd =
 
 (* ---- train ---- *)
 
+let shapes_arg =
+  let doc =
+    "Train on only the first $(docv) of the 200 training shapes (quick smoke runs; the \
+     training size must stay >= twice the instance count)."
+  in
+  Arg.(value & opt (some int) None & info [ "shapes" ] ~docv:"K" ~doc)
+
+let train_instances = function
+  | None -> Ok None
+  | Some k when k >= 1 ->
+    Ok (Some (List.filteri (fun i _ -> i < k) Training_shapes.instances))
+  | Some _ -> Error (`Msg "--shapes must be >= 1")
+
 let train_cmd =
-  let run size seed noise mode model_file =
+  let run size seed noise mode model_file shapes trace trace_out =
+    Result.bind (train_instances shapes) @@ fun instances ->
+    with_trace trace trace_out @@ fun ~tracing () ->
     let measure = measure_of ~noise ~seed in
     let spec = { Sorl.Training.size; mode; seed } in
     Printf.printf "generating %d training executions on %s...\n%!" size
       (Sorl_machine.Measure.descr measure);
-    let ds, gen_s = Sorl_util.Timer.time (fun () -> Sorl.Training.generate ~spec measure) in
+    let ds, gen_s =
+      Sorl_util.Timer.time (fun () -> Sorl.Training.generate ~spec ?instances measure)
+    in
     let tuner, train_s =
       Sorl_util.Timer.time (fun () -> Sorl.Autotuner.train_on ~mode ds)
     in
@@ -110,10 +155,17 @@ let train_cmd =
       (Sorl_svmrank.Dataset.num_queries ds)
       (Sorl_util.Table.fmt_time train_s) (Sorl_util.Table.fmt_time gen_s)
       (Sorl_util.Stats.mean taus) (Sorl_util.Stats.median taus) model_file;
+    if tracing then
+      Printf.printf "evaluations: %d measured (telemetry counter %d)\n"
+        (Sorl_machine.Measure.evaluations measure)
+        (Sorl_util.Telemetry.counter_value "measure.evaluations");
     Ok ()
   in
   Cmd.v (Cmd.info "train" ~doc:"Generate a training set and fit the ranking model")
-    Term.(term_result (const run $ size_arg $ seed_arg $ noise_arg $ mode_arg $ model_file_arg))
+    Term.(
+      term_result
+        (const run $ size_arg $ seed_arg $ noise_arg $ mode_arg $ model_file_arg $ shapes_arg
+        $ trace_arg $ trace_out_arg))
 
 (* ---- rank ---- *)
 
@@ -122,7 +174,7 @@ let top_arg =
   Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
 
 let rank_cmd =
-  let run name model_file top noise seed =
+  let run name model_file top noise seed trace trace_out =
     Result.bind (lookup_instance name) (fun inst ->
         if not (Sys.file_exists model_file) then
           Error
@@ -130,6 +182,7 @@ let rank_cmd =
               (Printf.sprintf "model file %s not found; run `sorl_tune train' first"
                  model_file))
         else begin
+          with_trace trace trace_out @@ fun ~tracing:_ () ->
           let tuner = Sorl.Autotuner.load model_file in
           let dims = Kernel.dims (Instance.kernel inst) in
           let set = Tuning.predefined_set ~dims in
@@ -158,7 +211,10 @@ let rank_cmd =
   in
   Cmd.v
     (Cmd.info "rank" ~doc:"Rank the pre-defined configuration set for a benchmark")
-    Term.(term_result (const run $ benchmark_arg $ model_file_arg $ top_arg $ noise_arg $ seed_arg))
+    Term.(
+      term_result
+        (const run $ benchmark_arg $ model_file_arg $ top_arg $ noise_arg $ seed_arg $ trace_arg
+        $ trace_out_arg))
 
 (* ---- tune ---- *)
 
@@ -167,8 +223,9 @@ let verify_arg =
   Arg.(value & opt int 0 & info [ "verify" ] ~docv:"K" ~doc)
 
 let tune_cmd =
-  let run name size seed noise mode verify =
+  let run name size seed noise mode verify trace trace_out =
     Result.bind (lookup_instance name) (fun inst ->
+        with_trace trace trace_out @@ fun ~tracing () ->
         let measure = measure_of ~noise ~seed in
         let spec = { Sorl.Training.size; mode; seed } in
         Printf.printf "training (size %d)...\n%!" size;
@@ -183,13 +240,18 @@ let tune_cmd =
             (Tuning.to_string tn)
             (Instance.total_flops inst /. rt /. 1e9)
         end;
+        if tracing then
+          Printf.printf "evaluations: %d measured (telemetry counter %d)\n"
+            (Sorl_machine.Measure.evaluations measure)
+            (Sorl_util.Telemetry.counter_value "measure.evaluations");
         Ok ())
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Train and pick the best configuration for a benchmark")
     Term.(
       term_result
-        (const run $ benchmark_arg $ size_arg $ seed_arg $ noise_arg $ mode_arg $ verify_arg))
+        (const run $ benchmark_arg $ size_arg $ seed_arg $ noise_arg $ mode_arg $ verify_arg
+        $ trace_arg $ trace_out_arg))
 
 (* ---- search ---- *)
 
@@ -202,7 +264,7 @@ let budget_arg =
   Arg.(value & opt int 1024 & info [ "budget"; "b" ] ~docv:"N" ~doc)
 
 let search_cmd =
-  let run name algo budget noise seed =
+  let run name algo budget noise seed trace trace_out =
     Result.bind (lookup_instance name) (fun inst ->
         match Sorl_search.Registry.find algo with
         | exception Not_found ->
@@ -211,6 +273,7 @@ let search_cmd =
               (Printf.sprintf "unknown algorithm %S (available: %s)" algo
                  (String.concat ", " (Sorl_search.Registry.names ()))))
         | a ->
+          with_trace trace trace_out @@ fun ~tracing:_ () ->
           let measure = measure_of ~noise ~seed in
           let problem = Sorl.Tuning_problem.problem measure inst in
           let outcome, wall =
@@ -227,7 +290,10 @@ let search_cmd =
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Run an iterative-compilation search baseline")
-    Term.(term_result (const run $ benchmark_arg $ algo_arg $ budget_arg $ noise_arg $ seed_arg))
+    Term.(
+      term_result
+        (const run $ benchmark_arg $ algo_arg $ budget_arg $ noise_arg $ seed_arg $ trace_arg
+        $ trace_out_arg))
 
 (* ---- emit ---- *)
 
@@ -315,7 +381,7 @@ let tune_file_cmd =
     in
     Arg.(value & opt size_conv (128, 128, 128) & info [ "grid"; "g" ] ~docv:"SIZE" ~doc)
   in
-  let run file (sx, sy, sz) size seed noise verify =
+  let run file (sx, sy, sz) size seed noise verify trace trace_out =
     Result.bind
       (Result.map_error (fun m -> `Msg m) (Dsl.parse_file file))
       (fun kernel ->
@@ -323,6 +389,7 @@ let tune_file_cmd =
         match Instance.create_xyz kernel ~sx ~sy ~sz with
         | exception Invalid_argument m -> Error (`Msg m)
         | inst ->
+          with_trace trace trace_out @@ fun ~tracing:_ () ->
           Printf.printf "parsed %s from %s\n%!" (Format.asprintf "%a" Kernel.pp kernel) file;
           let measure = measure_of ~noise ~seed in
           let spec = { Sorl.Training.size; mode = Features.Extended; seed } in
@@ -343,7 +410,8 @@ let tune_file_cmd =
     (Cmd.info "tune-file" ~doc:"Tune a stencil described in the textual DSL")
     Term.(
       term_result
-        (const run $ file_arg $ size3_arg $ size_arg $ seed_arg $ noise_arg $ verify_arg))
+        (const run $ file_arg $ size3_arg $ size_arg $ seed_arg $ noise_arg $ verify_arg
+        $ trace_arg $ trace_out_arg))
 
 let main_cmd =
   let doc = "ordinal-regression stencil autotuner (IPDPS'17 reproduction)" in

@@ -9,9 +9,10 @@ type t = { model : Sorl_svmrank.Model.t; mode : Features.mode }
 let default_solver = Sgd Sorl_svmrank.Solver_sgd.default_params
 
 let fit solver ds =
-  match solver with
-  | Sgd params -> Sorl_svmrank.Solver_sgd.train ~params ds
-  | Dcd params -> Sorl_svmrank.Solver_dcd.train ~params ds
+  Sorl_util.Telemetry.span "autotuner/fit" (fun () ->
+      match solver with
+      | Sgd params -> Sorl_svmrank.Solver_sgd.train ~params ds
+      | Dcd params -> Sorl_svmrank.Solver_dcd.train ~params ds)
 
 let train_on ?(solver = default_solver) ~mode ds =
   if Sorl_svmrank.Dataset.dim ds <> Features.dim mode then
@@ -33,21 +34,48 @@ let feature_mode t = t.mode
 let score t inst tuning =
   Sorl_svmrank.Model.score t.model (Features.encode t.mode inst tuning)
 
+let candidates_counter = Sorl_util.Telemetry.counter "rank.candidates"
+let encode_hist = Sorl_util.Telemetry.histogram "rank.encode_s"
+let score_hist = Sorl_util.Telemetry.histogram "rank.score_s"
+
 let rank t inst candidates =
   (* Score candidates in parallel chunks straight from their entry
      lists; [entry_scorer] is bit-identical to encode-then-score, so
      the ranking matches the serial path exactly. *)
-  let entries = Features.encoder_entries t.mode inst in
-  let n = Array.length candidates in
-  let scores = Array.make n 0. in
-  ignore
-    (Sorl_util.Pool.parallel_chunks n (fun lo hi ->
-         let score = Sorl_svmrank.Model.entry_scorer t.model in
-         for i = lo to hi - 1 do
-           scores.(i) <- score (entries candidates.(i))
-         done));
-  let order = Sorl_svmrank.Model.sort_by_score scores in
-  Array.map (fun i -> candidates.(i)) order
+  Sorl_util.Telemetry.span "autotuner/rank" (fun () ->
+      let entries = Features.encoder_entries t.mode inst in
+      let n = Array.length candidates in
+      Sorl_util.Telemetry.add candidates_counter n;
+      let scores = Array.make n 0. in
+      ignore
+        (Sorl_util.Pool.parallel_chunks n (fun lo hi ->
+             let score = Sorl_svmrank.Model.entry_scorer t.model in
+             if Sorl_util.Telemetry.enabled () then begin
+               (* Traced path: encode the whole chunk, then score it, so
+                  the two phases appear as separate spans with
+                  per-candidate latency histograms.  Each candidate's
+                  entries and score are computed by the same pure
+                  functions as the interleaved loop below, so the scores
+                  (hence the ranking) are bit-identical. *)
+               let es =
+                 Sorl_util.Telemetry.span "features/encode" (fun () ->
+                     Array.init (hi - lo) (fun k ->
+                         Sorl_util.Telemetry.time_hist encode_hist (fun () ->
+                             entries candidates.(lo + k))))
+               in
+               Sorl_util.Telemetry.span "model/score" (fun () ->
+                   Array.iteri
+                     (fun k e ->
+                       scores.(lo + k) <-
+                         Sorl_util.Telemetry.time_hist score_hist (fun () -> score e))
+                     es)
+             end
+             else
+               for i = lo to hi - 1 do
+                 scores.(i) <- score (entries candidates.(i))
+               done));
+      let order = Sorl_svmrank.Model.sort_by_score scores in
+      Array.map (fun i -> candidates.(i)) order)
 
 let best t inst candidates =
   if Array.length candidates = 0 then invalid_arg "Autotuner.best: no candidates";

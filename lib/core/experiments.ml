@@ -18,14 +18,15 @@ let train_models ?(mode = Features.Extended) ?(solver = Autotuner.default_solver
      serial inside a worker). *)
   Sorl_util.Pool.parallel_map_list
     (fun size ->
-      let spec = { Training.size; mode; seed } in
-      let dataset, generation_s =
-        Sorl_util.Timer.time (fun () -> Training.generate ~spec ?instances measure)
-      in
-      let tuner, training_s =
-        Sorl_util.Timer.time (fun () -> Autotuner.train_on ~solver ~mode dataset)
-      in
-      { size; dataset; tuner; generation_s; training_s })
+      Sorl_util.Telemetry.span "experiments/train_model" (fun () ->
+          let spec = { Training.size; mode; seed } in
+          let dataset, generation_s =
+            Sorl_util.Timer.time (fun () -> Training.generate ~spec ?instances measure)
+          in
+          let tuner, training_s =
+            Sorl_util.Timer.time (fun () -> Autotuner.train_on ~solver ~mode dataset)
+          in
+          { size; dataset; tuner; generation_s; training_s }))
     sizes
 
 (* ---- Table II ---- *)
@@ -35,22 +36,27 @@ type table2_row = {
   t2_generation_s : float;
   t2_training_s : float;
   t2_regression_s : float;
+  t2_regression_reps : int;
 }
+
+let rank_repeat_hist = Sorl_util.Telemetry.histogram "experiments.rank_repeat_s"
 
 let table2 trained_list =
   let rank_target = Benchmarks.instance_by_name "gradient-256x256x256" in
   let candidates = Tuning.predefined_set ~dims:3 in
   List.map
     (fun tr ->
-      let t2_regression_s =
+      let t2_regression_s, t2_regression_reps =
         Sorl_util.Timer.time_repeat (fun () ->
             ignore (Autotuner.rank tr.tuner rank_target candidates))
       in
+      Sorl_util.Telemetry.observe ~count:t2_regression_reps rank_repeat_hist t2_regression_s;
       {
         t2_size = tr.size;
         t2_generation_s = tr.generation_s;
         t2_training_s = tr.training_s;
         t2_regression_s;
+        t2_regression_reps;
       })
     trained_list
 
@@ -82,6 +88,7 @@ let oracle_runtime measure inst =
 let fig4 ?(budget = 1024) ?(seed = 17) measure ~tuners instances =
   Sorl_util.Pool.parallel_map_list
     (fun inst ->
+      Sorl_util.Telemetry.span "experiments/fig4_instance" @@ fun () ->
       let searches = run_searches ~budget ~seed measure inst in
       let search_runtime_s =
         List.map (fun (n, o) -> (n, o.Sorl_search.Runner.best_cost)) searches
@@ -120,6 +127,7 @@ type fig5_row = {
 let fig5 ?(budget = 1024) ?(seed = 17) ?(compile_overhead_s = 45.) measure ~tuners instances =
   Sorl_util.Pool.parallel_map_list
     (fun inst ->
+      Sorl_util.Telemetry.span "experiments/fig5_instance" @@ fun () ->
       let flops = Instance.total_flops inst in
       let gflops rt = flops /. rt /. 1e9 in
       let problem = Tuning_problem.problem measure inst in
@@ -146,10 +154,11 @@ let fig5 ?(budget = 1024) ?(seed = 17) ?(compile_overhead_s = 45.) measure ~tune
           (List.map
              (fun (size, tuner) ->
                let candidates = predefined_for inst in
-               let rank_s =
+               let rank_s, rank_reps =
                  Sorl_util.Timer.time_repeat (fun () ->
                      ignore (Autotuner.rank tuner inst candidates))
                in
+               Sorl_util.Telemetry.observe ~count:rank_reps rank_repeat_hist rank_s;
                let best = Autotuner.best tuner inst candidates in
                let rt = Sorl_machine.Measure.runtime measure inst best in
                ( (size, gflops rt),
@@ -173,6 +182,7 @@ let test_set_taus ?(samples_per_instance = 64) ?(seed = 23) measure tuner instan
   let insts = Array.of_list instances in
   Sorl_util.Pool.parallel_map_list
     (fun qi ->
+      Sorl_util.Telemetry.span "experiments/test_set_taus_instance" @@ fun () ->
       let inst = insts.(qi) in
       let rng = Sorl_util.Rng.create (Sorl_util.Rng.derive_seed seed qi) in
       let dims = Kernel.dims (Instance.kernel inst) in

@@ -34,12 +34,18 @@ type table2_row = {
   t2_size : int;
   t2_generation_s : float;
   t2_training_s : float;
-  t2_regression_s : float;  (** ranking the 8640-configuration set once *)
+  t2_regression_s : float;  (** mean time to rank the 8640-configuration set *)
+  t2_regression_reps : int;
+      (** repetitions the ranking mean was taken over
+          ({!Sorl_util.Timer.time_repeat}) *)
 }
 
 val table2 : trained list -> table2_row list
 (** Regression time is measured by ranking the 3-D pre-defined set for
-    a representative test instance. *)
+    a representative test instance; sub-millisecond rankings are
+    repeated until the timing window fills and the repeat count is
+    reported (and fed to the [experiments.rank_repeat_s] telemetry
+    histogram) alongside the mean. *)
 
 (** {2 Fig. 4 — ordinal regression vs. iterative search} *)
 

@@ -2,20 +2,24 @@ open Sorl_stencil
 
 let predefined inst = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst))
 
+let verifications_counter = Sorl_util.Telemetry.counter "hybrid.verifications"
+
 let rank_then_measure tuner measure inst ~budget =
   if budget < 1 then invalid_arg "Hybrid.rank_then_measure: budget must be >= 1";
-  let ranked = Autotuner.rank tuner inst (predefined inst) in
-  let n = min budget (Array.length ranked) in
-  let best = ref ranked.(0) in
-  let best_rt = ref infinity in
-  for i = 0 to n - 1 do
-    let rt = Sorl_machine.Measure.runtime measure inst ranked.(i) in
-    if rt < !best_rt then begin
-      best_rt := rt;
-      best := ranked.(i)
-    end
-  done;
-  (!best, !best_rt)
+  Sorl_util.Telemetry.span "hybrid/rank_then_measure" (fun () ->
+      let ranked = Autotuner.rank tuner inst (predefined inst) in
+      let n = min budget (Array.length ranked) in
+      Sorl_util.Telemetry.add verifications_counter n;
+      let best = ref ranked.(0) in
+      let best_rt = ref infinity in
+      for i = 0 to n - 1 do
+        let rt = Sorl_machine.Measure.runtime measure inst ranked.(i) in
+        if rt < !best_rt then begin
+          best_rt := rt;
+          best := ranked.(i)
+        end
+      done;
+      (!best, !best_rt))
 
 let seeded_search tuner measure inst ~budget ?(seed = 0) ?(population = 32) () =
   if budget < population then

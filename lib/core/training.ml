@@ -59,36 +59,43 @@ let tuning_counts ~size instances =
    [(spec, instance)] and blocks can be produced concurrently.  Blocks
    are assembled in instance order, making the dataset identical for
    every pool size. *)
+let samples_counter = Sorl_util.Telemetry.counter "training.samples"
+let instance_hist = Sorl_util.Telemetry.histogram "training.instance_s"
+
 let build ~spec ~instances ~strategy =
-  let counts = tuning_counts ~size:spec.size instances in
-  let insts = Array.of_list instances in
-  let blocks =
-    Sorl_util.Pool.parallel_map
-      (fun qi ->
-        let inst = insts.(qi) in
-        let rng = Sorl_util.Rng.create (Sorl_util.Rng.derive_seed spec.seed qi) in
-        let encode = Features.encoder spec.mode inst in
-        let samples = ref [] in
-        let tunings = ref [] in
-        let record t runtime =
-          let sample =
-            {
-              Sorl_svmrank.Dataset.query = qi;
-              features = encode t;
-              runtime;
-              tag = Printf.sprintf "%s@%s" (Instance.name inst) (Tuning.to_string t);
-            }
-          in
-          samples := sample :: !samples;
-          tunings := t :: !tunings
-        in
-        strategy ~rng ~query:qi ~inst ~count:counts.(qi) ~record;
-        (List.rev !samples, List.rev !tunings))
-      (Array.init (Array.length insts) Fun.id)
-  in
-  let blocks = Array.to_list blocks in
-  ( Sorl_svmrank.Dataset.create ~dim:(Features.dim spec.mode) (List.concat_map fst blocks),
-    Array.of_list (List.concat_map snd blocks) )
+  Sorl_util.Telemetry.span "training/generate" (fun () ->
+      let counts = tuning_counts ~size:spec.size instances in
+      let insts = Array.of_list instances in
+      let blocks =
+        Sorl_util.Pool.parallel_map
+          (fun qi ->
+            Sorl_util.Telemetry.span "training/instance" (fun () ->
+                Sorl_util.Telemetry.time_hist instance_hist (fun () ->
+                    let inst = insts.(qi) in
+                    let rng = Sorl_util.Rng.create (Sorl_util.Rng.derive_seed spec.seed qi) in
+                    let encode = Features.encoder spec.mode inst in
+                    let samples = ref [] in
+                    let tunings = ref [] in
+                    let record t runtime =
+                      let sample =
+                        {
+                          Sorl_svmrank.Dataset.query = qi;
+                          features = encode t;
+                          runtime;
+                          tag = Printf.sprintf "%s@%s" (Instance.name inst) (Tuning.to_string t);
+                        }
+                      in
+                      samples := sample :: !samples;
+                      tunings := t :: !tunings
+                    in
+                    strategy ~rng ~query:qi ~inst ~count:counts.(qi) ~record;
+                    Sorl_util.Telemetry.add samples_counter counts.(qi);
+                    (List.rev !samples, List.rev !tunings))))
+          (Array.init (Array.length insts) Fun.id)
+      in
+      let blocks = Array.to_list blocks in
+      ( Sorl_svmrank.Dataset.create ~dim:(Features.dim spec.mode) (List.concat_map fst blocks),
+        Array.of_list (List.concat_map snd blocks) ))
 
 (* Uniform (log-uniform on block/chunk sizes) random sampling (§V-B);
    duplicates are redrawn since they carry no ranking information. *)

@@ -30,8 +30,11 @@ let config_key inst tn =
   let h = mix h tn.Tuning.c in
   Int64.to_int h land max_int
 
+let eval_counter = Sorl_util.Telemetry.counter "measure.evaluations"
+
 let runtime t inst tn =
   Atomic.incr t.evaluations;
+  Sorl_util.Telemetry.incr eval_counter;
   match t.backend with
   | Model { machine; noise_amplitude; seed } ->
     let base = Cost_model.runtime_of machine inst tn in

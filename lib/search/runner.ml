@@ -13,9 +13,12 @@ let create ?(budget = 1024) problem =
   if budget <= 0 then invalid_arg "Runner.create: budget must be positive";
   { problem; budget; evals = 0; best = None; cost_sum = 0.; curve = Array.make budget infinity }
 
+let eval_counter = Sorl_util.Telemetry.counter "search.evaluations"
+
 (* Book-keeping for one completed evaluation; always runs on the main
    domain, in evaluation order. *)
 let record t p c =
+  Sorl_util.Telemetry.incr eval_counter;
   (match t.best with
   | Some (_, bc) when bc <= c -> ()
   | _ -> t.best <- Some (Problem.clamp t.problem p, c));

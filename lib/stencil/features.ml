@@ -162,9 +162,13 @@ let tuning_entries mode inst t =
       1.);
   !entries
 
+let encoded_counter = Sorl_util.Telemetry.counter "features.encoded"
+
 let encoder_entries mode inst =
   let base = instance_entries inst in
-  fun t -> base @ tuning_entries mode inst t
+  fun t ->
+    Sorl_util.Telemetry.incr encoded_counter;
+    base @ tuning_entries mode inst t
 
 let encoder mode inst =
   let entries = encoder_entries mode inst in
@@ -179,20 +183,21 @@ let encode_dense mode inst t = Sorl_util.Sparse.to_dense (encode mode inst t)
    order — the same float additions [Sparse.of_list] performs — so each
    resulting vector is bit-identical to [encode mode inst t]. *)
 let encode_batch mode inst tunings =
-  let d = dim mode in
-  let entries_of = encoder_entries mode inst in
-  let scratch = Array.make d 0. in
-  Array.map
-    (fun t ->
-      let entries = entries_of t in
-      List.iter (fun (i, x) -> scratch.(i) <- scratch.(i) +. x) entries;
-      let touched = List.sort_uniq compare (List.map fst entries) in
-      let nz = List.filter (fun i -> scratch.(i) <> 0.) touched in
-      let idx = Array.of_list nz in
-      let v = Array.map (fun i -> scratch.(i)) idx in
-      List.iter (fun i -> scratch.(i) <- 0.) touched;
-      Sorl_util.Sparse.of_sorted ~dim:d idx v)
-    tunings
+  Sorl_util.Telemetry.span "features/encode_batch" (fun () ->
+      let d = dim mode in
+      let entries_of = encoder_entries mode inst in
+      let scratch = Array.make d 0. in
+      Array.map
+        (fun t ->
+          let entries = entries_of t in
+          List.iter (fun (i, x) -> scratch.(i) <- scratch.(i) +. x) entries;
+          let touched = List.sort_uniq compare (List.map fst entries) in
+          let nz = List.filter (fun i -> scratch.(i) <> 0.) touched in
+          let idx = Array.of_list nz in
+          let v = Array.map (fun i -> scratch.(i)) idx in
+          List.iter (fun i -> scratch.(i) <- 0.) touched;
+          Sorl_util.Sparse.of_sorted ~dim:d idx v)
+        tunings)
 
 let continuous_names =
   [|

@@ -9,46 +9,57 @@ type params = {
 let default_params =
   { c = 100.; max_passes = 50; tol = 1e-4; max_pairs_per_query = Some 500; seed = 1 }
 
+let pairs_counter = Sorl_util.Telemetry.counter "solver.pairs"
+let passes_counter = Sorl_util.Telemetry.counter "solver.dcd.passes"
+let updates_counter = Sorl_util.Telemetry.counter "solver.dcd.updates"
+
 let train_on_pairs ?(params = default_params) ~dim zs =
   if params.c <= 0. then invalid_arg "Solver_dcd: C must be positive";
   if params.max_passes < 1 then invalid_arg "Solver_dcd: max_passes must be >= 1";
   let m = Array.length zs in
   if m = 0 then invalid_arg "Solver_dcd: no pairs";
-  let upper = params.c /. float_of_int m in
-  let alpha = Array.make m 0. in
-  let w = Array.make dim 0. in
-  let qii = Array.map Sorl_util.Sparse.norm2 zs in
-  let order = Array.init m (fun i -> i) in
-  let rng = Sorl_util.Rng.create params.seed in
-  let pass = ref 0 and converged = ref false in
-  while (not !converged) && !pass < params.max_passes do
-    incr pass;
-    Sorl_util.Rng.shuffle rng order;
-    let worst = ref 0. in
-    Array.iter
-      (fun p ->
-        if qii.(p) > 0. then begin
-          let g = Sorl_util.Sparse.dot_dense zs.(p) w -. 1. in
-          (* Projected gradient at the current alpha. *)
-          let pg =
-            if alpha.(p) <= 0. then Float.min g 0.
-            else if alpha.(p) >= upper then Float.max g 0.
-            else g
-          in
-          if Float.abs pg > !worst then worst := Float.abs pg;
-          if pg <> 0. then begin
-            let a_new = Float.max 0. (Float.min upper (alpha.(p) -. (g /. qii.(p)))) in
-            let delta = a_new -. alpha.(p) in
-            if delta <> 0. then begin
-              alpha.(p) <- a_new;
-              Sorl_util.Sparse.axpy_dense delta zs.(p) w
-            end
-          end
-        end)
-      order;
-    if !worst < params.tol then converged := true
-  done;
-  Model.create w
+  Sorl_util.Telemetry.add pairs_counter m;
+  Sorl_util.Telemetry.span "solver/dcd" (fun () ->
+      let upper = params.c /. float_of_int m in
+      let alpha = Array.make m 0. in
+      let w = Array.make dim 0. in
+      let qii = Array.map Sorl_util.Sparse.norm2 zs in
+      let order = Array.init m (fun i -> i) in
+      let rng = Sorl_util.Rng.create params.seed in
+      let pass = ref 0 and converged = ref false in
+      while (not !converged) && !pass < params.max_passes do
+        incr pass;
+        Sorl_util.Telemetry.incr passes_counter;
+        Sorl_util.Telemetry.span "solver/dcd/pass" (fun () ->
+            Sorl_util.Rng.shuffle rng order;
+            let worst = ref 0. in
+            let updates = ref 0 in
+            Array.iter
+              (fun p ->
+                if qii.(p) > 0. then begin
+                  let g = Sorl_util.Sparse.dot_dense zs.(p) w -. 1. in
+                  (* Projected gradient at the current alpha. *)
+                  let pg =
+                    if alpha.(p) <= 0. then Float.min g 0.
+                    else if alpha.(p) >= upper then Float.max g 0.
+                    else g
+                  in
+                  if Float.abs pg > !worst then worst := Float.abs pg;
+                  if pg <> 0. then begin
+                    let a_new = Float.max 0. (Float.min upper (alpha.(p) -. (g /. qii.(p)))) in
+                    let delta = a_new -. alpha.(p) in
+                    if delta <> 0. then begin
+                      alpha.(p) <- a_new;
+                      incr updates;
+                      Sorl_util.Sparse.axpy_dense delta zs.(p) w
+                    end
+                  end
+                end)
+              order;
+            Sorl_util.Telemetry.add updates_counter !updates;
+            if !worst < params.tol then converged := true)
+      done;
+      Model.create w)
 
 let train ?(params = default_params) ds =
   let rng = Sorl_util.Rng.create (params.seed + 104729) in

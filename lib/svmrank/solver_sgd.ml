@@ -15,36 +15,54 @@ let check params =
   if params.epochs < 1 then invalid_arg "Solver_sgd: epochs must be >= 1";
   if params.batch < 1 then invalid_arg "Solver_sgd: batch must be >= 1"
 
+let pairs_counter = Sorl_util.Telemetry.counter "solver.pairs"
+let steps_counter = Sorl_util.Telemetry.counter "solver.sgd.steps"
+
 let train_on_pairs ?(params = default_params) ~dim zs =
   check params;
   let m = Array.length zs in
   if m = 0 then invalid_arg "Solver_sgd: no pairs";
-  let rng = Sorl_util.Rng.create params.seed in
-  let lambda = 1. /. params.c in
-  let w = Array.make dim 0. in
-  let w_sum = Array.make dim 0. in
-  let radius = 1. /. sqrt lambda in
-  let steps = max 1 (params.epochs * m / params.batch) in
-  for t = 1 to steps do
-    let eta = 1. /. (lambda *. float_of_int t) in
-    (* Shrink from the regularizer. *)
-    Sorl_util.Vec.scale_inplace (1. -. (eta *. lambda)) w;
-    (* Mini-batch subgradient of the hinge terms. *)
-    let per = eta /. float_of_int params.batch in
-    for _ = 1 to params.batch do
-      let z = zs.(Sorl_util.Rng.int rng m) in
-      if Sorl_util.Sparse.dot_dense z w < 1. then Sorl_util.Sparse.axpy_dense per z w
-    done;
-    (* Pegasos projection onto the ball of radius 1/sqrt(lambda). *)
-    let n = Sorl_util.Vec.norm w in
-    if n > radius then Sorl_util.Vec.scale_inplace (radius /. n) w;
-    if params.average then Sorl_util.Vec.add_inplace w_sum w
-  done;
-  if params.average then begin
-    Sorl_util.Vec.scale_inplace (1. /. float_of_int steps) w_sum;
-    Model.create w_sum
-  end
-  else Model.create w
+  Sorl_util.Telemetry.add pairs_counter m;
+  Sorl_util.Telemetry.span "solver/sgd" (fun () ->
+      let rng = Sorl_util.Rng.create params.seed in
+      let lambda = 1. /. params.c in
+      let w = Array.make dim 0. in
+      let w_sum = Array.make dim 0. in
+      let radius = 1. /. sqrt lambda in
+      let steps = max 1 (params.epochs * m / params.batch) in
+      Sorl_util.Telemetry.add steps_counter steps;
+      let step t =
+        let eta = 1. /. (lambda *. float_of_int t) in
+        (* Shrink from the regularizer. *)
+        Sorl_util.Vec.scale_inplace (1. -. (eta *. lambda)) w;
+        (* Mini-batch subgradient of the hinge terms. *)
+        let per = eta /. float_of_int params.batch in
+        for _ = 1 to params.batch do
+          let z = zs.(Sorl_util.Rng.int rng m) in
+          if Sorl_util.Sparse.dot_dense z w < 1. then Sorl_util.Sparse.axpy_dense per z w
+        done;
+        (* Pegasos projection onto the ball of radius 1/sqrt(lambda). *)
+        let n = Sorl_util.Vec.norm w in
+        if n > radius then Sorl_util.Vec.scale_inplace (radius /. n) w;
+        if params.average then Sorl_util.Vec.add_inplace w_sum w
+      in
+      (* Steps run in [epochs] contiguous chunks so each epoch is one
+         telemetry span; the step sequence (hence RNG stream and model)
+         is identical to a single 1..steps loop. *)
+      for e = 0 to params.epochs - 1 do
+        let lo = 1 + (e * steps / params.epochs)
+        and hi = (e + 1) * steps / params.epochs in
+        if lo <= hi then
+          Sorl_util.Telemetry.span "solver/sgd/epoch" (fun () ->
+              for t = lo to hi do
+                step t
+              done)
+      done;
+      if params.average then begin
+        Sorl_util.Vec.scale_inplace (1. /. float_of_int steps) w_sum;
+        Model.create w_sum
+      end
+      else Model.create w)
 
 let train ?(params = default_params) ds =
   check params;

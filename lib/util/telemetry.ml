@@ -1,0 +1,372 @@
+type counter = { c_name : string; cell : int Atomic.t }
+type histogram = { h_name : string; h_id : int }
+
+type span_info = {
+  sp_path : string list;
+  sp_domain : int;
+  sp_start_s : float;
+  sp_dur_s : float;
+}
+
+type hist_stats = {
+  hs_name : string;
+  hs_count : int;
+  hs_mean : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+}
+
+(* Per-domain recording buffer.  Only the owning domain mutates it;
+   reporting reads happen from the main domain once parallel work has
+   been joined. *)
+type buf = {
+  mutable bspans : span_info list;
+  mutable bstack : string list; (* innermost first *)
+  mutable bpoints : (int * float * int) list; (* hist id, value, weight *)
+}
+
+let on = Atomic.make false
+let epoch = Atomic.make 0.
+
+(* Guards the registries below; recording itself never takes it. *)
+let registry_mutex = Mutex.create ()
+let bufs : buf list ref = ref []
+let counters_reg : counter list ref = ref []
+let hists_reg : histogram list ref = ref []
+let next_hist_id = ref 0
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { bspans = []; bstack = []; bpoints = [] } in
+      Mutex.protect registry_mutex (fun () -> bufs := b :: !bufs);
+      b)
+
+let now () = Unix.gettimeofday ()
+let enabled () = Atomic.get on
+
+let set_enabled b =
+  if b && not (Atomic.get on) then Atomic.set epoch (now ());
+  Atomic.set on b
+
+let env_enabled () =
+  match Sys.getenv_opt "SORL_TELEMETRY" with
+  | None -> false
+  | Some v -> (
+    match String.lowercase_ascii (String.trim v) with
+    | "" | "0" | "false" | "no" | "off" -> false
+    | _ -> true)
+
+let () = if env_enabled () then set_enabled true
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      List.iter
+        (fun b ->
+          b.bspans <- [];
+          b.bstack <- [];
+          b.bpoints <- [])
+        !bufs;
+      List.iter (fun c -> Atomic.set c.cell 0) !counters_reg);
+  Atomic.set epoch (now ())
+
+(* ---- recording ---- *)
+
+let span name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let b = Domain.DLS.get buf_key in
+    let saved = b.bstack in
+    b.bstack <- name :: saved;
+    let t0 = now () in
+    let finish () =
+      let t1 = now () in
+      b.bstack <- saved;
+      b.bspans <-
+        {
+          sp_path = List.rev (name :: saved);
+          sp_domain = (Domain.self () :> int);
+          sp_start_s = t0 -. Atomic.get epoch;
+          sp_dur_s = t1 -. t0;
+        }
+        :: b.bspans
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+let counter name =
+  Mutex.protect registry_mutex (fun () ->
+      match List.find_opt (fun c -> String.equal c.c_name name) !counters_reg with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; cell = Atomic.make 0 } in
+        counters_reg := c :: !counters_reg;
+        c)
+
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+
+let counter_value name =
+  Mutex.protect registry_mutex (fun () ->
+      match List.find_opt (fun c -> String.equal c.c_name name) !counters_reg with
+      | Some c -> Atomic.get c.cell
+      | None -> 0)
+
+let histogram name =
+  Mutex.protect registry_mutex (fun () ->
+      match List.find_opt (fun h -> String.equal h.h_name name) !hists_reg with
+      | Some h -> h
+      | None ->
+        let h = { h_name = name; h_id = !next_hist_id } in
+        Stdlib.incr next_hist_id;
+        hists_reg := h :: !hists_reg;
+        h)
+
+let observe ?(count = 1) h v =
+  if Atomic.get on && count > 0 then begin
+    let b = Domain.DLS.get buf_key in
+    b.bpoints <- (h.h_id, v, count) :: b.bpoints
+  end
+
+let time_hist h f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now () in
+    match f () with
+    | r ->
+      observe h (now () -. t0);
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      observe h (now () -. t0);
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* ---- snapshots ---- *)
+
+let spans () =
+  let all =
+    Mutex.protect registry_mutex (fun () ->
+        List.concat_map (fun b -> List.rev b.bspans) !bufs)
+  in
+  List.sort
+    (fun a b ->
+      match Float.compare a.sp_start_s b.sp_start_s with
+      | 0 -> compare a.sp_path b.sp_path
+      | c -> c)
+    all
+
+let aggregated () =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.sp_path with
+      | Some (n, total) -> Hashtbl.replace tbl s.sp_path (n + 1, total +. s.sp_dur_s)
+      | None ->
+        Hashtbl.add tbl s.sp_path (1, s.sp_dur_s);
+        order := s.sp_path :: !order)
+    (spans ());
+  List.sort compare !order
+  |> List.map (fun path ->
+         let n, total = Hashtbl.find tbl path in
+         (path, n, total))
+
+let counters () =
+  Mutex.protect registry_mutex (fun () ->
+      List.map (fun c -> (c.c_name, Atomic.get c.cell)) !counters_reg)
+  |> List.sort compare
+
+let histograms () =
+  let points =
+    Mutex.protect registry_mutex (fun () ->
+        (List.map (fun h -> (h.h_id, h.h_name)) !hists_reg,
+         List.concat_map (fun b -> b.bpoints) !bufs))
+  in
+  let names, pts = points in
+  let names = List.sort (fun (_, a) (_, b) -> String.compare a b) names in
+  List.filter_map
+    (fun (id, name) ->
+      let mine = List.filter (fun (i, _, _) -> i = id) pts in
+      if mine = [] then None
+      else begin
+        let sorted =
+          List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) mine
+        in
+        let count = List.fold_left (fun acc (_, _, w) -> acc + w) 0 mine in
+        let sum =
+          List.fold_left (fun acc (_, v, w) -> acc +. (v *. float_of_int w)) 0. mine
+        in
+        let min_v = match sorted with (_, v, _) :: _ -> v | [] -> 0. in
+        let max_v =
+          List.fold_left (fun acc (_, v, _) -> Float.max acc v) neg_infinity mine
+        in
+        (* Weighted percentile: smallest value whose cumulative weight
+           reaches q * total. *)
+        let percentile q =
+          let target = q *. float_of_int count in
+          let rec go cum = function
+            | [] -> max_v
+            | (_, v, w) :: rest ->
+              let cum = cum +. float_of_int w in
+              if cum >= target then v else go cum rest
+          in
+          go 0. sorted
+        in
+        Some
+          {
+            hs_name = name;
+            hs_count = count;
+            hs_mean = sum /. float_of_int count;
+            hs_min = min_v;
+            hs_max = max_v;
+            hs_p50 = percentile 0.5;
+            hs_p90 = percentile 0.9;
+            hs_p99 = percentile 0.99;
+          }
+      end)
+    names
+
+(* ---- exporters ---- *)
+
+let summary () =
+  let b = Buffer.create 1024 in
+  let agg = aggregated () in
+  if agg <> [] then begin
+    Buffer.add_string b "telemetry spans:\n";
+    let t =
+      Table.create ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+        [ "span"; "count"; "total"; "mean" ]
+    in
+    List.iter
+      (fun (path, n, total) ->
+        let depth = List.length path - 1 in
+        let name = List.nth path depth in
+        Table.add_row t
+          [
+            String.make (2 * depth) ' ' ^ name;
+            string_of_int n;
+            Table.fmt_time total;
+            Table.fmt_time (total /. float_of_int n);
+          ])
+      agg;
+    Buffer.add_string b (Table.render t);
+    Buffer.add_char b '\n'
+  end;
+  let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  if cs <> [] then begin
+    Buffer.add_string b "telemetry counters:\n";
+    let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "counter"; "total" ] in
+    List.iter (fun (name, v) -> Table.add_row t [ name; string_of_int v ]) cs;
+    Buffer.add_string b (Table.render t);
+    Buffer.add_char b '\n'
+  end;
+  let hs = histograms () in
+  if hs <> [] then begin
+    Buffer.add_string b "telemetry histograms:\n";
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+        [ "histogram"; "n"; "mean"; "p50"; "p90"; "max" ]
+    in
+    List.iter
+      (fun h ->
+        Table.add_row t
+          [
+            h.hs_name;
+            string_of_int h.hs_count;
+            Table.fmt_time h.hs_mean;
+            Table.fmt_time h.hs_p50;
+            Table.fmt_time h.hs_p90;
+            Table.fmt_time h.hs_max;
+          ])
+      hs;
+    Buffer.add_string b (Table.render t);
+    Buffer.add_char b '\n'
+  end;
+  if agg = [] && cs = [] && hs = [] then Buffer.add_string b "telemetry: nothing recorded\n";
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v = if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+
+let metrics_fields () =
+  let counters_json =
+    counters ()
+    |> List.map (fun (name, v) -> Printf.sprintf "\"%s\": %d" (json_escape name) v)
+    |> String.concat ", "
+  in
+  let hists_json =
+    histograms ()
+    |> List.map (fun h ->
+           Printf.sprintf
+             "\"%s\": {\"count\": %d, \"mean\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \
+              \"p90\": %s, \"p99\": %s}"
+             (json_escape h.hs_name) h.hs_count (json_float h.hs_mean) (json_float h.hs_min)
+             (json_float h.hs_max) (json_float h.hs_p50) (json_float h.hs_p90)
+             (json_float h.hs_p99))
+    |> String.concat ", "
+  in
+  (counters_json, hists_json)
+
+let report_json () =
+  let spans_json =
+    aggregated ()
+    |> List.map (fun (path, n, total) ->
+           Printf.sprintf "\"%s\": {\"count\": %d, \"total_s\": %s}"
+             (json_escape (String.concat "/" path))
+             n (json_float total))
+    |> String.concat ", "
+  in
+  let counters_json, hists_json = metrics_fields () in
+  Printf.sprintf "{\"spans\": {%s}, \"counters\": {%s}, \"histograms\": {%s}}" spans_json
+    counters_json hists_json
+
+let chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",";
+      let name =
+        match List.rev s.sp_path with inner :: _ -> inner | [] -> "?"
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \
+            \"tid\": %d, \"args\": {\"path\": \"%s\"}}"
+           (json_escape name) (s.sp_start_s *. 1e6) (s.sp_dur_s *. 1e6) s.sp_domain
+           (json_escape (String.concat "/" s.sp_path))))
+    (spans ());
+  let counters_json, hists_json = metrics_fields () in
+  Buffer.add_string b
+    (Printf.sprintf "\n], \"metrics\": {\"counters\": {%s}, \"histograms\": {%s}}}\n"
+       counters_json hists_json);
+  Buffer.contents b
+
+let write_chrome_json path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (chrome_json ()))

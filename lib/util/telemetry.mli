@@ -1,0 +1,129 @@
+(** Dependency-free tracing and metrics for the autotuning pipeline.
+
+    Three primitives, all zero-cost when telemetry is disabled (a single
+    atomic-flag read and a branch):
+
+    - {b spans} — named, nested wall-time regions ({!span}).  Each
+      domain keeps its own span stack and completed-span buffer, so
+      spans may be opened freely inside {!Pool} workers; a span records
+      the full path of spans enclosing it {e on its own domain}
+      (worker-domain spans root at the worker, since the parent stack
+      lives on the spawning domain).
+    - {b counters} — named monotonic integer totals ({!counter},
+      {!add}, {!incr}); increments are atomic and therefore exact under
+      {!Pool.parallel_for}.
+    - {b histograms} — named weighted samples ({!histogram},
+      {!observe}) from which count/mean/min/max and p50/p90/p99 are
+      derived at reporting time.  Samples are buffered per domain.
+
+    Telemetry starts enabled iff the [SORL_TELEMETRY] environment
+    variable is set to a non-empty value other than
+    [0/false/no/off]; the CLI tools also enable it for [--trace].
+
+    Reporting functions ({!spans}, {!summary}, {!chrome_json}, ...)
+    merge the per-domain buffers; call them (and {!reset}) from the
+    main domain while no instrumented parallel work is in flight. *)
+
+type counter
+type histogram
+
+val enabled : unit -> bool
+(** Current state of the global enable flag. *)
+
+val set_enabled : bool -> unit
+(** Flip recording on or off.  Turning telemetry on (re)stamps the
+    trace epoch that span timestamps are measured against. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans and histogram samples, zero every counter
+    and restamp the trace epoch.  Registered counter/histogram handles
+    stay valid. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] and, when enabled, records its wall time
+    as a completed span nested under the spans currently open on this
+    domain.  The span is recorded (and the stack unwound) even if [f]
+    raises; the exception is re-raised with its original backtrace.
+    When disabled this is just [f ()]. *)
+
+val counter : string -> counter
+(** Intern the counter named [name] (idempotent: one cell per name).
+    Registration is allowed while disabled; handles are cheap and are
+    meant to be created once at module initialisation. *)
+
+val add : counter -> int -> unit
+(** Atomically add to a counter when enabled; no-op when disabled. *)
+
+val incr : counter -> unit
+(** [add c 1]. *)
+
+val counter_value : string -> int
+(** Current total of a counter by name; 0 if never registered. *)
+
+val histogram : string -> histogram
+(** Intern the histogram named [name] (idempotent). *)
+
+val observe : ?count:int -> histogram -> float -> unit
+(** [observe h v] records sample [v] when enabled.  [count] (default 1)
+    records [v] with that multiplicity — used to fold a
+    mean-of-[count]-repetitions measurement such as
+    {!Timer.time_repeat} into the histogram without losing the sample
+    size. *)
+
+val time_hist : histogram -> (unit -> 'a) -> 'a
+(** Run a thunk, recording its wall time as one histogram sample when
+    enabled; just the call when disabled. *)
+
+(** {1 Snapshots} *)
+
+type span_info = {
+  sp_path : string list;  (** enclosing span names, outermost first *)
+  sp_domain : int;  (** id of the domain the span ran on *)
+  sp_start_s : float;  (** seconds since the trace epoch *)
+  sp_dur_s : float;  (** wall-clock duration in seconds *)
+}
+
+type hist_stats = {
+  hs_name : string;
+  hs_count : int;  (** total sample multiplicity *)
+  hs_mean : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+}
+
+val spans : unit -> span_info list
+(** All completed spans, merged across domains, in start order. *)
+
+val aggregated : unit -> (string list * int * float) list
+(** Spans grouped by path: [(path, count, total seconds)], sorted so
+    every parent path precedes its children. *)
+
+val counters : unit -> (string * int) list
+(** All registered counters and their totals, sorted by name. *)
+
+val histograms : unit -> hist_stats list
+(** Statistics of every histogram with at least one sample, by name. *)
+
+(** {1 Exporters} *)
+
+val summary : unit -> string
+(** Human-readable report: span tree (count, total, mean per path),
+    counter totals and histogram statistics, rendered with {!Table}. *)
+
+val chrome_json : unit -> string
+(** Chrome trace-event JSON: [{"traceEvents": [{name; ph="X"; ts; dur;
+    pid; tid; args}...], "metrics": {counters; histograms}}] with
+    timestamps in microseconds since the trace epoch.  Loadable in
+    [chrome://tracing] / Perfetto; the extra [metrics] key is ignored
+    by viewers. *)
+
+val report_json : unit -> string
+(** Metrics-only JSON object: aggregated span totals, counters and
+    histogram statistics — the "telemetry" section embedded in
+    benchmark reports such as [BENCH_parallel.json]. *)
+
+val write_chrome_json : string -> unit
+(** Write {!chrome_json} to a file. *)

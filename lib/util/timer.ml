@@ -11,12 +11,12 @@ let time_repeat ?(min_time = 0.01) f =
   let t0 = now () in
   f ();
   let once = now () -. t0 in
-  if once >= min_time then once
+  if once >= min_time then (once, 1)
   else begin
     let reps = max 1 (int_of_float (min_time /. Float.max once 1e-9)) in
     let t1 = now () in
     for _ = 1 to reps do
       f ()
     done;
-    (now () -. t1) /. float_of_int reps
+    ((now () -. t1) /. float_of_int reps, reps)
   end

@@ -7,6 +7,7 @@ let () =
       ("rank-correlation", Test_rank_correlation.suite);
       ("vec-sparse", Test_vec_sparse.suite);
       ("table-plot", Test_table_plot.suite);
+      ("telemetry", Test_telemetry.suite);
       ("grid", Test_grid.suite);
       ("pattern", Test_pattern.suite);
       ("kernel-instance", Test_kernel_instance.suite);

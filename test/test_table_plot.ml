@@ -68,8 +68,9 @@ let test_timer () =
   let r, dt = Timer.time (fun () -> 42) in
   Alcotest.check Alcotest.int "result" 42 r;
   checkb "time nonnegative" true (dt >= 0.);
-  let per = Timer.time_repeat ~min_time:0.001 (fun () -> ignore (Sys.opaque_identity (1 + 1))) in
-  checkb "repeat positive" true (per > 0.)
+  let per, reps = Timer.time_repeat ~min_time:0.001 (fun () -> ignore (Sys.opaque_identity (1 + 1))) in
+  checkb "repeat positive" true (per > 0.);
+  checkb "repeat count" true (reps >= 1)
 
 let suite =
   [
