@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- fig4 fig7    # selected experiments
 
    Experiments: table2 table3 fig4 fig5 fig6 fig7 ablation baselines
-   extensions stability csv perf micro.
+   extensions stability csv perf rank-throughput micro
+   telemetry-overhead.
    See DESIGN.md for the experiment index and EXPERIMENTS.md for the
    paper-vs-measured discussion of one full run. *)
 
@@ -20,6 +21,113 @@ let measure = Sorl_machine.Measure.model machine
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* BENCH_parallel.json holds one top-level key per section; experiments
+   contribute sections independently (perf: domain_count/host_cores/
+   stages/telemetry, rank-throughput: rank_throughput) and the file is
+   rewritten with everything collected so far, so any subset of
+   experiments produces a valid report. *)
+let bench_sections : (string * string) list ref = ref []
+
+(* Reloads the sections a previous invocation left on disk, so running
+   experiments one at a time accumulates sections instead of clobbering
+   the other invocations' keys.  Minimal splitter for the one-object
+   shape this file always has: tracks string/escape state and bracket
+   depth to find top-level commas.  Any parse trouble just drops the
+   remainder — the file is regenerated below anyway. *)
+let load_bench_sections () =
+  match open_in "BENCH_parallel.json" with
+  | exception Sys_error _ -> []
+  | ic ->
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let n = String.length s in
+    let sections = ref [] in
+    (try
+       let i = ref (String.index s '{' + 1) in
+       let skip_sep () =
+         while
+           !i < n && (match s.[!i] with ' ' | '\n' | '\t' | '\r' | ',' | ':' -> true | _ -> false)
+         do
+           incr i
+         done
+       in
+       let parse_key () =
+         incr i (* opening quote *);
+         let start = !i in
+         while !i < n && s.[!i] <> '"' do
+           incr i
+         done;
+         let k = String.sub s start (!i - start) in
+         incr i (* closing quote *);
+         k
+       in
+       let parse_value () =
+         let start = !i in
+         let depth = ref 0 and instr = ref false and esc = ref false and stop = ref false in
+         while (not !stop) && !i < n do
+           let c = s.[!i] in
+           if !instr then begin
+             if !esc then esc := false
+             else if c = '\\' then esc := true
+             else if c = '"' then instr := false;
+             incr i
+           end
+           else
+             match c with
+             | '"' ->
+               instr := true;
+               incr i
+             | '{' | '[' ->
+               incr depth;
+               incr i
+             | '}' | ']' when !depth > 0 ->
+               decr depth;
+               incr i
+             | ',' when !depth = 0 -> stop := true
+             | '}' (* depth 0: closes the top-level object *) -> stop := true
+             | _ -> incr i
+         done;
+         String.trim (String.sub s start (!i - start))
+       in
+       while
+         skip_sep ();
+         !i < n && s.[!i] = '"'
+       do
+         let k = parse_key () in
+         skip_sep ();
+         let v = parse_value () in
+         sections := (k, v) :: !sections
+       done
+     with _ -> ());
+    List.rev !sections
+
+let bench_sections_loaded = ref false
+
+let add_bench_sections kvs =
+  if not !bench_sections_loaded then begin
+    bench_sections_loaded := true;
+    bench_sections := load_bench_sections ()
+  end;
+  List.iter
+    (fun (k, v) -> bench_sections := List.remove_assoc k !bench_sections @ [ (k, v) ])
+    kvs;
+  let sections = !bench_sections in
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          Printf.ksprintf (output_string oc) "  %S: %s%s\n" k v
+            (if i = List.length sections - 1 then "" else ","))
+        sections;
+      output_string oc "}\n");
+  print_endline "wrote BENCH_parallel.json"
 
 (* Models are trained once per size and shared by fig4/fig5; table2,
    fig6 and fig7 train their own sweep. *)
@@ -845,12 +953,9 @@ let perf () =
     Sorl_util.Telemetry.set_enabled false;
     Sorl_util.Telemetry.reset ()
   end;
-  let json =
+  let stages_json =
     Printf.sprintf
       "{\n\
-      \  \"domain_count\": %d,\n\
-      \  \"host_cores\": %d,\n\
-      \  \"stages\": {\n\
       \    \"training_generation_16000\": {\n\
       \      \"serial_s\": %.6f,\n\
       \      \"parallel_s\": %.6f,\n\
@@ -863,15 +968,161 @@ let perf () =
       \      \"speedup\": %.3f,\n\
       \      \"identical\": %b\n\
       \    }\n\
-      \  },\n\
-      \  \"telemetry\": %s\n\
-       }\n"
-      domains cores gen_serial_s gen_par_s (gen_serial_s /. gen_par_s) gen_ok rank_serial_s
-      rank_par_s (rank_serial_s /. rank_par_s) rank_ok telemetry_json
+      \  }"
+      gen_serial_s gen_par_s (gen_serial_s /. gen_par_s) gen_ok rank_serial_s rank_par_s
+      (rank_serial_s /. rank_par_s) rank_ok
   in
-  let oc = open_out "BENCH_parallel.json" in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
-  print_endline "wrote BENCH_parallel.json"
+  add_bench_sections
+    [
+      ("domain_count", string_of_int domains);
+      ("host_cores", string_of_int cores);
+      ("stages", stages_json);
+      ("telemetry", telemetry_json);
+    ]
+
+(* ---- Rank throughput: compiled fast path vs the seed paths ---- *)
+
+let rank_throughput () =
+  header "Rank throughput: compiled encoder fast path vs entry-list seed path";
+  let m = Sorl_machine.Measure.model machine in
+  let spec = { Sorl.Training.size = 960; mode = Features.Extended; seed = 5 } in
+  let tuner = Sorl.Autotuner.train_on ~mode:Features.Extended (Sorl.Training.generate ~spec m) in
+  let model = Sorl.Autotuner.model tuner in
+  let inst = Benchmarks.instance_by_name "gradient-256x256x256" in
+  let set = Tuning.predefined_set ~dims:3 in
+  let n = Array.length set in
+  (* Three ways to rank the 8640-candidate predefined set.  [seed] is
+     the pre-fast-path implementation (one entry list per candidate fed
+     to the dense-scratch scorer), [sparse] additionally materializes a
+     sparse vector per candidate, [fast] is Autotuner.rank streaming
+     through the compiled encoder. *)
+  let rank_seed () =
+    let entries = Features.encoder_entries Features.Extended inst in
+    let score = Sorl_svmrank.Model.entry_scorer model in
+    Sorl_svmrank.Model.sort_by_score (Array.map (fun tn -> score (entries tn)) set)
+  in
+  let rank_sparse () =
+    let enc = Features.encoder Features.Extended inst in
+    Sorl_svmrank.Model.sort_by_score
+      (Array.map (fun tn -> Sorl_svmrank.Model.score model (enc tn)) set)
+  in
+  let rank_fast () = Sorl.Autotuner.rank tuner inst set in
+  let to_tunings perm = Array.map (fun i -> set.(i)) perm in
+  let fast_order = rank_fast () in
+  let orders_ok =
+    fast_order = to_tunings (rank_seed ()) && fast_order = to_tunings (rank_sparse ())
+  in
+  (* Throughput and allocation per candidate, measured serially so
+     Gc.allocated_bytes (a per-domain counter) sees every word. *)
+  let profile f =
+    Sorl_util.Pool.with_domains 1 (fun () ->
+        let per_call_s, _ =
+          Sorl_util.Timer.time_repeat ~min_time:0.5 (fun () ->
+              ignore (Sys.opaque_identity (f ())))
+        in
+        let iters = 3 in
+        ignore (Sys.opaque_identity (f ()));
+        let a0 = Gc.allocated_bytes () in
+        for _ = 1 to iters do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        let alloc = (Gc.allocated_bytes () -. a0) /. float_of_int (iters * n) in
+        (float_of_int n /. per_call_s, per_call_s /. float_of_int n *. 1e9, alloc))
+  in
+  let fast_cps, fast_ns, fast_alloc = profile rank_fast in
+  let seed_cps, seed_ns, seed_alloc = profile rank_seed in
+  let sparse_cps, sparse_ns, sparse_alloc = profile rank_sparse in
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "path"; "candidates/s"; "ns/candidate"; "alloc B/candidate" ]
+  in
+  let row name cps ns alloc =
+    Table.add_row t
+      [ name; Printf.sprintf "%.0f" cps; Printf.sprintf "%.1f" ns; Printf.sprintf "%.1f" alloc ]
+  in
+  row "fast (compiled, Autotuner.rank)" fast_cps fast_ns fast_alloc;
+  row "seed (entry lists + scorer)" seed_cps seed_ns seed_alloc;
+  row "sparse (vector per candidate)" sparse_cps sparse_ns sparse_alloc;
+  Table.print t;
+  let speedup = fast_cps /. seed_cps in
+  let alloc_ratio = seed_alloc /. Float.max fast_alloc 1e-9 in
+  Printf.printf "fast vs seed: %.2fx throughput, %.1fx less allocation; orders identical: %b\n"
+    speedup alloc_ratio orders_ok;
+  (* The memoized measurement cache on a real search: same GA, same
+     seed, cache on vs off — trajectories must be identical, only the
+     re-measured duplicates get cheaper. *)
+  let ga = Sorl_search.Registry.find "ga" in
+  let run m =
+    Sorl_util.Timer.time (fun () ->
+        ga.Sorl_search.Registry.run ~seed:17 ~budget:1024 (Sorl.Tuning_problem.problem m inst))
+  in
+  let m_on = Sorl_machine.Measure.model machine in
+  let m_off = Sorl_machine.Measure.model ~cache_capacity:0 machine in
+  let o_on, s_on = run m_on in
+  let o_off, s_off = run m_off in
+  let cache_identical =
+    o_on.Sorl_search.Runner.best_cost = o_off.Sorl_search.Runner.best_cost
+    && o_on.Sorl_search.Runner.best_point = o_off.Sorl_search.Runner.best_point
+    && o_on.Sorl_search.Runner.curve = o_off.Sorl_search.Runner.curve
+  in
+  let hits = Sorl_machine.Measure.cache_hits m_on in
+  Printf.printf
+    "GA-1024 measurement cache: %s with cache (capacity %d, %d hits, %d distinct points),\n\
+     %s without; outcomes identical: %b\n"
+    (Table.fmt_time s_on)
+    (Sorl_machine.Measure.cache_capacity m_on)
+    hits o_on.Sorl_search.Runner.distinct_points (Table.fmt_time s_off) cache_identical;
+  let path_json cps ns alloc =
+    Printf.sprintf
+      "{ \"candidates_per_s\": %.1f, \"ns_per_candidate\": %.1f, \
+       \"alloc_bytes_per_candidate\": %.1f }"
+      cps ns alloc
+  in
+  add_bench_sections
+    [
+      ( "rank_throughput",
+        Printf.sprintf
+          "{\n\
+          \    \"candidates\": %d,\n\
+          \    \"fast\": %s,\n\
+          \    \"seed\": %s,\n\
+          \    \"sparse\": %s,\n\
+          \    \"speedup_vs_seed\": %.3f,\n\
+          \    \"alloc_ratio_seed_over_fast\": %.2f,\n\
+          \    \"orders_identical\": %b,\n\
+          \    \"measure_cache\": {\n\
+          \      \"ga_budget\": 1024,\n\
+          \      \"seconds_cache_on\": %.6f,\n\
+          \      \"seconds_cache_off\": %.6f,\n\
+          \      \"cache_hits\": %d,\n\
+          \      \"distinct_points\": %d,\n\
+          \      \"outcomes_identical\": %b\n\
+          \    }\n\
+          \  }"
+          n
+          (path_json fast_cps fast_ns fast_alloc)
+          (path_json seed_cps seed_ns seed_alloc)
+          (path_json sparse_cps sparse_ns sparse_alloc)
+          speedup alloc_ratio orders_ok s_on s_off hits
+          o_on.Sorl_search.Runner.distinct_points cache_identical );
+    ];
+  let problems = ref [] in
+  let flag cond msg = if cond then problems := msg :: !problems in
+  flag (not orders_ok) "fast/seed/sparse orders differ";
+  flag (speedup < 3.) (Printf.sprintf "throughput gate: %.2fx < 3x over the seed path" speedup);
+  flag (alloc_ratio < 10.)
+    (Printf.sprintf "allocation gate: %.1fx < 10x less than the seed path" alloc_ratio);
+  flag (not cache_identical) "cached GA outcome differs from uncached";
+  flag (hits = 0) "measure cache recorded no hits on GA-1024";
+  match !problems with
+  | [] -> print_endline "OK: rank-throughput gates passed"
+  | ps ->
+    if Sys.getenv_opt "CI" <> None then
+      List.iter (fun p -> Printf.printf "WARNING: %s\n" p) ps
+    else begin
+      List.iter (fun p -> Printf.eprintf "FAIL: %s\n" p) ps;
+      exit 1
+    end
 
 (* ---- Bechamel micro-benchmarks ---- *)
 
@@ -996,6 +1247,7 @@ let experiments =
     ("stability", stability);
     ("csv", csv);
     ("perf", perf);
+    ("rank-throughput", rank_throughput);
     ("micro", micro);
     ("telemetry-overhead", telemetry_overhead);
   ]

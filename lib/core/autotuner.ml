@@ -39,40 +39,53 @@ let encode_hist = Sorl_util.Telemetry.histogram "rank.encode_s"
 let score_hist = Sorl_util.Telemetry.histogram "rank.score_s"
 
 let rank t inst candidates =
-  (* Score candidates in parallel chunks straight from their entry
-     lists; [entry_scorer] is bit-identical to encode-then-score, so
-     the ranking matches the serial path exactly. *)
+  (* Stream candidates through the compiled per-instance encoder in
+     parallel chunks: each chunk owns one scratch index/value pair that
+     [Features.encode_into] refills per candidate, and [slice_scorer]
+     walks the filled prefix against the dense weights — no allocation
+     per candidate.  Both are bit-identical to encode-then-score, so
+     the ranking matches the slow serial path exactly. *)
   Sorl_util.Telemetry.span "autotuner/rank" (fun () ->
-      let entries = Features.encoder_entries t.mode inst in
+      let enc = Features.compile t.mode inst in
       let n = Array.length candidates in
       Sorl_util.Telemetry.add candidates_counter n;
       let scores = Array.make n 0. in
       ignore
         (Sorl_util.Pool.parallel_chunks n (fun lo hi ->
-             let score = Sorl_svmrank.Model.entry_scorer t.model in
+             let score = Sorl_svmrank.Model.slice_scorer t.model in
+             let idx = Array.make (Features.max_nnz enc) 0 in
+             let v = Array.make (Features.max_nnz enc) 0. in
              if Sorl_util.Telemetry.enabled () then begin
-               (* Traced path: encode the whole chunk, then score it, so
-                  the two phases appear as separate spans with
-                  per-candidate latency histograms.  Each candidate's
-                  entries and score are computed by the same pure
-                  functions as the interleaved loop below, so the scores
-                  (hence the ranking) are bit-identical. *)
-               let es =
+               (* Traced path: encode the whole chunk into one CSR
+                  block, then score it, so the two phases appear as
+                  separate spans with per-candidate latency histograms.
+                  Each candidate's entries and score are computed by
+                  the same pure functions as the interleaved loop
+                  below, so the scores (hence the ranking) are
+                  bit-identical. *)
+               let block =
                  Sorl_util.Telemetry.span "features/encode" (fun () ->
                      Array.init (hi - lo) (fun k ->
-                         Sorl_util.Telemetry.time_hist encode_hist (fun () ->
-                             entries candidates.(lo + k))))
+                         let e =
+                           Sorl_util.Telemetry.time_hist encode_hist (fun () ->
+                               Features.encode_into enc candidates.(lo + k) idx v)
+                         in
+                         (* The timed part is the zero-allocation fill;
+                            the traced path alone keeps a copy so the
+                            score phase can replay it. *)
+                         (Array.sub idx 0 e, Array.sub v 0 e, e)))
                in
                Sorl_util.Telemetry.span "model/score" (fun () ->
                    Array.iteri
-                     (fun k e ->
+                     (fun k (ei, ev, e) ->
                        scores.(lo + k) <-
-                         Sorl_util.Telemetry.time_hist score_hist (fun () -> score e))
-                     es)
+                         Sorl_util.Telemetry.time_hist score_hist (fun () -> score ei ev e))
+                     block)
              end
              else
                for i = lo to hi - 1 do
-                 scores.(i) <- score (entries candidates.(i))
+                 let e = Features.encode_into enc candidates.(i) idx v in
+                 scores.(i) <- score idx v e
                done));
       let order = Sorl_svmrank.Model.sort_by_score scores in
       Array.map (fun i -> candidates.(i)) order)

@@ -42,9 +42,11 @@ val rank :
   t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->
   Sorl_stencil.Tuning.t array
 (** Candidates sorted best-first by predicted rank.  No execution
-    happens.  Scoring is chunked over the {!Sorl_util.Pool}; the
-    resulting order is identical for every pool size and matches
-    sorting by {!score}. *)
+    happens.  Candidates stream through the compiled per-instance
+    encoder ({!Sorl_stencil.Features.compile}) into per-chunk scratch
+    buffers — no allocation per candidate — chunked over the
+    {!Sorl_util.Pool}; the resulting order is identical for every pool
+    size and bit-identical to encode-and-{!score} per candidate. *)
 
 val best :
   t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->

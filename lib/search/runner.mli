@@ -35,6 +35,13 @@ val total_cost : t -> float
 (** Sum of all evaluated costs so far — the total simulated runtime a
     search has spent, used for time-budget accounting. *)
 
+val distinct_points : t -> int
+(** Number of distinct (clamped) points among the evaluations so far.
+    The gap to {!evaluations} is the search's re-evaluation waste —
+    exactly the requests a measurement cache can serve for free.  Each
+    duplicate also bumps the ["search.duplicate_evaluations"] telemetry
+    counter.  Purely observational: duplicates still consume budget. *)
+
 val best : t -> (int array * float) option
 (** Best point found so far, if any evaluation happened. *)
 
@@ -46,6 +53,7 @@ type outcome = {
   best_point : int array;
   best_cost : float;
   evaluations : int;
+  distinct_points : int;  (** distinct clamped points (see {!distinct_points}) *)
   total_cost : float;  (** sum of all evaluated costs (see {!total_cost}) *)
   curve : float array;
 }

@@ -1,8 +1,26 @@
 type mode = Canonical | Extended
 
 let max_buffers = 4.
-let lg2 x = log x /. log 2.
-let lg2i x = lg2 (float_of_int x)
+
+(* Forced inlining keeps these float helpers out of the hot encoding
+   path's call graph: a non-inlined call boxes its float argument and
+   result, which is most of the allocation an encode would make.  The
+   divisor is hoisted to module init — [log 2.] is not constant-folded,
+   and inline it would cost a second [log] call per [lg2].  Dividing by
+   the identical value keeps every result bit-identical. *)
+let log2_c = log 2.
+let[@inline always] lg2 x = log x /. log2_c
+
+(* [lg2i] answers from a table for small arguments: the hot encoding
+   path takes logs of block sizes, unroll/chunk factors and tile
+   counts, which are almost always below the table size.  Entries are
+   filled with the identical expression the fallback computes, so a
+   table hit is bit-identical to the direct computation. *)
+let lg2i_tbl = Array.init 4096 (fun i -> log (float_of_int i) /. log2_c)
+
+let[@inline always] lg2i x =
+  if x > 0 && x < 4096 then Array.unsafe_get lg2i_tbl x
+  else lg2 (float_of_int x)
 
 (* Canonical layout (§III): pattern matrix, buffers, dtype, sizes,
    tuning parameters. *)
@@ -40,71 +58,50 @@ let extended_dim = chunks_bins_base + count_bins
 
 let dim = function Canonical -> canonical_dim | Extended -> extended_dim
 
-let clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
-let clamp_int v lo hi = if v < lo then lo else if v > hi then hi else v
-let log2_bin v lo hi = clamp_int (int_of_float (Float.round (lg2 v)) - lo) 0 (hi - lo)
+let[@inline always] clamp01 v = if v < 0. then 0. else if v > 1. then 1. else v
+let[@inline always] clamp_int v lo hi = if v < lo then lo else if v > hi then hi else v
 
-(* Derived static quantities coupling instance and tuning. *)
-type derived = {
-  tile_pts : int;
-  ws_bytes : float;
-  reuse_bytes : float;
-  halo_frac : float;
-  tiles : int;
-  chunks : int;
+let[@inline always] log2_bin v lo hi =
+  clamp_int (int_of_float (Float.round (lg2 v)) - lo) 0 (hi - lo)
+
+(* Integer-argument variant; equal to [log2_bin (float_of_int x) lo hi]
+   because [lg2i] is bit-identical to [lg2 (float_of_int x)]. *)
+let[@inline always] log2_bin_i x lo hi =
+  clamp_int (int_of_float (Float.round (lg2i x)) - lo) 0 (hi - lo)
+
+(* Static per-instance inputs of the tuning-dependent entries,
+   precomputed once ([compile] hoists this out of the per-candidate
+   loop; the list path rebuilds it per call) so the hot emitter below
+   touches only ints, unboxed floats and the target arrays. *)
+type tctx = {
+  x_mode : mode;
+  x_sx : int;
+  x_sy : int;
+  x_sz : int;
+  x_nbuf : int;
+  x_bytes : float;
+  x_taps : int;
+  x_rx : int array; (* per-buffer pattern radii *)
+  x_ry : int array;
+  x_rz : int array;
 }
 
-let derive inst (t : Tuning.t) =
+let tctx mode inst =
   let k = Instance.kernel inst in
   let s = Instance.size inst in
-  let bx = min t.Tuning.bx s.Instance.sx
-  and by = min t.Tuning.by s.Instance.sy
-  and bz = min t.Tuning.bz s.Instance.sz in
-  let tile_pts = bx * by * bz in
-  let bytes = float_of_int (Dtype.bytes (Kernel.dtype k)) in
-  let ws_pts, reuse_pts =
-    List.fold_left
-      (fun (ws, reuse) p ->
-        let rx, ry, rz = Pattern.radius p in
-        let ex = min (bx + (2 * rx)) s.Instance.sx
-        and ey = min (by + (2 * ry)) s.Instance.sy
-        and ez = min (bz + (2 * rz)) s.Instance.sz in
-        (ws + (ex * ey * ez), reuse + (ex * ey * min ((2 * rz) + 1) s.Instance.sz)))
-      (tile_pts, bx) (Kernel.buffer_patterns k)
-  in
-  let halo_frac =
-    float_of_int (ws_pts - (tile_pts * (Kernel.num_buffers k + 1))) /. float_of_int ws_pts
-  in
-  let ceil_div a b = (a + b - 1) / b in
-  let tiles = ceil_div s.Instance.sx bx * ceil_div s.Instance.sy by * ceil_div s.Instance.sz bz in
+  let radii = Array.of_list (List.map Pattern.radius (Kernel.buffer_patterns k)) in
   {
-    tile_pts;
-    ws_bytes = float_of_int ws_pts *. bytes;
-    reuse_bytes = float_of_int reuse_pts *. bytes;
-    halo_frac;
-    tiles;
-    chunks = ceil_div tiles t.Tuning.c;
+    x_mode = mode;
+    x_sx = s.Instance.sx;
+    x_sy = s.Instance.sy;
+    x_sz = s.Instance.sz;
+    x_nbuf = Kernel.num_buffers k;
+    x_bytes = float_of_int (Dtype.bytes (Kernel.dtype k));
+    x_taps = Kernel.taps k;
+    x_rx = Array.map (fun (r, _, _) -> r) radii;
+    x_ry = Array.map (fun (_, r, _) -> r) radii;
+    x_rz = Array.map (fun (_, _, r) -> r) radii;
   }
-
-let continuous_features inst (t : Tuning.t) d =
-  let k = Instance.kernel inst in
-  let s = Instance.size inst in
-  let bx = min t.Tuning.bx s.Instance.sx
-  and by = min t.Tuning.by s.Instance.sy
-  and bz = min t.Tuning.bz s.Instance.sz in
-  let u_eff = max 1 t.Tuning.u in
-  [|
-    clamp01 (lg2i d.tile_pts /. 30.);
-    clamp01 (lg2 d.ws_bytes /. 35.);
-    clamp01 d.halo_frac;
-    clamp01 (float_of_int bx /. float_of_int s.Instance.sx);
-    clamp01 (float_of_int by /. float_of_int s.Instance.sy);
-    clamp01 (float_of_int bz /. float_of_int s.Instance.sz);
-    clamp01 (float_of_int (bx mod 8) /. 8.);
-    clamp01 (lg2i (u_eff * Kernel.taps k) /. 10.);
-    clamp01 (lg2i (max 1 d.tiles) /. 24.);
-    clamp01 (lg2i (max 1 d.chunks) /. 24.);
-  |]
 
 (* Instance-only entries, shared by every tuning vector of one
    instance; [encoder] precomputes them so ranking thousands of
@@ -135,32 +132,127 @@ let instance_entries inst =
   push (size_base + 2) (clamp01 (lg2i s.Instance.sz /. 11.));
   !entries
 
-let tuning_entries mode inst t =
-  let entries = ref [] in
-  let push i v = if v <> 0. then entries := (i, v) :: !entries in
-  push tuning_base (clamp01 (lg2i t.Tuning.bx /. 10.));
-  push (tuning_base + 1) (clamp01 (lg2i t.Tuning.by /. 10.));
-  push (tuning_base + 2) (clamp01 (lg2i t.Tuning.bz /. 10.));
-  push (tuning_base + 3) (clamp01 (float_of_int t.Tuning.u /. 8.));
-  push (tuning_base + 4) (clamp01 (lg2i t.Tuning.c /. 8.));
-  (match mode with
+(* Upper bound on tuning-dependent entries: 5 canonical scalars plus,
+   in extended mode, the continuous block and one entry per one-hot
+   bin group. *)
+let max_tuning_entries = function
+  | Canonical -> 5
+  | Extended -> 5 + continuous_count + 9
+
+(* Single source of truth for the tuning-dependent entries: every
+   encoding path (entry lists, compiled fast path, CSR batches) writes
+   through this function, so all paths produce the same floats by
+   construction.  Entries land at strictly increasing indices — all
+   above the instance block — with zeros skipped.  Direct array writes
+   (instead of an emit callback) keep the hot path allocation-free:
+   values never cross a function boundary, so no float is boxed.  The
+   integer accumulations are exact, so hoisting the instance scalars
+   into [tctx] cannot change any emitted value. *)
+let write_tuning_entries ctx (t : Tuning.t) idx v pos =
+  (* [n] is a non-escaping ref (eliminated by the compiler) and the
+     zero-skip test is expanded at every site instead of going through
+     a local [push] closure: a closure call would box each float value
+     on its way to the store.  One-hot bins always carry 1. and skip
+     the test entirely. *)
+  let n = ref pos in
+  let x = clamp01 (lg2i t.Tuning.bx /. 10.) in
+  if x <> 0. then begin idx.(!n) <- tuning_base; v.(!n) <- x; incr n end;
+  let x = clamp01 (lg2i t.Tuning.by /. 10.) in
+  if x <> 0. then begin idx.(!n) <- tuning_base + 1; v.(!n) <- x; incr n end;
+  let x = clamp01 (lg2i t.Tuning.bz /. 10.) in
+  if x <> 0. then begin idx.(!n) <- tuning_base + 2; v.(!n) <- x; incr n end;
+  let x = clamp01 (float_of_int t.Tuning.u /. 8.) in
+  if x <> 0. then begin idx.(!n) <- tuning_base + 3; v.(!n) <- x; incr n end;
+  let x = clamp01 (lg2i t.Tuning.c /. 8.) in
+  if x <> 0. then begin idx.(!n) <- tuning_base + 4; v.(!n) <- x; incr n end;
+  (match ctx.x_mode with
   | Canonical -> ()
   | Extended ->
-    let d = derive inst t in
-    Array.iteri (fun i v -> push (continuous_base + i) v) (continuous_features inst t d);
-    push (bx_bins_base + log2_bin (float_of_int t.Tuning.bx) 0 (block_bins - 1)) 1.;
-    push (by_bins_base + log2_bin (float_of_int t.Tuning.by) 0 (block_bins - 1)) 1.;
-    push (bz_bins_base + log2_bin (float_of_int t.Tuning.bz) 0 (block_bins - 1)) 1.;
-    push (unroll_bins_base + clamp_int t.Tuning.u 0 (unroll_bins - 1)) 1.;
-    push (chunk_bins_base + log2_bin (float_of_int t.Tuning.c) 0 (chunk_bins - 1)) 1.;
-    push (ws_bins_base + log2_bin d.ws_bytes 10 (10 + ws_bins - 1)) 1.;
-    push (reuse_bins_base + log2_bin d.reuse_bytes 10 (10 + reuse_bins - 1)) 1.;
-    push (tiles_bins_base + clamp_int (log2_bin (float_of_int (max 1 d.tiles)) 0 24 / 2) 0 (count_bins - 1)) 1.;
-    push
-      (chunks_bins_base
-      + clamp_int (log2_bin (float_of_int (max 1 d.chunks)) 0 24 / 2) 0 (count_bins - 1))
-      1.);
-  !entries
+    (* Derived static quantities coupling instance and tuning: tile
+       volume, working-set and streaming-reuse footprints (summed over
+       the buffer patterns), halo fraction, tile/chunk counts. *)
+    let bx = min t.Tuning.bx ctx.x_sx
+    and by = min t.Tuning.by ctx.x_sy
+    and bz = min t.Tuning.bz ctx.x_sz in
+    let tile_pts = bx * by * bz in
+    let ws_pts = ref tile_pts and reuse_pts = ref bx in
+    for p = 0 to Array.length ctx.x_rx - 1 do
+      let ex = min (bx + (2 * ctx.x_rx.(p))) ctx.x_sx
+      and ey = min (by + (2 * ctx.x_ry.(p))) ctx.x_sy
+      and ez = min (bz + (2 * ctx.x_rz.(p))) ctx.x_sz in
+      ws_pts := !ws_pts + (ex * ey * ez);
+      reuse_pts := !reuse_pts + (ex * ey * min ((2 * ctx.x_rz.(p)) + 1) ctx.x_sz)
+    done;
+    let ws_pts = !ws_pts and reuse_pts = !reuse_pts in
+    let halo_frac =
+      float_of_int (ws_pts - (tile_pts * (ctx.x_nbuf + 1))) /. float_of_int ws_pts
+    in
+    let ceil_div a b = (a + b - 1) / b in
+    let tiles = ceil_div ctx.x_sx bx * ceil_div ctx.x_sy by * ceil_div ctx.x_sz bz in
+    let chunks = ceil_div tiles t.Tuning.c in
+    let ws_bytes = float_of_int ws_pts *. ctx.x_bytes in
+    let reuse_bytes = float_of_int reuse_pts *. ctx.x_bytes in
+    let u_eff = max 1 t.Tuning.u in
+    (* the continuous block, in [continuous_names] order *)
+    let x = clamp01 (lg2i tile_pts /. 30.) in
+    if x <> 0. then begin idx.(!n) <- continuous_base; v.(!n) <- x; incr n end;
+    let x = clamp01 (lg2 ws_bytes /. 35.) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 1; v.(!n) <- x; incr n end;
+    let x = clamp01 halo_frac in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 2; v.(!n) <- x; incr n end;
+    let x = clamp01 (float_of_int bx /. float_of_int ctx.x_sx) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 3; v.(!n) <- x; incr n end;
+    let x = clamp01 (float_of_int by /. float_of_int ctx.x_sy) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 4; v.(!n) <- x; incr n end;
+    let x = clamp01 (float_of_int bz /. float_of_int ctx.x_sz) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 5; v.(!n) <- x; incr n end;
+    let x = clamp01 (float_of_int (bx mod 8) /. 8.) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 6; v.(!n) <- x; incr n end;
+    let x = clamp01 (lg2i (u_eff * ctx.x_taps) /. 10.) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 7; v.(!n) <- x; incr n end;
+    let x = clamp01 (lg2i (max 1 tiles) /. 24.) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 8; v.(!n) <- x; incr n end;
+    let x = clamp01 (lg2i (max 1 chunks) /. 24.) in
+    if x <> 0. then begin idx.(!n) <- continuous_base + 9; v.(!n) <- x; incr n end;
+    idx.(!n) <- bx_bins_base + log2_bin_i t.Tuning.bx 0 (block_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <- by_bins_base + log2_bin_i t.Tuning.by 0 (block_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <- bz_bins_base + log2_bin_i t.Tuning.bz 0 (block_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <- unroll_bins_base + clamp_int t.Tuning.u 0 (unroll_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <- chunk_bins_base + log2_bin_i t.Tuning.c 0 (chunk_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <- ws_bins_base + log2_bin ws_bytes 10 (10 + ws_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <- reuse_bins_base + log2_bin reuse_bytes 10 (10 + reuse_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <-
+      tiles_bins_base
+      + clamp_int (log2_bin_i (max 1 tiles) 0 24 / 2) 0 (count_bins - 1);
+    v.(!n) <- 1.;
+    incr n;
+    idx.(!n) <-
+      chunks_bins_base
+      + clamp_int (log2_bin_i (max 1 chunks) 0 24 / 2) 0 (count_bins - 1);
+    v.(!n) <- 1.;
+    incr n);
+  !n
+
+let tuning_entries mode inst t =
+  let ctx = tctx mode inst in
+  let cap = max_tuning_entries mode in
+  let idx = Array.make cap 0 and v = Array.make cap 0. in
+  let n = write_tuning_entries ctx t idx v 0 in
+  List.init n (fun k -> (idx.(k), v.(k)))
 
 let encoded_counter = Sorl_util.Telemetry.counter "features.encoded"
 
@@ -178,26 +270,80 @@ let encoder mode inst =
 let encode mode inst t = (encoder mode inst) t
 let encode_dense mode inst t = Sorl_util.Sparse.to_dense (encode mode inst t)
 
-(* Batch encoding reuses one dense scratch instead of building a fresh
-   hash table per candidate.  Per index, values are accumulated in list
-   order — the same float additions [Sparse.of_list] performs — so each
-   resulting vector is bit-identical to [encode mode inst t]. *)
-let encode_batch mode inst tunings =
-  Sorl_util.Telemetry.span "features/encode_batch" (fun () ->
-      let d = dim mode in
-      let entries_of = encoder_entries mode inst in
-      let scratch = Array.make d 0. in
-      Array.map
-        (fun t ->
-          let entries = entries_of t in
-          List.iter (fun (i, x) -> scratch.(i) <- scratch.(i) +. x) entries;
-          let touched = List.sort_uniq compare (List.map fst entries) in
-          let nz = List.filter (fun i -> scratch.(i) <> 0.) touched in
-          let idx = Array.of_list nz in
-          let v = Array.map (fun i -> scratch.(i)) idx in
-          List.iter (fun i -> scratch.(i) <- 0.) touched;
-          Sorl_util.Sparse.of_sorted ~dim:d idx v)
-        tunings)
+(* ---- Compiled per-instance encoder (zero-allocation fast path) ---- *)
+
+(* The instance-dependent entries are materialized once into flat
+   sorted arrays; encoding a tuning vector then blits them and appends
+   the tuning-dependent entries, which [iter_tuning_entries] emits in
+   strictly increasing index order above them.  The result slice
+   therefore satisfies the [Sparse.of_sorted] invariant directly — no
+   hashing, sorting or per-candidate list in sight — and holds exactly
+   the entries (same floats, same canonical order) that
+   [encode mode inst t] stores. *)
+type compiled = {
+  c_mode : mode;
+  c_dim : int;
+  c_ctx : tctx;
+  c_inst_idx : int array;
+  c_inst_v : float array;
+  c_max_nnz : int;
+}
+
+let compile mode inst =
+  let base =
+    List.sort (fun (a, _) (b, _) -> compare (a : int) b) (instance_entries inst)
+  in
+  let c_inst_idx = Array.of_list (List.map fst base) in
+  let c_inst_v = Array.of_list (List.map snd base) in
+  {
+    c_mode = mode;
+    c_dim = dim mode;
+    c_ctx = tctx mode inst;
+    c_inst_idx;
+    c_inst_v;
+    c_max_nnz = Array.length c_inst_idx + max_tuning_entries mode;
+  }
+
+let compiled_mode c = c.c_mode
+let compiled_dim c = c.c_dim
+let max_nnz c = c.c_max_nnz
+
+(* Writes one encoding at position [pos] of [idx]/[v] and returns the
+   end position.  The caller guarantees [max_nnz] cells of headroom. *)
+let encode_at c t idx v pos =
+  Sorl_util.Telemetry.incr encoded_counter;
+  let base_n = Array.length c.c_inst_idx in
+  Array.blit c.c_inst_idx 0 idx pos base_n;
+  Array.blit c.c_inst_v 0 v pos base_n;
+  write_tuning_entries c.c_ctx t idx v (pos + base_n)
+
+let encode_into c t idx v =
+  if Array.length idx < c.c_max_nnz || Array.length v < c.c_max_nnz then
+    invalid_arg "Features.encode_into: scratch smaller than max_nnz";
+  encode_at c t idx v 0
+
+let encode_compiled c t =
+  let idx = Array.make c.c_max_nnz 0 and v = Array.make c.c_max_nnz 0. in
+  let n = encode_into c t idx v in
+  Sorl_util.Sparse.of_sorted ~dim:c.c_dim (Array.sub idx 0 n) (Array.sub v 0 n)
+
+(* Batch encoding into one CSR block: flat index/value arrays filled
+   through the compiled encoder, then shrunk once to the exact size.
+   Row [i] holds precisely the entries of [encode mode inst ts.(i)]. *)
+let encode_csr c tunings =
+  Sorl_util.Telemetry.span "features/encode_csr" (fun () ->
+      let rows = Array.length tunings in
+      let cap = rows * c.c_max_nnz in
+      let idx = Array.make (max cap 1) 0 and v = Array.make (max cap 1) 0. in
+      let offs = Array.make (rows + 1) 0 in
+      let n = ref 0 in
+      Array.iteri
+        (fun r t ->
+          n := encode_at c t idx v !n;
+          offs.(r + 1) <- !n)
+        tunings;
+      Sorl_util.Sparse.Csr.create ~dim:c.c_dim ~offs ~idx:(Array.sub idx 0 !n)
+        ~v:(Array.sub v 0 !n))
 
 let continuous_names =
   [|

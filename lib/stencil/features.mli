@@ -55,13 +55,50 @@ val encoder_entries : mode -> Instance.t -> Tuning.t -> (int * float) list
 (** Like {!encoder} but returns the raw (index, value) entry list the
     sparse vector is built from (possibly with duplicate indices, which
     sum).  Feed it to {!Sorl_svmrank.Model.entry_scorer} to score
-    candidates without materializing a vector per candidate. *)
+    candidates without materializing a vector per candidate.  Prefer
+    the {!compiled} fast path below — this list-based variant is kept
+    as the reference implementation and for the throughput bench's
+    before/after comparison. *)
 
-val encode_batch : mode -> Instance.t -> Tuning.t array -> Sorl_util.Sparse.t array
-(** [encode_batch mode inst ts] encodes many tuning vectors of one
-    instance through a single reused dense scratch buffer, avoiding the
-    per-candidate hash table of {!encode}.  Element [i] is bit-identical
-    to [encode mode inst ts.(i)]. *)
+(** {1 Compiled fast path}
+
+    [compile] materializes the instance-dependent entries once into
+    flat sorted arrays; [encode_into] then writes a full encoding into
+    a caller-owned scratch buffer with {e zero} per-candidate
+    allocation (the tuning-dependent entries are emitted in increasing
+    index order above the instance block, so the filled prefix directly
+    satisfies the sorted-unique-nonzero invariant of
+    {!Sorl_util.Sparse.of_sorted}).  Entry values are computed by the
+    same functions as {!encode}, so every fast-path encoding is
+    bit-identical to its [encode] counterpart. *)
+
+type compiled
+(** Per-instance compiled encoder. *)
+
+val compile : mode -> Instance.t -> compiled
+val compiled_mode : compiled -> mode
+val compiled_dim : compiled -> int
+
+val max_nnz : compiled -> int
+(** Upper bound on entries per encoding; the minimum scratch size for
+    {!encode_into}. *)
+
+val encode_into : compiled -> Tuning.t -> int array -> float array -> int
+(** [encode_into c t idx v] writes the encoding of [t] into
+    [idx.(0..n-1)]/[v.(0..n-1)] and returns [n].  The scratch arrays
+    must hold at least {!max_nnz} cells; indices come out strictly
+    increasing with no explicit zeros.  Allocation-free. *)
+
+val encode_compiled : compiled -> Tuning.t -> Sorl_util.Sparse.t
+(** Convenience wrapper materializing one {!encode_into} result;
+    bit-identical to [encode mode inst t]. *)
+
+val encode_csr : compiled -> Tuning.t array -> Sorl_util.Sparse.Csr.t
+(** [encode_csr c ts] encodes a whole candidate batch into one CSR
+    block (one flat index array, one flat value array, row offsets) —
+    the batch format {!Sorl_svmrank.Model.score_csr} and the solvers
+    consume.  Row [i] holds exactly the entries of
+    [encode mode inst ts.(i)] (bit-identical values). *)
 
 val names : mode -> string array
 (** Human-readable name per feature index (pattern cells are named by

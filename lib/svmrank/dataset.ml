@@ -95,9 +95,9 @@ let to_string t =
   Array.iter
     (fun s ->
       Buffer.add_string b (Printf.sprintf "%d %.17g" s.query s.runtime);
-      Array.iter
-        (fun (i, v) -> Buffer.add_string b (Printf.sprintf " %d:%.17g" i v))
-        (Sorl_util.Sparse.nonzeros s.features);
+      Sorl_util.Sparse.iteri
+        (fun i v -> Buffer.add_string b (Printf.sprintf " %d:%.17g" i v))
+        s.features;
       (* newlines in tags would corrupt the format *)
       let tag = String.map (fun c -> if c = '\n' then ' ' else c) s.tag in
       if tag <> "" then Buffer.add_string b (" # " ^ tag);

@@ -17,12 +17,13 @@ let top_weights ~names ?(k = 20) model =
 let score_breakdown ~names model phi =
   check_names names model;
   let w = Model.weights model in
-  Array.to_list (Sorl_util.Sparse.nonzeros phi)
-  |> List.filter_map (fun (i, v) ->
-         let contribution = w.(i) *. v in
-         if contribution = 0. then None
-         else Some { index = i; name = names.(i); weight = contribution })
-  |> List.sort (fun a b -> compare (Float.abs b.weight) (Float.abs a.weight))
+  let out = ref [] in
+  Sorl_util.Sparse.iteri
+    (fun i v ->
+      let contribution = w.(i) *. v in
+      if contribution <> 0. then out := { index = i; name = names.(i); weight = contribution } :: !out)
+    phi;
+  List.sort (fun a b -> compare (Float.abs b.weight) (Float.abs a.weight)) !out
 
 let group_of name =
   let cut = ref (String.length name) in

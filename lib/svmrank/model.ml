@@ -30,14 +30,46 @@ let entry_scorer t =
       touched;
     !acc
 
+(* Scores a strictly-increasing (idx, v) prefix of length n against w.
+   The sum runs in increasing index order — the same float additions as
+   [dot_dense] on the equivalent sparse vector and as [entry_scorer] on
+   the equivalent entry list — so all three scoring paths are
+   bit-identical.  Allocation-free. *)
+let slice_scorer t =
+  let w = t.w in
+  fun idx v n ->
+    let acc = ref 0. in
+    for k = 0 to n - 1 do
+      acc := !acc +. (v.(k) *. w.(idx.(k)))
+    done;
+    !acc
+
+let score_csr t csr =
+  if Sorl_util.Sparse.Csr.dim csr <> Array.length t.w then
+    invalid_arg "Model.score_csr: dimension mismatch";
+  Sorl_util.Sparse.Csr.dot_rows csr t.w
+
+let score_csr_into t csr out =
+  if Sorl_util.Sparse.Csr.dim csr <> Array.length t.w then
+    invalid_arg "Model.score_csr_into: dimension mismatch";
+  Sorl_util.Sparse.Csr.dot_rows_into csr t.w out
+
 let score_batch t candidates = Sorl_util.Pool.parallel_map (score t) candidates
 
-let sort_by_score scores =
+let sort_by_score (scores : float array) =
   let idx = Array.init (Array.length scores) (fun i -> i) in
+  (* The parameter annotation matters: without it this function is
+     inferred at ['a array] (the mli constrains only the interface, not
+     the compiled code) and every comparison goes through generic array
+     loads that box both floats plus a polymorphic compare call.
+     Annotated, the loads and comparisons are unboxed primitives.
+     Identical order for finite scores (ties, including 0. vs -0.,
+     fall through to the index). *)
   Array.sort
     (fun a b ->
-      let c = compare scores.(a) scores.(b) in
-      if c <> 0 then c else compare a b)
+      if scores.(a) < scores.(b) then -1
+      else if scores.(b) < scores.(a) then 1
+      else compare (a : int) (b : int))
     idx;
   idx
 

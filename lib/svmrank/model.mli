@@ -25,6 +25,20 @@ val entry_scorer : t -> (int * float) list -> float
     [score t (Sparse.of_list ~dim entries)].  The closure is not
     reentrant: create one scorer per domain when scoring in parallel. *)
 
+val slice_scorer : t -> int array -> float array -> int -> float
+(** [slice_scorer t] returns an allocation-free closure scoring the
+    first [n] entries of a strictly-increasing index/value scratch pair
+    (the layout {!Sorl_stencil.Features.encode_into} fills).
+    Bit-identical to [score t] of the equivalent sparse vector. *)
+
+val score_csr : t -> Sorl_util.Sparse.Csr.t -> float array
+(** Score every row of a CSR batch against the weights by walking the
+    flat arrays; element [r] is bit-identical to [score t row_r].
+    Allocates only the result array. *)
+
+val score_csr_into : t -> Sorl_util.Sparse.Csr.t -> float array -> unit
+(** Like {!score_csr} into a caller-provided output; allocation-free. *)
+
 val score_batch : t -> Sorl_util.Sparse.t array -> float array
 (** Scores of all candidates, computed in parallel over the
     {!Sorl_util.Pool} (element order preserved; each score equals

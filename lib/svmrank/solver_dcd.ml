@@ -20,10 +20,16 @@ let train_on_pairs ?(params = default_params) ~dim zs =
   if m = 0 then invalid_arg "Solver_dcd: no pairs";
   Sorl_util.Telemetry.add pairs_counter m;
   Sorl_util.Telemetry.span "solver/dcd" (fun () ->
+      (* One-time CSR pack + per-pair Q_ii precomputation: the passes
+         below walk flat arrays only.  [norm2_row]/[dot_row]/[axpy_row]
+         perform the same float operations in the same order as their
+         sparse-vector counterparts, keeping the solution
+         bit-identical. *)
+      let zc = Sorl_util.Sparse.Csr.of_rows ~dim zs in
       let upper = params.c /. float_of_int m in
       let alpha = Array.make m 0. in
       let w = Array.make dim 0. in
-      let qii = Array.map Sorl_util.Sparse.norm2 zs in
+      let qii = Array.init m (Sorl_util.Sparse.Csr.norm2_row zc) in
       let order = Array.init m (fun i -> i) in
       let rng = Sorl_util.Rng.create params.seed in
       let pass = ref 0 and converged = ref false in
@@ -37,7 +43,7 @@ let train_on_pairs ?(params = default_params) ~dim zs =
             Array.iter
               (fun p ->
                 if qii.(p) > 0. then begin
-                  let g = Sorl_util.Sparse.dot_dense zs.(p) w -. 1. in
+                  let g = Sorl_util.Sparse.Csr.dot_row zc p w -. 1. in
                   (* Projected gradient at the current alpha. *)
                   let pg =
                     if alpha.(p) <= 0. then Float.min g 0.
@@ -51,7 +57,7 @@ let train_on_pairs ?(params = default_params) ~dim zs =
                     if delta <> 0. then begin
                       alpha.(p) <- a_new;
                       incr updates;
-                      Sorl_util.Sparse.axpy_dense delta zs.(p) w
+                      Sorl_util.Sparse.Csr.axpy_row delta zc p w
                     end
                   end
                 end)

@@ -24,6 +24,12 @@ let train_on_pairs ?(params = default_params) ~dim zs =
   if m = 0 then invalid_arg "Solver_sgd: no pairs";
   Sorl_util.Telemetry.add pairs_counter m;
   Sorl_util.Telemetry.span "solver/sgd" (fun () ->
+      (* Pack the pair differences into one CSR block up front: every
+         epoch then touches only the three flat arrays instead of one
+         boxed sparse vector per sampled pair.  The CSR row kernels
+         replay the exact float operations of the sparse ones, so the
+         trained model is bit-identical. *)
+      let zc = Sorl_util.Sparse.Csr.of_rows ~dim zs in
       let rng = Sorl_util.Rng.create params.seed in
       let lambda = 1. /. params.c in
       let w = Array.make dim 0. in
@@ -38,8 +44,9 @@ let train_on_pairs ?(params = default_params) ~dim zs =
         (* Mini-batch subgradient of the hinge terms. *)
         let per = eta /. float_of_int params.batch in
         for _ = 1 to params.batch do
-          let z = zs.(Sorl_util.Rng.int rng m) in
-          if Sorl_util.Sparse.dot_dense z w < 1. then Sorl_util.Sparse.axpy_dense per z w
+          let z = Sorl_util.Rng.int rng m in
+          if Sorl_util.Sparse.Csr.dot_row zc z w < 1. then
+            Sorl_util.Sparse.Csr.axpy_row per zc z w
         done;
         (* Pegasos projection onto the ball of radius 1/sqrt(lambda). *)
         let n = Sorl_util.Vec.norm w in

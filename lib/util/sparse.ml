@@ -1,20 +1,26 @@
 type t = { dim : int; idx : int array; v : float array }
 
+(* Sort-and-merge build: a stable sort keeps duplicate indices in list
+   order, so summing each run left-to-right performs the same float
+   additions (in the same order) as the accumulating hash table this
+   replaces — no hashing, and a deterministic entry order throughout. *)
 let of_list ~dim pairs =
   List.iter
     (fun (i, _) ->
       if i < 0 || i >= dim then invalid_arg "Sparse.of_list: index out of range")
     pairs;
-  let tbl = Hashtbl.create (List.length pairs) in
-  List.iter
-    (fun (i, x) ->
-      let cur = try Hashtbl.find tbl i with Not_found -> 0. in
-      Hashtbl.replace tbl i (cur +. x))
-    pairs;
-  let entries =
-    Hashtbl.fold (fun i x acc -> if x = 0. then acc else (i, x) :: acc) tbl []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b) pairs in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (i, x) :: rest ->
+      let rec take x = function
+        | (j, y) :: tl when j = i -> take (x +. y) tl
+        | tl -> (x, tl)
+      in
+      let x, tl = take (0. +. x) rest in
+      if x = 0. then merge acc tl else merge ((i, x) :: acc) tl
   in
+  let entries = merge [] sorted in
   { dim; idx = Array.of_list (List.map fst entries); v = Array.of_list (List.map snd entries) }
 
 let of_sorted ~dim idx v =
@@ -63,6 +69,7 @@ let get t i =
   !found
 
 let nonzeros t = Array.init (nnz t) (fun k -> (t.idx.(k), t.v.(k)))
+let iteri f t = Array.iteri (fun k i -> f i t.v.(k)) t.idx
 
 let dot a b =
   if a.dim <> b.dim then invalid_arg "Sparse.dot: dimension mismatch";
@@ -159,3 +166,90 @@ let pp ppf t =
   Format.fprintf ppf "{dim=%d;@ " t.dim;
   Array.iteri (fun k i -> Format.fprintf ppf "%d:%g@ " i t.v.(k)) t.idx;
   Format.fprintf ppf "}"
+
+type sparse = t
+
+(* Compressed sparse rows: one flat index array, one flat value array,
+   row offsets.  Row [r] lives at [offs.(r), offs.(r+1)) of [idx]/[v]
+   and obeys the same invariant as a sparse vector (strictly increasing
+   indices, no explicit zeros), so every row kernel below performs the
+   exact float operations of its [Sparse.t] counterpart — batch callers
+   get bit-identical results with zero per-row allocation. *)
+module Csr = struct
+  type t = { dim : int; offs : int array; idx : int array; v : float array }
+
+  let create ~dim ~offs ~idx ~v =
+    let nnz = Array.length idx in
+    if Array.length v <> nnz then invalid_arg "Csr.create: idx/v length mismatch";
+    let nrows = Array.length offs - 1 in
+    if nrows < 0 then invalid_arg "Csr.create: offs must have >= 1 entry";
+    if offs.(0) <> 0 || offs.(nrows) <> nnz then
+      invalid_arg "Csr.create: offsets must span the entry arrays";
+    for r = 0 to nrows - 1 do
+      if offs.(r) > offs.(r + 1) then invalid_arg "Csr.create: offsets must be nondecreasing";
+      for k = offs.(r) to offs.(r + 1) - 1 do
+        if idx.(k) < 0 || idx.(k) >= dim then invalid_arg "Csr.create: index out of range";
+        if k > offs.(r) && idx.(k) <= idx.(k - 1) then
+          invalid_arg "Csr.create: row indices not strictly increasing";
+        if v.(k) = 0. then invalid_arg "Csr.create: explicit zero entry"
+      done
+    done;
+    { dim; offs; idx; v }
+
+  let dim t = t.dim
+  let rows t = Array.length t.offs - 1
+  let nnz t = t.offs.(rows t)
+  let row_nnz t r = t.offs.(r + 1) - t.offs.(r)
+
+  let of_rows ~dim rs =
+    let n = Array.length rs in
+    let offs = Array.make (n + 1) 0 in
+    Array.iteri
+      (fun r (s : sparse) ->
+        if s.dim <> dim then invalid_arg "Csr.of_rows: row dimension mismatch";
+        offs.(r + 1) <- offs.(r) + Array.length s.idx)
+      rs;
+    let total = offs.(n) in
+    let idx = Array.make total 0 and v = Array.make total 0. in
+    Array.iteri
+      (fun r (s : sparse) ->
+        Array.blit s.idx 0 idx offs.(r) (Array.length s.idx);
+        Array.blit s.v 0 v offs.(r) (Array.length s.v))
+      rs;
+    { dim; offs; idx; v }
+
+  let row t r =
+    let lo = t.offs.(r) and hi = t.offs.(r + 1) in
+    { dim = t.dim; idx = Array.sub t.idx lo (hi - lo); v = Array.sub t.v lo (hi - lo) }
+
+  let dot_row t r w =
+    let acc = ref 0. in
+    for k = t.offs.(r) to t.offs.(r + 1) - 1 do
+      acc := !acc +. (t.v.(k) *. w.(t.idx.(k)))
+    done;
+    !acc
+
+  let dot_rows_into t w out =
+    if Array.length w < t.dim then invalid_arg "Csr.dot_rows_into: dense side too short";
+    if Array.length out < rows t then invalid_arg "Csr.dot_rows_into: output too short";
+    for r = 0 to rows t - 1 do
+      out.(r) <- dot_row t r w
+    done
+
+  let dot_rows t w =
+    let out = Array.make (rows t) 0. in
+    dot_rows_into t w out;
+    out
+
+  let axpy_row a t r y =
+    for k = t.offs.(r) to t.offs.(r + 1) - 1 do
+      y.(t.idx.(k)) <- y.(t.idx.(k)) +. (a *. t.v.(k))
+    done
+
+  let norm2_row t r =
+    let acc = ref 0. in
+    for k = t.offs.(r) to t.offs.(r + 1) - 1 do
+      acc := !acc +. (t.v.(k) *. t.v.(k))
+    done;
+    !acc
+end

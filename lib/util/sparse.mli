@@ -9,8 +9,9 @@ type t
     entries sorted by index. *)
 
 val of_list : dim:int -> (int * float) list -> t
-(** Build from (index, value) pairs.  Duplicate indices are summed,
-    explicit zeros dropped, indices must be inside [\[0, dim)]. *)
+(** Build from (index, value) pairs.  Duplicate indices are summed (in
+    list order, via a stable sort-and-merge — no hashing), explicit
+    zeros dropped, indices must be inside [\[0, dim)]. *)
 
 val of_sorted : dim:int -> int array -> float array -> t
 (** [of_sorted ~dim idx v] builds a vector directly from parallel
@@ -34,6 +35,11 @@ val get : t -> int -> float
 
 val nonzeros : t -> (int * float) array
 (** Stored entries, sorted by index. *)
+
+val iteri : (int -> float -> unit) -> t -> unit
+(** [iteri f v] calls [f i x] for every stored nonzero in increasing
+    index order, without materializing a dense copy or an entry
+    array. *)
 
 val dot : t -> t -> float
 (** Sparse-sparse inner product. *)
@@ -62,3 +68,55 @@ val concat : t list -> t
 val equal : ?eps:float -> t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+type sparse = t
+(** Alias so {!Csr} can refer to single vectors. *)
+
+(** Compressed sparse rows: a batch of sparse vectors sharing one flat
+    index array, one flat value array and a row-offset table.  Each row
+    obeys the {!of_sorted} invariant (strictly increasing indices, no
+    explicit zeros), so the row kernels below replay the exact float
+    operations of their single-vector counterparts ({!dot_dense},
+    {!axpy_dense}, {!norm2}) — batch callers stay bit-identical to the
+    vector-at-a-time path while touching only flat arrays, with no
+    per-row allocation.  This is the storage format of
+    [Features.encode_csr] batches and of the solvers' training pairs. *)
+module Csr : sig
+  type t
+
+  val create : dim:int -> offs:int array -> idx:int array -> v:float array -> t
+  (** [create ~dim ~offs ~idx ~v] wraps row [r]'s entries at
+      [\[offs.(r), offs.(r+1))] of [idx]/[v].  The invariant (offsets
+      spanning the arrays and nondecreasing; per-row indices strictly
+      increasing inside [\[0, dim)]; no zero values) is checked in
+      O(nnz).  The arrays are {e not} copied — callers must not mutate
+      them afterwards. *)
+
+  val of_rows : dim:int -> sparse array -> t
+  (** Concatenate sparse vectors into one CSR batch (one copy, done
+      once — e.g. at [fit] time so solver epochs run on flat arrays). *)
+
+  val dim : t -> int
+  val rows : t -> int
+  val nnz : t -> int
+  val row_nnz : t -> int -> int
+
+  val row : t -> int -> sparse
+  (** Copy row [r] back out as a standalone sparse vector. *)
+
+  val dot_row : t -> int -> float array -> float
+  (** [dot_row t r w] = [dot_dense (row t r) w], allocation-free. *)
+
+  val dot_rows_into : t -> float array -> float array -> unit
+  (** Score every row against [w] into a caller-provided output
+      (length >= {!rows}); allocation-free. *)
+
+  val dot_rows : t -> float array -> float array
+  (** [dot_rows t w].(r) = [dot_row t r w]; allocates the result only. *)
+
+  val axpy_row : float -> t -> int -> float array -> unit
+  (** [axpy_row a t r y] performs [y <- y + a·row_r], allocation-free. *)
+
+  val norm2_row : t -> int -> float
+  (** Squared L2 norm of row [r] = [norm2 (row t r)], allocation-free. *)
+end

@@ -8,6 +8,11 @@ let time f =
 let time_unit f = snd (time f)
 
 let time_repeat ?(min_time = 0.01) f =
+  (* One untimed warm-up run so the measured calls see warm caches,
+     triggered lazy initialisation and a settled minor heap; the cold
+     first call otherwise inflates the mean (and, worse, the
+     single-call fast path below). *)
+  f ();
   let t0 = now () in
   f ();
   let once = now () -. t0 in

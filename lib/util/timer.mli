@@ -8,10 +8,12 @@ val time_unit : (unit -> unit) -> float
 (** Elapsed seconds of a unit-returning thunk. *)
 
 val time_repeat : ?min_time:float -> (unit -> unit) -> float * int
-(** [time_repeat f] runs [f] enough times to accumulate at least
-    [min_time] seconds (default 0.01) and returns the mean per-call
-    time together with the number of repetitions the mean was taken
-    over (1 when the first call alone exceeded [min_time]).  Used for
-    sub-millisecond phases such as ranking; pass the pair to
-    {!Telemetry.observe} ([~count:reps]) so reports carry the sample
-    size, not a bare mean. *)
+(** [time_repeat f] discards one untimed warm-up call of [f] (so cold
+    caches and lazy initialisation don't pollute the measurement), then
+    runs [f] enough times to accumulate at least [min_time] seconds
+    (default 0.01) and returns the mean per-call time together with the
+    number of repetitions the mean was taken over (1 when the first
+    timed call alone exceeded [min_time]).  Used for sub-millisecond
+    phases such as ranking; pass the pair to {!Telemetry.observe}
+    ([~count:reps]) so reports carry the sample size, not a bare
+    mean. *)

@@ -13,6 +13,7 @@ let () =
       ("kernel-instance", Test_kernel_instance.suite);
       ("tuning", Test_tuning.suite);
       ("features", Test_features.suite);
+      ("features-fast", Test_features_fast.suite);
       ("benchmarks-shapes", Test_benchmarks_shapes.suite);
       ("dsl", Test_dsl.suite);
       ("codegen", Test_codegen.suite);
