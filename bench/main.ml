@@ -6,8 +6,8 @@
      dune exec bench/main.exe -- fig4 fig7    # selected experiments
 
    Experiments: table2 table3 fig4 fig5 fig6 fig7 ablation baselines
-   extensions stability csv perf rank-throughput micro
-   telemetry-overhead.
+   extensions stability csv perf rank-throughput serve-throughput
+   micro telemetry-overhead.
    See DESIGN.md for the experiment index and EXPERIMENTS.md for the
    paper-vs-measured discussion of one full run. *)
 
@@ -1124,6 +1124,140 @@ let rank_throughput () =
       exit 1
     end
 
+(* ---- Serve throughput: the socket server vs in-process ranking ---- *)
+
+let serve_throughput () =
+  header "Serve throughput: batched socket server vs direct Autotuner.rank";
+  let m = Sorl_machine.Measure.model machine in
+  let spec = { Sorl.Training.size = 960; mode = Features.Extended; seed = 5 } in
+  let tuner = Sorl.Autotuner.train_on ~mode:Features.Extended (Sorl.Training.generate ~spec m) in
+  let benchmark = "gradient-256x256x256" in
+  let inst = Benchmarks.instance_by_name benchmark in
+  let set = Tuning.predefined_set ~dims:3 in
+  (* Baseline: one in-process rank pass over the 8640-candidate set. *)
+  let direct_s, _ =
+    Sorl_util.Timer.time_repeat ~min_time:0.5 (fun () ->
+        ignore (Sys.opaque_identity (Sorl.Autotuner.rank tuner inst set)))
+  in
+  let direct_rps = 1. /. direct_s in
+  let was_on = Sorl_util.Telemetry.enabled () in
+  Sorl_util.Telemetry.set_enabled true;
+  Sorl_util.Telemetry.reset ();
+  let dir = Filename.temp_dir "sorl-serve-bench" "" in
+  let store =
+    match Sorl_serve.Model_store.open_dir dir with Ok s -> s | Error m -> failwith m
+  in
+  (match Sorl_serve.Model_store.save store ~name:"default" tuner with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let address = Sorl_serve.Protocol.Unix_path (Filename.concat dir "bench.sock") in
+  let server =
+    match
+      Sorl_serve.Server.start ~address ~workers:4 ~queue_capacity:64
+        (Sorl_serve.Server.Store (store, "default"))
+    with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let clients = 4 and per_client = 50 in
+  let total = clients * per_client in
+  let latencies = Array.make total 0. in
+  let protocol_errors = Atomic.make 0 in
+  let expected = (Sorl.Autotuner.rank tuner inst set).(0) in
+  let (), wall =
+    Sorl_util.Timer.time (fun () ->
+        Sorl_util.Pool.parallel_for ~domains:clients clients (fun ci ->
+            match Sorl_serve.Client.connect ~retry_for_s:5. address with
+            | Error _ -> Atomic.fetch_and_add protocol_errors per_client |> ignore
+            | Ok c ->
+              for j = 0 to per_client - 1 do
+                let t0 = Unix.gettimeofday () in
+                (match Sorl_serve.Client.rank c ~benchmark ~top:3 with
+                | Ok (best :: _) when Tuning.equal best expected -> ()
+                | Ok _ | Error _ -> Atomic.incr protocol_errors);
+                latencies.((ci * per_client) + j) <- Unix.gettimeofday () -. t0
+              done;
+              Sorl_serve.Client.close c))
+  in
+  (* Read the request counter before the control connection below adds
+     its own stats/shutdown requests, so it must equal the load
+     generator's count exactly. *)
+  let telemetry_requests = Sorl_util.Telemetry.counter_value "serve.requests" in
+  let reconciled = telemetry_requests = total in
+  let served_rps = float_of_int total /. wall in
+  let leaders, followers =
+    match
+      Sorl_serve.Client.with_connection address (fun c ->
+          match Sorl_serve.Client.stats c with
+          | Error _ as e -> e
+          | Ok kvs ->
+            let get k = Option.value ~default:0 (List.assoc_opt k kvs) in
+            (match Sorl_serve.Client.shutdown c with
+            | Ok () -> Ok (get "rank_leaders", get "rank_followers")
+            | Error _ as e -> e))
+    with
+    | Ok lf -> lf
+    | Error m ->
+      Printf.printf "WARNING: control connection failed: %s\n" m;
+      (0, 0)
+  in
+  Sorl_serve.Server.stop server;
+  Sorl_serve.Server.wait server;
+  Sorl_util.Telemetry.reset ();
+  Sorl_util.Telemetry.set_enabled was_on;
+  let p50 = Stats.percentile latencies 50. and p99 = Stats.percentile latencies 99. in
+  let hit_rate =
+    if leaders + followers = 0 then 0.
+    else float_of_int followers /. float_of_int (leaders + followers)
+  in
+  let factor = direct_rps /. served_rps in
+  Printf.printf
+    "direct rank: %.1f req/s; served (%d clients x %d): %.1f req/s (%.2fx slower)\n"
+    direct_rps clients per_client served_rps factor;
+  Printf.printf "latency p50 %s, p99 %s; batching: %d leaders, %d followers (%.0f%% coalesced)\n"
+    (Table.fmt_time p50) (Table.fmt_time p99) leaders followers (100. *. hit_rate);
+  Printf.printf "protocol errors: %d; telemetry requests %d (load generator sent %d)\n"
+    (Atomic.get protocol_errors) telemetry_requests total;
+  add_bench_sections
+    [
+      ( "serve_throughput",
+        Printf.sprintf
+          "{\n\
+          \    \"clients\": %d,\n\
+          \    \"requests\": %d,\n\
+          \    \"req_per_s\": %.1f,\n\
+          \    \"latency_p50_s\": %.6f,\n\
+          \    \"latency_p99_s\": %.6f,\n\
+          \    \"direct_rank_per_s\": %.1f,\n\
+          \    \"factor_vs_direct\": %.2f,\n\
+          \    \"batch_hit_rate\": %.3f,\n\
+          \    \"protocol_errors\": %d,\n\
+          \    \"telemetry_requests\": %d,\n\
+          \    \"requests_reconciled\": %b\n\
+          \  }"
+          clients total served_rps p50 p99 direct_rps factor hit_rate
+          (Atomic.get protocol_errors) telemetry_requests reconciled );
+    ];
+  let problems = ref [] in
+  let flag cond msg = if cond then problems := msg :: !problems in
+  flag (Atomic.get protocol_errors > 0)
+    (Printf.sprintf "%d protocol errors under concurrency" (Atomic.get protocol_errors));
+  flag (not reconciled)
+    (Printf.sprintf "telemetry saw %d requests, load generator sent %d" telemetry_requests
+       total);
+  flag (served_rps *. 25. < direct_rps)
+    (Printf.sprintf "throughput gate: served %.1f req/s is more than 25x below direct %.1f"
+       served_rps direct_rps);
+  match !problems with
+  | [] -> print_endline "OK: serve-throughput gates passed"
+  | ps ->
+    if Sys.getenv_opt "CI" <> None then
+      List.iter (fun p -> Printf.printf "WARNING: %s\n" p) ps
+    else begin
+      List.iter (fun p -> Printf.eprintf "FAIL: %s\n" p) ps;
+      exit 1
+    end
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let micro () =
@@ -1248,6 +1382,7 @@ let experiments =
     ("csv", csv);
     ("perf", perf);
     ("rank-throughput", rank_throughput);
+    ("serve-throughput", serve_throughput);
     ("micro", micro);
     ("telemetry-overhead", telemetry_overhead);
   ]

@@ -8,7 +8,9 @@
      tune       end-to-end: train (or load) a model and print the chosen
                 configuration, with optional measured verification
      search     run an iterative-compilation baseline on a benchmark
-     emit       print the generated C for a benchmark + tuning vector *)
+     emit       print the generated C for a benchmark + tuning vector
+     serve      expose rank/tune over a unix or TCP socket
+     query      talk to a running serve instance *)
 
 open Cmdliner
 open Sorl_stencil
@@ -361,6 +363,162 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Show what a trained ranking model learned")
     Term.(term_result (const run $ model_file_arg $ top_arg))
 
+(* ---- serve / query ---- *)
+
+let address_conv =
+  Arg.conv
+    ( (fun s ->
+        match Sorl_serve.Protocol.address_of_string s with
+        | Ok a -> Ok a
+        | Error m -> Error (`Msg m)),
+      fun ppf a -> Format.pp_print_string ppf (Sorl_serve.Protocol.address_to_string a) )
+
+let serve_cmd =
+  let listen_arg =
+    let doc = "Address to listen on: unix:<path> or tcp:<host>:<port> (port 0 = ephemeral)." in
+    Arg.(value & opt address_conv (Sorl_serve.Protocol.Unix_path "sorl.sock")
+         & info [ "listen"; "l" ] ~docv:"ADDR" ~doc)
+  in
+  let store_arg =
+    let doc =
+      "Serve from a model-store directory instead of a single file; enables switching \
+       models with `reload <name>'.  When the store lacks $(b,--name) but the \
+       $(b,--model) file exists, that file is imported into the store first."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let name_arg =
+    let doc = "Model name to serve from the store." in
+    Arg.(value & opt string "default" & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains (default: one per core)." in
+    Arg.(value & opt (some int) None & info [ "workers"; "j" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Pending-connection queue capacity (beyond it, clients get `err busy')." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let timeout_s_arg =
+    let doc = "Per-connection socket timeout in seconds." in
+    Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"S" ~doc)
+  in
+  let run listen model_file store name workers queue timeout trace trace_out =
+    let source =
+      match store with
+      | None ->
+        if Sys.file_exists model_file then Ok (Sorl_serve.Server.Model_file model_file)
+        else
+          Error
+            (`Msg
+              (Printf.sprintf "model file %s not found; run `sorl_tune train' first"
+                 model_file))
+      | Some dir -> (
+        match Sorl_serve.Model_store.open_dir dir with
+        | Error m -> Error (`Msg m)
+        | Ok st -> (
+          let import =
+            (* Seed the store from an existing single-file model so
+               `train' output is servable without a separate step. *)
+            if (not (List.mem name (Sorl_serve.Model_store.list st)))
+               && Sys.file_exists model_file
+            then
+              match Sorl.Autotuner.load_result model_file with
+              | Error m -> Error (`Msg m)
+              | Ok tuner -> (
+                match Sorl_serve.Model_store.save st ~name tuner with
+                | Error m -> Error (`Msg m)
+                | Ok () ->
+                  Printf.printf "imported %s into %s as %S\n%!" model_file dir name;
+                  Ok ())
+            else Ok ()
+          in
+          match import with
+          | Error _ as e -> e
+          | Ok () -> Ok (Sorl_serve.Server.Store (st, name))))
+    in
+    Result.bind source @@ fun source ->
+    with_trace trace trace_out @@ fun ~tracing:_ () ->
+    match
+      Sorl_serve.Server.start ~address:listen ?workers ~queue_capacity:queue
+        ~conn_timeout_s:timeout source
+    with
+    | Error m -> Error (`Msg m)
+    | Ok server ->
+      Printf.printf "serving on %s (send `sorl1 shutdown' or `sorl_tune query shutdown' to stop)\n%!"
+        (Sorl_serve.Protocol.address_to_string (Sorl_serve.Server.address server));
+      Sorl_serve.Server.wait server;
+      Printf.printf "server stopped after %d requests\n"
+        (Sorl_serve.Server.requests_served server);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve rank/tune queries over a socket (see README `Serving')")
+    Term.(
+      term_result
+        (const run $ listen_arg $ model_file_arg $ store_arg $ name_arg $ workers_arg
+        $ queue_arg $ timeout_s_arg $ trace_arg $ trace_out_arg))
+
+let query_cmd =
+  let connect_arg =
+    let doc = "Server address: unix:<path> or tcp:<host>:<port>." in
+    Arg.(value & opt address_conv (Sorl_serve.Protocol.Unix_path "sorl.sock")
+         & info [ "connect"; "c" ] ~docv:"ADDR" ~doc)
+  in
+  let wait_arg =
+    let doc = "Keep retrying the connection for up to $(docv) seconds (server still starting)." in
+    Arg.(value & opt float 0. & info [ "wait" ] ~docv:"S" ~doc)
+  in
+  let words_arg =
+    let doc =
+      "Query: `rank BENCHMARK', `tune BENCHMARK', `info', `stats', `reload [NAME]' or \
+       `shutdown'."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let print_kvs kvs =
+    List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v) kvs
+  in
+  let run connect wait top words =
+    let open Sorl_serve in
+    let result =
+      Client.with_connection ~retry_for_s:wait connect @@ fun c ->
+      match words with
+      | [ "rank"; benchmark ] ->
+        Result.map
+          (fun tunings ->
+            List.iteri
+              (fun i t -> Printf.printf "%2d  %s\n" (i + 1) (Tuning.to_string t))
+              tunings)
+          (Client.rank c ~benchmark ~top)
+      | [ "tune"; benchmark ] ->
+        Result.map
+          (fun t -> Printf.printf "%s\n" (Tuning.to_string t))
+          (Client.tune c ~benchmark)
+      | [ "info" ] -> Result.map print_kvs (Client.info c)
+      | [ "stats" ] ->
+        Result.map
+          (fun kvs -> print_kvs (List.map (fun (k, v) -> (k, string_of_int v)) kvs))
+          (Client.stats c)
+      | [ "reload" ] | [ "reload"; _ ] ->
+        let model = match words with [ _; m ] -> Some m | _ -> None in
+        Result.map
+          (fun (name, gen) -> Printf.printf "reloaded %s (generation %d)\n" name gen)
+          (Client.reload ?model c)
+      | [ "shutdown" ] ->
+        Result.map (fun () -> print_endline "server shutting down") (Client.shutdown c)
+      | _ ->
+        Error
+          (Printf.sprintf "bad query %S: expected rank|tune BENCHMARK, info, stats, \
+                           reload [NAME] or shutdown"
+             (String.concat " " words))
+    in
+    Result.map_error (fun m -> `Msg m) result
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a running `sorl_tune serve' instance")
+    Term.(term_result (const run $ connect_arg $ wait_arg $ top_arg $ words_arg))
+
 (* ---- tune-file (DSL front end) ---- *)
 
 let tune_file_cmd =
@@ -418,7 +576,7 @@ let main_cmd =
   Cmd.group (Cmd.info "sorl_tune" ~version:"1.0.0" ~doc)
     [
       list_cmd; train_cmd; rank_cmd; tune_cmd; search_cmd; emit_cmd; inspect_cmd;
-      tune_file_cmd;
+      tune_file_cmd; serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

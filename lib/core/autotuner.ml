@@ -38,15 +38,14 @@ let candidates_counter = Sorl_util.Telemetry.counter "rank.candidates"
 let encode_hist = Sorl_util.Telemetry.histogram "rank.encode_s"
 let score_hist = Sorl_util.Telemetry.histogram "rank.score_s"
 
-let rank t inst candidates =
-  (* Stream candidates through the compiled per-instance encoder in
-     parallel chunks: each chunk owns one scratch index/value pair that
-     [Features.encode_into] refills per candidate, and [slice_scorer]
-     walks the filled prefix against the dense weights — no allocation
-     per candidate.  Both are bit-identical to encode-then-score, so
-     the ranking matches the slow serial path exactly. *)
+(* Streams candidates through a compiled per-instance encoder in
+   parallel chunks: each chunk owns one scratch index/value pair that
+   [Features.encode_into] refills per candidate, and [slice_scorer]
+   walks the filled prefix against the dense weights — no allocation
+   per candidate.  Both are bit-identical to encode-then-score, so the
+   ranking matches the slow serial path exactly. *)
+let rank_enc t enc candidates =
   Sorl_util.Telemetry.span "autotuner/rank" (fun () ->
-      let enc = Features.compile t.mode inst in
       let n = Array.length candidates in
       Sorl_util.Telemetry.add candidates_counter n;
       let scores = Array.make n 0. in
@@ -90,6 +89,13 @@ let rank t inst candidates =
       let order = Sorl_svmrank.Model.sort_by_score scores in
       Array.map (fun i -> candidates.(i)) order)
 
+let rank t inst candidates = rank_enc t (Features.compile t.mode inst) candidates
+
+let rank_compiled t enc candidates =
+  if Features.compiled_mode enc <> t.mode then
+    invalid_arg "Autotuner.rank_compiled: encoder mode does not match the tuner";
+  rank_enc t enc candidates
+
 let best t inst candidates =
   if Array.length candidates = 0 then invalid_arg "Autotuner.best: no candidates";
   (rank t inst candidates).(0)
@@ -97,27 +103,65 @@ let best t inst candidates =
 let tune t inst =
   best t inst (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)))
 
-let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Printf.sprintf "mode %s\n" (Features.mode_to_string t.mode));
-      output_string oc (Sorl_svmrank.Model.to_string t.model))
+(* ---- persistence ----
 
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let header = input_line ic in
-      let mode =
-        match String.split_on_char ' ' header with
-        | [ "mode"; m ] -> (
-          try Features.mode_of_string m
-          with Invalid_argument _ -> failwith "Autotuner.load: unknown feature mode")
-        | _ -> failwith "Autotuner.load: missing mode header"
-      in
-      let rest = really_input_string ic (in_channel_length ic - pos_in ic) in
-      let model = Sorl_svmrank.Model.of_string rest in
-      of_model ~mode model)
+   Version-headed text format, written atomically:
+
+     sorl-model v1
+     mode <canonical|extended>
+     <Model.to_string payload: "sorl-rank-model 1", dim, nnz, weights, end>
+
+   Parsing is defensive end to end: every malformed input — missing or
+   wrong version, unknown mode, truncated payload — comes back as a
+   typed [Error] with a message naming the problem, never as an
+   exception escaping from the middle of a parse.  The serving
+   subsystem's hot-reload path consumes the same [Result]s. *)
+
+let format_header = "sorl-model v1"
+
+let to_string t =
+  Printf.sprintf "%s\nmode %s\n%s" format_header
+    (Features.mode_to_string t.mode)
+    (Sorl_svmrank.Model.to_string t.model)
+
+(* First line (sans trailing [\r]) and the remainder after its [\n]. *)
+let split_line s =
+  match String.index_opt s '\n' with
+  | None -> (String.trim s, "")
+  | Some i -> (String.trim (String.sub s 0 i), String.sub s (i + 1) (String.length s - i - 1))
+
+let of_string s =
+  let err msg = Error ("Autotuner: " ^ msg) in
+  let header, rest = split_line s in
+  match String.split_on_char ' ' header with
+  | [ "sorl-model"; "v1" ] -> (
+    let mode_line, payload = split_line rest in
+    match String.split_on_char ' ' mode_line with
+    | [ "mode"; m ] -> (
+      match Features.mode_of_string m with
+      | exception Invalid_argument _ -> err (Printf.sprintf "unknown feature mode %S" m)
+      | mode -> (
+        match Sorl_svmrank.Model.of_string payload with
+        | exception Failure msg -> err msg
+        | model ->
+          if Sorl_svmrank.Model.dim model <> Features.dim mode then
+            err
+              (Printf.sprintf "model dimension %d does not match %s features (%d)"
+                 (Sorl_svmrank.Model.dim model) m (Features.dim mode))
+          else Ok { model; mode }))
+    | _ -> err "missing \"mode <canonical|extended>\" line")
+  | [ "sorl-model"; v ] ->
+    err (Printf.sprintf "unsupported format version %S (this build reads v1)" v)
+  | _ -> err (Printf.sprintf "not a model file (expected %S header)" format_header)
+
+let save t path = Sorl_util.Persist.write_atomic path (fun oc -> output_string oc (to_string t))
+
+let load_result path =
+  match Sorl_util.Persist.read_to_string path with
+  | Error msg -> Error (Printf.sprintf "Autotuner: cannot read %s: %s" path msg)
+  | Ok s -> (
+    match of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (Printf.sprintf "%s (in %s)" msg path))
+
+let load path = match load_result path with Ok t -> t | Error msg -> failwith msg

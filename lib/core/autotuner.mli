@@ -48,6 +48,18 @@ val rank :
     {!Sorl_util.Pool}; the resulting order is identical for every pool
     size and bit-identical to encode-and-{!score} per candidate. *)
 
+val rank_compiled :
+  t -> Sorl_stencil.Features.compiled -> Sorl_stencil.Tuning.t array ->
+  Sorl_stencil.Tuning.t array
+(** {!rank} with a caller-supplied compiled encoder, skipping the
+    per-call {!Sorl_stencil.Features.compile} — the entry point for
+    callers that rank the same instance repeatedly and cache encoders
+    (e.g. the serving subsystem's batcher).  The encoder must have been
+    compiled from this tuner's feature mode (checked,
+    [Invalid_argument]) for the instance being ranked (not checkable —
+    the caller's cache key must pin it).  Output is bit-identical to
+    {!rank} on that instance. *)
+
 val best :
   t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->
   Sorl_stencil.Tuning.t
@@ -58,7 +70,24 @@ val tune : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t
     instance's dimensionality (1600 or 8640 configurations, §VI-A). *)
 
 val save : t -> string -> unit
-(** Persist model weights + feature mode to a text file. *)
+(** Persist model weights + feature mode as a version-headed text file
+    ([sorl-model v1]), written atomically via temp-file + rename
+    ({!Sorl_util.Persist.write_atomic}) so a concurrent {!load} never
+    observes a torn file. *)
+
+val load_result : string -> (t, string) result
+(** Defensive load: missing files, wrong or absent version headers,
+    unknown feature modes and truncated/corrupt payloads all come back
+    as [Error] with a message naming the problem and the path — never
+    as an exception from the middle of parsing.  This is the path the
+    serving subsystem's hot reload uses. *)
 
 val load : string -> t
-(** Raises [Failure] on malformed files. *)
+(** {!load_result}, raising [Failure] with its message on [Error]. *)
+
+val to_string : t -> string
+(** The exact bytes {!save} writes. *)
+
+val of_string : string -> (t, string) result
+(** Parse {!to_string} output; same error contract as
+    {!load_result}. *)

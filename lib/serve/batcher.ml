@@ -1,0 +1,119 @@
+open Sorl_stencil
+
+type slot = { mutable outcome : (Tuning.t array, exn) result option }
+
+type cached_encoder = { enc : Features.compiled; mutable last_used : int }
+
+type t = {
+  m : Mutex.t;
+  done_ : Condition.t;
+  in_flight : (string, slot) Hashtbl.t;  (** key: "<generation>/<instance>" *)
+  encoders : (string, cached_encoder) Hashtbl.t;  (** key: "<mode>/<instance>" *)
+  encoder_cache : int;
+  mutable tick : int;  (** LRU clock *)
+  mutable leaders : int;
+  mutable followers : int;
+  mutable encoder_hits : int;
+  mutable encoder_misses : int;
+}
+
+let batched_counter = Sorl_util.Telemetry.counter "serve.batched"
+
+let create ?(encoder_cache = 32) () =
+  if encoder_cache < 1 then invalid_arg "Batcher.create: encoder_cache must be >= 1";
+  {
+    m = Mutex.create ();
+    done_ = Condition.create ();
+    in_flight = Hashtbl.create 16;
+    encoders = Hashtbl.create 16;
+    encoder_cache;
+    tick = 0;
+    leaders = 0;
+    followers = 0;
+    encoder_hits = 0;
+    encoder_misses = 0;
+  }
+
+(* Caller holds [t.m]. *)
+let get_encoder t mode inst =
+  let key = Features.mode_to_string mode ^ "/" ^ Instance.name inst in
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.encoders key with
+  | Some c ->
+    c.last_used <- t.tick;
+    t.encoder_hits <- t.encoder_hits + 1;
+    c.enc
+  | None ->
+    t.encoder_misses <- t.encoder_misses + 1;
+    if Hashtbl.length t.encoders >= t.encoder_cache then begin
+      (* Evict the least recently used entry; the cache is small
+         (default 32), so a linear scan beats maintaining a heap. *)
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k c ->
+          match !victim with
+          | Some (_, age) when age <= c.last_used -> ()
+          | _ -> victim := Some (k, c.last_used))
+        t.encoders;
+      match !victim with Some (k, _) -> Hashtbl.remove t.encoders k | None -> ()
+    end;
+    let enc = Features.compile mode inst in
+    Hashtbl.replace t.encoders key { enc; last_used = t.tick };
+    enc
+
+let rank t ~generation ~tuner ~inst candidates =
+  let key = string_of_int generation ^ "/" ^ Instance.name inst in
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.in_flight key with
+  | Some slot ->
+    (* Follower: a leader is already scoring this (generation,
+       instance); wait for its result and share it. *)
+    t.followers <- t.followers + 1;
+    let rec wait () =
+      match slot.outcome with
+      | None ->
+        Condition.wait t.done_ t.m;
+        wait ()
+      | Some outcome -> outcome
+    in
+    let outcome = wait () in
+    Mutex.unlock t.m;
+    Sorl_util.Telemetry.incr batched_counter;
+    (match outcome with Ok r -> (r, true) | Error e -> raise e)
+  | None ->
+    t.leaders <- t.leaders + 1;
+    let slot = { outcome = None } in
+    Hashtbl.replace t.in_flight key slot;
+    let enc = get_encoder t (Sorl.Autotuner.feature_mode tuner) inst in
+    Mutex.unlock t.m;
+    let outcome =
+      match Sorl.Autotuner.rank_compiled tuner enc candidates with
+      | r -> Ok r
+      | exception e -> Error e
+    in
+    Mutex.lock t.m;
+    slot.outcome <- Some outcome;
+    Hashtbl.remove t.in_flight key;
+    Condition.broadcast t.done_;
+    Mutex.unlock t.m;
+    (match outcome with Ok r -> (r, false) | Error e -> raise e)
+
+type stats = {
+  leaders : int;
+  followers : int;
+  encoder_hits : int;
+  encoder_misses : int;
+}
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      leaders = t.leaders;
+      followers = t.followers;
+      encoder_hits = t.encoder_hits;
+      encoder_misses = t.encoder_misses;
+    }
+  in
+  Mutex.unlock t.m;
+  s

@@ -1,0 +1,126 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let resolve address =
+  match address with
+  | Protocol.Unix_path path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Protocol.Tcp (host, port) -> (
+    match Unix.inet_addr_of_string host with
+    | addr -> Ok (Unix.PF_INET, Unix.ADDR_INET (addr, port))
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> Ok (Unix.PF_INET, Unix.ADDR_INET (h_addr_list.(0), port))))
+
+let connect_once address timeout_s =
+  match resolve address with
+  | Error _ as e -> e
+  | Ok (d, sa) -> (
+    let fd = Unix.socket d Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () ->
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+       with Unix.Unix_error _ -> ());
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Protocol.address_to_string address)
+           (Unix.error_message e)))
+
+let connect ?(timeout_s = 30.) ?(retry_for_s = 0.) address =
+  let deadline = Unix.gettimeofday () +. retry_for_s in
+  let rec go () =
+    match connect_once address timeout_s with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+      if Unix.gettimeofday () >= deadline then e
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let close t = close_out_noerr t.oc
+
+let request t req =
+  match Protocol.encode_request req with
+  | exception Invalid_argument msg -> Error msg
+  | frame -> (
+    (* A failed send does not abort the exchange: a server shedding
+       load writes its busy reply and closes before ever reading, so
+       the diagnosis is sitting in our receive buffer — read it. *)
+    let write_error =
+      match
+        output_string t.oc (frame ^ "\n");
+        flush t.oc
+      with
+      | () -> None
+      | exception Sys_error msg -> Some ("connection failed: " ^ msg)
+      | exception Unix.Unix_error (e, _, _) ->
+        Some ("connection failed: " ^ Unix.error_message e)
+    in
+    match input_line t.ic with
+    | line -> Protocol.parse_response line
+    | exception End_of_file ->
+      Error (Option.value write_error ~default:"connection closed by server")
+    | exception Sys_error msg ->
+      Error (Option.value write_error ~default:("connection failed: " ^ msg))
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Option.value write_error ~default:("connection failed: " ^ Unix.error_message e)))
+
+let with_connection ?timeout_s ?retry_for_s address f =
+  match connect ?timeout_s ?retry_for_s address with
+  | Error _ as e -> e
+  | Ok c -> Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+let server_error code message =
+  Error (Protocol.error_code_to_string code ^ ": " ^ message)
+
+let unexpected line = Error ("unexpected reply: " ^ line)
+
+let rank t ~benchmark ~top =
+  match request t (Protocol.Rank { benchmark; top }) with
+  | Error _ as e -> e
+  | Ok (Protocol.Ranked { tunings; _ }) -> Ok tunings
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let tune t ~benchmark =
+  match request t (Protocol.Tune { benchmark }) with
+  | Error _ as e -> e
+  | Ok (Protocol.Tuned { tuning; _ }) -> Ok tuning
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let info t =
+  match request t Protocol.Info with
+  | Error _ as e -> e
+  | Ok (Protocol.Info_reply kvs) -> Ok kvs
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let stats t =
+  match request t Protocol.Stats with
+  | Error _ as e -> e
+  | Ok (Protocol.Stats_reply kvs) -> Ok kvs
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let reload ?model t =
+  match request t (Protocol.Reload { model }) with
+  | Error _ as e -> e
+  | Ok (Protocol.Reloaded { model; generation }) -> Ok (model, generation)
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let shutdown t =
+  match request t Protocol.Shutdown with
+  | Error _ as e -> e
+  | Ok Protocol.Bye -> Ok ()
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)

@@ -1,0 +1,45 @@
+(** Blocking client for the ranking service.
+
+    One connection, one request/response at a time.  All failures —
+    connection refused, timeouts, malformed replies and [err ...]
+    responses — surface as [Error message]; nothing raises. *)
+
+type t
+
+val connect :
+  ?timeout_s:float -> ?retry_for_s:float -> Protocol.address -> (t, string) result
+(** Connect to a server.  [timeout_s] (default 30) bounds each
+    subsequent send/receive.  [retry_for_s] (default 0) keeps retrying
+    a refused/absent endpoint for that many seconds before giving up —
+    for scripts racing a freshly forked server. *)
+
+val close : t -> unit
+
+val with_connection :
+  ?timeout_s:float ->
+  ?retry_for_s:float ->
+  Protocol.address ->
+  (t -> ('a, string) result) ->
+  ('a, string) result
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request line, read one response line.  [Error] replies
+    from the server come back as [Ok (Protocol.Error _)] — use the
+    typed wrappers below to collapse them. *)
+
+(** {1 Typed wrappers}
+
+    Each sends the corresponding request and unpacks the expected reply
+    shape; server-side [err code message] replies become
+    [Error "code: message"]. *)
+
+val rank :
+  t -> benchmark:string -> top:int -> (Sorl_stencil.Tuning.t list, string) result
+
+val tune : t -> benchmark:string -> (Sorl_stencil.Tuning.t, string) result
+val info : t -> ((string * string) list, string) result
+val stats : t -> ((string * int) list, string) result
+val reload : ?model:string -> t -> (string * int, string) result
+(** [(model name, new generation)]. *)
+
+val shutdown : t -> (unit, string) result

@@ -1,0 +1,116 @@
+type t = { dir : string }
+
+let header_magic = "sorl-store v1"
+let extension = ".sorlm"
+
+let valid_name s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && s.[0] <> '.'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '.' || c = '_' || c = '-')
+       s
+
+let open_dir ?(create = true) dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok { dir }
+    else Error (Printf.sprintf "model store: %s exists but is not a directory" dir)
+  else if create then
+    match Sys.mkdir dir 0o755 with
+    | () -> Ok { dir }
+    | exception Sys_error msg -> Error ("model store: " ^ msg)
+  else Error (Printf.sprintf "model store: no such directory %s" dir)
+
+let dir t = t.dir
+let path t ~name = Filename.concat t.dir (name ^ extension)
+
+let check_name name =
+  if valid_name name then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "model store: invalid model name %S (want 1-64 chars of [A-Za-z0-9._-], no leading dot)"
+         name)
+
+let save t ~name tuner =
+  match check_name name with
+  | Error _ as e -> e
+  | Ok () -> (
+    let payload = Sorl.Autotuner.to_string tuner in
+    let file =
+      Printf.sprintf "%s\nname %s\npayload-bytes %d\nchecksum md5 %s\n%s" header_magic
+        name (String.length payload)
+        (Digest.to_hex (Digest.string payload))
+        payload
+    in
+    match
+      Sorl_util.Persist.write_atomic (path t ~name) (fun oc -> output_string oc file)
+    with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error ("model store: " ^ msg))
+
+(* First line and the rest after its newline. *)
+let split_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let load t ~name =
+  match check_name name with
+  | Error _ as e -> e
+  | Ok () -> (
+    let file = path t ~name in
+    match Sorl_util.Persist.read_to_string file with
+    | Error msg -> Error (Printf.sprintf "model store: cannot read %s: %s" file msg)
+    | Ok s -> (
+      let err msg = Error (Printf.sprintf "model store: %s: %s" file msg) in
+      let header, rest = split_line s in
+      if header <> header_magic then
+        if String.length header >= 10 && String.sub header 0 10 = "sorl-store" then
+          err
+            (Printf.sprintf "unsupported store version %S (this build reads %s)" header
+               header_magic)
+        else err (Printf.sprintf "not a model store file (expected %S header)" header_magic)
+      else
+        let name_line, rest = split_line rest in
+        let bytes_line, rest = split_line rest in
+        let sum_line, payload = split_line rest in
+        match
+          ( String.split_on_char ' ' name_line,
+            String.split_on_char ' ' bytes_line,
+            String.split_on_char ' ' sum_line )
+        with
+        | [ "name"; n ], [ "payload-bytes"; b ], [ "checksum"; "md5"; hex ] -> (
+          if n <> name then
+            err (Printf.sprintf "names model %S, expected %S" n name)
+          else
+            match int_of_string_opt b with
+            | None -> err (Printf.sprintf "bad payload-bytes %S" b)
+            | Some expect ->
+              if String.length payload <> expect then
+                err
+                  (Printf.sprintf "truncated payload (%d bytes, header says %d)"
+                     (String.length payload) expect)
+              else if Digest.to_hex (Digest.string payload) <> hex then
+                err "checksum mismatch (corrupt store file)"
+              else (
+                match Sorl.Autotuner.of_string payload with
+                | Ok tuner -> Ok tuner
+                | Error msg -> err msg))
+        | _ -> err "malformed store header"))
+
+let list t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f extension then
+             let name = Filename.chop_suffix f extension in
+             if valid_name name then Some name else None
+           else None)
+    |> List.sort compare

@@ -1,0 +1,47 @@
+(** Versioned, checksummed on-disk registry of named tuner models.
+
+    A store is a directory of [<name>.sorlm] files, each wrapping an
+    {!Sorl.Autotuner.to_string} payload in a header that records the
+    store format version, the model's name and an MD5 checksum:
+
+    {v
+    sorl-store v1
+    name <name>
+    payload-bytes <n>
+    checksum md5 <hex>
+    <payload>
+    v}
+
+    Writes go through {!Sorl_util.Persist.write_atomic} (temp file +
+    [rename(2)] in the store directory), so a reader — in particular a
+    serving process hot-reloading mid-request — either sees the previous
+    complete file or the new complete file, never a torn one.  Reads
+    verify version, name, length and checksum before parsing the
+    payload, turning silent corruption into a typed [Error]. *)
+
+type t
+
+val open_dir : ?create:bool -> string -> (t, string) result
+(** Open a store rooted at a directory.  With [create] (default [true])
+    the directory is created when absent; otherwise a missing directory
+    is an [Error]. *)
+
+val dir : t -> string
+
+val valid_name : string -> bool
+(** Model names are file-name safe: 1–64 chars of [A-Za-z0-9._-], not
+    starting with ['.']. *)
+
+val save : t -> name:string -> Sorl.Autotuner.t -> (unit, string) result
+(** Atomically write (or replace) a named model. *)
+
+val load : t -> name:string -> (Sorl.Autotuner.t, string) result
+(** Load and verify a named model.  Missing files, foreign or
+    wrong-version headers, name mismatches, truncation and checksum
+    failures are each a distinct [Error] message. *)
+
+val list : t -> string list
+(** Names of the models currently in the store, sorted. *)
+
+val path : t -> name:string -> string
+(** The file a given name maps to (whether or not it exists). *)

@@ -1,0 +1,104 @@
+(** Wire protocol of the ranking service (version 1).
+
+    Line-delimited text: every request and every response is exactly
+    one ['\n']-terminated line of space-separated tokens, so any
+    language with sockets and [split] can speak it.  Requests carry the
+    protocol version as their first token ([sorl1]); servers reject
+    other versions with a structured error instead of guessing.
+
+    {2 Grammar}
+
+    {v
+    request  := "sorl1" SP verb
+    verb     := "rank" SP benchmark SP top       ; top >= 1
+              | "tune" SP benchmark
+              | "info"
+              | "stats"
+              | "reload" [SP model]
+              | "shutdown"
+
+    response := "ok" SP payload | "err" SP code SP message
+    payload  := "rank" SP benchmark SP total SP tuning*
+              | "tune" SP benchmark SP tuning
+              | "info" SP (key "=" value)*
+              | "stats" SP (key "=" int)*
+              | "reload" SP model SP generation
+              | "shutdown"
+    tuning   := bx "," by "," bz "," u "," c     ; decimal integers
+    v}
+
+    Errors are structured ([err <code> <free-text message>]) so clients
+    can branch on the code — [busy] means backpressure (retry later),
+    [bad-request] means the frame itself was malformed. *)
+
+val version : int
+(** 1. *)
+
+(** {1 Addresses} *)
+
+type address =
+  | Unix_path of string  (** Unix-domain stream socket at a path *)
+  | Tcp of string * int  (** host (name or dotted quad) and port *)
+
+val address_to_string : address -> string
+(** ["unix:<path>"] or ["tcp:<host>:<port>"] — accepted back by
+    {!address_of_string}. *)
+
+val address_of_string : string -> (address, string) result
+
+(** {1 Frames} *)
+
+type request =
+  | Rank of { benchmark : string; top : int }
+      (** Rank the pre-defined configuration set of a named benchmark
+          instance; reply with the best [top] tunings. *)
+  | Tune of { benchmark : string }  (** Top-1 shorthand. *)
+  | Info
+  | Stats
+  | Reload of { model : string option }
+      (** Hot-swap the served model: [None] re-reads the current
+          source, [Some name] switches to another store entry. *)
+  | Shutdown
+
+type error_code =
+  | Bad_request  (** malformed or wrong-version frame *)
+  | No_benchmark
+  | No_model
+  | Store  (** model store failure: missing, corrupt, wrong version *)
+  | Busy  (** backpressure: connection queue full, retry later *)
+  | Internal
+
+type response =
+  | Ranked of { benchmark : string; total : int; tunings : Sorl_stencil.Tuning.t list }
+  | Tuned of { benchmark : string; tuning : Sorl_stencil.Tuning.t }
+  | Info_reply of (string * string) list
+  | Stats_reply of (string * int) list
+  | Reloaded of { model : string; generation : int }
+  | Bye
+  | Error of { code : error_code; message : string }
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+val encode_request : request -> string
+(** One line, no trailing newline.  Raises [Invalid_argument] when a
+    name embeds whitespace/control characters or [top < 1] — such a
+    frame could not be parsed back. *)
+
+val parse_request : string -> (request, string) result
+(** Strict: unknown verbs, wrong arity, non-numeric or out-of-range
+    fields and foreign protocol versions are all [Error].  Never
+    raises. *)
+
+val encode_response : response -> string
+(** One line, no trailing newline.  Error messages have embedded
+    newlines squashed to spaces; info values must be single tokens
+    (raises [Invalid_argument] otherwise). *)
+
+val parse_response : string -> (response, string) result
+
+val tuning_to_string : Sorl_stencil.Tuning.t -> string
+(** ["bx,by,bz,u,c"]. *)
+
+val tuning_of_string : string -> (Sorl_stencil.Tuning.t, string) result
+(** Validates ranges via {!Sorl_stencil.Tuning.create}. *)

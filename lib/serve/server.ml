@@ -1,0 +1,354 @@
+open Sorl_stencil
+
+type source =
+  | Model_file of string
+  | Store of Model_store.t * string
+
+(* The served model.  Immutable record swapped atomically on reload, so
+   a request holds one coherent snapshot for its whole lifetime: a
+   reload mid-request can never mix model A's weights with model B's
+   generation. *)
+type loaded = { tuner : Sorl.Autotuner.t; model_name : string; generation : int }
+
+type t = {
+  address : Protocol.address;
+  source : source;
+  current : loaded Atomic.t;
+  batcher : Batcher.t;
+  workers : int;
+  listen_fd : Unix.file_descr;
+  queue : Unix.file_descr Sorl_util.Bqueue.t;
+  stopping : bool Atomic.t;
+  reload_m : Mutex.t;  (** serializes reloads; readers never take it *)
+  started_at : float;
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  connections : int Atomic.t;
+  busy_rejections : int Atomic.t;
+  reloads : int Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+  mutable worker_domains : unit Domain.t list;
+  mutable joined : bool;
+}
+
+let requests_counter = Sorl_util.Telemetry.counter "serve.requests"
+let errors_counter = Sorl_util.Telemetry.counter "serve.errors"
+let connections_counter = Sorl_util.Telemetry.counter "serve.connections"
+let busy_counter = Sorl_util.Telemetry.counter "serve.busy"
+let reloads_counter = Sorl_util.Telemetry.counter "serve.reloads"
+let queue_depth_hist = Sorl_util.Telemetry.histogram "serve.queue_depth"
+let latency_hist = Sorl_util.Telemetry.histogram "serve.request_s"
+
+let load_source source ~name =
+  match (source, name) with
+  | Model_file path, None -> (
+    match Sorl.Autotuner.load_result path with
+    | Ok tuner -> Ok (tuner, Filename.basename path)
+    | Error msg -> Error (Protocol.Store, msg))
+  | Model_file _, Some _ ->
+    Error (Protocol.No_model, "file-backed server cannot switch models; restart with --store")
+  | Store (store, current), name -> (
+    let name = Option.value name ~default:current in
+    match Model_store.load store ~name with
+    | Ok tuner -> Ok (tuner, name)
+    | Error msg -> Error (Protocol.Store, msg))
+
+(* ---- listener sockets ---- *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      Error (Printf.sprintf "cannot resolve host %S" host)
+    | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0))
+
+let make_listener address =
+  match address with
+  | Protocol.Unix_path path -> (
+    (* A stale socket file from a crashed server would make bind fail;
+       only ever unlink sockets, never regular files. *)
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128
+    with
+    | () -> Ok (fd, address)
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot listen on %s: %s" path (Unix.error_message e)))
+  | Protocol.Tcp (host, port) -> (
+    match resolve_host host with
+    | Error _ as e -> e
+    | Ok addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      match
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        Unix.listen fd 128
+      with
+      | () ->
+        (* Port 0 asks the kernel for an ephemeral port; report the
+           actual one so clients can connect. *)
+        let port =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        Ok (fd, Protocol.Tcp (host, port))
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "cannot listen on %s:%d: %s" host port (Unix.error_message e))))
+
+(* ---- request dispatch ---- *)
+
+let err code message = Protocol.Error { code; message }
+
+(* Shared body of rank and tune: one batched scoring pass over the
+   paper's pre-defined configuration set of the named benchmark. *)
+let ranked_for t benchmark =
+  match Sorl_stencil.Benchmarks.instance_by_name benchmark with
+  | exception Not_found ->
+    Result.Error
+      (err Protocol.No_benchmark (Printf.sprintf "unknown benchmark %S" benchmark))
+  | inst -> (
+    let snapshot = Atomic.get t.current in
+    let candidates = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+    match
+      Batcher.rank t.batcher ~generation:snapshot.generation ~tuner:snapshot.tuner ~inst
+        candidates
+    with
+    | exception e -> Result.Error (err Protocol.Internal (Printexc.to_string e))
+    | ranked, _follower -> Ok ranked)
+
+let handle_rank t ~benchmark ~top =
+  match ranked_for t benchmark with
+  | Error e -> e
+  | Ok ranked ->
+    let total = Array.length ranked in
+    Protocol.Ranked
+      { benchmark; total; tunings = Array.to_list (Array.sub ranked 0 (min top total)) }
+
+let handle_tune t ~benchmark =
+  match ranked_for t benchmark with
+  | Error e -> e
+  | Ok ranked -> Protocol.Tuned { benchmark; tuning = ranked.(0) }
+
+let handle_info t =
+  let l = Atomic.get t.current in
+  let mode = Sorl.Autotuner.feature_mode l.tuner in
+  Protocol.Info_reply
+    [
+      ("protocol", string_of_int Protocol.version);
+      ("model", l.model_name);
+      ("generation", string_of_int l.generation);
+      ("mode", Features.mode_to_string mode);
+      ("dim", string_of_int (Features.dim mode));
+      ("workers", string_of_int t.workers);
+      ("uptime_s", string_of_int (int_of_float (Unix.gettimeofday () -. t.started_at)));
+    ]
+
+let handle_stats t =
+  let b = Batcher.stats t.batcher in
+  Protocol.Stats_reply
+    [
+      ("requests", Atomic.get t.requests);
+      ("errors", Atomic.get t.errors);
+      ("connections", Atomic.get t.connections);
+      ("busy_rejections", Atomic.get t.busy_rejections);
+      ("reloads", Atomic.get t.reloads);
+      ("rank_leaders", b.Batcher.leaders);
+      ("rank_followers", b.Batcher.followers);
+      ("encoder_hits", b.Batcher.encoder_hits);
+      ("encoder_misses", b.Batcher.encoder_misses);
+      ("queue_depth", Sorl_util.Bqueue.length t.queue);
+      ("generation", (Atomic.get t.current).generation);
+    ]
+
+let handle_reload t ~model =
+  Mutex.lock t.reload_m;
+  let result =
+    match load_source t.source ~name:model with
+    | Error (code, msg) -> err code msg
+    | Ok (tuner, model_name) ->
+      let generation = (Atomic.get t.current).generation + 1 in
+      Atomic.set t.current { tuner; model_name; generation };
+      Atomic.incr t.reloads;
+      Sorl_util.Telemetry.incr reloads_counter;
+      Protocol.Reloaded { model = model_name; generation }
+  in
+  Mutex.unlock t.reload_m;
+  result
+
+let dispatch t request =
+  match request with
+  | Protocol.Rank { benchmark; top } -> handle_rank t ~benchmark ~top
+  | Protocol.Tune { benchmark } -> handle_tune t ~benchmark
+  | Protocol.Info -> handle_info t
+  | Protocol.Stats -> handle_stats t
+  | Protocol.Reload { model } -> handle_reload t ~model
+  | Protocol.Shutdown ->
+    Atomic.set t.stopping true;
+    Protocol.Bye
+
+let handle_line t line =
+  Atomic.incr t.requests;
+  Sorl_util.Telemetry.incr requests_counter;
+  let response =
+    Sorl_util.Telemetry.time_hist latency_hist (fun () ->
+        match Protocol.parse_request line with
+        | Error msg -> err Protocol.Bad_request msg
+        | Ok request -> (
+          match dispatch t request with
+          | response -> response
+          | exception e -> err Protocol.Internal (Printexc.to_string e)))
+  in
+  (match response with
+  | Protocol.Error _ ->
+    Atomic.incr t.errors;
+    Sorl_util.Telemetry.incr errors_counter
+  | _ -> ());
+  response
+
+(* ---- connection and worker loops ---- *)
+
+let serve_connection t fd timeout =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+   with Unix.Unix_error _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match input_line ic with
+      | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+      | "" -> loop ()
+      | line ->
+        let response = Sorl_util.Telemetry.span "serve/request" (fun () -> handle_line t line) in
+        output_string oc (Protocol.encode_response response ^ "\n");
+        flush oc;
+        if response <> Protocol.Bye then loop ()
+  in
+  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
+  (* Closing the channel closes the underlying descriptor. *)
+  try close_out_noerr oc with _ -> ()
+
+let worker_loop t timeout =
+  (* Worker domains live for the whole server; requests they process
+     must not fan out into a second level of Pool domains. *)
+  Sorl_util.Pool.serially (fun () ->
+      let rec loop () =
+        match Sorl_util.Bqueue.pop t.queue with
+        | None -> ()
+        | Some fd ->
+          serve_connection t fd timeout;
+          loop ()
+      in
+      loop ())
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      (* Poll the stopping flag every 100 ms rather than parking in
+         accept(2) forever — stop/shutdown must take effect without
+         needing one more client to connect. *)
+      match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error _ -> if Atomic.get t.stopping then () else loop ()
+        | fd, _ ->
+          Atomic.incr t.connections;
+          Sorl_util.Telemetry.incr connections_counter;
+          Sorl_util.Telemetry.observe queue_depth_hist
+            (float_of_int (Sorl_util.Bqueue.length t.queue));
+          if not (Sorl_util.Bqueue.try_push t.queue fd) then begin
+            (* Queue full (or already draining): shed load with an
+               explicit busy reply instead of letting the client hang. *)
+            Atomic.incr t.busy_rejections;
+            Sorl_util.Telemetry.incr busy_counter;
+            (try
+               let oc = Unix.out_channel_of_descr fd in
+               output_string oc
+                 (Protocol.encode_response
+                    (err Protocol.Busy "connection queue full, retry later")
+                 ^ "\n");
+               flush oc;
+               close_out_noerr oc
+             with Sys_error _ | Unix.Unix_error _ -> (
+               try Unix.close fd with Unix.Unix_error _ -> ()))
+          end;
+          loop ())
+  in
+  loop ();
+  (* No more connections will be queued; lets workers drain and exit. *)
+  Sorl_util.Bqueue.close t.queue
+
+let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity = 64)
+    ?(conn_timeout_s = 10.) source =
+  let workers =
+    match workers with Some w -> w | None -> Sorl_util.Pool.default_domains ()
+  in
+  if workers < 1 then Error "Server.start: workers must be >= 1"
+  else
+    match load_source source ~name:None with
+    | Error (_, msg) -> Error msg
+    | Ok (tuner, model_name) -> (
+      match make_listener address with
+      | Error _ as e -> e
+      | Ok (listen_fd, address) ->
+        (* A client vanishing mid-reply must not kill the server. *)
+        (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+        let t =
+          {
+            address;
+            source;
+            current = Atomic.make { tuner; model_name; generation = 0 };
+            batcher = Batcher.create ();
+            workers;
+            listen_fd;
+            queue = Sorl_util.Bqueue.create ~capacity:queue_capacity;
+            stopping = Atomic.make false;
+            reload_m = Mutex.create ();
+            started_at = Unix.gettimeofday ();
+            requests = Atomic.make 0;
+            errors = Atomic.make 0;
+            connections = Atomic.make 0;
+            busy_rejections = Atomic.make 0;
+            reloads = Atomic.make 0;
+            accept_domain = None;
+            worker_domains = [];
+            joined = false;
+          }
+        in
+        t.worker_domains <-
+          List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t conn_timeout_s));
+        t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+        Ok t)
+
+let address t = t.address
+let generation t = (Atomic.get t.current).generation
+let stop t = Atomic.set t.stopping true
+
+let wait t =
+  if not t.joined then begin
+    t.joined <- true;
+    (match t.accept_domain with Some d -> Domain.join d | None -> ());
+    List.iter Domain.join t.worker_domains;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.address with
+    | Protocol.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Protocol.Tcp _ -> ()
+  end
+
+let requests_served t = Atomic.get t.requests

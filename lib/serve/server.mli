@@ -1,0 +1,70 @@
+(** The ranking server: accept loop, worker domains, backpressure,
+    hot reload.
+
+    One domain accepts connections and pushes them onto a bounded
+    {!Sorl_util.Bqueue}; when the queue is full the connection is shed
+    immediately with an explicit [err busy] reply rather than left to
+    hang.  [workers] long-lived domains pop connections and serve the
+    line-delimited {!Protocol} on each until the peer closes (or the
+    per-connection socket timeout fires).  Worker domains run under
+    {!Sorl_util.Pool.serially}, so a rank request's scoring pass never
+    fans out into a second level of domains.
+
+    The served model lives in an [Atomic.t] holding an immutable
+    (tuner, name, generation) snapshot: [reload] builds the new
+    snapshot off to the side — with the typed
+    {!Sorl.Autotuner.load_result} / {!Model_store.load} error paths, so
+    a corrupt file is an [err store] reply and the old model keeps
+    serving — and swaps it in one atomic store.  In-flight requests
+    keep the snapshot they started with; replies are never torn across
+    models.
+
+    Shutdown (the protocol request, or {!stop}) is graceful: the accept
+    loop stops queueing, queued connections drain, in-flight requests
+    complete and are answered, then the worker domains exit and
+    {!wait} returns.
+
+    Telemetry (when enabled): [serve.requests], [serve.errors],
+    [serve.connections], [serve.busy], [serve.reloads] counters, a
+    [serve/request] span per request and [serve.request_s] /
+    [serve.queue_depth] histograms. *)
+
+type t
+
+(** Where models come from — both {!Protocol.Reload} targets. *)
+type source =
+  | Model_file of string
+      (** a single [Autotuner.save] file; [reload] re-reads it *)
+  | Store of Model_store.t * string
+      (** a {!Model_store} and the name to serve first; [reload <name>]
+          switches models *)
+
+val start :
+  ?address:Protocol.address ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?conn_timeout_s:float ->
+  source ->
+  (t, string) result
+(** Load the initial model, bind the listener and spawn the accept and
+    worker domains.  Defaults: [unix:sorl.sock],
+    [Sorl_util.Pool.default_domains ()] workers, queue capacity 64,
+    10 s socket timeouts.  [Tcp (host, 0)] binds an ephemeral port —
+    read the real one back from {!address}. *)
+
+val address : t -> Protocol.address
+(** The bound address (with the actual port for ephemeral TCP). *)
+
+val generation : t -> int
+(** Current model generation; 0 at start, +1 per successful reload. *)
+
+val requests_served : t -> int
+
+val stop : t -> unit
+(** Begin graceful shutdown (idempotent; also triggered by a protocol
+    [shutdown] request).  Returns immediately — {!wait} observes the
+    drain. *)
+
+val wait : t -> unit
+(** Block until the server has fully shut down, then release the
+    listener (and unlink a unix socket path).  Idempotent. *)

@@ -146,8 +146,7 @@ let of_string str =
     create ~dim samples
 
 let save t path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+  Sorl_util.Persist.write_atomic path (fun oc -> output_string oc (to_string t))
 
 let load path =
   let ic = open_in path in

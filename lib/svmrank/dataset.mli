@@ -66,5 +66,8 @@ val of_string : string -> t
 (** Raises [Failure] on malformed input. *)
 
 val save : t -> string -> unit
+(** Atomic (temp-file + rename, {!Sorl_util.Persist.write_atomic});
+    the versioned [sorl-dataset 1] header guards {!load}. *)
+
 val load : string -> t
 (** Raises [Failure] on malformed files, [Sys_error] on IO errors. *)

@@ -79,24 +79,55 @@ let best t candidates =
   if Array.length candidates = 0 then invalid_arg "Model.best: no candidates";
   (rank t candidates).(0)
 
+(* Only nonzero weights are written, so a reader cannot infer the
+   expected line count from [dim] alone: the [nnz] header and the [end]
+   terminator are what turn a file truncated at a line boundary — or
+   mid-float, where "-0.0030" degrades to a still-parseable "-0.00" —
+   into a hard error instead of a silently different model. *)
 let to_string t =
   let b = Buffer.create 256 in
-  Buffer.add_string b (Printf.sprintf "sorl-rank-model 1\ndim %d\n" (Array.length t.w));
+  let nnz = Array.fold_left (fun n v -> if v <> 0. then n + 1 else n) 0 t.w in
+  Buffer.add_string b
+    (Printf.sprintf "sorl-rank-model 1\ndim %d\nnnz %d\n" (Array.length t.w) nnz);
   Array.iteri (fun i v -> if v <> 0. then Buffer.add_string b (Printf.sprintf "%d %.17g\n" i v)) t.w;
+  Buffer.add_string b "end\n";
   Buffer.contents b
 
 let of_string s =
   let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
   match lines with
-  | magic :: dim_line :: rest ->
-    if not (String.length magic >= 15 && String.sub magic 0 15 = "sorl-rank-model") then
-      failwith "Model.of_string: bad magic";
+  | magic :: dim_line :: nnz_line :: rest ->
+    (match String.split_on_char ' ' (String.trim magic) with
+    | [ "sorl-rank-model"; "1" ] -> ()
+    | [ "sorl-rank-model"; v ] ->
+      failwith
+        (Printf.sprintf "Model.of_string: unsupported format version %S (this build reads 1)" v)
+    | _ -> failwith "Model.of_string: bad magic (expected \"sorl-rank-model 1\")");
     let dim =
       match String.split_on_char ' ' dim_line with
       | [ "dim"; d ] -> ( try int_of_string d with _ -> failwith "Model.of_string: bad dim")
       | _ -> failwith "Model.of_string: bad dim line"
     in
     if dim <= 0 then failwith "Model.of_string: nonpositive dim";
+    (* A linear ranker over the feature encodings never has more than a
+       few thousand weights; an absurd dimension means a corrupt or
+       hostile file, not a model — refuse before allocating. *)
+    if dim > 10_000_000 then failwith "Model.of_string: implausibly large dim";
+    let nnz =
+      match String.split_on_char ' ' nnz_line with
+      | [ "nnz"; n ] -> ( try int_of_string n with _ -> failwith "Model.of_string: bad nnz")
+      | _ -> failwith "Model.of_string: bad nnz line"
+    in
+    let weight_lines, terminator =
+      match List.rev rest with
+      | "end" :: rev_weights -> (List.rev rev_weights, true)
+      | _ -> (rest, false)
+    in
+    if not terminator then failwith "Model.of_string: truncated (missing end marker)";
+    if List.length weight_lines <> nnz then
+      failwith
+        (Printf.sprintf "Model.of_string: truncated (%d weight lines, header says %d)"
+           (List.length weight_lines) nnz);
     let w = Array.make dim 0. in
     List.iter
       (fun line ->
@@ -105,13 +136,12 @@ let of_string s =
           try w.(int_of_string i) <- float_of_string v
           with _ -> failwith "Model.of_string: bad weight line")
         | _ -> failwith "Model.of_string: bad weight line")
-      rest;
+      weight_lines;
     { w }
   | _ -> failwith "Model.of_string: truncated"
 
 let save t path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+  Sorl_util.Persist.write_atomic path (fun oc -> output_string oc (to_string t))
 
 let load path =
   let ic = open_in path in

@@ -57,10 +57,15 @@ val best : t -> Sorl_util.Sparse.t array -> int
 (** First element of {!rank}.  Raises [Invalid_argument] on empty. *)
 
 val save : t -> string -> unit
-(** Write a small text format (dimension + nonzero weights). *)
+(** Write a small versioned text format ([sorl-rank-model 1]:
+    dimension, nonzero count, the nonzero weights, an [end] terminator
+    — the count and terminator make truncation detectable) atomically
+    ({!Sorl_util.Persist.write_atomic}): concurrent readers see either
+    the previous file or the new one, never a torn write. *)
 
 val load : string -> t
-(** Raises [Failure] on malformed files. *)
+(** Raises [Failure] with a descriptive message on malformed,
+    wrong-version or truncated files. *)
 
 val to_string : t -> string
 val of_string : string -> t

@@ -1,0 +1,33 @@
+(** Bounded multi-producer / multi-consumer queue (mutex + condition).
+
+    The backpressure primitive of the serving subsystem: producers
+    never block — {!try_push} reports failure when the queue is at
+    capacity so the caller can shed load explicitly instead of growing
+    an unbounded backlog — while consumers block in {!pop} until an
+    element or {!close} arrives.
+
+    [close] makes the queue drainable: pending elements are still
+    delivered in FIFO order, further pushes fail, and once the queue is
+    empty every blocked and future [pop] returns [None].  Safe to use
+    from any number of domains. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] when full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while the queue is empty and open; [None] once
+    the queue is closed and drained. *)
+
+val close : 'a t -> unit
+(** Reject future pushes and wake all blocked consumers.  Idempotent;
+    elements already queued remain poppable. *)
+
+val length : 'a t -> int
+(** Current number of queued elements. *)
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,23 @@
+let write_atomic path f =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".sorl-atomic" ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let read_to_string path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Ok s
+        | exception End_of_file -> Error (path ^ ": truncated while reading")
+        | exception Sys_error msg -> Error msg)

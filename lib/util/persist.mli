@@ -1,0 +1,20 @@
+(** Atomic file persistence.
+
+    Every on-disk artifact of the library (models, datasets, the
+    serving subsystem's model store) is written through
+    {!write_atomic}: the content goes to a uniquely-named temporary
+    file in the target's directory and is moved into place with
+    [rename(2)], which POSIX guarantees to be atomic on one
+    filesystem.  Readers therefore never observe a torn or partially
+    written file — they see either the old content or the new one. *)
+
+val write_atomic : string -> (out_channel -> unit) -> unit
+(** [write_atomic path f] runs [f] on an output channel backed by a
+    fresh temporary file next to [path], then atomically renames the
+    temporary over [path].  The channel is in binary mode.  If [f] (or
+    any I/O) raises, the temporary file is removed and the exception is
+    re-raised; [path] is left untouched. *)
+
+val read_to_string : string -> (string, string) result
+(** Whole-file read.  [Error msg] (never an exception) when the file
+    is missing, unreadable, or shrinks mid-read. *)

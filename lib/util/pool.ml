@@ -32,6 +32,11 @@ let with_domains n f =
    degrades to serial instead of spawning a second level of domains. *)
 let inside_pool = Domain.DLS.new_key (fun () -> false)
 
+let serially f =
+  let saved = Domain.DLS.get inside_pool in
+  Domain.DLS.set inside_pool true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_pool saved) f
+
 let parallel_chunks ?domains n f =
   if n < 0 then invalid_arg "Pool.parallel_chunks: negative count";
   if n = 0 then [||]

@@ -29,6 +29,16 @@ val with_domains : int -> (unit -> 'a) -> 'a
     exceptions.  Intended for benchmarks and tests comparing serial and
     parallel runs; call it from the main domain only. *)
 
+val serially : (unit -> 'a) -> 'a
+(** [serially f] runs [f] with every pool entry point on {e this}
+    domain degraded to the serial path (exactly as if [f] ran inside a
+    pool worker), restoring the previous state afterwards even on
+    exceptions.  Long-lived domains that are themselves one unit of a
+    larger concurrency scheme — e.g. the serving subsystem's worker
+    domains — wrap their bodies in it so a request never fans out into
+    a second level of domains.  Results are unchanged: every pool
+    operation is bit-identical at all sizes, serial included. *)
+
 val parallel_chunks : ?domains:int -> int -> (int -> int -> 'r) -> 'r array
 (** [parallel_chunks n f] partitions [0, n) into at most [domains]
     non-empty contiguous chunks and runs [f lo hi] (half-open) on each;

@@ -1,0 +1,485 @@
+(* Tests for the serving subsystem: wire protocol round-trips, the
+   versioned model store, request coalescing, and the socket server
+   end-to-end — served rankings must be bit-identical to in-process
+   Autotuner.rank, including under concurrent clients and across a
+   mid-load hot reload. *)
+
+open Sorl_stencil
+open Sorl_serve
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let machine = Sorl_machine.Machine_desc.xeon_e5_2680_v3
+let measure () = Sorl_machine.Measure.model machine
+
+let tiny_instances =
+  [
+    Instance.create_xyz Benchmarks.edge ~sx:256 ~sy:256 ~sz:1;
+    Instance.create_xyz Benchmarks.laplacian ~sx:64 ~sy:64 ~sz:64;
+    Instance.create_xyz Benchmarks.gradient ~sx:64 ~sy:64 ~sz:64;
+    Instance.create_xyz Benchmarks.blur ~sx:512 ~sy:512 ~sz:1;
+  ]
+
+let train seed =
+  let spec = { Sorl.Training.size = 200; mode = Features.Extended; seed } in
+  Sorl.Autotuner.train_on ~mode:Features.Extended
+    (Sorl.Training.generate ~spec ~instances:tiny_instances (measure ()))
+
+let tuner_a = lazy (train 5)
+let tuner_b = lazy (train 7)
+
+(* A 2-D Table III benchmark: its predefined set has 1600 candidates,
+   keeping the server round-trip tests fast. *)
+let benchmark = "blur-1024x768"
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "sorl-serve-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let get = function Ok x -> x | Error m -> Alcotest.fail m
+let get_err what = function Ok _ -> Alcotest.fail (what ^ ": expected Error") | Error m -> m
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ---- protocol ---- *)
+
+let request_roundtrip r = get (Protocol.parse_request (Protocol.encode_request r))
+
+let test_protocol_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.Rank { benchmark = "blur-1024x768"; top = 7 };
+      Protocol.Tune { benchmark = "gradient-256x256x256" };
+      Protocol.Info;
+      Protocol.Stats;
+      Protocol.Reload { model = None };
+      Protocol.Reload { model = Some "nightly" };
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter (fun r -> checkb "request roundtrip" true (request_roundtrip r = r)) reqs
+
+let test_protocol_response_roundtrip () =
+  let t1 = Tuning.create ~bx:64 ~by:8 ~bz:8 ~u:4 ~c:4 in
+  let t2 = Tuning.create ~bx:16 ~by:16 ~bz:1 ~u:0 ~c:1 in
+  let resps =
+    [
+      Protocol.Ranked { benchmark = "b"; total = 1600; tunings = [ t1; t2 ] };
+      Protocol.Ranked { benchmark = "b"; total = 0; tunings = [] };
+      Protocol.Tuned { benchmark = "b"; tuning = t1 };
+      Protocol.Info_reply [ ("model", "default"); ("generation", "3") ];
+      Protocol.Stats_reply [ ("requests", 12); ("errors", 0) ];
+      Protocol.Reloaded { model = "nightly"; generation = 4 };
+      Protocol.Bye;
+      Protocol.Error { code = Protocol.Busy; message = "queue full, retry later" };
+    ]
+  in
+  List.iter
+    (fun r -> checkb "response roundtrip" true (get (Protocol.parse_response (Protocol.encode_response r)) = r))
+    resps;
+  (* newlines in error messages must not break the framing *)
+  let framed =
+    Protocol.encode_response
+      (Protocol.Error { code = Protocol.Internal; message = "line1\nline2" })
+  in
+  checkb "no newline in frame" true (not (String.contains framed '\n'))
+
+let test_protocol_malformed () =
+  let bad_requests =
+    [
+      "";
+      "   ";
+      "sorl2 info";
+      "sorl1";
+      "sorl1 frobnicate";
+      "sorl1 rank";
+      "sorl1 rank blur-1024x768";
+      "sorl1 rank blur-1024x768 x";
+      "sorl1 rank blur-1024x768 0";
+      "sorl1 rank blur-1024x768 -3";
+      "sorl1 tune";
+      "sorl1 info extra";
+      "sorl1 reload a b";
+      "rank blur-1024x768 3";
+    ]
+  in
+  List.iter
+    (fun line -> ignore (get_err ("request " ^ line) (Protocol.parse_request line)))
+    bad_requests;
+  let bad_responses =
+    [
+      "";
+      "yo";
+      "ok";
+      "ok rank b x";
+      "ok rank b 3 1,2";
+      "ok rank b 3 9999,2,2,0,1";
+      "ok tune b 64,8";
+      "ok stats k=x";
+      "ok reload m x";
+      "err whatever boom";
+    ]
+  in
+  List.iter
+    (fun line -> ignore (get_err ("response " ^ line) (Protocol.parse_response line)))
+    bad_responses;
+  (* encode refuses frames that could not be parsed back *)
+  Alcotest.check_raises "space in name"
+    (Invalid_argument "Protocol: benchmark \"a b\" is not a single printable token")
+    (fun () -> ignore (Protocol.encode_request (Protocol.Tune { benchmark = "a b" })))
+
+let test_protocol_addresses () =
+  checkb "unix roundtrip" true
+    (get (Protocol.address_of_string "unix:/tmp/s.sock") = Protocol.Unix_path "/tmp/s.sock");
+  checkb "tcp roundtrip" true
+    (get (Protocol.address_of_string "tcp:127.0.0.1:7001") = Protocol.Tcp ("127.0.0.1", 7001));
+  List.iter
+    (fun s -> ignore (get_err s (Protocol.address_of_string s)))
+    [ "bogus"; "ftp:x:1"; "unix:"; "tcp:host"; "tcp::99"; "tcp:host:notaport"; "tcp:host:99999" ]
+
+(* ---- defensive model loading ---- *)
+
+let test_load_errors () =
+  with_temp_dir @@ fun dir ->
+  let path name = Filename.concat dir name in
+  let write name contents =
+    let oc = open_out_bin (path name) in
+    output_string oc contents;
+    close_out oc;
+    path name
+  in
+  let msg_of p = get_err p (Sorl.Autotuner.load_result p) in
+  let missing = msg_of (path "nope.model") in
+  checkb "missing file names the path" true
+    (contains ~sub:"nope.model" missing);
+  let garbage = msg_of (write "garbage.model" "hello world\n1 2 3\n") in
+  checkb "garbage rejected" true (contains ~sub:"not a model file" garbage);
+  let v2 = msg_of (write "v2.model" "sorl-model v2\nmode extended\n") in
+  checkb "future version rejected" true
+    (contains ~sub:"unsupported format version" v2);
+  let full = Sorl.Autotuner.to_string (Lazy.force tuner_a) in
+  let truncated =
+    msg_of (write "trunc.model" (String.sub full 0 (String.length full / 2)))
+  in
+  checkb "truncated rejected" true (String.length truncated > 0);
+  let bad_mode = msg_of (write "mode.model" "sorl-model v1\nmode fancy\n") in
+  checkb "unknown mode rejected" true
+    (contains ~sub:"unknown feature mode" bad_mode)
+
+(* ---- model store ---- *)
+
+let test_store_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let store = get (Model_store.open_dir (Filename.concat dir "store")) in
+  let tuner = Lazy.force tuner_a in
+  get (Model_store.save store ~name:"default" tuner);
+  get (Model_store.save store ~name:"nightly.v2" tuner);
+  Alcotest.check (Alcotest.list Alcotest.string) "list" [ "default"; "nightly.v2" ]
+    (Model_store.list store);
+  let loaded = get (Model_store.load store ~name:"default") in
+  let inst = List.nth tiny_instances 1 in
+  let t = Tuning.default ~dims:3 in
+  Alcotest.check (Alcotest.float 0.) "bit-identical scores"
+    (Sorl.Autotuner.score tuner inst t) (Sorl.Autotuner.score loaded inst t)
+
+let test_store_rejects_corruption () =
+  with_temp_dir @@ fun dir ->
+  let store = get (Model_store.open_dir (Filename.concat dir "store")) in
+  get (Model_store.save store ~name:"m" (Lazy.force tuner_a));
+  let file = Model_store.path store ~name:"m" in
+  (* flip one payload byte; the checksum must catch it *)
+  let contents = get (Sorl_util.Persist.read_to_string file) in
+  let b = Bytes.of_string contents in
+  let i = Bytes.length b - 10 in
+  Bytes.set b i (if Bytes.get b i = '1' then '2' else '1');
+  let oc = open_out_bin file in
+  output_bytes oc b;
+  close_out oc;
+  let msg = get_err "corrupt" (Model_store.load store ~name:"m") in
+  checkb "checksum caught it" true (contains ~sub:"checksum mismatch" msg);
+  (* truncation *)
+  let oc = open_out_bin file in
+  output_string oc (String.sub contents 0 (String.length contents - 40));
+  close_out oc;
+  let msg = get_err "truncated" (Model_store.load store ~name:"m") in
+  checkb "truncation caught" true (contains ~sub:"truncated" msg);
+  (* foreign version *)
+  let oc = open_out_bin file in
+  output_string oc "sorl-store v9\nname m\npayload-bytes 0\nchecksum md5 d41d8cd98f00b204e9800998ecf8427e\n";
+  close_out oc;
+  let msg = get_err "version" (Model_store.load store ~name:"m") in
+  checkb "version rejected" true (contains ~sub:"unsupported store version" msg)
+
+let test_store_names () =
+  List.iter
+    (fun n -> checkb ("valid " ^ n) true (Model_store.valid_name n))
+    [ "default"; "nightly.v2"; "a"; "A-b_c.9" ];
+  List.iter
+    (fun n -> checkb "invalid" false (Model_store.valid_name n))
+    [ ""; ".hidden"; "a/b"; "a b"; String.make 65 'x' ];
+  with_temp_dir @@ fun dir ->
+  let store = get (Model_store.open_dir (Filename.concat dir "store")) in
+  ignore (get_err "bad name" (Model_store.save store ~name:"../evil" (Lazy.force tuner_a)));
+  ignore (get_err "missing" (Model_store.load store ~name:"absent"))
+
+(* ---- batcher ---- *)
+
+let test_batcher_coalesces () =
+  let tuner = Lazy.force tuner_a in
+  let inst = List.nth tiny_instances 3 in
+  let rng = Sorl_util.Rng.create 11 in
+  let candidates = Array.init 80 (fun _ -> Tuning.random rng ~dims:2) in
+  let direct = Sorl.Autotuner.rank tuner inst candidates in
+  let b = Batcher.create () in
+  let calls_per_domain = 5 and domains = 4 in
+  let results = Array.make (domains * calls_per_domain) [||] in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for j = 0 to calls_per_domain - 1 do
+              let r, _follower =
+                Batcher.rank b ~generation:0 ~tuner ~inst candidates
+              in
+              results.((d * calls_per_domain) + j) <- r
+            done))
+  in
+  List.iter Domain.join spawned;
+  Array.iter (fun r -> checkb "all identical to direct rank" true (r = direct)) results;
+  let s = Batcher.stats b in
+  checki "every call accounted for" (domains * calls_per_domain)
+    (s.Batcher.leaders + s.Batcher.followers);
+  checkb "leaders ran" true (s.Batcher.leaders >= 1);
+  checkb "encoder cache reused" true (s.Batcher.encoder_hits >= 1);
+  (* a new generation must not share in-flight results across keys *)
+  let r1, f1 = Batcher.rank b ~generation:1 ~tuner ~inst candidates in
+  checkb "fresh generation ranks fine" true (r1 = direct && not f1)
+
+(* ---- server end-to-end ---- *)
+
+let start_server ?(workers = 2) ?(queue_capacity = 16) ?(conn_timeout_s = 10.) dir source =
+  let address = Protocol.Unix_path (Filename.concat dir "test.sock") in
+  get (Server.start ~address ~workers ~queue_capacity ~conn_timeout_s source)
+
+let file_source dir tuner =
+  let path = Filename.concat dir "m.model" in
+  Sorl.Autotuner.save tuner path;
+  Server.Model_file path
+
+let shutdown_server server =
+  get
+    (Client.with_connection (Server.address server) (fun c -> Client.shutdown c));
+  Server.wait server
+
+let test_server_matches_direct_rank () =
+  let tuner = Lazy.force tuner_a in
+  let inst = Benchmarks.instance_by_name benchmark in
+  let direct =
+    Sorl.Autotuner.rank tuner inst
+      (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)))
+  in
+  let top = 5 in
+  let expected = Array.to_list (Array.sub direct 0 top) in
+  List.iter
+    (fun workers ->
+      with_temp_dir @@ fun dir ->
+      let server = start_server ~workers dir (file_source dir tuner) in
+      let clients = 4 in
+      let answers = Array.make clients [] in
+      let spawned =
+        List.init clients (fun i ->
+            Domain.spawn (fun () ->
+                answers.(i) <-
+                  get
+                    (Client.with_connection (Server.address server) (fun c ->
+                         Client.rank c ~benchmark ~top))))
+      in
+      List.iter Domain.join spawned;
+      Array.iter
+        (fun a -> checkb "served ranking = in-process ranking" true (a = expected))
+        answers;
+      (* info reflects the model *)
+      let info = get (Client.with_connection (Server.address server) Client.info) in
+      checks "generation 0" "0" (List.assoc "generation" info);
+      checks "mode" "extended" (List.assoc "mode" info);
+      shutdown_server server)
+    [ 1; 2; 4 ]
+
+let test_server_tune_info_stats () =
+  let tuner = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  let server = start_server dir (file_source dir tuner) in
+  let inst = Benchmarks.instance_by_name benchmark in
+  let direct_best =
+    (Sorl.Autotuner.rank tuner inst
+       (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)))).(0)
+  in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         let t = get (Client.tune c ~benchmark) in
+         checkb "tune = direct best" true (Tuning.equal t direct_best);
+         (* unknown benchmark is a typed error, and the connection
+            survives to serve the next request *)
+         (match Client.tune c ~benchmark:"no-such-benchmark" with
+         | Error m ->
+           checkb "no-benchmark error" true
+             (contains ~sub:"no-benchmark" m)
+         | Ok _ -> Alcotest.fail "expected no-benchmark error");
+         let stats = get (Client.stats c) in
+         checkb "requests counted" true (List.assoc "requests" stats >= 2);
+         checkb "errors counted" true (List.assoc "errors" stats >= 1);
+         Ok ()));
+  shutdown_server server
+
+let test_server_rejects_malformed_line () =
+  with_temp_dir @@ fun dir ->
+  let server = start_server dir (file_source dir (Lazy.force tuner_a)) in
+  let path = match Server.address server with Protocol.Unix_path p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  output_string oc "utter nonsense\n";
+  flush oc;
+  (match get (Protocol.parse_response (input_line ic)) with
+  | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
+  | r -> Alcotest.fail ("expected bad-request, got " ^ Protocol.encode_response r));
+  (* the connection is still usable after a malformed frame *)
+  output_string oc "sorl1 info\n";
+  flush oc;
+  (match get (Protocol.parse_response (input_line ic)) with
+  | Protocol.Info_reply _ -> ()
+  | r -> Alcotest.fail ("expected info reply, got " ^ Protocol.encode_response r));
+  close_out_noerr oc;
+  shutdown_server server
+
+let test_server_busy_backpressure () =
+  with_temp_dir @@ fun dir ->
+  let server =
+    start_server ~workers:1 ~queue_capacity:1 dir (file_source dir (Lazy.force tuner_a))
+  in
+  let addr = Server.address server in
+  (* c1 occupies the single worker; c2 fills the 1-slot queue; c3 must
+     be shed with an explicit busy reply.  The accept loop polls every
+     0.1 s, so give each step time to land. *)
+  let c1 = get (Client.connect addr) in
+  ignore (get (Client.info c1));
+  let c2 = get (Client.connect addr) in
+  Unix.sleepf 0.4;
+  let c3 = get (Client.connect addr) in
+  Unix.sleepf 0.4;
+  (match Client.request c3 Protocol.Info with
+  | Ok (Protocol.Error { code = Protocol.Busy; _ }) -> ()
+  | Ok r -> Alcotest.fail ("expected busy, got " ^ Protocol.encode_response r)
+  | Error m -> Alcotest.fail ("expected busy reply, got transport error: " ^ m));
+  Client.close c3;
+  (* freeing c1 lets the worker drain the queue and serve c2 *)
+  Client.close c1;
+  ignore (get (Client.info c2));
+  get (Client.shutdown c2);
+  Client.close c2;
+  Server.wait server
+
+let test_server_hot_reload_under_load () =
+  let a = Lazy.force tuner_a and b = Lazy.force tuner_b in
+  let inst = Benchmarks.instance_by_name benchmark in
+  let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+  let top = 3 in
+  let top_of tuner = Array.to_list (Array.sub (Sorl.Autotuner.rank tuner inst set) 0 top) in
+  let from_a = top_of a and from_b = top_of b in
+  with_temp_dir @@ fun dir ->
+  let store = get (Model_store.open_dir (Filename.concat dir "store")) in
+  get (Model_store.save store ~name:"default" a);
+  get (Model_store.save store ~name:"other" b);
+  let server = start_server ~workers:2 dir (Server.Store (store, "default")) in
+  let addr = Server.address server in
+  let rounds = 25 in
+  let torn = Atomic.make 0 in
+  let clients =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            match Client.connect addr with
+            | Error _ -> Atomic.incr torn
+            | Ok c ->
+              for _ = 1 to rounds do
+                match Client.rank c ~benchmark ~top with
+                | Ok r when r = from_a || r = from_b -> ()
+                | Ok _ | Error _ -> Atomic.incr torn
+              done;
+              Client.close c))
+  in
+  (* swap models mid-load *)
+  Unix.sleepf 0.05;
+  let model, generation =
+    get (Client.with_connection addr (fun c -> Client.reload ~model:"other" c))
+  in
+  checks "reloaded model" "other" model;
+  checki "generation bumped" 1 generation;
+  List.iter Domain.join clients;
+  checki "no torn or failed replies" 0 (Atomic.get torn);
+  (* post-reload answers come from model B *)
+  let final = get (Client.with_connection addr (fun c -> Client.rank c ~benchmark ~top)) in
+  checkb "serving model B after reload" true (final = from_b);
+  shutdown_server server
+
+let test_server_reload_errors_keep_old_model () =
+  let a = Lazy.force tuner_a in
+  let inst = Benchmarks.instance_by_name benchmark in
+  let direct_best =
+    (Sorl.Autotuner.rank a inst
+       (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)))).(0)
+  in
+  with_temp_dir @@ fun dir ->
+  let store = get (Model_store.open_dir (Filename.concat dir "store")) in
+  get (Model_store.save store ~name:"default" a);
+  let server = start_server dir (Server.Store (store, "default")) in
+  let addr = Server.address server in
+  (* corrupt the store file under the running server, then ask it to
+     reload: the typed store error must come back on the wire and the
+     old model must keep serving *)
+  let file = Model_store.path store ~name:"default" in
+  let oc = open_out_bin file in
+  output_string oc "sorl-store v1\nname default\npayload-bytes 3\nchecksum md5 00000000000000000000000000000000\nxyz";
+  close_out oc;
+  get
+    (Client.with_connection addr (fun c ->
+         (match Client.reload c with
+         | Error m ->
+           checkb "store error surfaced" true (contains ~sub:"store" m)
+         | Ok _ -> Alcotest.fail "expected reload to fail on a corrupt store");
+         let t = get (Client.tune c ~benchmark) in
+         checkb "old model still serving" true (Tuning.equal t direct_best);
+         let info = get (Client.info c) in
+         checks "generation unchanged" "0" (List.assoc "generation" info);
+         Ok ()));
+  shutdown_server server
+
+let suite =
+  [
+    Alcotest.test_case "protocol request roundtrip" `Quick test_protocol_request_roundtrip;
+    Alcotest.test_case "protocol response roundtrip" `Quick test_protocol_response_roundtrip;
+    Alcotest.test_case "protocol rejects malformed frames" `Quick test_protocol_malformed;
+    Alcotest.test_case "protocol addresses" `Quick test_protocol_addresses;
+    Alcotest.test_case "autotuner load is defensive" `Quick test_load_errors;
+    Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
+    Alcotest.test_case "store rejects corruption" `Quick test_store_rejects_corruption;
+    Alcotest.test_case "store name validation" `Quick test_store_names;
+    Alcotest.test_case "batcher coalesces identical queries" `Quick test_batcher_coalesces;
+    Alcotest.test_case "served ranks = direct ranks (workers 1/2/4)" `Slow
+      test_server_matches_direct_rank;
+    Alcotest.test_case "tune/info/stats and typed errors" `Quick test_server_tune_info_stats;
+    Alcotest.test_case "malformed line gets bad-request" `Quick
+      test_server_rejects_malformed_line;
+    Alcotest.test_case "busy backpressure" `Quick test_server_busy_backpressure;
+    Alcotest.test_case "hot reload under load" `Slow test_server_hot_reload_under_load;
+    Alcotest.test_case "failed reload keeps the old model" `Quick
+      test_server_reload_errors_keep_old_model;
+  ]
