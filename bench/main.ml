@@ -1127,7 +1127,7 @@ let rank_throughput () =
 (* ---- Serve throughput: the socket server vs in-process ranking ---- *)
 
 let serve_throughput () =
-  header "Serve throughput: batched socket server vs direct Autotuner.rank";
+  header "Serve throughput: cold (cache off) and hot (warmed cache) vs direct rank";
   let m = Sorl_machine.Measure.model machine in
   let spec = { Sorl.Training.size = 960; mode = Features.Extended; seed = 5 } in
   let tuner = Sorl.Autotuner.train_on ~mode:Features.Extended (Sorl.Training.generate ~spec m) in
@@ -1140,9 +1140,9 @@ let serve_throughput () =
         ignore (Sys.opaque_identity (Sorl.Autotuner.rank tuner inst set)))
   in
   let direct_rps = 1. /. direct_s in
+  let expected = (Sorl.Autotuner.rank tuner inst set).(0) in
   let was_on = Sorl_util.Telemetry.enabled () in
   Sorl_util.Telemetry.set_enabled true;
-  Sorl_util.Telemetry.reset ();
   let dir = Filename.temp_dir "sorl-serve-bench" "" in
   let store =
     match Sorl_serve.Model_store.open_dir dir with Ok s -> s | Error m -> failwith m
@@ -1150,42 +1150,53 @@ let serve_throughput () =
   (match Sorl_serve.Model_store.save store ~name:"default" tuner with
   | Ok () -> ()
   | Error m -> failwith m);
-  let address = Sorl_serve.Protocol.Unix_path (Filename.concat dir "bench.sock") in
-  let server =
+  let start_server ~cache_capacity ~warm name =
+    let address = Sorl_serve.Protocol.Unix_path (Filename.concat dir name) in
     match
-      Sorl_serve.Server.start ~address ~workers:4 ~queue_capacity:64
+      Sorl_serve.Server.start ~address ~workers:4 ~queue_capacity:64 ~cache_capacity
+        ~warm
         (Sorl_serve.Server.Store (store, "default"))
     with
     | Ok s -> s
     | Error m -> failwith m
   in
-  let clients = 4 and per_client = 50 in
-  let total = clients * per_client in
-  let latencies = Array.make total 0. in
   let protocol_errors = Atomic.make 0 in
-  let expected = (Sorl.Autotuner.rank tuner inst set).(0) in
-  let (), wall =
-    Sorl_util.Timer.time (fun () ->
-        Sorl_util.Pool.parallel_for ~domains:clients clients (fun ci ->
-            match Sorl_serve.Client.connect ~retry_for_s:5. address with
-            | Error _ -> Atomic.fetch_and_add protocol_errors per_client |> ignore
-            | Ok c ->
-              for j = 0 to per_client - 1 do
-                let t0 = Unix.gettimeofday () in
-                (match Sorl_serve.Client.rank c ~benchmark ~top:3 with
-                | Ok (best :: _) when Tuning.equal best expected -> ()
-                | Ok _ | Error _ -> Atomic.incr protocol_errors);
-                latencies.((ci * per_client) + j) <- Unix.gettimeofday () -. t0
-              done;
-              Sorl_serve.Client.close c))
+  let run_load address ~clients ~per_client =
+    let latencies = Array.make (clients * per_client) 0. in
+    let (), wall =
+      Sorl_util.Timer.time (fun () ->
+          Sorl_util.Pool.parallel_for ~domains:clients clients (fun ci ->
+              match Sorl_serve.Client.connect ~retry_for_s:5. address with
+              | Error _ -> Atomic.fetch_and_add protocol_errors per_client |> ignore
+              | Ok c ->
+                for j = 0 to per_client - 1 do
+                  let t0 = Unix.gettimeofday () in
+                  (match Sorl_serve.Client.rank c ~benchmark ~top:3 with
+                  | Ok (best :: _) when Tuning.equal best expected -> ()
+                  | Ok _ | Error _ -> Atomic.incr protocol_errors);
+                  latencies.((ci * per_client) + j) <- Unix.gettimeofday () -. t0
+                done;
+                Sorl_serve.Client.close c))
+    in
+    (wall, latencies)
   in
-  (* Read the request counter before the control connection below adds
-     its own stats/shutdown requests, so it must equal the load
-     generator's count exactly. *)
-  let telemetry_requests = Sorl_util.Telemetry.counter_value "serve.requests" in
-  let reconciled = telemetry_requests = total in
-  let served_rps = float_of_int total /. wall in
-  let leaders, followers =
+  (* Exact reply bytes, below the typed client — for the cached =
+     uncached identity gate. *)
+  let raw_ask address line =
+    match address with
+    | Sorl_serve.Protocol.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+      output_string oc (line ^ "\n");
+      flush oc;
+      let reply = input_line ic in
+      close_out_noerr oc;
+      reply
+    | _ -> assert false
+  in
+  let identity_query = "sorl1 rank " ^ benchmark ^ " 3" in
+  let control address keys =
     match
       Sorl_serve.Client.with_connection address (fun c ->
           match Sorl_serve.Client.stats c with
@@ -1193,61 +1204,174 @@ let serve_throughput () =
           | Ok kvs ->
             let get k = Option.value ~default:0 (List.assoc_opt k kvs) in
             (match Sorl_serve.Client.shutdown c with
-            | Ok () -> Ok (get "rank_leaders", get "rank_followers")
+            | Ok () -> Ok (List.map get keys)
             | Error _ as e -> e))
     with
-    | Ok lf -> lf
+    | Ok vs -> vs
     | Error m ->
       Printf.printf "WARNING: control connection failed: %s\n" m;
-      (0, 0)
+      List.map (fun _ -> 0) keys
   in
-  Sorl_serve.Server.stop server;
-  Sorl_serve.Server.wait server;
+  (* ---- cold: cache disabled, every request pays a full scoring pass
+     (the PR-4 configuration, so the factor below is comparable) ---- *)
   Sorl_util.Telemetry.reset ();
-  Sorl_util.Telemetry.set_enabled was_on;
-  let p50 = Stats.percentile latencies 50. and p99 = Stats.percentile latencies 99. in
+  let cold_server = start_server ~cache_capacity:0 ~warm:false "cold.sock" in
+  let cold_addr = Sorl_serve.Server.address cold_server in
+  let cold_clients = 4 and cold_per = 50 in
+  let cold_total = cold_clients * cold_per in
+  let cold_wall, cold_lat = run_load cold_addr ~clients:cold_clients ~per_client:cold_per in
+  (* Read the request counter before the identity/control traffic below
+     adds its own requests, so it must equal the load generator's count
+     exactly. *)
+  let cold_requests = Sorl_util.Telemetry.counter_value "serve.requests" in
+  let cold_reconciled = cold_requests = cold_total in
+  let cold_errors = Atomic.get protocol_errors in
+  let cold_reply = raw_ask cold_addr identity_query in
+  let leaders, followers =
+    match control cold_addr [ "rank_leaders"; "rank_followers" ] with
+    | [ l; f ] -> (l, f)
+    | _ -> (0, 0)
+  in
+  Sorl_serve.Server.stop cold_server;
+  Sorl_serve.Server.wait cold_server;
+  let cold_rps = float_of_int cold_total /. cold_wall in
+  let cold_p50 = Stats.percentile cold_lat 50. and cold_p99 = Stats.percentile cold_lat 99. in
   let hit_rate =
     if leaders + followers = 0 then 0.
     else float_of_int followers /. float_of_int (leaders + followers)
   in
-  let factor = direct_rps /. served_rps in
+  let factor = direct_rps /. cold_rps in
+  (* ---- hot: default cache, warmed at start — repeated queries are an
+     LRU lookup plus one write ---- *)
+  Sorl_util.Telemetry.reset ();
+  let hot_server =
+    start_server ~cache_capacity:Sorl_serve.Result_cache.default_capacity ~warm:true
+      "hot.sock"
+  in
+  let hot_addr = Sorl_serve.Server.address hot_server in
+  let hot_clients = 4 and hot_per = 200 in
+  let hot_total = hot_clients * hot_per in
+  let hot_wall, hot_lat = run_load hot_addr ~clients:hot_clients ~per_client:hot_per in
+  let hot_requests = Sorl_util.Telemetry.counter_value "serve.requests" in
+  let hot_reconciled = hot_requests = hot_total in
+  let hot_errors = Atomic.get protocol_errors - cold_errors in
+  let hot_reply = raw_ask hot_addr identity_query in
+  let hot_reply_again = raw_ask hot_addr identity_query in
+  let identical =
+    String.equal cold_reply hot_reply && String.equal hot_reply hot_reply_again
+  in
+  (* Pipelining: one connection writes a whole train before reading;
+     the server answers in order with one buffered write. *)
+  let pipeline_depth = 100 in
+  let pipeline_s =
+    match Sorl_serve.Client.connect hot_addr with
+    | Error m ->
+      Printf.printf "WARNING: pipeline connection failed: %s\n" m;
+      Float.infinity
+    | Ok c ->
+      let reqs =
+        List.init pipeline_depth (fun _ -> Sorl_serve.Protocol.Rank { benchmark; top = 3 })
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Sorl_serve.Client.pipeline c reqs in
+      let dt = Unix.gettimeofday () -. t0 in
+      Sorl_serve.Client.close c;
+      (match r with
+      | Ok replies when List.length replies = pipeline_depth -> ()
+      | Ok _ | Error _ -> Atomic.incr protocol_errors);
+      dt
+  in
+  let pipeline_rps = float_of_int pipeline_depth /. pipeline_s in
+  let cache_hits, cache_misses, pipelined =
+    match
+      control hot_addr [ "result_cache_hits"; "result_cache_misses"; "pipelined" ]
+    with
+    | [ h; mi; p ] -> (h, mi, p)
+    | _ -> (0, 0, 0)
+  in
+  Sorl_serve.Server.stop hot_server;
+  Sorl_serve.Server.wait hot_server;
+  Sorl_util.Telemetry.reset ();
+  Sorl_util.Telemetry.set_enabled was_on;
+  let hot_p50 = Stats.percentile hot_lat 50. and hot_p99 = Stats.percentile hot_lat 99. in
+  let total_errors = Atomic.get protocol_errors in
+  Printf.printf "direct rank: %.1f req/s\n" direct_rps;
   Printf.printf
-    "direct rank: %.1f req/s; served (%d clients x %d): %.1f req/s (%.2fx slower)\n"
-    direct_rps clients per_client served_rps factor;
-  Printf.printf "latency p50 %s, p99 %s; batching: %d leaders, %d followers (%.0f%% coalesced)\n"
-    (Table.fmt_time p50) (Table.fmt_time p99) leaders followers (100. *. hit_rate);
-  Printf.printf "protocol errors: %d; telemetry requests %d (load generator sent %d)\n"
-    (Atomic.get protocol_errors) telemetry_requests total;
+    "cold (cache off, %d clients x %d): %.1f req/s (%.2fx slower than direct), p50 %s, p99 %s\n"
+    cold_clients cold_per cold_rps factor (Table.fmt_time cold_p50) (Table.fmt_time cold_p99);
+  Printf.printf "  batching: %d leaders, %d followers (%.0f%% coalesced)\n" leaders
+    followers (100. *. hit_rate);
+  Printf.printf
+    "hot (warmed cache, %d clients x %d): %.1f req/s (%.2fx direct), p50 %s, p99 %s\n"
+    hot_clients hot_per
+    (float_of_int hot_total /. hot_wall)
+    (float_of_int hot_total /. hot_wall /. direct_rps)
+    (Table.fmt_time hot_p50) (Table.fmt_time hot_p99);
+  Printf.printf "  cache: %d hits, %d misses; pipelined %d; pipeline(%d): %.1f req/s\n"
+    cache_hits cache_misses pipelined pipeline_depth pipeline_rps;
+  Printf.printf
+    "replies byte-identical (cold = hot = hot again): %b; protocol errors: %d\n"
+    identical total_errors;
+  Printf.printf "telemetry requests cold %d/%d, hot %d/%d\n" cold_requests cold_total
+    hot_requests hot_total;
+  let hot_rps = float_of_int hot_total /. hot_wall in
   add_bench_sections
     [
       ( "serve_throughput",
         Printf.sprintf
           "{\n\
-          \    \"clients\": %d,\n\
-          \    \"requests\": %d,\n\
-          \    \"req_per_s\": %.1f,\n\
-          \    \"latency_p50_s\": %.6f,\n\
-          \    \"latency_p99_s\": %.6f,\n\
           \    \"direct_rank_per_s\": %.1f,\n\
-          \    \"factor_vs_direct\": %.2f,\n\
-          \    \"batch_hit_rate\": %.3f,\n\
-          \    \"protocol_errors\": %d,\n\
-          \    \"telemetry_requests\": %d,\n\
-          \    \"requests_reconciled\": %b\n\
+          \    \"cold\": {\n\
+          \      \"clients\": %d,\n\
+          \      \"requests\": %d,\n\
+          \      \"req_per_s\": %.1f,\n\
+          \      \"latency_p50_s\": %.6f,\n\
+          \      \"latency_p99_s\": %.6f,\n\
+          \      \"factor_vs_direct\": %.2f,\n\
+          \      \"batch_hit_rate\": %.3f,\n\
+          \      \"requests_reconciled\": %b\n\
+          \    },\n\
+          \    \"hot\": {\n\
+          \      \"clients\": %d,\n\
+          \      \"requests\": %d,\n\
+          \      \"req_per_s\": %.1f,\n\
+          \      \"latency_p50_s\": %.6f,\n\
+          \      \"latency_p99_s\": %.6f,\n\
+          \      \"speedup_vs_direct\": %.2f,\n\
+          \      \"cache_hits\": %d,\n\
+          \      \"cache_misses\": %d,\n\
+          \      \"requests_reconciled\": %b\n\
+          \    },\n\
+          \    \"pipeline\": { \"depth\": %d, \"req_per_s\": %.1f },\n\
+          \    \"replies_byte_identical\": %b,\n\
+          \    \"protocol_errors\": %d\n\
           \  }"
-          clients total served_rps p50 p99 direct_rps factor hit_rate
-          (Atomic.get protocol_errors) telemetry_requests reconciled );
+          direct_rps cold_clients cold_total cold_rps cold_p50 cold_p99 factor hit_rate
+          cold_reconciled hot_clients hot_total hot_rps hot_p50 hot_p99
+          (hot_rps /. direct_rps) cache_hits cache_misses hot_reconciled pipeline_depth
+          pipeline_rps identical total_errors );
     ];
   let problems = ref [] in
   let flag cond msg = if cond then problems := msg :: !problems in
-  flag (Atomic.get protocol_errors > 0)
-    (Printf.sprintf "%d protocol errors under concurrency" (Atomic.get protocol_errors));
-  flag (not reconciled)
-    (Printf.sprintf "telemetry saw %d requests, load generator sent %d" telemetry_requests
-       total);
-  flag (served_rps *. 25. < direct_rps)
-    (Printf.sprintf "throughput gate: served %.1f req/s is more than 25x below direct %.1f"
-       served_rps direct_rps);
+  flag (total_errors > 0)
+    (Printf.sprintf "%d protocol errors under concurrency" total_errors);
+  flag (not cold_reconciled)
+    (Printf.sprintf "cold: telemetry saw %d requests, load generator sent %d" cold_requests
+       cold_total);
+  flag (not hot_reconciled)
+    (Printf.sprintf "hot: telemetry saw %d requests, load generator sent %d" hot_requests
+       hot_total);
+  flag (hot_errors > 0) (Printf.sprintf "%d protocol errors in the hot phase" hot_errors);
+  flag (cold_rps *. 25. < direct_rps)
+    (Printf.sprintf "cold throughput gate: %.1f req/s is more than 25x below direct %.1f"
+       cold_rps direct_rps);
+  flag (hot_rps < direct_rps)
+    (Printf.sprintf "hot throughput gate: %.1f req/s below direct %.1f" hot_rps direct_rps);
+  flag (hot_p50 > 0.005)
+    (Printf.sprintf "hot latency gate: p50 %.2f ms > 5 ms" (hot_p50 *. 1000.));
+  flag (not identical) "cached and uncached replies are not byte-identical";
+  flag (cache_hits < hot_total)
+    (Printf.sprintf "cache hits %d below hot request count %d" cache_hits hot_total);
   match !problems with
   | [] -> print_endline "OK: serve-throughput gates passed"
   | ps ->

@@ -400,10 +400,21 @@ let serve_cmd =
     Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
   in
   let timeout_s_arg =
-    let doc = "Per-connection socket timeout in seconds." in
+    let doc = "Per-connection idle/write timeout in seconds." in
     Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"S" ~doc)
   in
-  let run listen model_file store name workers queue timeout trace trace_out =
+  let cache_arg =
+    let doc =
+      "Result-cache capacity in entries (0 disables caching).  Defaults to the \
+       $(b,SORL_SERVE_CACHE) environment variable, else 1024."
+    in
+    Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "Maximum concurrent connections; beyond it new clients get `err busy'." in
+    Arg.(value & opt int 512 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let run listen model_file store name workers queue timeout cache max_conns trace trace_out =
     let source =
       match store with
       | None ->
@@ -441,7 +452,7 @@ let serve_cmd =
     with_trace trace trace_out @@ fun ~tracing:_ () ->
     match
       Sorl_serve.Server.start ~address:listen ?workers ~queue_capacity:queue
-        ~conn_timeout_s:timeout source
+        ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns source
     with
     | Error m -> Error (`Msg m)
     | Ok server ->
@@ -457,7 +468,7 @@ let serve_cmd =
     Term.(
       term_result
         (const run $ listen_arg $ model_file_arg $ store_arg $ name_arg $ workers_arg
-        $ queue_arg $ timeout_s_arg $ trace_arg $ trace_out_arg))
+        $ queue_arg $ timeout_s_arg $ cache_arg $ max_conns_arg $ trace_arg $ trace_out_arg))
 
 let query_cmd =
   let connect_arg =

@@ -73,6 +73,40 @@ let request t req =
     | exception Unix.Unix_error (e, _, _) ->
       Error (Option.value write_error ~default:("connection failed: " ^ Unix.error_message e)))
 
+let pipeline t reqs =
+  match List.map Protocol.encode_request reqs with
+  | exception Invalid_argument msg -> Error msg
+  | frames -> (
+    (* One buffered write and one flush for the whole train; the
+       server answers in order, batching its replies the same way.  As
+       in [request], a failed send still tries to read — a shedding
+       server's busy reply may be sitting in the receive buffer. *)
+    let write_error =
+      match
+        List.iter (fun frame -> output_string t.oc (frame ^ "\n")) frames;
+        flush t.oc
+      with
+      | () -> None
+      | exception Sys_error msg -> Some ("connection failed: " ^ msg)
+      | exception Unix.Unix_error (e, _, _) ->
+        Some ("connection failed: " ^ Unix.error_message e)
+    in
+    let fail default = Error (Option.value write_error ~default) in
+    let rec read_replies n acc =
+      if n = 0 then Ok (List.rev acc)
+      else
+        match input_line t.ic with
+        | line -> (
+          match Protocol.parse_response line with
+          | Ok r -> read_replies (n - 1) (r :: acc)
+          | Error _ as e -> e)
+        | exception End_of_file -> fail "connection closed by server"
+        | exception Sys_error msg -> fail ("connection failed: " ^ msg)
+        | exception Unix.Unix_error (e, _, _) ->
+          fail ("connection failed: " ^ Unix.error_message e)
+    in
+    read_replies (List.length reqs) [])
+
 let with_connection ?timeout_s ?retry_for_s address f =
   match connect ?timeout_s ?retry_for_s address with
   | Error _ as e -> e

@@ -27,6 +27,16 @@ val request : t -> Protocol.request -> (Protocol.response, string) result
     from the server come back as [Ok (Protocol.Error _)] — use the
     typed wrappers below to collapse them. *)
 
+val pipeline : t -> Protocol.request list -> (Protocol.response list, string) result
+(** Send every request in one buffered write, then read exactly as
+    many replies; the server preserves request order and batches its
+    replies into a single write, so an N-deep pipeline costs one
+    round trip instead of N.  Per-request [err ...] frames (e.g. a
+    malformed or unknown benchmark in the middle of the train) come
+    back in-place as [Protocol.Error] elements without disturbing the
+    rest; only transport failures and unparseable replies collapse the
+    whole call to [Error]. *)
+
 (** {1 Typed wrappers}
 
     Each sends the corresponding request and unpacks the expected reply

@@ -29,7 +29,29 @@
 
     Errors are structured ([err <code> <free-text message>]) so clients
     can branch on the code — [busy] means backpressure (retry later),
-    [bad-request] means the frame itself was malformed. *)
+    [bad-request] means the frame itself was malformed.
+
+    {2 Pipelining}
+
+    Because frames are self-delimiting lines, a client may write any
+    number of requests before reading: the server answers them {e in
+    request order}, one reply line per request line, batching the reply
+    train into a single write.  A malformed frame in the middle of a
+    pipeline earns its own [err bad-request] line and does not disturb
+    the requests around it or the connection.  ({!Client.pipeline} is
+    the typed wrapper.)
+
+    {2 Stats keys}
+
+    The [stats] reply is an open key=int set.  Current keys: request
+    accounting ([requests], [errors], [connections],
+    [busy_rejections], [reloads], [generation], [queue_depth]),
+    pipelining ([pipelined] — requests that arrived as part of a
+    multi-request batch), the result cache ([result_cache_hits],
+    [result_cache_misses], [result_cache_entries],
+    [result_cache_capacity]) and the coalescing batcher
+    ([rank_leaders], [rank_followers], [encoder_hits],
+    [encoder_misses]).  Clients must ignore keys they do not know. *)
 
 val version : int
 (** 1. *)

@@ -1,0 +1,291 @@
+type conn = {
+  fd : Unix.file_descr;
+  mutable partial : string;  (** bytes of an incomplete trailing line *)
+  pending : string Queue.t;  (** complete lines not yet handed to a worker *)
+  mutable busy : bool;  (** a worker holds a batch for this connection *)
+  mutable eof : bool;  (** peer closed or read failed; close once drained *)
+  mutable closed : bool;
+  mutable last_active : float;
+}
+
+type batch = { conn : conn; lines : string list }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  queue : batch Sorl_util.Bqueue.t;
+  stopping : bool Atomic.t;
+  max_connections : int;
+  idle_timeout_s : float;
+  shed_timeout_s : float;
+  busy_reply : string;
+  on_connection : unit -> unit;
+  on_shed : unit -> unit;
+  on_pipelined : int -> unit;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  wake_r : Unix.file_descr;  (** workers poke this pipe to interrupt [select] *)
+  wake_w : Unix.file_descr;
+  comp_m : Mutex.t;
+  completions : (conn * bool) Queue.t;  (** (conn, close requested) *)
+  scratch : Bytes.t;
+}
+
+let conn_fd c = c.fd
+
+(* A request line is bounded (a verb plus a couple of tokens); a peer
+   streaming an endless unterminated line must not grow the buffer
+   without limit. *)
+let max_line_bytes = 65536
+
+let write_all ?(timeout_s = 10.) fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go off =
+    if off >= len then Ok ()
+    else if Unix.gettimeofday () > deadline then Result.Error "write timed out"
+    else
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        (* Wait for writability, but never past the deadline: a client
+           that stopped reading must not park this domain. *)
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then Result.Error "write timed out"
+        else
+          match Unix.select [] [ fd ] [] (Float.min remaining 0.25) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | _ -> go off)
+      | exception Unix.Unix_error (e, _, _) -> Result.Error (Unix.error_message e)
+  in
+  go 0
+
+let create ~listen_fd ~queue ~stopping ?(max_connections = 512) ?(idle_timeout_s = 10.)
+    ~busy_reply ~on_connection ~on_shed ~on_pipelined () =
+  (try Unix.set_nonblock listen_fd with Unix.Unix_error _ -> ());
+  let wake_r, wake_w = Unix.pipe () in
+  (try
+     Unix.set_nonblock wake_r;
+     Unix.set_nonblock wake_w
+   with Unix.Unix_error _ -> ());
+  {
+    listen_fd;
+    queue;
+    stopping;
+    max_connections;
+    idle_timeout_s;
+    shed_timeout_s = Float.min idle_timeout_s 2.;
+    busy_reply;
+    on_connection;
+    on_shed;
+    on_pipelined;
+    conns = Hashtbl.create 64;
+    wake_r;
+    wake_w;
+    comp_m = Mutex.create ();
+    completions = Queue.create ();
+    scratch = Bytes.create 4096;
+  }
+
+let close_conn t c =
+  if not c.closed then begin
+    c.closed <- true;
+    Hashtbl.remove t.conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Append freshly read bytes, splitting off every complete line.  Bare
+   empty lines are skipped, exactly as the channel-based loop skipped
+   them; a line of only whitespace still reaches the parser (and earns
+   its [bad-request]). *)
+let consume c data =
+  let data = if c.partial = "" then data else c.partial ^ data in
+  let len = String.length data in
+  let rec go start =
+    if start >= len then c.partial <- ""
+    else
+      match String.index_from_opt data start '\n' with
+      | Some i ->
+        if i > start then Queue.add (String.sub data start (i - start)) c.pending;
+        go (i + 1)
+      | None -> c.partial <- String.sub data start (len - start)
+  in
+  go 0
+
+(* Shed a batch (or a fresh connection) with explicit busy replies.
+   The descriptor is still in blocking mode only on the accept path, so
+   set the send timeout first — and [write_all] bounds the wait either
+   way — lest one slow client stall the whole reactor. *)
+let shed_fd t fd replies =
+  t.on_shed ();
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.shed_timeout_s with Unix.Unix_error _ -> ());
+  let text = String.concat "" (List.map (fun r -> r ^ "\n") replies) in
+  ignore (write_all ~timeout_s:t.shed_timeout_s fd text)
+
+let dispatch t c =
+  if (not c.busy) && (not c.closed) && not (Queue.is_empty c.pending) then begin
+    let lines = List.of_seq (Queue.to_seq c.pending) in
+    Queue.clear c.pending;
+    if Sorl_util.Bqueue.try_push t.queue { conn = c; lines } then begin
+      c.busy <- true;
+      let n = List.length lines in
+      if n > 1 then t.on_pipelined n
+    end
+    else begin
+      (* Worker queue full (or draining): answer every request in the
+         batch with busy and drop the connection. *)
+      shed_fd t c.fd (List.map (fun _ -> t.busy_reply) lines);
+      close_conn t c
+    end
+  end
+
+let accept_ready t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | fd, _ ->
+      if Hashtbl.length t.conns >= t.max_connections then begin
+        shed_fd t fd [ t.busy_reply ];
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        t.on_connection ();
+        (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+        Hashtbl.replace t.conns fd
+          {
+            fd;
+            partial = "";
+            pending = Queue.create ();
+            busy = false;
+            eof = false;
+            closed = false;
+            last_active = Unix.gettimeofday ();
+          }
+      end;
+      go ()
+  in
+  go ()
+
+let read_conn t c =
+  let rec drain () =
+    match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
+    | 0 -> c.eof <- true
+    | n ->
+      c.last_active <- Unix.gettimeofday ();
+      consume c (Bytes.sub_string t.scratch 0 n);
+      if String.length c.partial > max_line_bytes then c.eof <- true else drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> c.eof <- true
+  in
+  drain ();
+  if not (Queue.is_empty c.pending) then dispatch t c;
+  if c.eof && (not c.busy) && Queue.is_empty c.pending then close_conn t c
+
+let complete t conn ~close =
+  Mutex.protect t.comp_m (fun () -> Queue.add (conn, close) t.completions);
+  let b = Bytes.make 1 '!' in
+  let rec poke () =
+    match Unix.write t.wake_w b 0 1 with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> poke ()
+    (* A full pipe means wake-ups are already pending; a closed pipe
+       means the loop is past the point of sleeping. *)
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  poke ()
+
+let drain_wake t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
+
+let process_completions t =
+  let items =
+    Mutex.protect t.comp_m (fun () ->
+        let l = List.of_seq (Queue.to_seq t.completions) in
+        Queue.clear t.completions;
+        l)
+  in
+  List.iter
+    (fun (c, close_requested) ->
+      c.busy <- false;
+      c.last_active <- Unix.gettimeofday ();
+      if close_requested || Atomic.get t.stopping then close_conn t c
+      else if not (Queue.is_empty c.pending) then
+        (* lines that buffered while the batch was in flight *)
+        dispatch t c
+      else if c.eof then close_conn t c)
+    items
+
+let sweep_idle t =
+  let now = Unix.gettimeofday () in
+  let victims =
+    Hashtbl.fold
+      (fun _ c acc ->
+        if (not c.busy) && now -. c.last_active > t.idle_timeout_s then c :: acc else acc)
+      t.conns []
+  in
+  List.iter (close_conn t) victims
+
+let busy_count t = Hashtbl.fold (fun _ c n -> if c.busy then n + 1 else n) t.conns 0
+
+let run t =
+  let rec live () =
+    if not (Atomic.get t.stopping) then begin
+      let rfds =
+        Hashtbl.fold
+          (fun fd c acc -> if c.busy || c.closed then acc else fd :: acc)
+          t.conns
+          [ t.listen_fd; t.wake_r ]
+      in
+      (* The timeout doubles as the poll interval for the stopping flag
+         and the idle sweep. *)
+      (match Unix.select rfds [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        if List.memq t.wake_r ready then begin
+          drain_wake t;
+          process_completions t
+        end;
+        if List.memq t.listen_fd ready then accept_ready t;
+        List.iter
+          (fun fd ->
+            if fd <> t.listen_fd && fd <> t.wake_r then
+              match Hashtbl.find_opt t.conns fd with
+              | Some c when not c.busy -> read_conn t c
+              | Some _ | None -> ())
+          ready);
+      sweep_idle t;
+      live ()
+    end
+  in
+  live ();
+  (* Graceful drain: nothing new is queued, queued batches are still
+     popped and answered by the workers, and every in-flight batch
+     completes before its connection is torn down. *)
+  Sorl_util.Bqueue.close t.queue;
+  let idle = Hashtbl.fold (fun _ c acc -> if c.busy then acc else c :: acc) t.conns [] in
+  List.iter (close_conn t) idle;
+  let rec drain () =
+    process_completions t;
+    if busy_count t > 0 then begin
+      (match Unix.select [ t.wake_r ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ -> if ready <> [] then drain_wake t);
+      drain ()
+    end
+  in
+  drain ();
+  let rest = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter (close_conn t) rest;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

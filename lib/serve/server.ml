@@ -7,7 +7,8 @@ type source =
 (* The served model.  Immutable record swapped atomically on reload, so
    a request holds one coherent snapshot for its whole lifetime: a
    reload mid-request can never mix model A's weights with model B's
-   generation. *)
+   generation — and the generation a reply is cached under always
+   matches the model that produced it. *)
 type loaded = { tuner : Sorl.Autotuner.t; model_name : string; generation : int }
 
 type t = {
@@ -15,9 +16,12 @@ type t = {
   source : source;
   current : loaded Atomic.t;
   batcher : Batcher.t;
+  cache : Result_cache.t;
+  warm_on_reload : bool;
   workers : int;
+  conn_timeout_s : float;
   listen_fd : Unix.file_descr;
-  queue : Unix.file_descr Sorl_util.Bqueue.t;
+  queue : Reactor.batch Sorl_util.Bqueue.t;
   stopping : bool Atomic.t;
   reload_m : Mutex.t;  (** serializes reloads; readers never take it *)
   started_at : float;
@@ -26,7 +30,9 @@ type t = {
   connections : int Atomic.t;
   busy_rejections : int Atomic.t;
   reloads : int Atomic.t;
-  mutable accept_domain : unit Domain.t option;
+  pipelined : int Atomic.t;
+  mutable reactor : Reactor.t option;
+  mutable reactor_domain : unit Domain.t option;
   mutable worker_domains : unit Domain.t list;
   mutable joined : bool;
 }
@@ -36,6 +42,7 @@ let errors_counter = Sorl_util.Telemetry.counter "serve.errors"
 let connections_counter = Sorl_util.Telemetry.counter "serve.connections"
 let busy_counter = Sorl_util.Telemetry.counter "serve.busy"
 let reloads_counter = Sorl_util.Telemetry.counter "serve.reloads"
+let pipelined_counter = Sorl_util.Telemetry.counter "serve.pipelined"
 let queue_depth_hist = Sorl_util.Telemetry.histogram "serve.queue_depth"
 let latency_hist = Sorl_util.Telemetry.histogram "serve.request_s"
 
@@ -111,14 +118,14 @@ let make_listener address =
 let err code message = Protocol.Error { code; message }
 
 (* Shared body of rank and tune: one batched scoring pass over the
-   paper's pre-defined configuration set of the named benchmark. *)
-let ranked_for t benchmark =
+   paper's pre-defined configuration set of the named benchmark, on the
+   snapshot the caller pinned. *)
+let ranked_for t snapshot benchmark =
   match Sorl_stencil.Benchmarks.instance_by_name benchmark with
   | exception Not_found ->
     Result.Error
       (err Protocol.No_benchmark (Printf.sprintf "unknown benchmark %S" benchmark))
   | inst -> (
-    let snapshot = Atomic.get t.current in
     let candidates = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
     match
       Batcher.rank t.batcher ~generation:snapshot.generation ~tuner:snapshot.tuner ~inst
@@ -127,16 +134,18 @@ let ranked_for t benchmark =
     | exception e -> Result.Error (err Protocol.Internal (Printexc.to_string e))
     | ranked, _follower -> Ok ranked)
 
-let handle_rank t ~benchmark ~top =
-  match ranked_for t benchmark with
-  | Error e -> e
-  | Ok ranked ->
-    let total = Array.length ranked in
-    Protocol.Ranked
-      { benchmark; total; tunings = Array.to_list (Array.sub ranked 0 (min top total)) }
+let ranked_response ~benchmark ~top ranked =
+  let total = Array.length ranked in
+  Protocol.Ranked
+    { benchmark; total; tunings = Array.to_list (Array.sub ranked 0 (min top total)) }
 
-let handle_tune t ~benchmark =
-  match ranked_for t benchmark with
+let handle_rank t snapshot ~benchmark ~top =
+  match ranked_for t snapshot benchmark with
+  | Error e -> e
+  | Ok ranked -> ranked_response ~benchmark ~top ranked
+
+let handle_tune t snapshot ~benchmark =
+  match ranked_for t snapshot benchmark with
   | Error e -> e
   | Ok ranked -> Protocol.Tuned { benchmark; tuning = ranked.(0) }
 
@@ -151,6 +160,7 @@ let handle_info t =
       ("mode", Features.mode_to_string mode);
       ("dim", string_of_int (Features.dim mode));
       ("workers", string_of_int t.workers);
+      ("cache", string_of_int (Result_cache.capacity t.cache));
       ("uptime_s", string_of_int (int_of_float (Unix.gettimeofday () -. t.started_at)));
     ]
 
@@ -163,6 +173,11 @@ let handle_stats t =
       ("connections", Atomic.get t.connections);
       ("busy_rejections", Atomic.get t.busy_rejections);
       ("reloads", Atomic.get t.reloads);
+      ("pipelined", Atomic.get t.pipelined);
+      ("result_cache_hits", Result_cache.hits t.cache);
+      ("result_cache_misses", Result_cache.misses t.cache);
+      ("result_cache_entries", Result_cache.length t.cache);
+      ("result_cache_capacity", Result_cache.capacity t.cache);
       ("rank_leaders", b.Batcher.leaders);
       ("rank_followers", b.Batcher.followers);
       ("encoder_hits", b.Batcher.encoder_hits);
@@ -170,6 +185,65 @@ let handle_stats t =
       ("queue_depth", Sorl_util.Bqueue.length t.queue);
       ("generation", (Atomic.get t.current).generation);
     ]
+
+(* ---- the result cache ---- *)
+
+(* Everything that shapes a rank/tune reply is folded into the key:
+   the model generation (bumped by reload, so stale entries are
+   unreachable the moment a reload lands), the verb with its [top]
+   parameter, and the benchmark. *)
+let cache_key_of snapshot = function
+  | Protocol.Rank { benchmark; top } ->
+    Some
+      (Result_cache.key ~generation:snapshot.generation
+         ~verb:("rank:" ^ string_of_int top) ~benchmark)
+  | Protocol.Tune { benchmark } ->
+    Some (Result_cache.key ~generation:snapshot.generation ~verb:"tune" ~benchmark)
+  | _ -> None
+
+(* After [start] and after every successful reload, pre-rank every
+   registered benchmark once and seed the cache with the replies the
+   common request shapes would produce, so the first client query of a
+   fresh generation is already a lookup.  Built from the same response
+   constructors as the live path, so warmed and computed replies are
+   byte-identical. *)
+let warm_tops = [ 1; 3; 10 ]
+
+let warm_cache t =
+  if Result_cache.capacity t.cache > 0 then begin
+    let snapshot = Atomic.get t.current in
+    List.iter
+      (fun inst ->
+        let benchmark = Instance.name inst in
+        match ranked_for t snapshot benchmark with
+        | Error _ -> ()
+        | Ok ranked ->
+          let put verb response =
+            Result_cache.put t.cache
+              (Result_cache.key ~generation:snapshot.generation ~verb ~benchmark)
+              (Protocol.encode_response response)
+          in
+          if Array.length ranked > 0 then
+            put "tune" (Protocol.Tuned { benchmark; tuning = ranked.(0) });
+          List.iter
+            (fun top ->
+              put
+                ("rank:" ^ string_of_int top)
+                (ranked_response ~benchmark ~top ranked))
+            warm_tops)
+      Benchmarks.instances
+  end
+
+(* ---- per-line handling ---- *)
+
+type outcome = { reply : string; error : bool; bye : bool }
+
+let outcome_of_response response =
+  {
+    reply = Protocol.encode_response response;
+    error = (match response with Protocol.Error _ -> true | _ -> false);
+    bye = response = Protocol.Bye;
+  }
 
 let handle_reload t ~model =
   Mutex.lock t.reload_m;
@@ -181,15 +255,20 @@ let handle_reload t ~model =
       Atomic.set t.current { tuner; model_name; generation };
       Atomic.incr t.reloads;
       Sorl_util.Telemetry.incr reloads_counter;
+      (* Seed the new generation's entries before answering: once the
+         reload reply is on the wire, hot queries are hot again.  The
+         retired generation's entries are unreachable (wrong key) and
+         age out of the LRU. *)
+      if t.warm_on_reload then warm_cache t;
       Protocol.Reloaded { model = model_name; generation }
   in
   Mutex.unlock t.reload_m;
   result
 
-let dispatch t request =
+let dispatch t snapshot request =
   match request with
-  | Protocol.Rank { benchmark; top } -> handle_rank t ~benchmark ~top
-  | Protocol.Tune { benchmark } -> handle_tune t ~benchmark
+  | Protocol.Rank { benchmark; top } -> handle_rank t snapshot ~benchmark ~top
+  | Protocol.Tune { benchmark } -> handle_tune t snapshot ~benchmark
   | Protocol.Info -> handle_info t
   | Protocol.Stats -> handle_stats t
   | Protocol.Reload { model } -> handle_reload t ~model
@@ -197,105 +276,81 @@ let dispatch t request =
     Atomic.set t.stopping true;
     Protocol.Bye
 
+(* The hot path: a cacheable request under a warm cache is one LRU
+   lookup; everything else runs the full dispatch and (when it
+   succeeded) leaves its encoded reply behind for the next identical
+   query. *)
+let reply_for t snapshot request =
+  match cache_key_of snapshot request with
+  | Some key -> (
+    match Result_cache.find t.cache key with
+    | Some reply -> { reply; error = false; bye = false }
+    | None ->
+      let o = outcome_of_response (dispatch t snapshot request) in
+      if not o.error then Result_cache.put t.cache key o.reply;
+      o)
+  | None -> outcome_of_response (dispatch t snapshot request)
+
 let handle_line t line =
   Atomic.incr t.requests;
   Sorl_util.Telemetry.incr requests_counter;
-  let response =
+  let outcome =
     Sorl_util.Telemetry.time_hist latency_hist (fun () ->
         match Protocol.parse_request line with
-        | Error msg -> err Protocol.Bad_request msg
+        | Error msg -> outcome_of_response (err Protocol.Bad_request msg)
         | Ok request -> (
-          match dispatch t request with
-          | response -> response
-          | exception e -> err Protocol.Internal (Printexc.to_string e)))
+          let snapshot = Atomic.get t.current in
+          match reply_for t snapshot request with
+          | outcome -> outcome
+          | exception e -> outcome_of_response (err Protocol.Internal (Printexc.to_string e))))
   in
-  (match response with
-  | Protocol.Error _ ->
+  if outcome.error then begin
     Atomic.incr t.errors;
     Sorl_util.Telemetry.incr errors_counter
-  | _ -> ());
-  response
+  end;
+  outcome
 
-(* ---- connection and worker loops ---- *)
+(* ---- worker loop ---- *)
 
-let serve_connection t fd timeout =
-  (try
-     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
-   with Unix.Unix_error _ -> ());
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let rec loop () =
-    if Atomic.get t.stopping then ()
-    else
-      match input_line ic with
-      | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
-      | "" -> loop ()
-      | line ->
-        let response = Sorl_util.Telemetry.span "serve/request" (fun () -> handle_line t line) in
-        output_string oc (Protocol.encode_response response ^ "\n");
-        flush oc;
-        if response <> Protocol.Bye then loop ()
-  in
-  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
-  (* Closing the channel closes the underlying descriptor. *)
-  try close_out_noerr oc with _ -> ()
-
-let worker_loop t timeout =
+(* Workers never see connections, only ready request batches: the
+   reactor owns every descriptor and all reading.  A batch's replies
+   are answered in request order into one buffer and leave in a single
+   write, so an N-deep pipeline pays one syscall, not N flushes. *)
+let worker_loop t reactor =
   (* Worker domains live for the whole server; requests they process
      must not fan out into a second level of Pool domains. *)
   Sorl_util.Pool.serially (fun () ->
+      let buf = Buffer.create 512 in
       let rec loop () =
         match Sorl_util.Bqueue.pop t.queue with
         | None -> ()
-        | Some fd ->
-          serve_connection t fd timeout;
+        | Some { Reactor.conn; lines } ->
+          Buffer.clear buf;
+          let bye = ref false in
+          List.iter
+            (fun line ->
+              (* Requests pipelined behind a shutdown are not served:
+                 the channel-based loop stopped reading after [Bye]. *)
+              if not !bye then begin
+                let o =
+                  Sorl_util.Telemetry.span "serve/request" (fun () -> handle_line t line)
+                in
+                Buffer.add_string buf o.reply;
+                Buffer.add_char buf '\n';
+                if o.bye then bye := true
+              end)
+            lines;
+          let wrote =
+            Reactor.write_all ~timeout_s:t.conn_timeout_s (Reactor.conn_fd conn)
+              (Buffer.contents buf)
+          in
+          Reactor.complete reactor conn ~close:(!bye || Result.is_error wrote);
           loop ()
       in
       loop ())
 
-let accept_loop t =
-  let rec loop () =
-    if Atomic.get t.stopping then ()
-    else
-      (* Poll the stopping flag every 100 ms rather than parking in
-         accept(2) forever — stop/shutdown must take effect without
-         needing one more client to connect. *)
-      match Unix.select [ t.listen_fd ] [] [] 0.1 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | [], _, _ -> loop ()
-      | _ -> (
-        match Unix.accept t.listen_fd with
-        | exception Unix.Unix_error _ -> if Atomic.get t.stopping then () else loop ()
-        | fd, _ ->
-          Atomic.incr t.connections;
-          Sorl_util.Telemetry.incr connections_counter;
-          Sorl_util.Telemetry.observe queue_depth_hist
-            (float_of_int (Sorl_util.Bqueue.length t.queue));
-          if not (Sorl_util.Bqueue.try_push t.queue fd) then begin
-            (* Queue full (or already draining): shed load with an
-               explicit busy reply instead of letting the client hang. *)
-            Atomic.incr t.busy_rejections;
-            Sorl_util.Telemetry.incr busy_counter;
-            (try
-               let oc = Unix.out_channel_of_descr fd in
-               output_string oc
-                 (Protocol.encode_response
-                    (err Protocol.Busy "connection queue full, retry later")
-                 ^ "\n");
-               flush oc;
-               close_out_noerr oc
-             with Sys_error _ | Unix.Unix_error _ -> (
-               try Unix.close fd with Unix.Unix_error _ -> ()))
-          end;
-          loop ())
-  in
-  loop ();
-  (* No more connections will be queued; lets workers drain and exit. *)
-  Sorl_util.Bqueue.close t.queue
-
 let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity = 64)
-    ?(conn_timeout_s = 10.) source =
+    ?(conn_timeout_s = 10.) ?cache_capacity ?(max_connections = 512) ?(warm = true) source =
   let workers =
     match workers with Some w -> w | None -> Sorl_util.Pool.default_domains ()
   in
@@ -315,7 +370,10 @@ let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity 
             source;
             current = Atomic.make { tuner; model_name; generation = 0 };
             batcher = Batcher.create ();
+            cache = Result_cache.create ?capacity:cache_capacity ();
+            warm_on_reload = warm;
             workers;
+            conn_timeout_s;
             listen_fd;
             queue = Sorl_util.Bqueue.create ~capacity:queue_capacity;
             stopping = Atomic.make false;
@@ -326,14 +384,38 @@ let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity 
             connections = Atomic.make 0;
             busy_rejections = Atomic.make 0;
             reloads = Atomic.make 0;
-            accept_domain = None;
+            pipelined = Atomic.make 0;
+            reactor = None;
+            reactor_domain = None;
             worker_domains = [];
             joined = false;
           }
         in
+        (* Warm before accepting: the first query of every benchmark is
+           already served from the cache. *)
+        if warm then warm_cache t;
+        let reactor =
+          Reactor.create ~listen_fd ~queue:t.queue ~stopping:t.stopping ~max_connections
+            ~idle_timeout_s:conn_timeout_s
+            ~busy_reply:
+              (Protocol.encode_response (err Protocol.Busy "server busy, retry later"))
+            ~on_connection:(fun () ->
+              Atomic.incr t.connections;
+              Sorl_util.Telemetry.incr connections_counter;
+              Sorl_util.Telemetry.observe queue_depth_hist
+                (float_of_int (Sorl_util.Bqueue.length t.queue)))
+            ~on_shed:(fun () ->
+              Atomic.incr t.busy_rejections;
+              Sorl_util.Telemetry.incr busy_counter)
+            ~on_pipelined:(fun n ->
+              ignore (Atomic.fetch_and_add t.pipelined n);
+              Sorl_util.Telemetry.add pipelined_counter n)
+            ()
+        in
+        t.reactor <- Some reactor;
         t.worker_domains <-
-          List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t conn_timeout_s));
-        t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+          List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t reactor));
+        t.reactor_domain <- Some (Domain.spawn (fun () -> Reactor.run reactor));
         Ok t)
 
 let address t = t.address
@@ -343,7 +425,7 @@ let stop t = Atomic.set t.stopping true
 let wait t =
   if not t.joined then begin
     t.joined <- true;
-    (match t.accept_domain with Some d -> Domain.join d | None -> ());
+    (match t.reactor_domain with Some d -> Domain.join d | None -> ());
     List.iter Domain.join t.worker_domains;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     match t.address with

@@ -1,14 +1,26 @@
-(** The ranking server: accept loop, worker domains, backpressure,
-    hot reload.
+(** The ranking server: event-driven connection multiplexer, worker
+    domains, generation-keyed result cache, backpressure, hot reload.
 
-    One domain accepts connections and pushes them onto a bounded
-    {!Sorl_util.Bqueue}; when the queue is full the connection is shed
-    immediately with an explicit [err busy] reply rather than left to
-    hang.  [workers] long-lived domains pop connections and serve the
-    line-delimited {!Protocol} on each until the peer closes (or the
-    per-connection socket timeout fires).  Worker domains run under
-    {!Sorl_util.Pool.serially}, so a rank request's scoring pass never
-    fans out into a second level of domains.
+    A single reactor domain ({!Reactor}) owns every connection: it
+    accepts, reads, frames the byte stream into request lines, and
+    hands {e ready request batches} to [workers] long-lived worker
+    domains through a bounded {!Sorl_util.Bqueue}.  Idle keep-alive
+    connections therefore cost one [select] slot instead of pinning a
+    worker, and any number of mostly-idle clients coexist with a small
+    worker pool.  Requests a client pipelines (several lines buffered
+    before the server reads) are answered in order with a single
+    write.  Worker domains run under {!Sorl_util.Pool.serially}, so a
+    rank request's scoring pass never fans out into a second level of
+    domains.
+
+    The hot path is the result cache ({!Result_cache}): [rank] and
+    [tune] replies are deterministic under one model generation, so
+    each encoded reply is cached under
+    [(generation, verb/top, benchmark)] — a repeated query is one LRU
+    lookup plus one write, no scoring, no encoding.  The cache is
+    warmed for every registered benchmark after [start] and after each
+    successful [reload]; capacity comes from [SORL_SERVE_CACHE] (0
+    disables) unless [cache_capacity] overrides it.
 
     The served model lives in an [Atomic.t] holding an immutable
     (tuner, name, generation) snapshot: [reload] builds the new
@@ -17,17 +29,27 @@
     a corrupt file is an [err store] reply and the old model keeps
     serving — and swaps it in one atomic store.  In-flight requests
     keep the snapshot they started with; replies are never torn across
-    models.
+    models, and a cached reply always carries the generation of the
+    model that produced it, so a stale generation's reply can never be
+    served after the reload that retired it.
 
-    Shutdown (the protocol request, or {!stop}) is graceful: the accept
-    loop stops queueing, queued connections drain, in-flight requests
-    complete and are answered, then the worker domains exit and
-    {!wait} returns.
+    Backpressure is explicit: when [max_connections] is reached at
+    accept, or the worker queue is full at dispatch, the client gets an
+    [err busy] reply (written under a send timeout so a slow client
+    cannot block the reactor) and the connection is closed.
+
+    Shutdown (the protocol request, or {!stop}) is graceful: the
+    reactor stops accepting, queued batches drain, in-flight requests
+    complete and are answered, then the domains exit and {!wait}
+    returns.
 
     Telemetry (when enabled): [serve.requests], [serve.errors],
-    [serve.connections], [serve.busy], [serve.reloads] counters, a
-    [serve/request] span per request and [serve.request_s] /
-    [serve.queue_depth] histograms. *)
+    [serve.connections], [serve.busy], [serve.reloads],
+    [serve.pipelined], [serve.result_cache_hits],
+    [serve.result_cache_misses] counters, a [serve/request] span per
+    request and [serve.request_s] / [serve.queue_depth] histograms.
+    The same numbers are exported over the wire by the [stats]
+    request. *)
 
 type t
 
@@ -44,13 +66,18 @@ val start :
   ?workers:int ->
   ?queue_capacity:int ->
   ?conn_timeout_s:float ->
+  ?cache_capacity:int ->
+  ?max_connections:int ->
+  ?warm:bool ->
   source ->
   (t, string) result
-(** Load the initial model, bind the listener and spawn the accept and
-    worker domains.  Defaults: [unix:sorl.sock],
-    [Sorl_util.Pool.default_domains ()] workers, queue capacity 64,
-    10 s socket timeouts.  [Tcp (host, 0)] binds an ephemeral port —
-    read the real one back from {!address}. *)
+(** Load the initial model, bind the listener, warm the result cache
+    and spawn the reactor and worker domains.  Defaults:
+    [unix:sorl.sock], [Sorl_util.Pool.default_domains ()] workers,
+    queue capacity 64 batches, 10 s idle/write timeout, cache capacity
+    from [SORL_SERVE_CACHE] (else 1024; 0 disables), 512 connections,
+    [warm] true.  [Tcp (host, 0)] binds an ephemeral port — read the
+    real one back from {!address}. *)
 
 val address : t -> Protocol.address
 (** The bound address (with the actual port for ephemeral TCP). *)

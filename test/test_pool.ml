@@ -220,6 +220,21 @@ let test_encode_csr_matches_encode () =
         tunings)
     [ Features.Canonical; Features.Extended ]
 
+let test_bqueue_close_idempotent () =
+  (* the reactor closes the worker queue during shutdown and so may a
+     second stop path: double-close must be safe and drainable *)
+  let q = Sorl_util.Bqueue.create ~capacity:4 in
+  checkb "push before close" true (Sorl_util.Bqueue.try_push q 1);
+  checkb "push before close" true (Sorl_util.Bqueue.try_push q 2);
+  Sorl_util.Bqueue.close q;
+  Sorl_util.Bqueue.close q;
+  checkb "closed" true (Sorl_util.Bqueue.is_closed q);
+  checkb "push after close fails" false (Sorl_util.Bqueue.try_push q 3);
+  checkb "queued elements drain in order" true (Sorl_util.Bqueue.pop q = Some 1);
+  checkb "queued elements drain in order" true (Sorl_util.Bqueue.pop q = Some 2);
+  checkb "drained pop is None" true (Sorl_util.Bqueue.pop q = None);
+  checkb "pop stays None" true (Sorl_util.Bqueue.pop q = None)
+
 let suite =
   [
     Alcotest.test_case "parallel_map matches serial" `Quick test_parallel_map_matches_serial;
@@ -236,4 +251,6 @@ let suite =
     Alcotest.test_case "eval taus parity" `Quick test_eval_taus_parity;
     Alcotest.test_case "search outcome parity" `Quick test_search_parity;
     Alcotest.test_case "encode_csr matches encode" `Quick test_encode_csr_matches_encode;
+    Alcotest.test_case "bqueue close is idempotent and drainable" `Quick
+      test_bqueue_close_idempotent;
   ]

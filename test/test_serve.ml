@@ -264,11 +264,96 @@ let test_batcher_coalesces () =
   let r1, f1 = Batcher.rank b ~generation:1 ~tuner ~inst candidates in
   checkb "fresh generation ranks fine" true (r1 = direct && not f1)
 
+(* ---- result cache ---- *)
+
+let test_result_cache () =
+  let c = Result_cache.create ~capacity:2 () in
+  checki "explicit capacity" 2 (Result_cache.capacity c);
+  let k g b = Result_cache.key ~generation:g ~verb:"rank:3" ~benchmark:b in
+  checkb "initial miss" true (Result_cache.find c (k 0 "a") = None);
+  Result_cache.put c (k 0 "a") "reply-a";
+  Result_cache.put c (k 0 "b") "reply-b";
+  checkb "hit a" true (Result_cache.find c (k 0 "a") = Some "reply-a");
+  (* a was just promoted, so inserting c evicts b (the LRU) *)
+  Result_cache.put c (k 0 "c") "reply-c";
+  checkb "lru evicted" true (Result_cache.find c (k 0 "b") = None);
+  checkb "mru survives eviction" true (Result_cache.find c (k 0 "a") = Some "reply-a");
+  checki "length pinned at capacity" 2 (Result_cache.length c);
+  (* the generation is part of the key: a reload's bump makes every
+     stale entry unreachable without any explicit invalidation *)
+  checkb "new generation misses" true (Result_cache.find c (k 1 "a") = None);
+  checki "hits accounted" 2 (Result_cache.hits c);
+  checki "misses accounted" 3 (Result_cache.misses c);
+  (* re-putting an existing key keeps the entry (values are
+     deterministic per key) and does not grow the cache *)
+  Result_cache.put c (k 0 "a") "reply-a";
+  checki "duplicate put keeps length" 2 (Result_cache.length c);
+  (* capacity 0 disables the cache: nothing stored, nothing counted *)
+  let off = Result_cache.create ~capacity:0 () in
+  Result_cache.put off "k" "v";
+  checkb "disabled find" true (Result_cache.find off "k" = None);
+  checki "disabled hits" 0 (Result_cache.hits off);
+  checki "disabled misses" 0 (Result_cache.misses off);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Result_cache.create: capacity must be >= 0") (fun () ->
+      ignore (Result_cache.create ~capacity:(-1) ()));
+  (* SORL_SERVE_CACHE sizes an unsized create; 0 disables; garbage
+     falls back to the default *)
+  Unix.putenv "SORL_SERVE_CACHE" "7";
+  checki "env capacity" 7 (Result_cache.capacity (Result_cache.create ()));
+  Unix.putenv "SORL_SERVE_CACHE" "0";
+  checki "env disables" 0 (Result_cache.capacity (Result_cache.create ()));
+  Unix.putenv "SORL_SERVE_CACHE" "";
+  checki "default capacity" Result_cache.default_capacity
+    (Result_cache.capacity (Result_cache.create ()))
+
+(* ---- reactor write path ---- *)
+
+let test_write_all_bounded_by_timeout () =
+  (* the satellite fix: a busy/slow peer whose receive buffer is full
+     must not wedge the writer — write_all gives up at the deadline *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.set_nonblock a;
+      let chunk = Bytes.make 65536 'x' in
+      (try
+         while true do
+           ignore (Unix.write a chunk 0 (Bytes.length chunk))
+         done
+       with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+      let t0 = Unix.gettimeofday () in
+      (match Reactor.write_all ~timeout_s:0.3 a (String.make 4096 'y') with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "expected a timeout writing to a full socket");
+      let elapsed = Unix.gettimeofday () -. t0 in
+      checkb "waited for the deadline" true (elapsed >= 0.25);
+      checkb "returned promptly after it" true (elapsed < 2.))
+
 (* ---- server end-to-end ---- *)
 
-let start_server ?(workers = 2) ?(queue_capacity = 16) ?(conn_timeout_s = 10.) dir source =
+let start_server ?(workers = 2) ?(queue_capacity = 16) ?(conn_timeout_s = 10.)
+    ?cache_capacity ?max_connections ?warm dir source =
   let address = Protocol.Unix_path (Filename.concat dir "test.sock") in
-  get (Server.start ~address ~workers ~queue_capacity ~conn_timeout_s source)
+  get
+    (Server.start ~address ~workers ~queue_capacity ~conn_timeout_s ?cache_capacity
+       ?max_connections ?warm source)
+
+(* A raw socket speaking the wire protocol directly — for tests that
+   care about exact reply bytes, pipelined trains and connection
+   lifecycle, below the Client abstraction. *)
+let raw_connect server =
+  let path =
+    match Server.address server with Protocol.Unix_path p -> p | _ -> assert false
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let raw_close (_, _, oc) = close_out_noerr oc
 
 let file_source dir tuner =
   let path = Filename.concat dir "m.model" in
@@ -361,32 +446,226 @@ let test_server_rejects_malformed_line () =
   close_out_noerr oc;
   shutdown_server server
 
+let test_server_cached_replies_byte_identical () =
+  let tuner = Lazy.force tuner_a in
+  let ask server line =
+    let (_, ic, oc) as conn = raw_connect server in
+    output_string oc (line ^ "\n");
+    flush oc;
+    let reply = input_line ic in
+    raw_close conn;
+    reply
+  in
+  with_temp_dir @@ fun dir ->
+  (* two servers over the same model file: one warmed and cached, one
+     with the cache disabled — raw reply bytes must be identical *)
+  let cached = start_server dir (file_source dir tuner) in
+  let uncached_dir = Filename.concat dir "u" in
+  Unix.mkdir uncached_dir 0o755;
+  let uncached =
+    start_server ~cache_capacity:0 ~warm:false uncached_dir
+      (file_source uncached_dir tuner)
+  in
+  let queries =
+    [
+      "sorl1 rank " ^ benchmark ^ " 3";
+      "sorl1 rank " ^ benchmark ^ " 1";
+      "sorl1 tune " ^ benchmark;
+      "sorl1 rank gradient-256x256x256 10";
+    ]
+  in
+  List.iter
+    (fun q ->
+      let hot = ask cached q in
+      checks ("cached = uncached for " ^ q) (ask uncached q) hot;
+      checks ("cached reply stable for " ^ q) hot (ask cached q))
+    queries;
+  (* every query above hit the warmed cache; none of them scored *)
+  let stats = get (Client.with_connection (Server.address cached) Client.stats) in
+  checkb "cache hits recorded" true
+    (List.assoc "result_cache_hits" stats >= List.length queries);
+  checki "no misses on the warmed set" 0 (List.assoc "result_cache_misses" stats);
+  checkb "warming filled entries" true (List.assoc "result_cache_entries" stats > 0);
+  let stats_off = get (Client.with_connection (Server.address uncached) Client.stats) in
+  checki "disabled cache capacity" 0 (List.assoc "result_cache_capacity" stats_off);
+  checki "disabled cache hits" 0 (List.assoc "result_cache_hits" stats_off);
+  shutdown_server cached;
+  shutdown_server uncached
+
+let test_client_pipeline_in_order () =
+  let tuner = Lazy.force tuner_a in
+  let inst = Benchmarks.instance_by_name benchmark in
+  let direct =
+    Sorl.Autotuner.rank tuner inst
+      (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)))
+  in
+  let top2 = Array.to_list (Array.sub direct 0 2) in
+  with_temp_dir @@ fun dir ->
+  let server = start_server dir (file_source dir tuner) in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         let reqs =
+           [
+             Protocol.Info;
+             Protocol.Rank { benchmark; top = 2 };
+             Protocol.Tune { benchmark };
+             Protocol.Rank { benchmark = "no-such-benchmark"; top = 1 };
+             Protocol.Stats;
+           ]
+         in
+         let replies = get (Client.pipeline c reqs) in
+         checki "one reply per request" (List.length reqs) (List.length replies);
+         (match replies with
+         | [
+          Protocol.Info_reply _;
+          Protocol.Ranked { tunings; _ };
+          Protocol.Tuned { tuning; _ };
+          Protocol.Error { code = Protocol.No_benchmark; _ };
+          Protocol.Stats_reply stats;
+         ] ->
+           checkb "pipelined rank = direct" true (tunings = top2);
+           checkb "pipelined tune = direct best" true (Tuning.equal tuning direct.(0));
+           checkb "pipelined requests counted" true
+             (List.assoc "pipelined" stats >= List.length reqs)
+         | _ -> Alcotest.fail "pipelined replies out of order or mis-shaped");
+         Ok ()));
+  shutdown_server server
+
+let test_pipeline_malformed_frame_isolated () =
+  with_temp_dir @@ fun dir ->
+  let server = start_server dir (file_source dir (Lazy.force tuner_a)) in
+  let (_, ic, oc) as conn = raw_connect server in
+  (* one write carrying a bad frame between two good ones: only the bad
+     frame errors, order holds, the connection survives *)
+  output_string oc "sorl1 info\nutter garbage\nsorl1 info\n";
+  flush oc;
+  let expect what ok =
+    match get (Protocol.parse_response (input_line ic)) with
+    | r when ok r -> ()
+    | r -> Alcotest.fail ("expected " ^ what ^ ", got " ^ Protocol.encode_response r)
+  in
+  expect "info" (function Protocol.Info_reply _ -> true | _ -> false);
+  expect "bad-request" (function
+    | Protocol.Error { code = Protocol.Bad_request; _ } -> true
+    | _ -> false);
+  expect "info" (function Protocol.Info_reply _ -> true | _ -> false);
+  output_string oc "sorl1 stats\n";
+  flush oc;
+  expect "stats" (function Protocol.Stats_reply _ -> true | _ -> false);
+  raw_close conn;
+  shutdown_server server
+
+let test_interleaved_clients_all_progress () =
+  (* more concurrent keep-alive clients than worker domains: under the
+     reactor an idle connection costs a select slot, not a worker, so
+     every client keeps making progress *)
+  let tuner = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  let server = start_server ~workers:1 dir (file_source dir tuner) in
+  let addr = Server.address server in
+  let clients = 6 and rounds = 5 in
+  let failures = Atomic.make 0 in
+  let spawned =
+    List.init clients (fun i ->
+        Domain.spawn (fun () ->
+            match Client.connect addr with
+            | Error _ -> Atomic.incr failures
+            | Ok c ->
+              for r = 1 to rounds do
+                let ok =
+                  if (i + r) mod 2 = 0 then Result.is_ok (Client.info c)
+                  else Result.is_ok (Client.rank c ~benchmark ~top:1)
+                in
+                if not ok then Atomic.incr failures
+              done;
+              Client.close c))
+  in
+  List.iter Domain.join spawned;
+  checki "every interleaved round-trip succeeded" 0 (Atomic.get failures);
+  shutdown_server server
+
+let test_server_sheds_excess_connections () =
+  with_temp_dir @@ fun dir ->
+  let server =
+    start_server ~max_connections:1 dir (file_source dir (Lazy.force tuner_a))
+  in
+  let (_, ic1, oc1) as c1 = raw_connect server in
+  output_string oc1 "sorl1 info\n";
+  flush oc1;
+  (match get (Protocol.parse_response (input_line ic1)) with
+  | Protocol.Info_reply _ -> ()
+  | r -> Alcotest.fail ("expected info, got " ^ Protocol.encode_response r));
+  (* the second concurrent connection is shed at accept: an explicit
+     busy reply, then close *)
+  let (_, ic2, _) as c2 = raw_connect server in
+  (match get (Protocol.parse_response (input_line ic2)) with
+  | Protocol.Error { code = Protocol.Busy; _ } -> ()
+  | r -> Alcotest.fail ("expected busy, got " ^ Protocol.encode_response r));
+  checkb "excess connection closed" true
+    (match input_line ic2 with _ -> false | exception End_of_file -> true);
+  raw_close c2;
+  (* the resident connection is unaffected *)
+  output_string oc1 "sorl1 stats\n";
+  flush oc1;
+  (match get (Protocol.parse_response (input_line ic1)) with
+  | Protocol.Stats_reply stats ->
+    checkb "shed counted" true (List.assoc "busy_rejections" stats >= 1)
+  | r -> Alcotest.fail ("expected stats, got " ^ Protocol.encode_response r));
+  raw_close c1;
+  (* give the reactor a beat to reap c1 before the shutdown client
+     connects, or it too would be shed *)
+  Unix.sleepf 0.3;
+  shutdown_server server
+
 let test_server_busy_backpressure () =
   with_temp_dir @@ fun dir ->
   let server =
-    start_server ~workers:1 ~queue_capacity:1 dir (file_source dir (Lazy.force tuner_a))
+    start_server ~workers:1 ~queue_capacity:1 ~cache_capacity:0 ~warm:false dir
+      (file_source dir (Lazy.force tuner_a))
   in
-  let addr = Server.address server in
-  (* c1 occupies the single worker; c2 fills the 1-slot queue; c3 must
-     be shed with an explicit busy reply.  The accept loop polls every
-     0.1 s, so give each step time to land. *)
-  let c1 = get (Client.connect addr) in
-  ignore (get (Client.info c1));
-  let c2 = get (Client.connect addr) in
-  Unix.sleepf 0.4;
-  let c3 = get (Client.connect addr) in
-  Unix.sleepf 0.4;
-  (match Client.request c3 Protocol.Info with
-  | Ok (Protocol.Error { code = Protocol.Busy; _ }) -> ()
-  | Ok r -> Alcotest.fail ("expected busy, got " ^ Protocol.encode_response r)
-  | Error m -> Alcotest.fail ("expected busy reply, got transport error: " ^ m));
-  Client.close c3;
-  (* freeing c1 lets the worker drain the queue and serve c2 *)
-  Client.close c1;
-  ignore (get (Client.info c2));
-  get (Client.shutdown c2);
-  Client.close c2;
-  Server.wait server
+  (* The single uncached worker chews through a long pipelined train
+     from c1 (one batch, one worker, ~2 s of scoring on the heaviest
+     benchmark); c2's request then sits in the 1-slot queue, and c3's
+     must be shed with an explicit busy reply. *)
+  let train = 300 and heavy = "gradient-256x256x256" in
+  let (_, ic1, oc1) as c1 = raw_connect server in
+  for _ = 1 to train do
+    output_string oc1 ("sorl1 rank " ^ heavy ^ " 1\n")
+  done;
+  flush oc1;
+  Unix.sleepf 0.3;
+  let (_, ic2, oc2) as c2 = raw_connect server in
+  output_string oc2 "sorl1 info\n";
+  flush oc2;
+  Unix.sleepf 0.3;
+  let (_, ic3, oc3) as c3 = raw_connect server in
+  output_string oc3 "sorl1 info\n";
+  flush oc3;
+  (match get (Protocol.parse_response (input_line ic3)) with
+  | Protocol.Error { code = Protocol.Busy; _ } -> ()
+  | r -> Alcotest.fail ("expected busy, got " ^ Protocol.encode_response r));
+  checkb "shed connection closed" true
+    (match input_line ic3 with _ -> false | exception End_of_file -> true);
+  raw_close c3;
+  (* the pipelined train is answered in full, in order *)
+  for i = 1 to train do
+    match get (Protocol.parse_response (input_line ic1)) with
+    | Protocol.Ranked _ -> ()
+    | r ->
+      Alcotest.fail
+        (Printf.sprintf "train reply %d: expected rank, got %s" i
+           (Protocol.encode_response r))
+  done;
+  raw_close c1;
+  (* the queued request is served once the worker frees up *)
+  (match get (Protocol.parse_response (input_line ic2)) with
+  | Protocol.Info_reply _ -> ()
+  | r -> Alcotest.fail ("expected info, got " ^ Protocol.encode_response r));
+  raw_close c2;
+  let stats = get (Client.with_connection (Server.address server) Client.stats) in
+  checkb "busy rejection counted" true (List.assoc "busy_rejections" stats >= 1);
+  checkb "pipelined train counted" true (List.assoc "pipelined" stats >= train);
+  shutdown_server server
 
 let test_server_hot_reload_under_load () =
   let a = Lazy.force tuner_a and b = Lazy.force tuner_b in
@@ -425,9 +704,16 @@ let test_server_hot_reload_under_load () =
   checki "generation bumped" 1 generation;
   List.iter Domain.join clients;
   checki "no torn or failed replies" 0 (Atomic.get torn);
-  (* post-reload answers come from model B *)
-  let final = get (Client.with_connection addr (fun c -> Client.rank c ~benchmark ~top)) in
-  checkb "serving model B after reload" true (final = from_b);
+  (* once reload has returned, the retired generation's replies —
+     cached or not — must never surface again: every subsequent answer
+     comes from model B *)
+  get
+    (Client.with_connection addr (fun c ->
+         for _ = 1 to 8 do
+           let r = get (Client.rank c ~benchmark ~top) in
+           checkb "serving model B after reload" true (r = from_b)
+         done;
+         Ok ()));
   shutdown_server server
 
 let test_server_reload_errors_keep_old_model () =
@@ -473,12 +759,25 @@ let suite =
     Alcotest.test_case "store rejects corruption" `Quick test_store_rejects_corruption;
     Alcotest.test_case "store name validation" `Quick test_store_names;
     Alcotest.test_case "batcher coalesces identical queries" `Quick test_batcher_coalesces;
+    Alcotest.test_case "result cache: lru, generations, env, disable" `Quick
+      test_result_cache;
+    Alcotest.test_case "write_all bounded by timeout" `Quick
+      test_write_all_bounded_by_timeout;
     Alcotest.test_case "served ranks = direct ranks (workers 1/2/4)" `Slow
       test_server_matches_direct_rank;
     Alcotest.test_case "tune/info/stats and typed errors" `Quick test_server_tune_info_stats;
     Alcotest.test_case "malformed line gets bad-request" `Quick
       test_server_rejects_malformed_line;
-    Alcotest.test_case "busy backpressure" `Quick test_server_busy_backpressure;
+    Alcotest.test_case "cached replies byte-identical to uncached" `Slow
+      test_server_cached_replies_byte_identical;
+    Alcotest.test_case "pipeline: in-order replies" `Quick test_client_pipeline_in_order;
+    Alcotest.test_case "pipeline: malformed frame isolated" `Quick
+      test_pipeline_malformed_frame_isolated;
+    Alcotest.test_case "interleaved clients > workers all progress" `Quick
+      test_interleaved_clients_all_progress;
+    Alcotest.test_case "accept shed at max connections" `Quick
+      test_server_sheds_excess_connections;
+    Alcotest.test_case "busy backpressure" `Slow test_server_busy_backpressure;
     Alcotest.test_case "hot reload under load" `Slow test_server_hot_reload_under_load;
     Alcotest.test_case "failed reload keeps the old model" `Quick
       test_server_reload_errors_keep_old_model;
