@@ -7,7 +7,7 @@
 
    Experiments: table2 table3 fig4 fig5 fig6 fig7 ablation baselines
    extensions stability csv perf rank-throughput serve-throughput
-   micro telemetry-overhead.
+   cold-rank micro telemetry-overhead.
    See DESIGN.md for the experiment index and EXPERIMENTS.md for the
    paper-vs-measured discussion of one full run. *)
 
@@ -1382,6 +1382,216 @@ let serve_throughput () =
       exit 1
     end
 
+(* ---- Cold-path rank: top-k selection + branch-and-bound pruning ---- *)
+
+let cold_rank () =
+  header "Cold rank: full sort vs top-k selection vs top-k + subcube pruning";
+  let m = Sorl_machine.Measure.model machine in
+  let spec = { Sorl.Training.size = 960; mode = Features.Extended; seed = 5 } in
+  let tuner = Sorl.Autotuner.train_on ~mode:Features.Extended (Sorl.Training.generate ~spec m) in
+  let model = Sorl.Autotuner.model tuner in
+  let k = 3 in
+  let problems = ref [] in
+  let flag cond msg = if cond then problems := msg :: !problems in
+  (* ---- in-process: three implementations of "best k of the grid".
+     [full] is the seed path (encode + sort all n), [sel] swaps the
+     sort for a bounded heap but still scores everything, [pruned] is
+     the shipped path: branch-and-bound over block subcubes with
+     reused scratch. ---- *)
+  let scratch = Sorl.Autotuner.scratch () in
+  let per_bench name =
+    let inst = Benchmarks.instance_by_name name in
+    let dims = Kernel.dims (Instance.kernel inst) in
+    let set = Tuning.predefined_set ~dims in
+    let n = Array.length set in
+    let enc = Features.compile Features.Extended inst in
+    let full () = Array.sub (Sorl.Autotuner.rank_compiled tuner enc set) 0 k in
+    let sel () =
+      let idx = Array.make (Features.max_nnz enc) 0 in
+      let v = Array.make (Features.max_nnz enc) 0. in
+      let score = Sorl_svmrank.Model.slice_scorer model in
+      let scores =
+        Array.init n (fun i ->
+            let e = Features.encode_into enc set.(i) idx v in
+            score idx v e)
+      in
+      Array.map (fun i -> set.(i)) (Sorl_svmrank.Model.top_k ~k scores)
+    in
+    let pruned () = fst (Sorl.Autotuner.top_k_pruned ~scratch tuner enc ~dims ~k) in
+    let expected = full () in
+    flag (sel () <> expected) (name ^ ": top-k selection differs from full sort");
+    flag (pruned () <> expected) (name ^ ": pruned top-k differs from full sort");
+    let _, stats = Sorl.Autotuner.top_k_pruned ~scratch tuner enc ~dims ~k in
+    let time f =
+      fst
+        (Sorl_util.Timer.time_repeat ~min_time:0.3 (fun () ->
+             ignore (Sys.opaque_identity (f ()))))
+    in
+    let full_s = time full and sel_s = time sel and pruned_s = time pruned in
+    Printf.printf "%s (%d candidates, k = %d):\n" name n k;
+    Printf.printf "  full sort         %s/call\n" (Table.fmt_time full_s);
+    Printf.printf "  top-k selection   %s/call (%.2fx)\n" (Table.fmt_time sel_s)
+      (full_s /. sel_s);
+    Printf.printf
+      "  top-k + pruning   %s/call (%.2fx); scored %d, skipped %d (%d/%d subcubes)\n"
+      (Table.fmt_time pruned_s) (full_s /. pruned_s) stats.Sorl.Autotuner.scored
+      stats.Sorl.Autotuner.pruned stats.Sorl.Autotuner.cubes_pruned
+      stats.Sorl.Autotuner.cubes;
+    (name, n, full_s, sel_s, pruned_s, stats)
+  in
+  let g3 = per_bench "gradient-256x256x256" in
+  let b2 = per_bench "blur-1024x768" in
+  let (_, _, _, _, _, s3) = g3 and (_, _, _, _, _, s2) = b2 in
+  flag
+    (s3.Sorl.Autotuner.cubes_pruned = 0 && s2.Sorl.Autotuner.cubes_pruned = 0)
+    "pruning never fired on either benchmark";
+  (* ---- serve: the PR-5 cold configuration (cache off, full sort)
+     against the same server with the top-k path, identical load ---- *)
+  let dir = Filename.temp_dir "sorl-cold-bench" "" in
+  let store =
+    match Sorl_serve.Model_store.open_dir dir with Ok s -> s | Error m -> failwith m
+  in
+  (match Sorl_serve.Model_store.save store ~name:"default" tuner with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let start_server ~topk name =
+    let address = Sorl_serve.Protocol.Unix_path (Filename.concat dir name) in
+    match
+      Sorl_serve.Server.start ~address ~workers:4 ~queue_capacity:64 ~cache_capacity:0
+        ~warm:false ~topk
+        (Sorl_serve.Server.Store (store, "default"))
+    with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let benchmark = "gradient-256x256x256" in
+  let errors = Atomic.make 0 in
+  let run_load address ~clients ~per_client =
+    let (), wall =
+      Sorl_util.Timer.time (fun () ->
+          Sorl_util.Pool.parallel_for ~domains:clients clients (fun _ ->
+              match Sorl_serve.Client.connect ~retry_for_s:5. address with
+              | Error _ -> Atomic.fetch_and_add errors per_client |> ignore
+              | Ok c ->
+                for _ = 1 to per_client do
+                  match Sorl_serve.Client.rank c ~benchmark ~top:k with
+                  | Ok (_ :: _) -> ()
+                  | Ok [] | Error _ -> Atomic.incr errors
+                done;
+                Sorl_serve.Client.close c))
+    in
+    wall
+  in
+  let raw_ask address line =
+    match address with
+    | Sorl_serve.Protocol.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+      output_string oc (line ^ "\n");
+      flush oc;
+      let reply = input_line ic in
+      close_out_noerr oc;
+      reply
+    | _ -> assert false
+  in
+  let query = Printf.sprintf "sorl1 rank %s %d" benchmark k in
+  let clients = 4 and per_client = 50 in
+  let total = clients * per_client in
+  let base_server = start_server ~topk:false "base.sock" in
+  let base_addr = Sorl_serve.Server.address base_server in
+  let base_wall = run_load base_addr ~clients ~per_client in
+  let base_reply = raw_ask base_addr query in
+  Sorl_serve.Server.stop base_server;
+  Sorl_serve.Server.wait base_server;
+  let fast_server = start_server ~topk:true "fast.sock" in
+  let fast_addr = Sorl_serve.Server.address fast_server in
+  let fast_wall = run_load fast_addr ~clients ~per_client in
+  let fast_reply = raw_ask fast_addr query in
+  let stats_kvs =
+    match
+      Sorl_serve.Client.with_connection fast_addr (fun c -> Sorl_serve.Client.stats c)
+    with
+    | Ok kvs -> kvs
+    | Error m ->
+      Printf.printf "WARNING: stats connection failed: %s\n" m;
+      []
+  in
+  Sorl_serve.Server.stop fast_server;
+  Sorl_serve.Server.wait fast_server;
+  let sget key = Option.value ~default:0 (List.assoc_opt key stats_kvs) in
+  let base_rps = float_of_int total /. base_wall in
+  let fast_rps = float_of_int total /. fast_wall in
+  let speedup = fast_rps /. base_rps in
+  let identical = String.equal base_reply fast_reply in
+  let total_errors = Atomic.get errors in
+  Printf.printf "serve cold (%d clients x %d, cache off):\n" clients per_client;
+  Printf.printf "  full sort  %.1f req/s\n" base_rps;
+  Printf.printf "  top-k      %.1f req/s (%.2fx)\n" fast_rps speedup;
+  Printf.printf
+    "  replies byte-identical: %b; pruned subcubes %d, candidates scored %d / pruned %d; \
+     arena hits %d / misses %d; protocol errors %d\n"
+    identical (sget "pruned_subcubes") (sget "scored_candidates")
+    (sget "pruned_candidates") (sget "arena_hits") (sget "arena_misses") total_errors;
+  let bench_json (name, n, full_s, sel_s, pruned_s, stats) =
+    Printf.sprintf
+      "\"%s\": {\n\
+      \      \"candidates\": %d,\n\
+      \      \"full_sort_s\": %.6f,\n\
+      \      \"topk_s\": %.6f,\n\
+      \      \"topk_pruned_s\": %.6f,\n\
+      \      \"speedup_vs_full\": %.2f,\n\
+      \      \"scored\": %d,\n\
+      \      \"pruned\": %d,\n\
+      \      \"cubes_pruned\": %d,\n\
+      \      \"cubes\": %d\n\
+      \    }"
+      name n full_s sel_s pruned_s (full_s /. pruned_s) stats.Sorl.Autotuner.scored
+      stats.Sorl.Autotuner.pruned stats.Sorl.Autotuner.cubes_pruned
+      stats.Sorl.Autotuner.cubes
+  in
+  add_bench_sections
+    [
+      ( "cold_rank",
+        Printf.sprintf
+          "{\n\
+          \    \"k\": %d,\n\
+          \    \"in_process\": {\n\
+          \    %s,\n\
+          \    %s\n\
+          \    },\n\
+          \    \"serve\": {\n\
+          \      \"clients\": %d,\n\
+          \      \"requests\": %d,\n\
+          \      \"full_sort_req_per_s\": %.1f,\n\
+          \      \"topk_req_per_s\": %.1f,\n\
+          \      \"speedup\": %.2f,\n\
+          \      \"replies_byte_identical\": %b,\n\
+          \      \"pruned_subcubes\": %d,\n\
+          \      \"scored_candidates\": %d,\n\
+          \      \"pruned_candidates\": %d,\n\
+          \      \"protocol_errors\": %d\n\
+          \    }\n\
+          \  }"
+          k (bench_json g3) (bench_json b2) clients total base_rps fast_rps speedup
+          identical (sget "pruned_subcubes") (sget "scored_candidates")
+          (sget "pruned_candidates") total_errors );
+    ];
+  flag (total_errors > 0) (Printf.sprintf "%d protocol errors under load" total_errors);
+  flag (not identical) "top-k and full-sort replies are not byte-identical";
+  flag (speedup < 5.)
+    (Printf.sprintf "cold throughput gate: %.2fx < 5x over the full-sort server" speedup);
+  flag (sget "pruned_subcubes" = 0) "served load pruned no subcubes";
+  match !problems with
+  | [] -> print_endline "OK: cold-rank gates passed"
+  | ps ->
+    if Sys.getenv_opt "CI" <> None then
+      List.iter (fun p -> Printf.printf "WARNING: %s\n" p) ps
+    else begin
+      List.iter (fun p -> Printf.eprintf "FAIL: %s\n" p) ps;
+      exit 1
+    end
+
 (* ---- Bechamel micro-benchmarks ---- *)
 
 let micro () =
@@ -1507,6 +1717,7 @@ let experiments =
     ("perf", perf);
     ("rank-throughput", rank_throughput);
     ("serve-throughput", serve_throughput);
+    ("cold-rank", cold_rank);
     ("micro", micro);
     ("telemetry-overhead", telemetry_overhead);
   ]

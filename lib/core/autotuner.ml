@@ -39,53 +39,59 @@ let encode_hist = Sorl_util.Telemetry.histogram "rank.encode_s"
 let score_hist = Sorl_util.Telemetry.histogram "rank.score_s"
 
 (* Streams candidates through a compiled per-instance encoder in
-   parallel chunks: each chunk owns one scratch index/value pair that
-   [Features.encode_into] refills per candidate, and [slice_scorer]
-   walks the filled prefix against the dense weights — no allocation
-   per candidate.  Both are bit-identical to encode-then-score, so the
-   ranking matches the slow serial path exactly. *)
+   parallel chunks, filling [scores]: each chunk owns one scratch
+   index/value region that [Features.encode_into]/[encode_at] refills,
+   and the range scorer walks filled entries against the dense weights
+   — no allocation per candidate.  Both are bit-identical to
+   encode-then-score, so every consumer (full sort, top-k selection)
+   sees the scores the slow serial path would produce. *)
+let scores_enc t enc candidates scores =
+  let n = Array.length candidates in
+  Sorl_util.Telemetry.add candidates_counter n;
+  ignore
+    (Sorl_util.Pool.parallel_chunks n (fun lo hi ->
+         let score = Sorl_svmrank.Model.range_scorer t.model in
+         let m = Features.max_nnz enc in
+         if Sorl_util.Telemetry.enabled () then begin
+           (* Traced path: encode the whole chunk into one flat block,
+              then score it, so the two phases appear as separate spans
+              with per-candidate latency histograms.  The block is one
+              allocation per chunk (offsets into shared idx/v arrays) —
+              not the two [Array.sub] copies per candidate this path
+              used to make — and each row is scored in place via the
+              range scorer.  Entries and scores come from the same pure
+              functions as the interleaved loop below, so the scores
+              (hence the ranking) are bit-identical. *)
+           let cnt = hi - lo in
+           let idx = Array.make (max 1 (cnt * m)) 0 in
+           let v = Array.make (max 1 (cnt * m)) 0. in
+           let offs = Array.make (cnt + 1) 0 in
+           Sorl_util.Telemetry.span "features/encode" (fun () ->
+               for k = 0 to cnt - 1 do
+                 offs.(k + 1) <-
+                   Sorl_util.Telemetry.time_hist encode_hist (fun () ->
+                       Features.encode_at enc candidates.(lo + k) idx v offs.(k))
+               done);
+           Sorl_util.Telemetry.span "model/score" (fun () ->
+               for k = 0 to cnt - 1 do
+                 scores.(lo + k) <-
+                   Sorl_util.Telemetry.time_hist score_hist (fun () ->
+                       score idx v offs.(k) offs.(k + 1))
+               done)
+         end
+         else begin
+           let idx = Array.make m 0 in
+           let v = Array.make m 0. in
+           for i = lo to hi - 1 do
+             let e = Features.encode_into enc candidates.(i) idx v in
+             scores.(i) <- score idx v 0 e
+           done
+         end))
+
 let rank_enc t enc candidates =
   Sorl_util.Telemetry.span "autotuner/rank" (fun () ->
-      let n = Array.length candidates in
-      Sorl_util.Telemetry.add candidates_counter n;
-      let scores = Array.make n 0. in
-      ignore
-        (Sorl_util.Pool.parallel_chunks n (fun lo hi ->
-             let score = Sorl_svmrank.Model.slice_scorer t.model in
-             let idx = Array.make (Features.max_nnz enc) 0 in
-             let v = Array.make (Features.max_nnz enc) 0. in
-             if Sorl_util.Telemetry.enabled () then begin
-               (* Traced path: encode the whole chunk into one CSR
-                  block, then score it, so the two phases appear as
-                  separate spans with per-candidate latency histograms.
-                  Each candidate's entries and score are computed by
-                  the same pure functions as the interleaved loop
-                  below, so the scores (hence the ranking) are
-                  bit-identical. *)
-               let block =
-                 Sorl_util.Telemetry.span "features/encode" (fun () ->
-                     Array.init (hi - lo) (fun k ->
-                         let e =
-                           Sorl_util.Telemetry.time_hist encode_hist (fun () ->
-                               Features.encode_into enc candidates.(lo + k) idx v)
-                         in
-                         (* The timed part is the zero-allocation fill;
-                            the traced path alone keeps a copy so the
-                            score phase can replay it. *)
-                         (Array.sub idx 0 e, Array.sub v 0 e, e)))
-               in
-               Sorl_util.Telemetry.span "model/score" (fun () ->
-                   Array.iteri
-                     (fun k (ei, ev, e) ->
-                       scores.(lo + k) <-
-                         Sorl_util.Telemetry.time_hist score_hist (fun () -> score ei ev e))
-                     block)
-             end
-             else
-               for i = lo to hi - 1 do
-                 let e = Features.encode_into enc candidates.(i) idx v in
-                 scores.(i) <- score idx v e
-               done));
+      let scores = Array.make (Array.length candidates) 0. in
+      scores_enc t enc candidates scores;
       let order = Sorl_svmrank.Model.sort_by_score scores in
       Array.map (fun i -> candidates.(i)) order)
 
@@ -98,10 +104,182 @@ let rank_compiled t enc candidates =
 
 let best t inst candidates =
   if Array.length candidates = 0 then invalid_arg "Autotuner.best: no candidates";
-  (rank t inst candidates).(0)
+  Sorl_util.Telemetry.span "autotuner/rank" (fun () ->
+      let enc = Features.compile t.mode inst in
+      let scores = Array.make (Array.length candidates) 0. in
+      scores_enc t enc candidates scores;
+      (* Partial selection instead of a full sort: [Model.top_k] keeps
+         the (score, index) order of [sort_by_score], so this is the
+         element a full rank would put first. *)
+      candidates.((Sorl_svmrank.Model.top_k ~k:1 scores).(0)))
+
+(* ---- branch-and-bound top-k over the predefined grid ---- *)
+
+type scratch = {
+  mutable sc_idx : int array;
+  mutable sc_v : float array;
+  sc_top : Sorl_util.Topk.t;
+}
+
+let scratch () = { sc_idx = [||]; sc_v = [||]; sc_top = Sorl_util.Topk.create ~k:0 }
+
+type prune_stats = {
+  cubes : int;
+  cubes_pruned : int;
+  scored : int;
+  pruned : int;
+}
+
+let pruned_cubes_counter = Sorl_util.Telemetry.counter "rank.pruned_subcubes"
+let pruned_cands_counter = Sorl_util.Telemetry.counter "rank.pruned_candidates"
+let scored_cands_counter = Sorl_util.Telemetry.counter "rank.scored_candidates"
+
+(* Top-k over the paper's predefined set without materializing or even
+   visiting most of it.  One subcube per (bx, by, bz) block triple
+   (the u and c axes stay whole, so block-coupled derived features are
+   bounded over exact block corners); cubes are visited in ascending
+   bound order, and once the heap is full and the next bound exceeds
+   the current k-th best score every remaining cube is pruned at once.
+   A cube that is not pruned is scored exhaustively through the same
+   compiled encoder + range scorer as the full rank, and candidates
+   enter the heap under their full-set flat index, so the surviving
+   top-k — order, tiebreaks and all — is exactly the first k elements
+   of [rank t inst (Tuning.predefined_set ~dims)].  Bounds are sound
+   by construction ({!Features.bound_lower}); a loose bound only means
+   less pruning, never a different answer. *)
+let top_k_pruned ?scratch:s t enc ~dims ~k =
+  if Features.compiled_mode enc <> t.mode then
+    invalid_arg "Autotuner.top_k_pruned: encoder mode does not match the tuner";
+  if k < 0 then invalid_arg "Autotuner.top_k_pruned: negative k";
+  Sorl_util.Telemetry.span "autotuner/top_k" (fun () ->
+      let s = match s with Some s -> s | None -> scratch () in
+      let a = Tuning.predefined_axes ~dims in
+      let nby = Array.length a.Tuning.ax_by
+      and nbz = Array.length a.Tuning.ax_bz
+      and nu = Array.length a.Tuning.ax_u
+      and nc = Array.length a.Tuning.ax_c in
+      let ncubes = Array.length a.Tuning.ax_bx * nby * nbz in
+      let cube_cands = nu * nc in
+      let k = min k (ncubes * cube_cands) in
+      if k = 0 then
+        ([||], { cubes = ncubes; cubes_pruned = ncubes; scored = 0; pruned = ncubes * cube_cands })
+      else begin
+        let m = Features.max_nnz enc in
+        if Array.length s.sc_idx < m then begin
+          s.sc_idx <- Array.make m 0;
+          s.sc_v <- Array.make m 0.
+        end;
+        Sorl_util.Topk.reset s.sc_top ~k;
+        let bd =
+          Features.bounder enc
+            ~w:(Sorl_svmrank.Model.weights t.model)
+            ~bx:a.Tuning.ax_bx ~by:a.Tuning.ax_by ~bz:a.Tuning.ax_bz ~u:a.Tuning.ax_u
+            ~c:a.Tuning.ax_c
+        in
+        let nu1 = nu - 1 and nc1 = nc - 1 in
+        let bounds =
+          Array.init ncubes (fun cube ->
+              let ibx = cube / (nby * nbz) in
+              let r = cube mod (nby * nbz) in
+              let iby = r / nbz and ibz = r mod nbz in
+              Features.bound_lower bd ~bx:(ibx, ibx) ~by:(iby, iby) ~bz:(ibz, ibz)
+                ~u:(0, nu1) ~c:(0, nc1))
+        in
+        (* Ascending bound order (ties by cube id, deterministically):
+           promising cubes establish a tight k-th best score early, and
+           the first prunable cube ends the scan — every cube after it
+           has a bound at least as large. *)
+        let order = Array.init ncubes Fun.id in
+        Array.sort
+          (fun x y ->
+            if bounds.(x) < bounds.(y) then -1
+            else if bounds.(y) < bounds.(x) then 1
+            else compare (x : int) y)
+          order;
+        let score = Sorl_svmrank.Model.range_scorer t.model in
+        let scored = ref 0 and cubes_pruned = ref 0 in
+        let ci = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !ci < ncubes do
+          let cube = order.(!ci) in
+          if
+            Sorl_util.Topk.full s.sc_top
+            && bounds.(cube) > Sorl_util.Topk.worst_score s.sc_top
+          then begin
+            (* Strict >: a cube whose bound ties the k-th best score
+               could still hold an equal-score candidate with a smaller
+               index, which the full sort would prefer. *)
+            cubes_pruned := ncubes - !ci;
+            stop := true
+          end
+          else begin
+            let ibx = cube / (nby * nbz) in
+            let r = cube mod (nby * nbz) in
+            let iby = r / nbz and ibz = r mod nbz in
+            let bxv = a.Tuning.ax_bx.(ibx)
+            and byv = a.Tuning.ax_by.(iby)
+            and bzv = a.Tuning.ax_bz.(ibz) in
+            let base_flat = cube * cube_cands in
+            for iu = 0 to nu1 do
+              let uv = a.Tuning.ax_u.(iu) in
+              for ic = 0 to nc1 do
+                let tn =
+                  { Tuning.bx = bxv; by = byv; bz = bzv; u = uv; c = a.Tuning.ax_c.(ic) }
+                in
+                let e = Features.encode_into enc tn s.sc_idx s.sc_v in
+                Sorl_util.Topk.push s.sc_top (score s.sc_idx s.sc_v 0 e)
+                  (base_flat + (iu * nc) + ic)
+              done
+            done;
+            scored := !scored + cube_cands;
+            incr ci
+          end
+        done;
+        let flat = Sorl_util.Topk.contents s.sc_top in
+        let result =
+          Array.map
+            (fun f ->
+              let ic = f mod nc in
+              let f = f / nc in
+              let iu = f mod nu in
+              let f = f / nu in
+              let ibz = f mod nbz in
+              let f = f / nbz in
+              let iby = f mod nby in
+              let ibx = f / nby in
+              {
+                Tuning.bx = a.Tuning.ax_bx.(ibx);
+                by = a.Tuning.ax_by.(iby);
+                bz = a.Tuning.ax_bz.(ibz);
+                u = a.Tuning.ax_u.(iu);
+                c = a.Tuning.ax_c.(ic);
+              })
+            flat
+        in
+        Sorl_util.Telemetry.add candidates_counter !scored;
+        Sorl_util.Telemetry.add pruned_cubes_counter !cubes_pruned;
+        Sorl_util.Telemetry.add pruned_cands_counter (!cubes_pruned * cube_cands);
+        Sorl_util.Telemetry.add scored_cands_counter !scored;
+        ( result,
+          {
+            cubes = ncubes;
+            cubes_pruned = !cubes_pruned;
+            scored = !scored;
+            pruned = !cubes_pruned * cube_cands;
+          } )
+      end)
+
+let top_k ?scratch t inst ~k =
+  fst
+    (top_k_pruned ?scratch t
+       (Features.compile t.mode inst)
+       ~dims:(Kernel.dims (Instance.kernel inst))
+       ~k)
 
 let tune t inst =
-  best t inst (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)))
+  match top_k t inst ~k:1 with
+  | [| tn |] -> tn
+  | _ -> invalid_arg "Autotuner.tune: empty predefined set"
 
 (* ---- persistence ----
 

@@ -39,11 +39,31 @@ val rank :
     Exceptions from the scoring pass are re-raised in every coalesced
     caller. *)
 
+val rank_top :
+  t ->
+  generation:int ->
+  tuner:Sorl.Autotuner.t ->
+  inst:Sorl_stencil.Instance.t ->
+  k:int ->
+  Sorl_stencil.Tuning.t array * bool
+(** Top-k of the predefined-set rank for [inst] — element for element
+    the first [k] of what {!rank} over [Tuning.predefined_set] returns
+    — via branch-and-bound pruning ({!Sorl.Autotuner.top_k_pruned})
+    with working memory drawn from a per-batcher scratch arena, so a
+    cold request allocates O(k + subcubes) instead of O(n).  Coalesced
+    like {!rank}, keyed by (generation, instance, k).  Prune and arena
+    counters land in {!stats}. *)
+
 type stats = {
   leaders : int;  (** rank calls that ran a scoring pass *)
   followers : int;  (** rank calls satisfied by an in-flight leader *)
   encoder_hits : int;
   encoder_misses : int;
+  arena_hits : int;  (** top-k scratches served from the free list *)
+  arena_misses : int;  (** top-k scratches freshly allocated *)
+  cubes_pruned : int;  (** block subcubes skipped by bound, summed *)
+  cands_pruned : int;  (** candidates never encoded or scored, summed *)
+  cands_scored : int;  (** candidates scored on the top-k path, summed *)
 }
 
 val stats : t -> stats

@@ -17,6 +17,7 @@ type t = {
   current : loaded Atomic.t;
   batcher : Batcher.t;
   cache : Result_cache.t;
+  topk : bool;  (** serve rank/tune through pruned top-k selection *)
   warm_on_reload : bool;
   workers : int;
   conn_timeout_s : float;
@@ -134,20 +135,46 @@ let ranked_for t snapshot benchmark =
     | exception e -> Result.Error (err Protocol.Internal (Printexc.to_string e))
     | ranked, _follower -> Ok ranked)
 
-let ranked_response ~benchmark ~top ranked =
-  let total = Array.length ranked in
+(* Cold-path variant: only the first [k] of that rank, through pruned
+   top-k selection — same elements, most of the grid never scored.
+   [total] still reports the full set size (known without ranking), so
+   replies are byte-identical to the full-sort path's. *)
+let top_ranked_for t snapshot benchmark ~k =
+  match Sorl_stencil.Benchmarks.instance_by_name benchmark with
+  | exception Not_found ->
+    Result.Error
+      (err Protocol.No_benchmark (Printf.sprintf "unknown benchmark %S" benchmark))
+  | inst -> (
+    match
+      Batcher.rank_top t.batcher ~generation:snapshot.generation ~tuner:snapshot.tuner ~inst ~k
+    with
+    | exception e -> Result.Error (err Protocol.Internal (Printexc.to_string e))
+    | ranked, _follower ->
+      Ok (ranked, Tuning.predefined_size ~dims:(Kernel.dims (Instance.kernel inst))))
+
+let ranked_response ~benchmark ~top ~total ranked =
   Protocol.Ranked
-    { benchmark; total; tunings = Array.to_list (Array.sub ranked 0 (min top total)) }
+    { benchmark; total; tunings = Array.to_list (Array.sub ranked 0 (min top (Array.length ranked))) }
 
 let handle_rank t snapshot ~benchmark ~top =
-  match ranked_for t snapshot benchmark with
-  | Error e -> e
-  | Ok ranked -> ranked_response ~benchmark ~top ranked
+  if t.topk then
+    match top_ranked_for t snapshot benchmark ~k:top with
+    | Error e -> e
+    | Ok (ranked, total) -> ranked_response ~benchmark ~top ~total ranked
+  else
+    match ranked_for t snapshot benchmark with
+    | Error e -> e
+    | Ok ranked -> ranked_response ~benchmark ~top ~total:(Array.length ranked) ranked
 
 let handle_tune t snapshot ~benchmark =
-  match ranked_for t snapshot benchmark with
-  | Error e -> e
-  | Ok ranked -> Protocol.Tuned { benchmark; tuning = ranked.(0) }
+  if t.topk then
+    match top_ranked_for t snapshot benchmark ~k:1 with
+    | Error e -> e
+    | Ok (ranked, _total) -> Protocol.Tuned { benchmark; tuning = ranked.(0) }
+  else
+    match ranked_for t snapshot benchmark with
+    | Error e -> e
+    | Ok ranked -> Protocol.Tuned { benchmark; tuning = ranked.(0) }
 
 let handle_info t =
   let l = Atomic.get t.current in
@@ -182,6 +209,11 @@ let handle_stats t =
       ("rank_followers", b.Batcher.followers);
       ("encoder_hits", b.Batcher.encoder_hits);
       ("encoder_misses", b.Batcher.encoder_misses);
+      ("arena_hits", b.Batcher.arena_hits);
+      ("arena_misses", b.Batcher.arena_misses);
+      ("pruned_subcubes", b.Batcher.cubes_pruned);
+      ("pruned_candidates", b.Batcher.cands_pruned);
+      ("scored_candidates", b.Batcher.cands_scored);
       ("queue_depth", Sorl_util.Bqueue.length t.queue);
       ("generation", (Atomic.get t.current).generation);
     ]
@@ -229,7 +261,7 @@ let warm_cache t =
             (fun top ->
               put
                 ("rank:" ^ string_of_int top)
-                (ranked_response ~benchmark ~top ranked))
+                (ranked_response ~benchmark ~top ~total:(Array.length ranked) ranked))
             warm_tops)
       Benchmarks.instances
   end
@@ -350,7 +382,8 @@ let worker_loop t reactor =
       loop ())
 
 let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity = 64)
-    ?(conn_timeout_s = 10.) ?cache_capacity ?(max_connections = 512) ?(warm = true) source =
+    ?(conn_timeout_s = 10.) ?cache_capacity ?(max_connections = 512) ?(warm = true)
+    ?(topk = true) source =
   let workers =
     match workers with Some w -> w | None -> Sorl_util.Pool.default_domains ()
   in
@@ -371,6 +404,7 @@ let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity 
             current = Atomic.make { tuner; model_name; generation = 0 };
             batcher = Batcher.create ();
             cache = Result_cache.create ?capacity:cache_capacity ();
+            topk;
             warm_on_reload = warm;
             workers;
             conn_timeout_s;

@@ -69,6 +69,7 @@ val start :
   ?cache_capacity:int ->
   ?max_connections:int ->
   ?warm:bool ->
+  ?topk:bool ->
   source ->
   (t, string) result
 (** Load the initial model, bind the listener, warm the result cache
@@ -76,8 +77,15 @@ val start :
     [unix:sorl.sock], [Sorl_util.Pool.default_domains ()] workers,
     queue capacity 64 batches, 10 s idle/write timeout, cache capacity
     from [SORL_SERVE_CACHE] (else 1024; 0 disables), 512 connections,
-    [warm] true.  [Tcp (host, 0)] binds an ephemeral port — read the
-    real one back from {!address}. *)
+    [warm] true, [topk] true.  [Tcp (host, 0)] binds an ephemeral port
+    — read the real one back from {!address}.
+
+    [topk] selects the cold-path implementation of rank/tune: pruned
+    top-k selection over the predefined grid
+    ({!Batcher.rank_top}) instead of a full encode-and-sort.  Replies
+    are byte-identical either way (the fast path is an exact partial
+    selection and [total] is the known grid size); the flag exists as
+    a kill switch and for before/after benchmarking. *)
 
 val address : t -> Protocol.address
 (** The bound address (with the actual port for ephemeral TCP). *)

@@ -89,6 +89,13 @@ val encode_into : compiled -> Tuning.t -> int array -> float array -> int
     must hold at least {!max_nnz} cells; indices come out strictly
     increasing with no explicit zeros.  Allocation-free. *)
 
+val encode_at : compiled -> Tuning.t -> int array -> float array -> int -> int
+(** [encode_at c t idx v pos] writes one encoding starting at position
+    [pos] and returns the end position — {!encode_into} at an offset,
+    for packing many encodings into one flat block (the caller
+    guarantees {!max_nnz} cells of headroom above [pos]).  Each packed
+    row is scored with {!Sorl_svmrank.Model.range_scorer}. *)
+
 val encode_compiled : compiled -> Tuning.t -> Sorl_util.Sparse.t
 (** Convenience wrapper materializing one {!encode_into} result;
     bit-identical to [encode mode inst t]. *)
@@ -99,6 +106,53 @@ val encode_csr : compiled -> Tuning.t array -> Sorl_util.Sparse.Csr.t
     the batch format {!Sorl_svmrank.Model.score_csr} and the solvers
     consume.  Row [i] holds exactly the entries of
     [encode mode inst ts.(i)] (bit-identical values). *)
+
+(** {1 Score lower bounds over tuning subcubes}
+
+    Because the rank model is linear, [w·φ(inst, t)] splits into a
+    constant instance part, per-axis terms, and coupled terms whose
+    derived quantities (tile volume, working set, streaming reuse,
+    tile/chunk counts) are monotone in the effective block dimensions.
+    A {!bounder} precomputes the constant and per-axis contribution
+    tables once per (instance, weights); {!bound_lower} then bounds the
+    score of {e every} candidate in a subcube of the predefined grid
+    from below — exactly for the separable terms, by weight-signed
+    interval endpoints for the coupled ones, minus a relative epsilon
+    absorbing summation-order effects.  Soundness (bound <= each
+    candidate's computed score) is what branch-and-bound ranking relies
+    on; tightness only affects how much gets pruned, never the
+    answer. *)
+
+type bounder
+
+val bounder :
+  compiled ->
+  w:float array ->
+  bx:int array ->
+  by:int array ->
+  bz:int array ->
+  u:int array ->
+  c:int array ->
+  bounder
+(** [bounder enc ~w ~bx ~by ~bz ~u ~c] prepares bounds for the grid
+    spanned by the given strictly-ascending axis value arrays (use
+    {!Tuning.predefined_axes}) under dense weights [w] (use
+    [Model.weights]; length must equal [compiled_dim enc] — checked).
+    Raises [Invalid_argument] on dimension mismatch or a non-ascending
+    or empty axis. *)
+
+val bound_lower :
+  bounder ->
+  bx:int * int ->
+  by:int * int ->
+  bz:int * int ->
+  u:int * int ->
+  c:int * int ->
+  float
+(** [bound_lower b ~bx:(l, h) ...] takes inclusive {e axis-position}
+    ranges (indices into the axis arrays given to {!bounder}, not
+    parameter values) and returns a lower bound on the score of every
+    tuning in the subcube.  O(range widths), allocation-free. *)
 
 val names : mode -> string array
 (** Human-readable name per feature index (pattern cells are named by

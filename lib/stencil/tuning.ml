@@ -75,43 +75,65 @@ let pow2s lo hi =
   let rec go v acc = if v > hi then List.rev acc else go (v * 2) (v :: acc) in
   go lo []
 
-let predefined_set ~dims =
-  let out = ref [] in
+type axes = {
+  ax_bx : int array;
+  ax_by : int array;
+  ax_bz : int array;
+  ax_u : int array;
+  ax_c : int array;
+}
+
+let predefined_axes ~dims =
   if dims = 2 then begin
-    (* 8 × 8 × 5 × 5 = 1600 configurations. *)
-    let blocks = pow2s 8 1024 in
-    let unrolls = [ 0; 2; 4; 6; 8 ] in
-    let chunks = [ 1; 4; 16; 64; 256 ] in
-    List.iter
-      (fun bx ->
-        List.iter
-          (fun by ->
-            List.iter
-              (fun u -> List.iter (fun c -> out := { bx; by; bz = 1; u; c } :: !out) chunks)
-              unrolls)
-          blocks)
-      blocks
+    (* 8 × 8 × 1 × 5 × 5 = 1600 configurations. *)
+    let blocks = Array.of_list (pow2s 8 1024) in
+    {
+      ax_bx = blocks;
+      ax_by = Array.copy blocks;
+      ax_bz = [| 1 |];
+      ax_u = [| 0; 2; 4; 6; 8 |];
+      ax_c = [| 1; 4; 16; 64; 256 |];
+    }
   end
   else begin
     (* 6 × 6 × 6 × 5 × 8 = 8640 configurations. *)
-    let blocks = pow2s 4 128 in
-    let unrolls = [ 0; 2; 4; 6; 8 ] in
-    let chunks = pow2s 1 128 in
-    List.iter
-      (fun bx ->
-        List.iter
-          (fun by ->
-            List.iter
-              (fun bz ->
-                List.iter
-                  (fun u ->
-                    List.iter (fun c -> out := { bx; by; bz; u; c } :: !out) chunks)
-                  unrolls)
-              blocks)
-          blocks)
-      blocks
-  end;
-  Array.of_list (List.rev !out)
+    let blocks = Array.of_list (pow2s 4 128) in
+    {
+      ax_bx = blocks;
+      ax_by = Array.copy blocks;
+      ax_bz = Array.copy blocks;
+      ax_u = [| 0; 2; 4; 6; 8 |];
+      ax_c = Array.of_list (pow2s 1 128);
+    }
+  end
+
+let predefined_size ~dims =
+  let a = predefined_axes ~dims in
+  Array.length a.ax_bx * Array.length a.ax_by * Array.length a.ax_bz * Array.length a.ax_u
+  * Array.length a.ax_c
+
+(* The flat enumeration of the axes grid in row-major (bx, by, bz, u,
+   c) order: element [((((ibx*nby + iby)*nbz + ibz)*nu + iu)*nc + ic]
+   is the tuning at those axis positions.  Pruned top-k ranking relies
+   on this flat-index correspondence for its tiebreak order, so the
+   set and the axes must never drift apart — which is why the set is
+   derived from the axes. *)
+let predefined_set ~dims =
+  let a = predefined_axes ~dims in
+  let nby = Array.length a.ax_by
+  and nbz = Array.length a.ax_bz
+  and nu = Array.length a.ax_u
+  and nc = Array.length a.ax_c in
+  Array.init (predefined_size ~dims) (fun i ->
+      let ic = i mod nc in
+      let i = i / nc in
+      let iu = i mod nu in
+      let i = i / nu in
+      let ibz = i mod nbz in
+      let i = i / nbz in
+      let iby = i mod nby in
+      let ibx = i / nby in
+      { bx = a.ax_bx.(ibx); by = a.ax_by.(iby); bz = a.ax_bz.(ibz); u = a.ax_u.(iu); c = a.ax_c.(ic) })
 
 let to_string t = Printf.sprintf "(bx=%d,by=%d,bz=%d,u=%d,c=%d)" t.bx t.by t.bz t.u t.c
 let equal a b = a = b

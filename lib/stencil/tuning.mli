@@ -57,6 +57,29 @@ val of_array : dims:int -> int array -> t
 val predefined_set : dims:int -> t array
 (** Exactly 1600 elements for [dims = 2], 8640 for [dims = 3]. *)
 
+type axes = {
+  ax_bx : int array;
+  ax_by : int array;
+  ax_bz : int array;
+  ax_u : int array;
+  ax_c : int array;
+}
+(** The per-parameter value grids whose cartesian product is
+    {!predefined_set}.  Each axis is sorted strictly ascending. *)
+
+val predefined_axes : dims:int -> axes
+(** The grid axes for the given dimensionality ([ax_bz = [|1|]] when
+    [dims = 2]).  [predefined_set ~dims] enumerates their product in
+    row-major (bx, by, bz, u, c) order: element
+    [(((ibx*nby + iby)*nbz + ibz)*nu + iu)*nc + ic] of the set is the
+    tuning at those axis positions — branch-and-bound ranking iterates
+    subcubes of this grid and recovers full-set candidate indices from
+    axis positions through exactly this formula. *)
+
+val predefined_size : dims:int -> int
+(** [Array.length (predefined_set ~dims)] without materializing the
+    set (1600 or 8640). *)
+
 val to_string : t -> string
 val equal : t -> t -> bool
 val compare : t -> t -> int

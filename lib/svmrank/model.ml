@@ -30,19 +30,43 @@ let entry_scorer t =
       touched;
     !acc
 
-(* Scores a strictly-increasing (idx, v) prefix of length n against w.
-   The sum runs in increasing index order — the same float additions as
-   [dot_dense] on the equivalent sparse vector and as [entry_scorer] on
-   the equivalent entry list — so all three scoring paths are
-   bit-identical.  Allocation-free. *)
-let slice_scorer t =
+(* Scores the [lo, hi) range of a strictly-increasing (idx, v) scratch
+   pair against w.  The sum runs in increasing index order — the same
+   float additions as [dot_dense] on the equivalent sparse vector and
+   as [entry_scorer] on the equivalent entry list — so all scoring
+   paths are bit-identical.  The loop is unrolled 4-wide but keeps a
+   single accumulator chain: the additions stay sequential (float
+   addition is not associative, so parallel partial sums would change
+   results); the unroll only amortizes the loop-control overhead.
+   Bounds on idx/v are validated up front, so the body can use unsafe
+   loads on them; w is indexed through idx contents and stays checked.
+   Allocation-free. *)
+let range_scorer t =
   let w = t.w in
-  fun idx v n ->
+  fun idx v lo hi ->
+    if lo < 0 || hi < lo || hi > Array.length idx || hi > Array.length v then
+      invalid_arg "Model.range_scorer: range out of bounds";
     let acc = ref 0. in
-    for k = 0 to n - 1 do
-      acc := !acc +. (v.(k) *. w.(idx.(k)))
+    let k = ref lo in
+    while !k + 4 <= hi do
+      let k0 = !k in
+      acc := !acc +. (Array.unsafe_get v k0 *. w.(Array.unsafe_get idx k0));
+      acc := !acc +. (Array.unsafe_get v (k0 + 1) *. w.(Array.unsafe_get idx (k0 + 1)));
+      acc := !acc +. (Array.unsafe_get v (k0 + 2) *. w.(Array.unsafe_get idx (k0 + 2)));
+      acc := !acc +. (Array.unsafe_get v (k0 + 3) *. w.(Array.unsafe_get idx (k0 + 3)));
+      k := k0 + 4
+    done;
+    while !k < hi do
+      acc := !acc +. (Array.unsafe_get v !k *. w.(Array.unsafe_get idx !k));
+      incr k
     done;
     !acc
+
+(* Scores a strictly-increasing (idx, v) prefix of length n: the
+   [0, n) range of [range_scorer]. *)
+let slice_scorer t =
+  let range = range_scorer t in
+  fun idx v n -> range idx v 0 n
 
 let score_csr t csr =
   if Sorl_util.Sparse.Csr.dim csr <> Array.length t.w then
@@ -72,6 +96,32 @@ let sort_by_score (scores : float array) =
       else compare (a : int) (b : int))
     idx;
   idx
+
+(* Indices of the k best (lowest) scores, in the order a full
+   [sort_by_score] would list them.  Selection goes through a bounded
+   heap over the same (score ascending, index ascending) total order as
+   the sort comparator, so for NaN-free scores the result equals
+   [Array.sub (sort_by_score scores) 0 k] element for element — the
+   parity the qcheck suite pins down.  Near-full selections fall back
+   to the sort itself: the heap only wins when k is genuinely small. *)
+let top_k ?k (scores : float array) =
+  let n = Array.length scores in
+  let k =
+    match k with
+    | None -> n
+    | Some k ->
+      if k < 0 then invalid_arg "Model.top_k: negative k";
+      min k n
+  in
+  if k = 0 then [||]
+  else if 2 * k >= n then Array.sub (sort_by_score scores) 0 k
+  else begin
+    let h = Sorl_util.Topk.create ~k in
+    for i = 0 to n - 1 do
+      Sorl_util.Topk.push h scores.(i) i
+    done;
+    Sorl_util.Topk.contents h
+  end
 
 let rank t candidates = sort_by_score (score_batch t candidates)
 

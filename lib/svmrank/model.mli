@@ -31,6 +31,14 @@ val slice_scorer : t -> int array -> float array -> int -> float
     (the layout {!Sorl_stencil.Features.encode_into} fills).
     Bit-identical to [score t] of the equivalent sparse vector. *)
 
+val range_scorer : t -> int array -> float array -> int -> int -> float
+(** [range_scorer t idx v lo hi] scores the [\[lo, hi)] range of a
+    strictly-increasing index/value pair — the per-row entry point for
+    flat multi-encoding blocks (one block per chunk instead of one
+    scratch copy per candidate).  [slice_scorer t idx v n] is the
+    [\[0, n)] case.  Bit-identical to [score t] of the equivalent
+    sparse vector; allocation-free. *)
+
 val score_csr : t -> Sorl_util.Sparse.Csr.t -> float array
 (** Score every row of a CSR batch against the weights by walking the
     flat arrays; element [r] is bit-identical to [score t row_r].
@@ -47,6 +55,15 @@ val score_batch : t -> Sorl_util.Sparse.t array -> float array
 val sort_by_score : float array -> int array
 (** Permutation of indices sorting the given scores ascending, ties
     broken by index (stable). *)
+
+val top_k : ?k:int -> float array -> int array
+(** [top_k ~k scores] is [Array.sub (sort_by_score scores) 0 (min k n)]
+    — same indices, same order, including duplicate-score tiebreaks —
+    computed in O(n log k) through a bounded heap ({!Sorl_util.Topk})
+    instead of a full sort.  Scores must be NaN-free (the sort
+    comparator's own precondition for a total order).  [k] defaults to
+    all of them; [k = 0] yields [[||]]; [k >= n] degenerates to the
+    full sort.  Raises [Invalid_argument] on negative [k]. *)
 
 val rank : t -> Sorl_util.Sparse.t array -> int array
 (** Permutation of candidate indices sorted best (lowest score) first.

@@ -222,10 +222,30 @@ module Csr = struct
     let lo = t.offs.(r) and hi = t.offs.(r + 1) in
     { dim = t.dim; idx = Array.sub t.idx lo (hi - lo); v = Array.sub t.v lo (hi - lo) }
 
+  (* 4-wide unroll with a single sequential accumulator chain: float
+     addition is not associative, so partial sums would change results;
+     keeping one chain makes the unrolled loop bit-identical to the
+     plain one while amortizing loop control.  [create] validated the
+     entry arrays, so idx/v use unsafe loads; [w] is indexed through
+     row contents and stays bounds-checked (dot_rows_into validates the
+     dense side once, but dot_row is also a public per-row entry
+     point). *)
   let dot_row t r w =
+    let lo = t.offs.(r) and hi = t.offs.(r + 1) in
+    let idx = t.idx and v = t.v in
     let acc = ref 0. in
-    for k = t.offs.(r) to t.offs.(r + 1) - 1 do
-      acc := !acc +. (t.v.(k) *. w.(t.idx.(k)))
+    let k = ref lo in
+    while !k + 4 <= hi do
+      let k0 = !k in
+      acc := !acc +. (Array.unsafe_get v k0 *. w.(Array.unsafe_get idx k0));
+      acc := !acc +. (Array.unsafe_get v (k0 + 1) *. w.(Array.unsafe_get idx (k0 + 1)));
+      acc := !acc +. (Array.unsafe_get v (k0 + 2) *. w.(Array.unsafe_get idx (k0 + 2)));
+      acc := !acc +. (Array.unsafe_get v (k0 + 3) *. w.(Array.unsafe_get idx (k0 + 3)));
+      k := k0 + 4
+    done;
+    while !k < hi do
+      acc := !acc +. (Array.unsafe_get v !k *. w.(Array.unsafe_get idx !k));
+      incr k
     done;
     !acc
 

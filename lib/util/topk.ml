@@ -1,0 +1,104 @@
+(* Bounded best-k selection over (score, index) pairs.
+
+   The heap keeps the k best entries seen so far under the total order
+   "score ascending, ties by index ascending" — exactly the comparator
+   of [Sorl_svmrank.Model.sort_by_score] on NaN-free scores — with the
+   *worst* kept entry at the root.  Pushing a stream of n entries costs
+   O(n log k) and no allocation after [create]/[reset]; [contents]
+   heapsorts the survivors in place, so the extracted order matches the
+   first k elements of a full sort exactly. *)
+
+type t = {
+  mutable k : int;
+  mutable size : int;
+  mutable hs : float array;  (* heap scores *)
+  mutable hi : int array;  (* heap indices, parallel to [hs] *)
+}
+
+let create ~k =
+  if k < 0 then invalid_arg "Topk.create: negative k";
+  { k; size = 0; hs = Array.make (max k 1) 0.; hi = Array.make (max k 1) 0 }
+
+let reset t ~k =
+  if k < 0 then invalid_arg "Topk.reset: negative k";
+  if Array.length t.hs < k then begin
+    t.hs <- Array.make k 0.;
+    t.hi <- Array.make k 0
+  end;
+  t.k <- k;
+  t.size <- 0
+
+let k t = t.k
+let size t = t.size
+let full t = t.size >= t.k
+
+let worst_score t =
+  if t.size = 0 then invalid_arg "Topk.worst_score: empty";
+  t.hs.(0)
+
+(* (s, i) ranks strictly after (s', i') — same order as the
+   [sort_by_score] comparator, which never distinguishes 0. from -0.
+   (ties fall through to the index).  NaN scores break the total order
+   there too, so the NaN-free precondition is inherited, not added. *)
+let[@inline] worse s i s' i' = if s' < s then true else if s < s' then false else i > i'
+
+let[@inline] swap t a b =
+  let s = t.hs.(a) and i = t.hi.(a) in
+  t.hs.(a) <- t.hs.(b);
+  t.hi.(a) <- t.hi.(b);
+  t.hs.(b) <- s;
+  t.hi.(b) <- i
+
+let sift_up t j0 =
+  let j = ref j0 and continue = ref true in
+  while !continue && !j > 0 do
+    let p = (!j - 1) / 2 in
+    if worse t.hs.(!j) t.hi.(!j) t.hs.(p) t.hi.(p) then begin
+      swap t !j p;
+      j := p
+    end
+    else continue := false
+  done
+
+let sift_down t ~size j0 =
+  let j = ref j0 and continue = ref true in
+  while !continue do
+    let l = (2 * !j) + 1 and r = (2 * !j) + 2 in
+    let m = ref !j in
+    if l < size && worse t.hs.(l) t.hi.(l) t.hs.(!m) t.hi.(!m) then m := l;
+    if r < size && worse t.hs.(r) t.hi.(r) t.hs.(!m) t.hi.(!m) then m := r;
+    if !m = !j then continue := false
+    else begin
+      swap t !j !m;
+      j := !m
+    end
+  done
+
+let push t s i =
+  if t.k > 0 then
+    if t.size < t.k then begin
+      t.hs.(t.size) <- s;
+      t.hi.(t.size) <- i;
+      t.size <- t.size + 1;
+      sift_up t (t.size - 1)
+    end
+    else if worse t.hs.(0) t.hi.(0) s i then begin
+      (* The root is the worst kept entry; a strictly better candidate
+         replaces it.  Equal (score, index) cannot occur for distinct
+         stream elements, so "not worse" means "keep the root". *)
+      t.hs.(0) <- s;
+      t.hi.(0) <- i;
+      sift_down t ~size:t.size 0
+    end
+
+let contents t =
+  (* In-place heapsort: repeatedly move the root (the worst remaining)
+     past the shrinking heap, leaving the array best-first. *)
+  let n = t.size in
+  for last = n - 1 downto 1 do
+    swap t 0 last;
+    sift_down t ~size:last 0
+  done;
+  let out = Array.sub t.hi 0 n in
+  t.size <- 0;
+  out

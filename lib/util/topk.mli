@@ -1,0 +1,45 @@
+(** Bounded best-k selection over (score, index) streams.
+
+    A reusable max-heap of capacity [k] keeping the k best entries
+    under the order {e score ascending, ties by index ascending} — the
+    exact comparator of [Sorl_svmrank.Model.sort_by_score] on NaN-free
+    scores, so selecting through this heap and taking the first k of a
+    full sort yield identical index sequences.  Pushing n entries is
+    O(n log k) with zero allocation after creation; this is what makes
+    a cold top-k rank O(n) scoring + O(k) result instead of an O(n log
+    n) sort over a materialized score array. *)
+
+type t
+
+val create : k:int -> t
+(** A selector of capacity [k] (>= 0; [k = 0] keeps nothing and every
+    {!push} is a no-op).  Raises [Invalid_argument] on negative [k]. *)
+
+val reset : t -> k:int -> unit
+(** Empty the selector and set a new capacity, growing the internal
+    arrays only when [k] exceeds every earlier capacity — the reuse
+    entry point for per-worker arenas. *)
+
+val k : t -> int
+val size : t -> int
+(** Entries currently held (<= [k]). *)
+
+val full : t -> bool
+(** [size = k]: from here on the root is a meaningful pruning
+    threshold. *)
+
+val worst_score : t -> float
+(** Score of the worst kept entry — the bar a new candidate must beat
+    (or tie with a smaller index) to enter a full heap.  Raises
+    [Invalid_argument] when empty. *)
+
+val push : t -> float -> int -> unit
+(** [push t score index] offers one entry.  Scores must be NaN-free;
+    distinct pushes must carry distinct indices (both hold for score
+    arrays indexed by candidate position). *)
+
+val contents : t -> int array
+(** The kept indices, best first (score ascending, ties by index) —
+    exactly the first {!size} elements [sort_by_score] would produce
+    over the pushed stream.  Consumes the selector: it is empty
+    afterwards and needs {!reset} before reuse. *)

@@ -21,6 +21,7 @@ let () =
       ("svmrank", Test_svmrank.suite);
       ("search", Test_search.suite);
       ("core", Test_core.suite);
+      ("topk", Test_topk.suite);
       ("serve", Test_serve.suite);
       ("baselines", Test_baselines.suite);
       ("temporal", Test_temporal.suite);

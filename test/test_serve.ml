@@ -336,11 +336,11 @@ let test_write_all_bounded_by_timeout () =
 (* ---- server end-to-end ---- *)
 
 let start_server ?(workers = 2) ?(queue_capacity = 16) ?(conn_timeout_s = 10.)
-    ?cache_capacity ?max_connections ?warm dir source =
+    ?cache_capacity ?max_connections ?warm ?topk dir source =
   let address = Protocol.Unix_path (Filename.concat dir "test.sock") in
   get
     (Server.start ~address ~workers ~queue_capacity ~conn_timeout_s ?cache_capacity
-       ?max_connections ?warm source)
+       ?max_connections ?warm ?topk source)
 
 (* A raw socket speaking the wire protocol directly — for tests that
    care about exact reply bytes, pipelined trains and connection
@@ -422,6 +422,32 @@ let test_server_tune_info_stats () =
          let stats = get (Client.stats c) in
          checkb "requests counted" true (List.assoc "requests" stats >= 2);
          checkb "errors counted" true (List.assoc "errors" stats >= 1);
+         Ok ()));
+  shutdown_server server
+
+let test_server_stats_cold_path_counters () =
+  let tuner = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  (* cache off and no warming: every rank takes the cold top-k path,
+     so the arena and prune counters must move *)
+  let server =
+    start_server ~cache_capacity:0 ~warm:false dir (file_source dir tuner)
+  in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         ignore (get (Client.rank c ~benchmark ~top:3));
+         ignore (get (Client.rank c ~benchmark ~top:3));
+         let stats = get (Client.stats c) in
+         let count key =
+           match List.assoc_opt key stats with
+           | Some n -> n
+           | None -> Alcotest.failf "stats reply is missing %S" key
+         in
+         checkb "first cold rank allocates a scratch" true (count "arena_misses" >= 1);
+         checkb "second cold rank reuses it" true (count "arena_hits" >= 1);
+         checkb "top-k path scored candidates" true (count "scored_candidates" > 0);
+         checkb "pruning skipped subcubes" true (count "pruned_subcubes" > 0);
+         checkb "pruning skipped candidates" true (count "pruned_candidates" > 0);
          Ok ()));
   shutdown_server server
 
@@ -619,8 +645,12 @@ let test_server_sheds_excess_connections () =
 
 let test_server_busy_backpressure () =
   with_temp_dir @@ fun dir ->
+  (* [topk:false]: this test needs the worker pinned for ~2 s by the
+     full-sort scoring pass; the pruned top-k path finishes the train
+     before the queue ever fills. *)
   let server =
-    start_server ~workers:1 ~queue_capacity:1 ~cache_capacity:0 ~warm:false dir
+    start_server ~workers:1 ~queue_capacity:1 ~cache_capacity:0 ~warm:false ~topk:false
+      dir
       (file_source dir (Lazy.force tuner_a))
   in
   (* The single uncached worker chews through a long pipelined train
@@ -766,6 +796,8 @@ let suite =
     Alcotest.test_case "served ranks = direct ranks (workers 1/2/4)" `Slow
       test_server_matches_direct_rank;
     Alcotest.test_case "tune/info/stats and typed errors" `Quick test_server_tune_info_stats;
+    Alcotest.test_case "stats exposes cold-path counters" `Quick
+      test_server_stats_cold_path_counters;
     Alcotest.test_case "malformed line gets bad-request" `Quick
       test_server_rejects_malformed_line;
     Alcotest.test_case "cached replies byte-identical to uncached" `Slow
