@@ -11,6 +11,10 @@
    See DESIGN.md for the experiment index and EXPERIMENTS.md for the
    paper-vs-measured discussion of one full run. *)
 
+(* Fleet shards re-execute the host binary; dispatch before anything
+   else (see Fleet.maybe_shard_main). *)
+let () = Sorl_serve.Fleet.maybe_shard_main ()
+
 open Sorl_stencil
 module E = Sorl.Experiments
 module Table = Sorl_util.Table
@@ -1699,6 +1703,295 @@ let telemetry_overhead () =
     end
   else print_endline "OK: disabled telemetry is below the 1% budget"
 
+(* ---- Fleet throughput: 1 -> 2 shard scaling through the router ---- *)
+
+let fleet_throughput () =
+  header "Fleet: shard scaling through the consistent-hash router";
+  let m = Sorl_machine.Measure.model machine in
+  let train seed =
+    let spec = { Sorl.Training.size = 960; mode = Features.Extended; seed } in
+    Sorl.Autotuner.train_on ~mode:Features.Extended (Sorl.Training.generate ~spec m)
+  in
+  let tuner_a = train 5 and tuner_b = train 7 in
+  let dir = Filename.temp_dir "sorl-fleet-bench" "" in
+  let store =
+    match Sorl_serve.Model_store.open_dir dir with Ok s -> s | Error m -> failwith m
+  in
+  let save name tuner =
+    match Sorl_serve.Model_store.save store ~name tuner with
+    | Ok () -> ()
+    | Error m -> failwith m
+  in
+  save "default" tuner_a;
+  save "next" tuner_b;
+  (* Shards run the heavy configuration on purpose — cache off, full
+     sort — so every request costs a real scoring pass and the scaling
+     number measures compute spreading across shard processes, not
+     cache-lookup forwarding. *)
+  let expected tuner inst =
+    let benchmark = Instance.name inst in
+    let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+    let ranked = Sorl.Autotuner.rank tuner inst set in
+    ( Sorl_serve.Protocol.encode_response
+        (Sorl_serve.Protocol.Ranked
+           {
+             benchmark;
+             total = Array.length ranked;
+             tunings = Array.to_list (Array.sub ranked 0 3);
+           }),
+      Sorl_serve.Protocol.encode_response
+        (Sorl_serve.Protocol.Tuned { benchmark; tuning = ranked.(0) }) )
+  in
+  (* One work item per routing key the router distinguishes:
+     (benchmark, rank) and (benchmark, tune), with the exact reply
+     bytes each model must produce. *)
+  let items =
+    List.concat_map
+      (fun inst ->
+        let name = Instance.name inst in
+        let rank_a, tune_a = expected tuner_a inst in
+        let rank_b, tune_b = expected tuner_b inst in
+        [
+          (name ^ "/rank", Printf.sprintf "sorl1 rank %s 3" name, rank_a, rank_b);
+          (name ^ "/tune", Printf.sprintf "sorl1 tune %s" name, tune_a, tune_b);
+        ])
+      Benchmarks.instances
+  in
+  (* Interleave the two shards' keys so the offered load is balanced by
+     construction — this measures fleet capacity; how evenly organic
+     traffic spreads depends on its key cardinality, not on the fleet. *)
+  let ring = Sorl_serve.Ring.create [ "s0"; "s1" ] in
+  let owned_by s = List.filter (fun (k, _, _, _) -> Sorl_serve.Ring.owner ring k = s) items in
+  let items0 = Array.of_list (owned_by 0) and items1 = Array.of_list (owned_by 1) in
+  let balanced = Array.length items0 > 0 && Array.length items1 > 0 in
+  let all_items = Array.of_list items in
+  let item_at ci j =
+    if not balanced then all_items.((ci + j) mod Array.length all_items)
+    else if j land 1 = 0 then items0.((ci + (j / 2)) mod Array.length items0)
+    else items1.((ci + (j / 2)) mod Array.length items1)
+  in
+  let raw_connect address =
+    match address with
+    | Sorl_serve.Protocol.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    | _ -> assert false
+  in
+  let sent = Atomic.make 0 in
+  let ask ic oc line =
+    Atomic.incr sent;
+    output_string oc (line ^ "\n");
+    flush oc;
+    input_line ic
+  in
+  let ask_once address line =
+    let fd, ic, oc = raw_connect address in
+    let reply = ask ic oc line in
+    close_out_noerr oc;
+    ignore fd;
+    reply
+  in
+  let mismatches = Atomic.make 0 in
+  let clients = 4 and per_client = 40 in
+  let total = clients * per_client in
+  let run_load address =
+    let (), wall =
+      Sorl_util.Timer.time (fun () ->
+          Sorl_util.Pool.parallel_for ~domains:clients clients (fun ci ->
+              let fd, ic, oc = raw_connect address in
+              for j = 0 to per_client - 1 do
+                let _, line, expect_a, _ = item_at ci j in
+                if not (String.equal (ask ic oc line) expect_a) then
+                  Atomic.incr mismatches
+              done;
+              close_out_noerr oc;
+              ignore fd))
+    in
+    float_of_int total /. wall
+  in
+  (* ---- direct baseline: one in-process server, no router ---- *)
+  let direct_server =
+    match
+      Sorl_serve.Server.start
+        ~address:(Sorl_serve.Protocol.Unix_path (Filename.concat dir "direct.sock"))
+        ~workers:1 ~cache_capacity:0 ~warm:false ~topk:false ~conn_timeout_s:30.
+        (Sorl_serve.Server.Store (store, "default"))
+    with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let direct_addr = Sorl_serve.Server.address direct_server in
+  let direct_rps = run_load direct_addr in
+  let _, identity_line, _, _ = all_items.(0) in
+  let direct_reply = ask_once direct_addr identity_line in
+  Sorl_serve.Server.stop direct_server;
+  Sorl_serve.Server.wait direct_server;
+  (* ---- fleet phases: fork shards first, then start the router's
+     domains — never fork while our own domains are live ---- *)
+  let reload_loaders = 2 and reload_per = 40 in
+  let torn = Atomic.make 0 in
+  let reload_ok = ref false in
+  let post_mismatches = ref 0 in
+  let run_fleet ~shards ~with_reload =
+    let fdir = Filename.concat dir (Printf.sprintf "fleet%d" shards) in
+    let fleet =
+      match
+        Sorl_serve.Fleet.start ~dir:fdir ~shards ~workers:1 ~cache_capacity:0
+          ~warm:false ~topk:false ~conn_timeout_s:30.
+          (Sorl_serve.Server.Store (store, "default"))
+      with
+      | Ok f -> f
+      | Error m -> failwith m
+    in
+    let router =
+      match
+        Sorl_serve.Router.start
+          ~address:
+            (Sorl_serve.Protocol.Unix_path
+               (Filename.concat dir (Printf.sprintf "router%d.sock" shards)))
+          ~workers:4 ~conn_timeout_s:30. ~connect_retry_s:5.
+          (Sorl_serve.Fleet.addresses fleet)
+      with
+      | Ok r -> r
+      | Error m ->
+        Sorl_serve.Fleet.stop fleet;
+        failwith m
+    in
+    let router_addr = Sorl_serve.Router.address router in
+    let before = Atomic.get sent in
+    let rps = run_load router_addr in
+    let router_reply = ask_once router_addr identity_line in
+    if with_reload then begin
+      (* Rolling reload under load: every in-flight reply must be
+         model A's bytes or model B's bytes — a torn or
+         cross-generation frame matches neither. *)
+      let loaders =
+        List.init reload_loaders (fun li ->
+            Domain.spawn (fun () ->
+                let fd, ic, oc = raw_connect router_addr in
+                for j = 0 to reload_per - 1 do
+                  let _, line, expect_a, expect_b = item_at li j in
+                  let reply = ask ic oc line in
+                  if
+                    not
+                      (String.equal reply expect_a || String.equal reply expect_b)
+                  then Atomic.incr torn
+                done;
+                close_out_noerr oc;
+                ignore fd))
+      in
+      Unix.sleepf 0.05;
+      (match
+         Sorl_serve.Client.with_connection router_addr (fun c ->
+             Sorl_serve.Client.reload ~model:"next" c)
+       with
+      | Ok ("next", _) -> reload_ok := true
+      | Ok _ | Error _ -> ());
+      List.iter Domain.join loaders;
+      (* After the roll completes, every shard serves model B only. *)
+      Array.iter
+        (fun (_, line, _, expect_b) ->
+          if not (String.equal (ask_once router_addr line) expect_b) then
+            incr post_mismatches)
+        all_items
+    end;
+    let expected_forwarded = Atomic.get sent - before in
+    let forwarded, errors =
+      match
+        Sorl_serve.Client.with_connection router_addr Sorl_serve.Client.stats
+      with
+      | Ok kvs ->
+        let get k = Option.value ~default:(-1) (List.assoc_opt k kvs) in
+        (get "router.forwarded", get "router.errors")
+      | Error _ -> (-1, -1)
+    in
+    ignore
+      (Sorl_serve.Client.with_connection router_addr Sorl_serve.Client.shutdown);
+    Sorl_serve.Router.wait router;
+    Sorl_serve.Fleet.stop fleet;
+    (rps, router_reply, forwarded = expected_forwarded, errors)
+  in
+  let rps1, reply1, reconciled1, errors1 = run_fleet ~shards:1 ~with_reload:false in
+  let rps2, reply2, reconciled2, errors2 = run_fleet ~shards:2 ~with_reload:true in
+  let scaling = rps2 /. rps1 in
+  let identical =
+    String.equal direct_reply reply1 && String.equal direct_reply reply2
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "load: %d clients x %d requests over %d routing keys (balanced: %b)\n"
+    clients per_client (List.length items) balanced;
+  Printf.printf "direct server (1 proc, no router): %.1f req/s\n" direct_rps;
+  Printf.printf "1 shard behind router: %.1f req/s\n" rps1;
+  Printf.printf "2 shards behind router: %.1f req/s (%.2fx, %d cores)\n" rps2 scaling cores;
+  Printf.printf
+    "router = direct bytes: %b; reply mismatches: %d; router errors: %d+%d\n"
+    identical (Atomic.get mismatches) errors1 errors2;
+  Printf.printf
+    "rolling reload under load: ok %b, torn replies %d, post-reload mismatches %d\n"
+    !reload_ok (Atomic.get torn) !post_mismatches;
+  Printf.printf "stats reconciled (forwarded = sent): %b, %b\n" reconciled1 reconciled2;
+  add_bench_sections
+    [
+      ( "fleet",
+        Printf.sprintf
+          "{\n\
+          \    \"clients\": %d,\n\
+          \    \"requests_per_phase\": %d,\n\
+          \    \"routing_keys\": %d,\n\
+          \    \"balanced_workload\": %b,\n\
+          \    \"direct_req_per_s\": %.1f,\n\
+          \    \"one_shard_req_per_s\": %.1f,\n\
+          \    \"two_shard_req_per_s\": %.1f,\n\
+          \    \"scaling_1_to_2\": %.2f,\n\
+          \    \"cores\": %d,\n\
+          \    \"replies_byte_identical\": %b,\n\
+          \    \"reply_mismatches\": %d,\n\
+          \    \"router_errors\": %d,\n\
+          \    \"stats_reconciled\": %b,\n\
+          \    \"rolling_reload\": { \"ok\": %b, \"torn_replies\": %d, \
+           \"post_reload_mismatches\": %d }\n\
+          \  }"
+          clients total (List.length items) balanced direct_rps rps1 rps2 scaling cores
+          identical
+          (Atomic.get mismatches)
+          (errors1 + errors2)
+          (reconciled1 && reconciled2)
+          !reload_ok (Atomic.get torn) !post_mismatches );
+    ];
+  let problems = ref [] in
+  let flag cond msg = if cond then problems := msg :: !problems in
+  flag (not identical) "router replies are not byte-identical to the direct server's";
+  flag
+    (Atomic.get mismatches > 0)
+    (Printf.sprintf "%d replies did not match the expected bytes" (Atomic.get mismatches));
+  flag (errors1 > 0 || errors2 > 0)
+    (Printf.sprintf "router reported %d protocol errors" (errors1 + errors2));
+  flag
+    ((not reconciled1) || not reconciled2)
+    "router.forwarded does not reconcile with the load generator's count";
+  flag (not !reload_ok) "rolling reload through the router failed";
+  flag (Atomic.get torn > 0)
+    (Printf.sprintf "%d torn replies during the rolling reload" (Atomic.get torn));
+  flag (!post_mismatches > 0)
+    (Printf.sprintf "%d post-reload replies still carried the old model" !post_mismatches);
+  (* The scaling gate needs real parallel hardware: 1 shard already
+     saturates 1-2 cores (1 worker + reactor + router + clients). *)
+  if cores >= 4 then
+    flag (scaling < 1.7)
+      (Printf.sprintf "scaling gate: %.2fx < 1.7x from 1 to 2 shards" scaling)
+  else
+    Printf.printf "note: %d cores — the >=1.7x scaling gate needs >=4, skipped\n" cores;
+  match !problems with
+  | [] -> print_endline "OK: fleet-throughput gates passed"
+  | ps ->
+    if Sys.getenv_opt "CI" <> None then
+      List.iter (fun p -> Printf.printf "WARNING: %s\n" p) ps
+    else begin
+      List.iter (fun p -> Printf.eprintf "FAIL: %s\n" p) ps;
+      exit 1
+    end
+
 (* ---- driver ---- *)
 
 let experiments =
@@ -1718,6 +2011,7 @@ let experiments =
     ("rank-throughput", rank_throughput);
     ("serve-throughput", serve_throughput);
     ("cold-rank", cold_rank);
+    ("fleet-throughput", fleet_throughput);
     ("micro", micro);
     ("telemetry-overhead", telemetry_overhead);
   ]

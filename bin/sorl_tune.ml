@@ -12,6 +12,11 @@
      serve      expose rank/tune over a unix or TCP socket
      query      talk to a running serve instance *)
 
+(* Must run before anything else: a fleet shard is a re-execution of
+   this binary, dispatched on the SORL_FLEET_SHARD environment
+   variable (see Fleet.maybe_shard_main). *)
+let () = Sorl_serve.Fleet.maybe_shard_main ()
+
 open Cmdliner
 open Sorl_stencil
 
@@ -373,82 +378,84 @@ let address_conv =
         | Error m -> Error (`Msg m)),
       fun ppf a -> Format.pp_print_string ppf (Sorl_serve.Protocol.address_to_string a) )
 
+(* Shared by `serve' and `fleet': a --store directory (imported from
+   the --model file when the named model is absent) or the bare file. *)
+let resolve_source ~model_file ~store ~name =
+  match store with
+  | None ->
+    if Sys.file_exists model_file then Ok (Sorl_serve.Server.Model_file model_file)
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "model file %s not found; run `sorl_tune train' first"
+             model_file))
+  | Some dir -> (
+    match Sorl_serve.Model_store.open_dir dir with
+    | Error m -> Error (`Msg m)
+    | Ok st -> (
+      let import =
+        (* Seed the store from an existing single-file model so
+           `train' output is servable without a separate step. *)
+        if (not (List.mem name (Sorl_serve.Model_store.list st)))
+           && Sys.file_exists model_file
+        then
+          match Sorl.Autotuner.load_result model_file with
+          | Error m -> Error (`Msg m)
+          | Ok tuner -> (
+            match Sorl_serve.Model_store.save st ~name tuner with
+            | Error m -> Error (`Msg m)
+            | Ok () ->
+              Printf.printf "imported %s into %s as %S\n%!" model_file dir name;
+              Ok ())
+        else Ok ()
+      in
+      match import with
+      | Error _ as e -> e
+      | Ok () -> Ok (Sorl_serve.Server.Store (st, name))))
+
+let store_arg =
+  let doc =
+    "Serve from a model-store directory instead of a single file; enables switching \
+     models with `reload <name>'.  When the store lacks $(b,--name) but the \
+     $(b,--model) file exists, that file is imported into the store first."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let name_arg =
+  let doc = "Model name to serve from the store." in
+  Arg.(value & opt string "default" & info [ "name" ] ~docv:"NAME" ~doc)
+
+let queue_arg =
+  let doc = "Pending-connection queue capacity (beyond it, clients get `err busy')." in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+
+let timeout_s_arg =
+  let doc = "Per-connection idle/write timeout in seconds." in
+  Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"S" ~doc)
+
+let cache_arg =
+  let doc =
+    "Result-cache capacity in entries (0 disables caching).  Defaults to the \
+     $(b,SORL_SERVE_CACHE) environment variable, else 1024."
+  in
+  Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N" ~doc)
+
+let max_conns_arg =
+  let doc = "Maximum concurrent connections; beyond it new clients get `err busy'." in
+  Arg.(value & opt int 512 & info [ "max-connections" ] ~docv:"N" ~doc)
+
 let serve_cmd =
   let listen_arg =
     let doc = "Address to listen on: unix:<path> or tcp:<host>:<port> (port 0 = ephemeral)." in
     Arg.(value & opt address_conv (Sorl_serve.Protocol.Unix_path "sorl.sock")
          & info [ "listen"; "l" ] ~docv:"ADDR" ~doc)
   in
-  let store_arg =
-    let doc =
-      "Serve from a model-store directory instead of a single file; enables switching \
-       models with `reload <name>'.  When the store lacks $(b,--name) but the \
-       $(b,--model) file exists, that file is imported into the store first."
-    in
-    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
-  in
-  let name_arg =
-    let doc = "Model name to serve from the store." in
-    Arg.(value & opt string "default" & info [ "name" ] ~docv:"NAME" ~doc)
-  in
   let workers_arg =
     let doc = "Worker domains (default: one per core)." in
     Arg.(value & opt (some int) None & info [ "workers"; "j" ] ~docv:"N" ~doc)
   in
-  let queue_arg =
-    let doc = "Pending-connection queue capacity (beyond it, clients get `err busy')." in
-    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
-  in
-  let timeout_s_arg =
-    let doc = "Per-connection idle/write timeout in seconds." in
-    Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"S" ~doc)
-  in
-  let cache_arg =
-    let doc =
-      "Result-cache capacity in entries (0 disables caching).  Defaults to the \
-       $(b,SORL_SERVE_CACHE) environment variable, else 1024."
-    in
-    Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N" ~doc)
-  in
-  let max_conns_arg =
-    let doc = "Maximum concurrent connections; beyond it new clients get `err busy'." in
-    Arg.(value & opt int 512 & info [ "max-connections" ] ~docv:"N" ~doc)
-  in
   let run listen model_file store name workers queue timeout cache max_conns trace trace_out =
-    let source =
-      match store with
-      | None ->
-        if Sys.file_exists model_file then Ok (Sorl_serve.Server.Model_file model_file)
-        else
-          Error
-            (`Msg
-              (Printf.sprintf "model file %s not found; run `sorl_tune train' first"
-                 model_file))
-      | Some dir -> (
-        match Sorl_serve.Model_store.open_dir dir with
-        | Error m -> Error (`Msg m)
-        | Ok st -> (
-          let import =
-            (* Seed the store from an existing single-file model so
-               `train' output is servable without a separate step. *)
-            if (not (List.mem name (Sorl_serve.Model_store.list st)))
-               && Sys.file_exists model_file
-            then
-              match Sorl.Autotuner.load_result model_file with
-              | Error m -> Error (`Msg m)
-              | Ok tuner -> (
-                match Sorl_serve.Model_store.save st ~name tuner with
-                | Error m -> Error (`Msg m)
-                | Ok () ->
-                  Printf.printf "imported %s into %s as %S\n%!" model_file dir name;
-                  Ok ())
-            else Ok ()
-          in
-          match import with
-          | Error _ as e -> e
-          | Ok () -> Ok (Sorl_serve.Server.Store (st, name))))
-    in
-    Result.bind source @@ fun source ->
+    Result.bind (resolve_source ~model_file ~store ~name) @@ fun source ->
     with_trace trace trace_out @@ fun ~tracing:_ () ->
     match
       Sorl_serve.Server.start ~address:listen ?workers ~queue_capacity:queue
@@ -469,6 +476,72 @@ let serve_cmd =
       term_result
         (const run $ listen_arg $ model_file_arg $ store_arg $ name_arg $ workers_arg
         $ queue_arg $ timeout_s_arg $ cache_arg $ max_conns_arg $ trace_arg $ trace_out_arg))
+
+let fleet_cmd =
+  let listen_arg =
+    let doc =
+      "Router address to listen on: unix:<path> or tcp:<host>:<port> (port 0 = ephemeral)."
+    in
+    Arg.(value & opt address_conv (Sorl_serve.Protocol.Unix_path "sorl-router.sock")
+         & info [ "listen"; "l" ] ~docv:"ADDR" ~doc)
+  in
+  let shards_arg =
+    let doc = "Number of shard server processes to fork." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let dir_arg =
+    let doc = "Directory for the shards' unix sockets (created if missing)." in
+    Arg.(value & opt string "sorl-fleet" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let shard_workers_arg =
+    let doc = "Worker domains per shard (scale with shards, not workers)." in
+    Arg.(value & opt int 1 & info [ "shard-workers" ] ~docv:"N" ~doc)
+  in
+  let router_workers_arg =
+    let doc = "Router worker domains." in
+    Arg.(value & opt int 4 & info [ "router-workers"; "j" ] ~docv:"N" ~doc)
+  in
+  let run listen shards dir model_file store name shard_workers router_workers queue
+      timeout cache max_conns =
+    Result.bind (resolve_source ~model_file ~store ~name) @@ fun source ->
+    match
+      Sorl_serve.Fleet.start ~dir ~shards ~workers:shard_workers ~queue_capacity:queue
+        ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns source
+    with
+    | Error m -> Error (`Msg m)
+    | Ok fleet -> (
+      match
+        Sorl_serve.Router.start ~address:listen ~workers:router_workers
+          ~queue_capacity:queue ~conn_timeout_s:timeout ~max_connections:max_conns
+          (Sorl_serve.Fleet.addresses fleet)
+      with
+      | Error m ->
+        Sorl_serve.Fleet.stop fleet;
+        Error (`Msg m)
+      | Ok router ->
+        Printf.printf
+          "fleet: %d shards under %s (pids %s), router on %s (send `sorl1 shutdown' or \
+           `sorl_tune query shutdown' to stop)\n\
+           %!"
+          shards dir
+          (String.concat "," (List.map string_of_int (Sorl_serve.Fleet.pids fleet)))
+          (Sorl_serve.Protocol.address_to_string (Sorl_serve.Router.address router));
+        Sorl_serve.Router.wait router;
+        Sorl_serve.Fleet.stop fleet;
+        Printf.printf "fleet stopped after %d routed requests\n"
+          (Sorl_serve.Router.requests_routed router);
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Serve through a sharded fleet: N forked shard servers behind a \
+          consistent-hash router (see README `Fleet')")
+    Term.(
+      term_result
+        (const run $ listen_arg $ shards_arg $ dir_arg $ model_file_arg $ store_arg
+        $ name_arg $ shard_workers_arg $ router_workers_arg $ queue_arg $ timeout_s_arg
+        $ cache_arg $ max_conns_arg))
 
 let query_cmd =
   let connect_arg =
@@ -587,7 +660,7 @@ let main_cmd =
   Cmd.group (Cmd.info "sorl_tune" ~version:"1.0.0" ~doc)
     [
       list_cmd; train_cmd; rank_cmd; tune_cmd; search_cmd; emit_cmd; inspect_cmd;
-      tune_file_cmd; serve_cmd; query_cmd;
+      tune_file_cmd; serve_cmd; fleet_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -31,19 +31,65 @@ let connect_once address timeout_s =
            (Protocol.address_to_string address)
            (Unix.error_message e)))
 
-let connect ?(timeout_s = 30.) ?(retry_for_s = 0.) address =
-  let deadline = Unix.gettimeofday () +. retry_for_s in
-  let rec go () =
+type connect_error =
+  | Refused of string
+  | Timed_out of { elapsed_s : float; attempts : int; last : string }
+
+let connect_error_to_string = function
+  | Refused msg -> msg
+  | Timed_out { elapsed_s; attempts; last } ->
+    Printf.sprintf "gave up connecting after %.2fs (%d attempts): %s" elapsed_s attempts
+      last
+
+(* Cheap xorshift for backoff jitter: [Random] would perturb the
+   global generator (tests seed it), and quality hardly matters — the
+   point is only that a thundering herd of reconnecting routers does
+   not re-synchronize on identical sleep schedules. *)
+let jitter_state =
+  lazy
+    (let t = Unix.gettimeofday () in
+     ref
+       (Unix.getpid ()
+       + (int_of_float (t *. 1e6) land 0xffffff)
+       + 1))
+
+let jitter () =
+  let s = Lazy.force jitter_state in
+  let x = !s in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  s := x land max_int;
+  float_of_int (!s land 0xffff) /. 65536.
+
+let connect_result ?(timeout_s = 30.) ?(retry_for_s = 0.) address =
+  let started = Unix.gettimeofday () in
+  let deadline = started +. retry_for_s in
+  (* Bounded exponential backoff with jitter: 10 ms doubling to a
+     500 ms cap, each sleep scaled into [1/2, 1] of the current step
+     and clamped to the remaining budget, so a dead endpoint costs a
+     handful of attempts and exactly [retry_for_s] wall time — the old
+     fixed 50 ms spin retried a dead shard hundreds of times per
+     second for the whole window. *)
+  let rec go attempts backoff =
     match connect_once address timeout_s with
     | Ok _ as ok -> ok
-    | Error _ as e ->
-      if Unix.gettimeofday () >= deadline then e
+    | Error last ->
+      let now = Unix.gettimeofday () in
+      if now >= deadline then
+        if retry_for_s <= 0. then Error (Refused last)
+        else Error (Timed_out { elapsed_s = now -. started; attempts; last })
       else begin
-        Unix.sleepf 0.05;
-        go ()
+        let sleep = Float.min (backoff *. (0.5 +. (0.5 *. jitter ()))) (deadline -. now) in
+        if sleep > 0. then Unix.sleepf sleep;
+        go (attempts + 1) (Float.min (backoff *. 2.) 0.5)
       end
   in
-  go ()
+  go 1 0.01
+
+let connect ?timeout_s ?retry_for_s address =
+  Result.map_error connect_error_to_string
+    (connect_result ?timeout_s ?retry_for_s address)
 
 let close t = close_out_noerr t.oc
 

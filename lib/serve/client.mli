@@ -6,12 +6,33 @@
 
 type t
 
-val connect :
-  ?timeout_s:float -> ?retry_for_s:float -> Protocol.address -> (t, string) result
+(** Why a connection could not be established. *)
+type connect_error =
+  | Refused of string
+      (** the single attempt failed and no retry window was given *)
+  | Timed_out of { elapsed_s : float; attempts : int; last : string }
+      (** the retry window elapsed; [attempts] were made, the final
+          one failing with [last] *)
+
+val connect_error_to_string : connect_error -> string
+
+val connect_result :
+  ?timeout_s:float ->
+  ?retry_for_s:float ->
+  Protocol.address ->
+  (t, connect_error) result
 (** Connect to a server.  [timeout_s] (default 30) bounds each
     subsequent send/receive.  [retry_for_s] (default 0) keeps retrying
-    a refused/absent endpoint for that many seconds before giving up —
-    for scripts racing a freshly forked server. *)
+    a refused/absent endpoint for that long — for scripts racing a
+    freshly forked server, and for the router's per-shard reconnect
+    path.  Retries back off exponentially (10 ms doubling to a 500 ms
+    cap) with jitter, so a dead endpoint costs a few attempts rather
+    than a 50 ms spin, and a fleet of reconnecting routers does not
+    beat on it in lockstep. *)
+
+val connect :
+  ?timeout_s:float -> ?retry_for_s:float -> Protocol.address -> (t, string) result
+(** {!connect_result} with the error flattened to a message. *)
 
 val close : t -> unit
 

@@ -1,0 +1,71 @@
+type t = {
+  names : string array;
+  points : (int * int) array;  (** (hash, shard index), sorted ascending by hash *)
+}
+
+(* First 8 bytes of the MD5 digest as a non-negative int.  MD5 is
+   overkill cryptographically but already linked (Model_store
+   checksums), uniform, and stable across runs and OCaml versions —
+   unlike [Hashtbl.hash], whose implementation is not pinned. *)
+let hash64 s =
+  let d = Digest.string s in
+  let h = ref 0 in
+  for i = 0 to 7 do
+    h := (!h lsl 8) lor Char.code d.[i]
+  done;
+  !h land max_int
+
+let point_key name replica = name ^ "#" ^ string_of_int replica
+
+let create ?(replicas = 128) names =
+  if names = [] then invalid_arg "Ring.create: no shards";
+  if replicas < 1 then invalid_arg "Ring.create: replicas must be >= 1";
+  let sorted = List.sort_uniq compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Ring.create: duplicate shard name";
+  let names = Array.of_list names in
+  let points =
+    Array.init
+      (Array.length names * replicas)
+      (fun i ->
+        let shard = i / replicas and r = i mod replicas in
+        (hash64 (point_key names.(shard) r), shard))
+  in
+  (* Sorting by (hash, shard) makes collision ties deterministic and
+     independent of shard insertion order. *)
+  Array.sort compare points;
+  { names; points }
+
+let size t = Array.length t.names
+let name t i = t.names.(i)
+
+(* Index of the first point at or clockwise of [h] (wrapping). *)
+let point_at t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owner t key = snd t.points.(point_at t (hash64 key))
+
+let owners t key =
+  let n = Array.length t.points in
+  let shards = Array.length t.names in
+  let seen = Array.make shards false in
+  let start = point_at t (hash64 key) in
+  let order = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < shards && !i < n do
+    let s = snd t.points.((start + !i) mod n) in
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      order := s :: !order;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !order

@@ -114,6 +114,8 @@ let make_listener address =
         Error
           (Printf.sprintf "cannot listen on %s:%d: %s" host port (Unix.error_message e))))
 
+let listener = make_listener
+
 (* ---- request dispatch ---- *)
 
 let err code message = Protocol.Error { code; message }

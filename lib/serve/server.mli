@@ -61,6 +61,13 @@ type source =
       (** a {!Model_store} and the name to serve first; [reload <name>]
           switches models *)
 
+val listener :
+  Protocol.address -> (Unix.file_descr * Protocol.address, string) result
+(** Bind and listen on an address, returning the descriptor and the
+    effective address ([Tcp (host, 0)] comes back with the kernel's
+    ephemeral port; a stale unix socket file is unlinked first).
+    Shared with {!Router.start}, which fronts the same protocol. *)
+
 val start :
   ?address:Protocol.address ->
   ?workers:int ->

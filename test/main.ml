@@ -1,3 +1,7 @@
+(* Fleet shards re-execute the host binary; dispatch before the test
+   harness (see Fleet.maybe_shard_main). *)
+let () = Sorl_serve.Fleet.maybe_shard_main ()
+
 let () =
   Alcotest.run "sorl"
     [
@@ -23,6 +27,7 @@ let () =
       ("core", Test_core.suite);
       ("topk", Test_topk.suite);
       ("serve", Test_serve.suite);
+      ("fleet", Test_fleet.suite);
       ("baselines", Test_baselines.suite);
       ("temporal", Test_temporal.suite);
       ("eval-extras", Test_eval_extras.suite);

@@ -333,6 +333,35 @@ let test_write_all_bounded_by_timeout () =
       checkb "waited for the deadline" true (elapsed >= 0.25);
       checkb "returned promptly after it" true (elapsed < 2.))
 
+let test_connect_backoff () =
+  with_temp_dir @@ fun dir ->
+  let nowhere = Protocol.Unix_path (Filename.concat dir "never-listening.sock") in
+  (* no retry window: one attempt, typed Refused *)
+  (match Client.connect_result nowhere with
+  | Error (Client.Refused _) -> ()
+  | Error (Client.Timed_out _) ->
+    Alcotest.fail "expected Refused without a retry window"
+  | Ok c ->
+    Client.close c;
+    Alcotest.fail "connected to a never-listening socket");
+  (* bounded window: typed Timed_out close to the deadline, with few,
+     backed-off attempts — the regression was a 50 ms fixed-interval
+     spin that made ~10 attempts in this window *)
+  let window = 0.5 in
+  let t0 = Unix.gettimeofday () in
+  match Client.connect_result ~retry_for_s:window nowhere with
+  | Error (Client.Timed_out { elapsed_s; attempts; last }) ->
+    let wall = Unix.gettimeofday () -. t0 in
+    checkb "gave the endpoint the whole window" true (elapsed_s >= window *. 0.8);
+    checkb "returned promptly after the window" true (wall < window +. 1.5);
+    checkb "retried at all" true (attempts >= 3);
+    checkb "backed off exponentially (few attempts)" true (attempts <= 12);
+    checkb "last failure reported" true (String.length last > 0)
+  | Error (Client.Refused _) -> Alcotest.fail "expected Timed_out with a retry window"
+  | Ok c ->
+    Client.close c;
+    Alcotest.fail "connected to a never-listening socket"
+
 (* ---- server end-to-end ---- *)
 
 let start_server ?(workers = 2) ?(queue_capacity = 16) ?(conn_timeout_s = 10.)
@@ -793,6 +822,8 @@ let suite =
       test_result_cache;
     Alcotest.test_case "write_all bounded by timeout" `Quick
       test_write_all_bounded_by_timeout;
+    Alcotest.test_case "connect: typed errors, bounded backoff" `Quick
+      test_connect_backoff;
     Alcotest.test_case "served ranks = direct ranks (workers 1/2/4)" `Slow
       test_server_matches_direct_rank;
     Alcotest.test_case "tune/info/stats and typed errors" `Quick test_server_tune_info_stats;
