@@ -454,12 +454,28 @@ let serve_cmd =
     let doc = "Worker domains (default: one per core)." in
     Arg.(value & opt (some int) None & info [ "workers"; "j" ] ~docv:"N" ~doc)
   in
-  let run listen model_file store name workers queue timeout cache max_conns trace trace_out =
+  let no_warm_arg =
+    let doc = "Skip pre-ranking every benchmark into the result cache at start/reload." in
+    Arg.(value & flag & info [ "no-warm" ] ~doc)
+  in
+  let neighbors_arg =
+    let doc = "Near-miss reuse index capacity; 0 disables provisional `rank!'/`tune!' replies." in
+    Arg.(value & opt int 512 & info [ "neighbors" ] ~docv:"N" ~doc)
+  in
+  let neighbor_threshold_arg =
+    let doc = "Cosine-distance threshold for near-miss reuse." in
+    Arg.(value
+         & opt float Sorl_serve.Server.default_neighbor_threshold
+         & info [ "neighbor-threshold" ] ~docv:"D" ~doc)
+  in
+  let run listen model_file store name workers queue timeout cache max_conns no_warm
+      neighbors neighbor_threshold trace trace_out =
     Result.bind (resolve_source ~model_file ~store ~name) @@ fun source ->
     with_trace trace trace_out @@ fun ~tracing:_ () ->
     match
       Sorl_serve.Server.start ~address:listen ?workers ~queue_capacity:queue
-        ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns source
+        ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns
+        ~warm:(not no_warm) ~neighbors ~neighbor_threshold source
     with
     | Error m -> Error (`Msg m)
     | Ok server ->
@@ -475,7 +491,8 @@ let serve_cmd =
     Term.(
       term_result
         (const run $ listen_arg $ model_file_arg $ store_arg $ name_arg $ workers_arg
-        $ queue_arg $ timeout_s_arg $ cache_arg $ max_conns_arg $ trace_arg $ trace_out_arg))
+        $ queue_arg $ timeout_s_arg $ cache_arg $ max_conns_arg $ no_warm_arg
+        $ neighbors_arg $ neighbor_threshold_arg $ trace_arg $ trace_out_arg))
 
 let fleet_cmd =
   let listen_arg =
@@ -555,8 +572,9 @@ let query_cmd =
   in
   let words_arg =
     let doc =
-      "Query: `rank BENCHMARK', `tune BENCHMARK', `info', `stats', `reload [NAME]' or \
-       `shutdown'."
+      "Query: `rank BENCHMARK', `tune BENCHMARK', `rank! BENCHMARK' / `tune! BENCHMARK' \
+       (accept a provisional reply reused from a similar cached instance), `info', \
+       `stats', `reload [NAME]' or `shutdown'."
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc)
   in
@@ -579,6 +597,20 @@ let query_cmd =
         Result.map
           (fun t -> Printf.printf "%s\n" (Tuning.to_string t))
           (Client.tune c ~benchmark)
+      | [ "rank!"; benchmark ] ->
+        Result.map
+          (fun (tunings, approx) ->
+            if approx then print_endline "(provisional — reused from a similar instance)";
+            List.iteri
+              (fun i t -> Printf.printf "%2d  %s\n" (i + 1) (Tuning.to_string t))
+              tunings)
+          (Client.rank_approx c ~benchmark ~top)
+      | [ "tune!"; benchmark ] ->
+        Result.map
+          (fun (t, approx) ->
+            if approx then print_endline "(provisional — reused from a similar instance)";
+            Printf.printf "%s\n" (Tuning.to_string t))
+          (Client.tune_approx c ~benchmark)
       | [ "info" ] -> Result.map print_kvs (Client.info c)
       | [ "stats" ] ->
         Result.map

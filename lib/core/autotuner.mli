@@ -38,6 +38,12 @@ val feature_mode : t -> Sorl_stencil.Features.mode
 val score : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> float
 (** Predicted-rank score; lower means predicted faster. *)
 
+val embed : t -> Sorl_stencil.Instance.t -> float array
+(** {!Sorl_stencil.Features.embedding} under this tuner's feature mode:
+    a dense L2-normalized instance vector whose cosine distance is the
+    similarity measure of the serving layer's near-miss reuse
+    ({!Sorl_util.Nn_index}).  Deterministic and pool-size independent. *)
+
 val rank :
   t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t array ->
   Sorl_stencil.Tuning.t array
@@ -96,6 +102,7 @@ type prune_stats = {
 
 val top_k_pruned :
   ?scratch:scratch ->
+  ?incumbents:Sorl_stencil.Tuning.t array ->
   t ->
   Sorl_stencil.Features.compiled ->
   dims:int ->
@@ -108,10 +115,21 @@ val top_k_pruned :
     must be compiled from this tuner's mode (checked) for the instance
     being ranked (pinned by the caller's cache key, as with
     {!rank_compiled}).  Raises [Invalid_argument] on mode mismatch or
-    negative [k]. *)
+    negative [k].
+
+    [incumbents] are warm-start candidates (e.g. a similar instance's
+    known winners) used {e only} to tighten the initial pruning bound:
+    entries not on the predefined grid are ignored, and when at least
+    [k] on-grid incumbents remain, their k-th smallest score becomes a
+    starting bound so whole subcubes can be skipped before the
+    selection heap fills.  Because every pruned cube's lower bound
+    strictly exceeds the score of some k on-grid candidates, the result
+    (tunings {e and} order) is identical with or without incumbents —
+    only [prune_stats] changes. *)
 
 val top_k :
   ?scratch:scratch ->
+  ?incumbents:Sorl_stencil.Tuning.t array ->
   t ->
   Sorl_stencil.Instance.t ->
   k:int ->
@@ -119,11 +137,17 @@ val top_k :
 (** {!top_k_pruned} with a freshly compiled encoder and the instance's
     own dimensionality; just the tunings. *)
 
-val tune : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t
+val tune :
+  ?incumbent:Sorl_stencil.Tuning.t ->
+  t ->
+  Sorl_stencil.Instance.t ->
+  Sorl_stencil.Tuning.t
 (** {!best} over the paper's pre-defined configuration set for the
     instance's dimensionality (1600 or 8640 configurations, §VI-A) —
     computed as {!top_k} with [k = 1], so the grid is pruned, not
-    enumerated. *)
+    enumerated.  [incumbent] (e.g. a neighbor instance's best
+    configuration) seeds the pruning bound as in {!top_k_pruned};
+    the answer never depends on it. *)
 
 val save : t -> string -> unit
 (** Persist model weights + feature mode as a version-headed text file

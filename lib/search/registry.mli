@@ -4,7 +4,10 @@
 type algorithm = {
   name : string;
   descr : string;
-  run : seed:int -> budget:int -> Problem.t -> Runner.outcome;
+  run : ?seeds:int array array -> seed:int -> budget:int -> Problem.t -> Runner.outcome;
+      (** [seeds] warm-starts the initial population of the
+          population-based searches (ga, sga, es, de — see
+          {!Seeding}); the point-based searches ignore it. *)
 }
 
 val all : algorithm list

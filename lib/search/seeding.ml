@@ -1,0 +1,20 @@
+(* Warm-start seed handling shared by the population-based searches.
+   Seeds come from outside the search (e.g. a similar instance's known
+   winners), so they are sanitized here once: wrong-arity points are
+   dropped, the rest clamped into the problem's box. *)
+
+let usable problem seeds =
+  match seeds with
+  | None -> [||]
+  | Some ss ->
+    let d = Problem.dims problem in
+    Array.to_seq ss
+    |> Seq.filter (fun p -> Array.length p = d)
+    |> Seq.map (Problem.clamp problem)
+    |> Array.of_seq
+
+let overlay seeds init =
+  let n = min (Array.length seeds) (Array.length init) in
+  for i = 0 to n - 1 do
+    init.(i) <- seeds.(i)
+  done

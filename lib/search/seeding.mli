@@ -1,0 +1,19 @@
+(** Warm-start seed handling shared by the population-based searches.
+
+    A caller with prior knowledge — typically the serving layer's
+    near-miss reuse, which knows the best configurations of a similar
+    instance — can hand a search an array of starting points.  The
+    searches stay correct without them; seeds only shift where the
+    initial population sits. *)
+
+val usable : Problem.t -> int array array option -> int array array
+(** Sanitized seeds: wrong-arity points dropped, the rest clamped into
+    the problem's bounds ({!Problem.clamp}).  [None] and [Some [||]]
+    both yield [[||]]. *)
+
+val overlay : int array array -> int array array -> unit
+(** [overlay seeds init] writes [seeds] over the first
+    [min (length seeds) (length init)] slots of an initial population
+    [init], leaving the remaining (random) members in place — so the
+    random stream consumed to build [init] is identical with and
+    without seeds, and determinism per [seed] is preserved. *)

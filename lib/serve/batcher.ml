@@ -136,11 +136,14 @@ let rank t ~generation ~tuner ~inst candidates =
       | r -> Ok r
       | exception e -> Error e)
 
-let rank_top t ~generation ~tuner ~inst ~k =
+let rank_top t ?incumbents ~generation ~tuner ~inst ~k () =
   (* [k] is part of the key: a top-1 and a top-10 for the same
      instance are different computations (prefixes of the same rank,
      but the smaller one prunes more), so they never coalesce onto
-     each other. *)
+     each other.  [incumbents] is {e not} part of the key: the result
+     is identical with or without it (it only tightens the pruning
+     bound), so coalescing across seeded and unseeded callers is
+     safe. *)
   let key = Printf.sprintf "%d/%s#%d" generation (Instance.name inst) k in
   coalesce t ~key ~compute:(fun () ->
       Mutex.lock t.m;
@@ -149,7 +152,7 @@ let rank_top t ~generation ~tuner ~inst ~k =
       Mutex.unlock t.m;
       let dims = Kernel.dims (Instance.kernel inst) in
       let outcome =
-        match Sorl.Autotuner.top_k_pruned ~scratch tuner enc ~dims ~k with
+        match Sorl.Autotuner.top_k_pruned ~scratch ?incumbents tuner enc ~dims ~k with
         | r -> Ok r
         | exception e -> Error e
       in

@@ -41,18 +41,22 @@ val rank :
 
 val rank_top :
   t ->
+  ?incumbents:Sorl_stencil.Tuning.t array ->
   generation:int ->
   tuner:Sorl.Autotuner.t ->
   inst:Sorl_stencil.Instance.t ->
   k:int ->
+  unit ->
   Sorl_stencil.Tuning.t array * bool
 (** Top-k of the predefined-set rank for [inst] — element for element
     the first [k] of what {!rank} over [Tuning.predefined_set] returns
     — via branch-and-bound pruning ({!Sorl.Autotuner.top_k_pruned})
     with working memory drawn from a per-batcher scratch arena, so a
     cold request allocates O(k + subcubes) instead of O(n).  Coalesced
-    like {!rank}, keyed by (generation, instance, k).  Prune and arena
-    counters land in {!stats}. *)
+    like {!rank}, keyed by (generation, instance, k); [incumbents]
+    (warm-start pruning bounds, see {!Sorl.Autotuner.top_k_pruned})
+    never changes the result, so it is deliberately not part of the
+    key.  Prune and arena counters land in {!stats}. *)
 
 type stats = {
   leaders : int;  (** rank calls that ran a scoring pass *)

@@ -1,4 +1,4 @@
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel; strict : bool }
 
 let resolve address =
   match address with
@@ -12,7 +12,7 @@ let resolve address =
         Error (Printf.sprintf "cannot resolve host %S" host)
       | { Unix.h_addr_list; _ } -> Ok (Unix.PF_INET, Unix.ADDR_INET (h_addr_list.(0), port))))
 
-let connect_once address timeout_s =
+let connect_once address timeout_s strict =
   match resolve address with
   | Error _ as e -> e
   | Ok (d, sa) -> (
@@ -23,7 +23,7 @@ let connect_once address timeout_s =
          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
        with Unix.Unix_error _ -> ());
-      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; strict }
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
@@ -62,7 +62,7 @@ let jitter () =
   s := x land max_int;
   float_of_int (!s land 0xffff) /. 65536.
 
-let connect_result ?(timeout_s = 30.) ?(retry_for_s = 0.) address =
+let connect_result ?(timeout_s = 30.) ?(retry_for_s = 0.) ?(strict = false) address =
   let started = Unix.gettimeofday () in
   let deadline = started +. retry_for_s in
   (* Bounded exponential backoff with jitter: 10 ms doubling to a
@@ -72,7 +72,7 @@ let connect_result ?(timeout_s = 30.) ?(retry_for_s = 0.) address =
      fixed 50 ms spin retried a dead shard hundreds of times per
      second for the whole window. *)
   let rec go attempts backoff =
-    match connect_once address timeout_s with
+    match connect_once address timeout_s strict with
     | Ok _ as ok -> ok
     | Error last ->
       let now = Unix.gettimeofday () in
@@ -87,9 +87,9 @@ let connect_result ?(timeout_s = 30.) ?(retry_for_s = 0.) address =
   in
   go 1 0.01
 
-let connect ?timeout_s ?retry_for_s address =
+let connect ?timeout_s ?retry_for_s ?strict address =
   Result.map_error connect_error_to_string
-    (connect_result ?timeout_s ?retry_for_s address)
+    (connect_result ?timeout_s ?retry_for_s ?strict address)
 
 let close t = close_out_noerr t.oc
 
@@ -111,7 +111,7 @@ let request t req =
         Some ("connection failed: " ^ Unix.error_message e)
     in
     match input_line t.ic with
-    | line -> Protocol.parse_response line
+    | line -> Protocol.parse_response ~strict:t.strict line
     | exception End_of_file ->
       Error (Option.value write_error ~default:"connection closed by server")
     | exception Sys_error msg ->
@@ -143,7 +143,7 @@ let pipeline t reqs =
       else
         match input_line t.ic with
         | line -> (
-          match Protocol.parse_response line with
+          match Protocol.parse_response ~strict:t.strict line with
           | Ok r -> read_replies (n - 1) (r :: acc)
           | Error _ as e -> e)
         | exception End_of_file -> fail "connection closed by server"
@@ -153,8 +153,8 @@ let pipeline t reqs =
     in
     read_replies (List.length reqs) [])
 
-let with_connection ?timeout_s ?retry_for_s address f =
-  match connect ?timeout_s ?retry_for_s address with
+let with_connection ?timeout_s ?retry_for_s ?strict address f =
+  match connect ?timeout_s ?retry_for_s ?strict address with
   | Error _ as e -> e
   | Ok c -> Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
 
@@ -164,16 +164,30 @@ let server_error code message =
 let unexpected line = Error ("unexpected reply: " ^ line)
 
 let rank t ~benchmark ~top =
-  match request t (Protocol.Rank { benchmark; top }) with
+  match request t (Protocol.Rank { benchmark; top; approx_ok = false }) with
   | Error _ as e -> e
   | Ok (Protocol.Ranked { tunings; _ }) -> Ok tunings
   | Ok (Protocol.Error { code; message }) -> server_error code message
   | Ok r -> unexpected (Protocol.encode_response r)
 
 let tune t ~benchmark =
-  match request t (Protocol.Tune { benchmark }) with
+  match request t (Protocol.Tune { benchmark; approx_ok = false }) with
   | Error _ as e -> e
   | Ok (Protocol.Tuned { tuning; _ }) -> Ok tuning
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let rank_approx t ~benchmark ~top =
+  match request t (Protocol.Rank { benchmark; top; approx_ok = true }) with
+  | Error _ as e -> e
+  | Ok (Protocol.Ranked { tunings; approx; _ }) -> Ok (tunings, approx)
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let tune_approx t ~benchmark =
+  match request t (Protocol.Tune { benchmark; approx_ok = true }) with
+  | Error _ as e -> e
+  | Ok (Protocol.Tuned { tuning; approx; _ }) -> Ok (tuning, approx)
   | Ok (Protocol.Error { code; message }) -> server_error code message
   | Ok r -> unexpected (Protocol.encode_response r)
 

@@ -19,6 +19,7 @@ val connect_error_to_string : connect_error -> string
 val connect_result :
   ?timeout_s:float ->
   ?retry_for_s:float ->
+  ?strict:bool ->
   Protocol.address ->
   (t, connect_error) result
 (** Connect to a server.  [timeout_s] (default 30) bounds each
@@ -28,10 +29,20 @@ val connect_result :
     path.  Retries back off exponentially (10 ms doubling to a 500 ms
     cap) with jitter, so a dead endpoint costs a few attempts rather
     than a 50 ms spin, and a fleet of reconnecting routers does not
-    beat on it in lockstep. *)
+    beat on it in lockstep.
+
+    [strict] (default [false]) is handed to
+    {!Protocol.parse_response} for every reply this connection reads:
+    lenient connections skip unknown reply-verb flags (forward
+    compatibility with newer servers), strict ones turn them into
+    protocol errors. *)
 
 val connect :
-  ?timeout_s:float -> ?retry_for_s:float -> Protocol.address -> (t, string) result
+  ?timeout_s:float ->
+  ?retry_for_s:float ->
+  ?strict:bool ->
+  Protocol.address ->
+  (t, string) result
 (** {!connect_result} with the error flattened to a message. *)
 
 val close : t -> unit
@@ -39,6 +50,7 @@ val close : t -> unit
 val with_connection :
   ?timeout_s:float ->
   ?retry_for_s:float ->
+  ?strict:bool ->
   Protocol.address ->
   (t -> ('a, string) result) ->
   ('a, string) result
@@ -68,6 +80,18 @@ val rank :
   t -> benchmark:string -> top:int -> (Sorl_stencil.Tuning.t list, string) result
 
 val tune : t -> benchmark:string -> (Sorl_stencil.Tuning.t, string) result
+
+val rank_approx :
+  t -> benchmark:string -> top:int -> (Sorl_stencil.Tuning.t list * bool, string) result
+(** [rank!]: permit a provisional answer reused from a similar cached
+    instance.  The boolean is the reply's [approx] flag — [true] means
+    the tunings came from a neighbor and the exact result is being
+    computed behind the reply (re-ask to get it). *)
+
+val tune_approx :
+  t -> benchmark:string -> (Sorl_stencil.Tuning.t * bool, string) result
+(** [tune!]; boolean as in {!rank_approx}. *)
+
 val info : t -> ((string * string) list, string) result
 val stats : t -> ((string * int) list, string) result
 val reload : ?model:string -> t -> (string * int, string) result

@@ -32,8 +32,8 @@ let address_of_string s =
     | _ -> Result.Error (Printf.sprintf "address %S: unknown scheme %S" s scheme))
 
 type request =
-  | Rank of { benchmark : string; top : int }
-  | Tune of { benchmark : string }
+  | Rank of { benchmark : string; top : int; approx_ok : bool }
+  | Tune of { benchmark : string; approx_ok : bool }
   | Info
   | Stats
   | Reload of { model : string option }
@@ -48,8 +48,8 @@ type error_code =
   | Internal
 
 type response =
-  | Ranked of { benchmark : string; total : int; tunings : Tuning.t list }
-  | Tuned of { benchmark : string; tuning : Tuning.t }
+  | Ranked of { benchmark : string; total : int; tunings : Tuning.t list; approx : bool }
+  | Tuned of { benchmark : string; tuning : Tuning.t; approx : bool }
   | Info_reply of (string * string) list
   | Stats_reply of (string * int) list
   | Reloaded of { model : string; generation : int }
@@ -96,13 +96,13 @@ let tuning_of_string s =
   | _ -> Result.Error (Printf.sprintf "malformed tuning %S (expected bx,by,bz,u,c)" s)
 
 let encode_request = function
-  | Rank { benchmark; top } ->
+  | Rank { benchmark; top; approx_ok } ->
     check_token "benchmark" benchmark;
     if top < 1 then invalid_arg "Protocol.encode_request: top must be >= 1";
-    Printf.sprintf "%s rank %s %d" magic benchmark top
-  | Tune { benchmark } ->
+    Printf.sprintf "%s rank%s %s %d" magic (if approx_ok then "!" else "") benchmark top
+  | Tune { benchmark; approx_ok } ->
     check_token "benchmark" benchmark;
-    Printf.sprintf "%s tune %s" magic benchmark
+    Printf.sprintf "%s tune%s %s" magic (if approx_ok then "!" else "") benchmark
   | Info -> magic ^ " info"
   | Stats -> magic ^ " stats"
   | Reload { model = None } -> magic ^ " reload"
@@ -127,19 +127,23 @@ let parse_request line =
              v magic)
   | _ :: rest -> (
     match rest with
-    | [ "rank"; benchmark; top ] -> (
+    | [ ("rank" | "rank!") as verb; benchmark; top ] -> (
+      let approx_ok = String.equal verb "rank!" in
       match int_of_string_opt top with
-      | Some k when k >= 1 -> Ok (Rank { benchmark; top = k })
+      | Some k when k >= 1 -> Ok (Rank { benchmark; top = k; approx_ok })
       | Some _ -> Result.Error "rank: top must be >= 1"
       | None -> Result.Error (Printf.sprintf "rank: bad top %S" top))
-    | [ "tune"; benchmark ] -> Ok (Tune { benchmark })
+    | [ ("tune" | "tune!") as verb; benchmark ] ->
+      Ok (Tune { benchmark; approx_ok = String.equal verb "tune!" })
     | [ "info" ] -> Ok Info
     | [ "stats" ] -> Ok Stats
     | [ "reload" ] -> Ok (Reload { model = None })
     | [ "reload"; m ] -> Ok (Reload { model = Some m })
     | [ "shutdown" ] -> Ok Shutdown
-    | verb :: _ when List.mem verb [ "rank"; "tune"; "info"; "stats"; "reload"; "shutdown" ]
-      -> Result.Error (Printf.sprintf "%s: wrong number of arguments" verb)
+    | verb :: _
+      when List.mem verb
+             [ "rank"; "rank!"; "tune"; "tune!"; "info"; "stats"; "reload"; "shutdown" ] ->
+      Result.Error (Printf.sprintf "%s: wrong number of arguments" verb)
     | verb :: _ -> Result.Error (Printf.sprintf "unknown verb %S" verb)
     | [] -> Result.Error "missing verb")
 
@@ -147,13 +151,14 @@ let sanitize_message msg =
   String.map (function '\n' | '\r' -> ' ' | c -> c) msg
 
 let encode_response = function
-  | Ranked { benchmark; total; tunings } ->
+  | Ranked { benchmark; total; tunings; approx } ->
     check_token "benchmark" benchmark;
-    Printf.sprintf "ok rank %s %d%s" benchmark total
+    Printf.sprintf "ok rank%s %s %d%s" (if approx then "~" else "") benchmark total
       (String.concat "" (List.map (fun t -> " " ^ tuning_to_string t) tunings))
-  | Tuned { benchmark; tuning } ->
+  | Tuned { benchmark; tuning; approx } ->
     check_token "benchmark" benchmark;
-    Printf.sprintf "ok tune %s %s" benchmark (tuning_to_string tuning)
+    Printf.sprintf "ok tune%s %s %s" (if approx then "~" else "") benchmark
+      (tuning_to_string tuning)
   | Info_reply kvs ->
     List.iter
       (fun (k, v) ->
@@ -186,45 +191,78 @@ let rec collect f = function
     | Result.Error _ as e -> e
     | Ok y -> ( match collect f xs with Result.Error _ as e -> e | Ok ys -> Ok (y :: ys)))
 
-let parse_response line =
+(* Reply verbs may carry one-character flag suffixes after the
+   alphanumeric base verb — currently ['~'] marks an approximate
+   (provisional) rank/tune reply.  Lenient parsing skips flag
+   characters it does not know, so a server can grow new flags without
+   breaking deployed clients; [strict] turns an unknown flag into a
+   protocol error.  An unknown {e base} verb is an error in both
+   modes. *)
+let split_reply_verb ~strict tok =
+  let n = String.length tok in
+  let is_base c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' in
+  let b = ref 0 in
+  while !b < n && is_base tok.[!b] do
+    incr b
+  done;
+  let base = String.sub tok 0 !b in
+  let rec flags i approx =
+    if i >= n then Ok (base, approx)
+    else
+      match tok.[i] with
+      | '~' -> flags (i + 1) true
+      | c ->
+        if strict then
+          Result.Error (Printf.sprintf "unknown reply flag %C on verb %S" c tok)
+        else flags (i + 1) approx
+  in
+  flags !b false
+
+let parse_response ?(strict = false) line =
   match tokens line with
-  | "ok" :: "rank" :: benchmark :: total :: tunings -> (
-    match int_of_string_opt total with
-    | None -> Result.Error (Printf.sprintf "rank reply: bad total %S" total)
-    | Some n -> (
-      match collect tuning_of_string tunings with
-      | Result.Error _ as e -> e
-      | Ok ts -> Ok (Ranked { benchmark; total = n; tunings = ts })))
-  | [ "ok"; "tune"; benchmark; t ] -> (
-    match tuning_of_string t with
-    | Result.Error _ as e -> e
-    | Ok tuning -> Ok (Tuned { benchmark; tuning }))
-  | "ok" :: "info" :: kvs -> (
-    match collect split_kv kvs with
-    | Result.Error _ as e -> e
-    | Ok l -> Ok (Info_reply l))
-  | "ok" :: "stats" :: kvs -> (
-    match
-      collect
-        (fun tok ->
-          match split_kv tok with
-          | Result.Error _ as e -> e
-          | Ok (k, v) -> (
-            match int_of_string_opt v with
-            | Some n -> Ok (k, n)
-            | None -> Result.Error (Printf.sprintf "stats reply: bad count %S" tok)))
-        kvs
-    with
-    | Result.Error _ as e -> e
-    | Ok l -> Ok (Stats_reply l))
-  | [ "ok"; "reload"; model; gen ] -> (
-    match int_of_string_opt gen with
-    | Some g -> Ok (Reloaded { model; generation = g })
-    | None -> Result.Error (Printf.sprintf "reload reply: bad generation %S" gen))
-  | [ "ok"; "shutdown" ] -> Ok Bye
   | "err" :: code :: msg -> (
     match error_code_of_string code with
     | Some c -> Ok (Error { code = c; message = String.concat " " msg })
     | None -> Result.Error (Printf.sprintf "unknown error code %S" code))
+  | "ok" :: verb :: rest -> (
+    match split_reply_verb ~strict verb with
+    | Result.Error _ as e -> e
+    | Ok (base, approx) -> (
+      match (base, rest) with
+      | "rank", benchmark :: total :: tunings -> (
+        match int_of_string_opt total with
+        | None -> Result.Error (Printf.sprintf "rank reply: bad total %S" total)
+        | Some n -> (
+          match collect tuning_of_string tunings with
+          | Result.Error _ as e -> e
+          | Ok ts -> Ok (Ranked { benchmark; total = n; tunings = ts; approx })))
+      | "tune", [ benchmark; t ] -> (
+        match tuning_of_string t with
+        | Result.Error _ as e -> e
+        | Ok tuning -> Ok (Tuned { benchmark; tuning; approx }))
+      | "info", kvs -> (
+        match collect split_kv kvs with
+        | Result.Error _ as e -> e
+        | Ok l -> Ok (Info_reply l))
+      | "stats", kvs -> (
+        match
+          collect
+            (fun tok ->
+              match split_kv tok with
+              | Result.Error _ as e -> e
+              | Ok (k, v) -> (
+                match int_of_string_opt v with
+                | Some n -> Ok (k, n)
+                | None -> Result.Error (Printf.sprintf "stats reply: bad count %S" tok)))
+            kvs
+        with
+        | Result.Error _ as e -> e
+        | Ok l -> Ok (Stats_reply l))
+      | "reload", [ model; gen ] -> (
+        match int_of_string_opt gen with
+        | Some g -> Ok (Reloaded { model; generation = g })
+        | None -> Result.Error (Printf.sprintf "reload reply: bad generation %S" gen))
+      | "shutdown", [] -> Ok Bye
+      | _ -> Result.Error (Printf.sprintf "malformed response starting with %S" verb)))
   | [] -> Result.Error "empty response"
   | tok :: _ -> Result.Error (Printf.sprintf "malformed response starting with %S" tok)

@@ -10,26 +10,43 @@
 
     {v
     request  := "sorl1" SP verb
-    verb     := "rank" SP benchmark SP top       ; top >= 1
-              | "tune" SP benchmark
+    verb     := "rank" ["!"] SP benchmark SP top ; top >= 1
+              | "tune" ["!"] SP benchmark
               | "info"
               | "stats"
               | "reload" [SP model]
               | "shutdown"
 
     response := "ok" SP payload | "err" SP code SP message
-    payload  := "rank" SP benchmark SP total SP tuning*
-              | "tune" SP benchmark SP tuning
+    payload  := "rank" flag* SP benchmark SP total SP tuning*
+              | "tune" flag* SP benchmark SP tuning
               | "info" SP (key "=" value)*
               | "stats" SP (key "=" int)*
               | "reload" SP model SP generation
               | "shutdown"
+    flag     := "~"                              ; approximate reply
     tuning   := bx "," by "," bz "," u "," c     ; decimal integers
     v}
 
     Errors are structured ([err <code> <free-text message>]) so clients
     can branch on the code — [busy] means backpressure (retry later),
     [bad-request] means the frame itself was malformed.
+
+    {2 Approximate replies}
+
+    A [rank!]/[tune!] request ([approx_ok]) tells the server the client
+    would rather have a fast {e provisional} answer than wait for an
+    exact one: on a result-cache miss the server may answer from the
+    nearest already-served similar instance and compute the exact
+    result in the background.  Such a reply carries the [~] verb flag
+    ([rank~]/[tune~], [approx = true]); a later identical request gets
+    the exact (unflagged) answer from the cache.  Requests without [!]
+    and their replies are byte-identical to protocol version 1 before
+    the flag existed, so the extension is invisible to old clients.
+    Reply-verb flags are single non-alphanumeric characters after the
+    base verb; lenient parsers skip flags they do not know ([strict]
+    makes them errors), while unknown {e base} verbs are always
+    errors.
 
     {2 Pipelining}
 
@@ -71,10 +88,12 @@ val address_of_string : string -> (address, string) result
 (** {1 Frames} *)
 
 type request =
-  | Rank of { benchmark : string; top : int }
+  | Rank of { benchmark : string; top : int; approx_ok : bool }
       (** Rank the pre-defined configuration set of a named benchmark
-          instance; reply with the best [top] tunings. *)
-  | Tune of { benchmark : string }  (** Top-1 shorthand. *)
+          instance; reply with the best [top] tunings.  [approx_ok]
+          ([rank!] on the wire) permits a provisional reply from a
+          similar instance's cached result. *)
+  | Tune of { benchmark : string; approx_ok : bool }  (** Top-1 shorthand. *)
   | Info
   | Stats
   | Reload of { model : string option }
@@ -91,8 +110,13 @@ type error_code =
   | Internal
 
 type response =
-  | Ranked of { benchmark : string; total : int; tunings : Sorl_stencil.Tuning.t list }
-  | Tuned of { benchmark : string; tuning : Sorl_stencil.Tuning.t }
+  | Ranked of {
+      benchmark : string;
+      total : int;
+      tunings : Sorl_stencil.Tuning.t list;
+      approx : bool;  (** provisional, served from a similar instance *)
+    }
+  | Tuned of { benchmark : string; tuning : Sorl_stencil.Tuning.t; approx : bool }
   | Info_reply of (string * string) list
   | Stats_reply of (string * int) list
   | Reloaded of { model : string; generation : int }
@@ -117,7 +141,12 @@ val encode_response : response -> string
     newlines squashed to spaces; info values must be single tokens
     (raises [Invalid_argument] otherwise). *)
 
-val parse_response : string -> (response, string) result
+val parse_response : ?strict:bool -> string -> (response, string) result
+(** [strict] (default [false]) controls unknown reply-verb {e flags}
+    only: lenient parsing skips flag characters it does not recognize
+    (forward compatibility), strict parsing rejects them.  Unknown base
+    verbs, bad arities and malformed fields are [Error] in both
+    modes. *)
 
 val tuning_to_string : Sorl_stencil.Tuning.t -> string
 (** ["bx,by,bz,u,c"]. *)

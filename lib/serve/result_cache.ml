@@ -16,11 +16,13 @@ type t = {
   mutable tail : node option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
   lock : Mutex.t;
 }
 
 let hits_counter = Sorl_util.Telemetry.counter "serve.result_cache_hits"
 let misses_counter = Sorl_util.Telemetry.counter "serve.result_cache_misses"
+let evictions_counter = Sorl_util.Telemetry.counter "serve.result_cache_evictions"
 
 let default_capacity = 1024
 
@@ -49,6 +51,7 @@ let create ?capacity () =
     tail = None;
     hits = 0;
     misses = 0;
+    evictions = 0;
     lock = Mutex.create ();
   }
 
@@ -96,7 +99,9 @@ let put t key value =
             match t.tail with
             | Some lru ->
               unlink t lru;
-              Hashtbl.remove t.tbl lru.key
+              Hashtbl.remove t.tbl lru.key;
+              t.evictions <- t.evictions + 1;
+              Sorl_util.Telemetry.incr evictions_counter
             | None -> ());
           let n = { key; value; prev = None; next = None } in
           Hashtbl.replace t.tbl key n;
@@ -106,3 +111,26 @@ let capacity t = t.capacity
 let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
 let hits t = Mutex.protect t.lock (fun () -> t.hits)
 let misses t = Mutex.protect t.lock (fun () -> t.misses)
+let evictions t = Mutex.protect t.lock (fun () -> t.evictions)
+
+(* The generation is the key prefix before the first '/', so occupancy
+   per generation falls out of one pass over the table — cheap enough
+   to answer a stats request, and it shows reload hygiene at a glance
+   (retired generations draining out of the LRU). *)
+let entries_by_generation t =
+  Mutex.protect t.lock (fun () ->
+      let counts = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun key _ ->
+          let gen =
+            match String.index_opt key '/' with
+            | Some i -> int_of_string_opt (String.sub key 0 i)
+            | None -> None
+          in
+          match gen with
+          | Some g ->
+            Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g))
+          | None -> ())
+        t.tbl;
+      Hashtbl.fold (fun g n acc -> (g, n) :: acc) counts []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))

@@ -50,3 +50,13 @@ val capacity : t -> int
 val length : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries pushed out by the capacity cap so far (refreshing an
+    existing key is not an eviction).  Mirrored by the
+    [serve.result_cache_evictions] telemetry counter. *)
+
+val entries_by_generation : t -> (int * int) list
+(** Resident entry count per model generation (parsed from the key
+    prefix), ascending by generation — shows retired generations
+    draining out of the LRU after a reload.  O(entries). *)

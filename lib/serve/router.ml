@@ -120,7 +120,7 @@ let exchange_train t s reqs =
 
 let routing_key = function
   | Protocol.Rank { benchmark; _ } -> Some (benchmark ^ "/rank")
-  | Protocol.Tune { benchmark } -> Some (benchmark ^ "/tune")
+  | Protocol.Tune { benchmark; _ } -> Some (benchmark ^ "/tune")
   | Protocol.Info | Protocol.Stats | Protocol.Reload _ | Protocol.Shutdown -> None
 
 (* Preference order for a key: ring order with draining shards demoted

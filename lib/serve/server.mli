@@ -22,6 +22,27 @@
     successful [reload]; capacity comes from [SORL_SERVE_CACHE] (0
     disables) unless [cache_capacity] overrides it.
 
+    {2 Near-miss reuse}
+
+    Behind the exact cache sits a nearest-neighbor index
+    ({!Sorl_util.Nn_index}) over instance embeddings
+    ({!Sorl.Autotuner.embed}), populated with the exact winners of
+    every instance the server has ranked under the current generation
+    (warming fills it at startup).  A [rank!]/[tune!] request
+    ({!Protocol.request} with [approx_ok]) that misses the cache and
+    has an indexed instance within [neighbor_threshold] cosine
+    distance is answered {e immediately} with that neighbor's winners,
+    flagged approximate ([rank~]/[tune~] on the wire); the exact
+    result is computed after the reply is written — seeded with the
+    neighbor's winners as branch-and-bound incumbents, so the pruned
+    selection starts with a tight bound — and back-fills the cache.
+    The next identical request is therefore an exact cache hit, exact
+    replies are byte-identical to a server without the layer, and a
+    reply is never torn between the two (the back-fill runs strictly
+    after the write).  Requests without [!] never receive approximate
+    answers.  The index is keyed to the model generation; a reload
+    drops it wholesale.
+
     The served model lives in an [Atomic.t] holding an immutable
     (tuner, name, generation) snapshot: [reload] builds the new
     snapshot off to the side — with the typed
@@ -46,10 +67,17 @@
     Telemetry (when enabled): [serve.requests], [serve.errors],
     [serve.connections], [serve.busy], [serve.reloads],
     [serve.pipelined], [serve.result_cache_hits],
-    [serve.result_cache_misses] counters, a [serve/request] span per
+    [serve.result_cache_misses], [serve.result_cache_evictions],
+    [serve.neighbor_hits], [serve.neighbor_misses],
+    [serve.approx_replies] counters, a [serve/request] span per
     request and [serve.request_s] / [serve.queue_depth] histograms.
     The same numbers are exported over the wire by the [stats]
-    request. *)
+    request ([neighbor_entries], [neighbor_capacity],
+    [neighbor_evictions] and per-generation
+    [result_cache_entries_g<n>] occupancy ride along).  For a pure
+    [rank!]/[tune!] load,
+    [approx_replies + result_cache_hits + neighbor_misses] accounts
+    for every request exactly once. *)
 
 type t
 
@@ -68,6 +96,17 @@ val listener :
     ephemeral port; a stale unix socket file is unlinked first).
     Shared with {!Router.start}, which fronts the same protocol. *)
 
+val default_neighbor_threshold : float
+(** Default cosine-distance threshold for near-miss reuse.  Calibrated
+    on the registered benchmark suite against {e measured} ranking
+    transfer: only near-identical encodings (blur size variants, edge
+    vs game-of-life) keep the provisional ranking within the quality
+    gate (Kendall tau >= 0.85 vs the exact ranking); already at a few
+    1e-3 of cosine distance the transferred ordering degrades to tau
+    ~0.3, so the default declines those ([neighbor_misses]) rather
+    than reply with a misleading ranking.  The [neighbor-reuse] bench
+    reports the measured distance/tau table. *)
+
 val start :
   ?address:Protocol.address ->
   ?workers:int ->
@@ -77,6 +116,8 @@ val start :
   ?max_connections:int ->
   ?warm:bool ->
   ?topk:bool ->
+  ?neighbors:int ->
+  ?neighbor_threshold:float ->
   source ->
   (t, string) result
 (** Load the initial model, bind the listener, warm the result cache
@@ -84,15 +125,21 @@ val start :
     [unix:sorl.sock], [Sorl_util.Pool.default_domains ()] workers,
     queue capacity 64 batches, 10 s idle/write timeout, cache capacity
     from [SORL_SERVE_CACHE] (else 1024; 0 disables), 512 connections,
-    [warm] true, [topk] true.  [Tcp (host, 0)] binds an ephemeral port
-    — read the real one back from {!address}.
+    [warm] true, [topk] true, [neighbors] 512,
+    [neighbor_threshold] {!default_neighbor_threshold}.
+    [Tcp (host, 0)] binds an ephemeral port — read the real one back
+    from {!address}.
 
     [topk] selects the cold-path implementation of rank/tune: pruned
     top-k selection over the predefined grid
     ({!Batcher.rank_top}) instead of a full encode-and-sort.  Replies
     are byte-identical either way (the fast path is an exact partial
     selection and [total] is the known grid size); the flag exists as
-    a kill switch and for before/after benchmarking. *)
+    a kill switch and for before/after benchmarking.
+
+    [neighbors] caps the near-miss index's entry count (LRU beyond
+    it); 0 disables the layer entirely, making [rank!]/[tune!]
+    behave exactly like [rank]/[tune]. *)
 
 val address : t -> Protocol.address
 (** The bound address (with the actual port for ephemeral TCP). *)

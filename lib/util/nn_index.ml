@@ -1,0 +1,143 @@
+(* Intrusive doubly-linked LRU over a hashtable (the Result_cache /
+   Measure-memo shape: every structural operation is O(1) under
+   [lock]), plus a linear scan for nearest-neighbor lookups.  The scan
+   walks the recency list head-first, so on exact distance ties the
+   more recently used entry wins deterministically. *)
+
+type 'a node = {
+  key : string;
+  vec : float array;
+  payload : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  dim : int;
+  capacity : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 512) ~dim () =
+  if dim < 1 then invalid_arg "Nn_index.create: dim must be >= 1";
+  if capacity < 0 then invalid_arg "Nn_index.create: capacity must be >= 0";
+  {
+    dim;
+    capacity;
+    tbl = Hashtbl.create (min (max capacity 1) 1024);
+    head = None;
+    tail = None;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let dim t = t.dim
+let capacity t = t.capacity
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+let evictions t = Mutex.protect t.lock (fun () -> t.evictions)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let check_dim t what vec =
+  if Array.length vec <> t.dim then
+    invalid_arg
+      (Printf.sprintf "Nn_index.%s: vector has %d dimensions, index wants %d" what
+         (Array.length vec) t.dim)
+
+let add t ~key vec payload =
+  check_dim t "add" vec;
+  if t.capacity > 0 then
+    Mutex.protect t.lock (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some old ->
+          unlink t old;
+          Hashtbl.remove t.tbl key
+        | None ->
+          if Hashtbl.length t.tbl >= t.capacity then (
+            match t.tail with
+            | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.tbl lru.key;
+              t.evictions <- t.evictions + 1
+            | None -> ()));
+        let n = { key; vec; payload; prev = None; next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_front t n)
+
+let find t key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> None
+      | Some n ->
+        unlink t n;
+        push_front t n;
+        Some n.payload)
+
+let mem t key = Mutex.protect t.lock (fun () -> Hashtbl.mem t.tbl key)
+
+(* 4-wide unrolled dot product, the Model.range_scorer idiom: four
+   independent accumulators keep the FP adds off one dependency
+   chain. *)
+let dot a b =
+  let n = Array.length a in
+  let s0 = ref 0. and s1 = ref 0. and s2 = ref 0. and s3 = ref 0. in
+  let i = ref 0 in
+  while !i + 3 < n do
+    let j = !i in
+    s0 := !s0 +. (Array.unsafe_get a j *. Array.unsafe_get b j);
+    s1 := !s1 +. (Array.unsafe_get a (j + 1) *. Array.unsafe_get b (j + 1));
+    s2 := !s2 +. (Array.unsafe_get a (j + 2) *. Array.unsafe_get b (j + 2));
+    s3 := !s3 +. (Array.unsafe_get a (j + 3) *. Array.unsafe_get b (j + 3));
+    i := j + 4
+  done;
+  let s = ref (!s0 +. !s1 +. (!s2 +. !s3)) in
+  while !i < n do
+    s := !s +. (Array.unsafe_get a !i *. Array.unsafe_get b !i);
+    incr i
+  done;
+  !s
+
+let nearest ?max_dist ?exclude t vec =
+  check_dim t "nearest" vec;
+  Mutex.protect t.lock (fun () ->
+      let best = ref None in
+      let rec scan = function
+        | None -> ()
+        | Some n ->
+          (if match exclude with Some k -> not (String.equal k n.key) | None -> true
+           then
+             let d = 1. -. dot vec n.vec in
+             match !best with
+             | Some (_, bd) when bd <= d -> ()
+             | _ -> best := Some (n, d));
+          scan n.next
+      in
+      scan t.head;
+      match !best with
+      | Some (n, d)
+        when (match max_dist with Some m -> d <= m | None -> true) ->
+        unlink t n;
+        push_front t n;
+        Some (n.key, n.payload, d)
+      | _ -> None)
+
+let keys t =
+  Mutex.protect t.lock (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some n -> go (n.key :: acc) n.next
+      in
+      go [] t.head)

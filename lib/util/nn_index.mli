@@ -1,0 +1,55 @@
+(** Exact nearest-neighbor index over L2-normalized embeddings.
+
+    A small, thread-safe map from string keys to (embedding, payload)
+    pairs with a linear-scan nearest lookup — at the scale the serving
+    layer needs (hundreds of instances) a 4-wide unrolled dot-product
+    scan beats any tree structure, and exactness keeps the similarity
+    threshold meaningful.  Capacity is enforced with LRU eviction (an
+    {!add} or a successful {!nearest}/{!find} refreshes recency), and
+    {!evictions} counts what the cap pushed out so occupancy can be
+    reconciled against other caches.
+
+    Vectors are expected L2-normalized; the distance reported by
+    {!nearest} is cosine distance [1 - dot], which is half the squared
+    euclidean distance for unit vectors.  Callers that need
+    invalidation (e.g. per model generation) simply drop the index and
+    build a fresh one — construction is O(1). *)
+
+type 'a t
+
+val create : ?capacity:int -> dim:int -> unit -> 'a t
+(** [create ~dim ()] makes an empty index for [dim]-dimensional
+    vectors.  [capacity] (default 512) bounds the entry count; 0 makes
+    every operation a no-op/miss.  Raises [Invalid_argument] when
+    [dim < 1] or [capacity < 0]. *)
+
+val dim : 'a t -> int
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val evictions : 'a t -> int
+(** Entries evicted by the capacity cap so far (replacing an existing
+    key is not an eviction). *)
+
+val add : 'a t -> key:string -> float array -> 'a -> unit
+(** [add t ~key vec payload] inserts or replaces the entry under
+    [key], making it the most recently used; at capacity the least
+    recently used entry is evicted first.  The vector is not copied.
+    Raises [Invalid_argument] when [Array.length vec <> dim t]. *)
+
+val find : 'a t -> string -> 'a option
+(** Payload under an exact key, refreshing its recency. *)
+
+val mem : 'a t -> string -> bool
+
+val nearest :
+  ?max_dist:float -> ?exclude:string -> 'a t -> float array -> (string * 'a * float) option
+(** [nearest t vec] scans every entry and returns the one with the
+    smallest cosine distance to [vec] (ties go to the more recently
+    used entry), refreshing the winner's recency.  [exclude] skips one
+    key (a self-match); [max_dist] turns anything farther than the
+    threshold into [None].  Raises [Invalid_argument] on a dimension
+    mismatch. *)
+
+val keys : 'a t -> string list
+(** All keys, most recently used first. *)

@@ -1,0 +1,390 @@
+(* Tests for the near-miss reuse building blocks: instance embeddings
+   must be deterministic and pool-size independent (they key a shared
+   index), the NN index must honor its LRU/threshold contract, pruning
+   incumbents and search seeds must never change results — only speed —
+   and the approx protocol extension must stay byte-compatible with
+   pre-extension clients. *)
+
+open Sorl_stencil
+module Nn_index = Sorl_util.Nn_index
+module Pool = Sorl_util.Pool
+module Seeding = Sorl_search.Seeding
+module Problem = Sorl_search.Problem
+open Sorl_serve
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let get = function Ok x -> x | Error m -> Alcotest.fail m
+
+let get_err what = function
+  | Ok _ -> Alcotest.fail (what ^ ": expected Error")
+  | Error m -> m
+
+(* ---- instance embeddings ---- *)
+
+let near_pairs =
+  (* The pairs the serving layer should treat as neighbors: only
+     near-identical encodings transfer their ranking reliably (blur
+     size variants; edge and game-of-life share the same 3x3 pattern
+     encoding, so reuse between them is exact). *)
+  [
+    ("blur-1024x1024", "blur-1024x768");
+    ("edge-512x512", "game-of-life-512x512");
+    ("edge-1024x1024", "game-of-life-1024x1024");
+  ]
+
+let dist a b =
+  let s = ref 0. in
+  Array.iteri (fun i x -> s := !s +. (x *. b.(i))) a;
+  1. -. !s
+
+let test_embedding_deterministic () =
+  List.iter
+    (fun mode ->
+      let inst = Benchmarks.instance_by_name "laplacian-128x128x128" in
+      let a = Features.embedding mode inst in
+      let b = Features.embedding mode inst in
+      checki "embedding dim" (Features.dim mode) (Array.length a);
+      checkb "bitwise deterministic" true (a = b);
+      let n = Array.fold_left (fun s x -> s +. (x *. x)) 0. a in
+      checkb "L2-normalized" true (Float.abs (n -. 1.) < 1e-9))
+    [ Features.Canonical; Features.Extended ]
+
+let test_embedding_pool_size_independent () =
+  let inst2 = Benchmarks.instance_by_name "blur-1024x768" in
+  let inst3 = Benchmarks.instance_by_name "gradient-128x128x128" in
+  List.iter
+    (fun inst ->
+      let reference = Features.embedding Features.Extended inst in
+      List.iter
+        (fun pool ->
+          let e =
+            Pool.with_domains pool (fun () -> Features.embedding Features.Extended inst)
+          in
+          checkb
+            (Printf.sprintf "pool size %d bit-identical" pool)
+            true (e = reference))
+        [ 1; 2; 4 ])
+    [ inst2; inst3 ]
+
+let test_embedding_separates_neighbors () =
+  (* The default threshold must admit the near-identical pairs and
+     reject everything else — including same-kernel size variants
+     whose measured ranking transfer is poor (see the neighbor-reuse
+     bench), and of course cross-kernel pairs. *)
+  let e name = Features.embedding Features.Extended (Benchmarks.instance_by_name name) in
+  List.iter
+    (fun (a, b) ->
+      checkb
+        (Printf.sprintf "%s ~ %s within threshold" a b)
+        true
+        (dist (e a) (e b) < Server.default_neighbor_threshold))
+    near_pairs;
+  List.iter
+    (fun (a, b) ->
+      checkb
+        (Printf.sprintf "%s !~ %s beyond threshold" a b)
+        true
+        (dist (e a) (e b) > Server.default_neighbor_threshold))
+    [
+      ("edge-512x512", "edge-1024x1024");
+      ("laplacian6-128x128x128", "laplacian6-256x256x256");
+      ("wave-128x128x128", "wave-256x256x256");
+      ("gradient-128x128x128", "laplacian-128x128x128");
+      ("blur-1024x1024", "edge-1024x1024");
+    ]
+
+(* ---- the NN index ---- *)
+
+let unit3 = [| 1.; 0.; 0. |]
+let mix a b t =
+  (* Unit vector interpolated between two orthonormal basis vectors. *)
+  let v = [| a *. cos t; b *. sin t; 0. |] in
+  v
+
+let test_nn_index_basics () =
+  let t = Nn_index.create ~capacity:8 ~dim:3 () in
+  checki "dim" 3 (Nn_index.dim t);
+  checki "capacity" 8 (Nn_index.capacity t);
+  checki "empty" 0 (Nn_index.length t);
+  checkb "nearest on empty" true (Nn_index.nearest t unit3 = None);
+  Nn_index.add t ~key:"a" unit3 1;
+  Nn_index.add t ~key:"b" [| 0.; 1.; 0. |] 2;
+  checki "two entries" 2 (Nn_index.length t);
+  checkb "find a" true (Nn_index.find t "a" = Some 1);
+  checkb "mem b" true (Nn_index.mem t "b");
+  checkb "find missing" true (Nn_index.find t "zzz" = None);
+  (* replace refreshes, does not evict or grow *)
+  Nn_index.add t ~key:"a" unit3 10;
+  checki "replace keeps length" 2 (Nn_index.length t);
+  checki "replace is not an eviction" 0 (Nn_index.evictions t);
+  checkb "replace updates payload" true (Nn_index.find t "a" = Some 10);
+  (* nearest: picks the closest entry, reports cosine distance *)
+  (match Nn_index.nearest t (mix 1. 1. 0.1) with
+  | Some ("a", 10, d) -> checkb "distance in (0, 0.01)" true (d > 0. && d < 0.01)
+  | other ->
+    Alcotest.fail
+      (Printf.sprintf "nearest: expected a, got %s"
+         (match other with Some (k, _, _) -> k | None -> "none")));
+  (* max_dist turns far matches into misses *)
+  checkb "max_dist filters" true
+    (Nn_index.nearest ~max_dist:0.001 t (mix 1. 1. 0.3) = None);
+  (* exclude skips the self-match and falls through to the runner-up *)
+  (match Nn_index.nearest ~exclude:"a" t unit3 with
+  | Some ("b", 2, _) -> ()
+  | _ -> Alcotest.fail "exclude: expected b");
+  Alcotest.check_raises "dim mismatch on add"
+    (Invalid_argument "Nn_index.add: vector has 2 dimensions, index wants 3") (fun () ->
+      Nn_index.add t ~key:"c" [| 1.; 0. |] 3)
+
+let test_nn_index_lru_eviction () =
+  let t = Nn_index.create ~capacity:3 ~dim:3 () in
+  let v i = mix 1. 1. (0.05 *. float_of_int i) in
+  Nn_index.add t ~key:"a" (v 1) 1;
+  Nn_index.add t ~key:"b" (v 2) 2;
+  Nn_index.add t ~key:"c" (v 3) 3;
+  (* touch a so b is the LRU *)
+  ignore (Nn_index.find t "a");
+  Nn_index.add t ~key:"d" (v 4) 4;
+  checki "capacity held" 3 (Nn_index.length t);
+  checki "one eviction" 1 (Nn_index.evictions t);
+  checkb "LRU b evicted" true (not (Nn_index.mem t "b"));
+  checkb "refreshed a survives" true (Nn_index.mem t "a");
+  checkb "keys MRU-first" true (Nn_index.keys t = [ "d"; "a"; "c" ]);
+  (* a successful nearest also refreshes: c becomes MRU, a becomes LRU
+     after d is touched *)
+  (match Nn_index.nearest t (v 3) with
+  | Some ("c", 3, _) -> ()
+  | _ -> Alcotest.fail "expected c as nearest");
+  checkb "nearest refreshes winner" true (List.hd (Nn_index.keys t) = "c");
+  (* capacity 0: every operation a no-op/miss *)
+  let z = Nn_index.create ~capacity:0 ~dim:3 () in
+  Nn_index.add z ~key:"a" unit3 1;
+  checki "zero-capacity stays empty" 0 (Nn_index.length z);
+  checkb "zero-capacity misses" true (Nn_index.nearest z unit3 = None)
+
+(* ---- incumbent-seeded pruning: identical results ---- *)
+
+let random_tuner seed mode =
+  let d = Features.dim mode in
+  let rng = Sorl_util.Rng.create seed in
+  let w = Array.init d (fun _ -> (Sorl_util.Rng.uniform rng *. 4.) -. 2.) in
+  Sorl.Autotuner.of_model ~mode (Sorl_svmrank.Model.create w)
+
+let test_incumbents_do_not_change_results () =
+  let tuner = random_tuner 11 Features.Extended in
+  List.iter
+    (fun (name, neighbor) ->
+      let inst = Benchmarks.instance_by_name name in
+      let dims = Kernel.dims (Instance.kernel inst) in
+      let plain = Sorl.Autotuner.top_k tuner inst ~k:10 in
+      (* on-grid incumbents from the neighbor's exact winners *)
+      let winners =
+        Sorl.Autotuner.top_k tuner (Benchmarks.instance_by_name neighbor) ~k:10
+      in
+      let seeded = Sorl.Autotuner.top_k ~incumbents:winners tuner inst ~k:10 in
+      checkb "incumbents leave top-k unchanged" true (seeded = plain);
+      (* off-grid junk incumbents are ignored, never unsound *)
+      let junk =
+        [| Tuning.create ~bx:7 ~by:13 ~bz:(if dims = 3 then 3 else 1) ~u:5 ~c:17 |]
+      in
+      let with_junk = Sorl.Autotuner.top_k ~incumbents:junk tuner inst ~k:10 in
+      checkb "off-grid incumbents ignored" true (with_junk = plain);
+      (* tune with an incumbent = tune without *)
+      let best = Sorl.Autotuner.tune tuner inst in
+      let seeded_best = Sorl.Autotuner.tune ~incumbent:winners.(0) tuner inst in
+      checkb "seeded tune = plain tune" true (Tuning.equal best seeded_best))
+    [ ("blur-1024x768", "blur-1024x1024"); ("gradient-128x128x128", "gradient-256x256x256") ]
+
+(* ---- warm-start seeds for the population searches ---- *)
+
+let sphere =
+  Problem.create
+    ~bounds:[| (2, 1024); (2, 1024); (0, 8) |]
+    ~eval:(fun p ->
+      let d0 = float_of_int (p.(0) - 300) and d1 = float_of_int (p.(1) - 300) in
+      let d2 = float_of_int (p.(2) - 4) in
+      (d0 *. d0) +. (d1 *. d1) +. (100. *. d2 *. d2))
+
+let test_seeding_sanitizes () =
+  checkb "None -> empty" true (Seeding.usable sphere None = [||]);
+  checkb "Some [||] -> empty" true (Seeding.usable sphere (Some [||]) = [||]);
+  let out =
+    Seeding.usable sphere (Some [| [| 1; 2 |]; [| 5000; 1; -3 |]; [| 300; 300; 4 |] |])
+  in
+  checki "wrong arity dropped" 2 (Array.length out);
+  checkb "clamped into bounds" true (out.(0) = [| 1024; 2; 0 |]);
+  checkb "in-bounds untouched" true (out.(1) = [| 300; 300; 4 |]);
+  let init = [| [| 9; 9; 9 |]; [| 8; 8; 8 |]; [| 7; 7; 7 |] |] in
+  Seeding.overlay [| [| 1; 1; 1 |] |] init;
+  checkb "overlay writes leading slots only" true
+    (init = [| [| 1; 1; 1 |]; [| 8; 8; 8 |]; [| 7; 7; 7 |] |])
+
+let seeded_runs =
+  [
+    ("ga", fun ?seeds ~seed p -> Sorl_search.Ga_generational.run ?seeds ~seed ~budget:200 p);
+    ("sga", fun ?seeds ~seed p -> Sorl_search.Ga_steady_state.run ?seeds ~seed ~budget:200 p);
+    ("es", fun ?seeds ~seed p -> Sorl_search.Evolution_strategy.run ?seeds ~seed ~budget:200 p);
+    ("de", fun ?seeds ~seed p -> Sorl_search.Differential_evolution.run ?seeds ~seed ~budget:200 p);
+  ]
+
+let test_seeded_searches () =
+  let optimum = [| 300; 300; 4 |] in
+  seeded_runs
+  |> List.iter
+       (fun
+         ( name,
+           (run :
+             ?seeds:int array array -> seed:int -> Problem.t -> Sorl_search.Runner.outcome)
+         )
+       ->
+      (* deterministic per seed, with and without warm-start *)
+      let a = run ~seed:3 sphere in
+      let b = run ~seed:3 sphere in
+      checkb (name ^ ": deterministic") true
+        (a.Sorl_search.Runner.best_point = b.Sorl_search.Runner.best_point
+        && a.best_cost = b.best_cost);
+      (* empty seeds = no seeds: same random stream, same outcome *)
+      let e = run ?seeds:(Some [||]) ~seed:3 sphere in
+      checkb (name ^ ": empty seeds = unseeded") true
+        (e.best_point = a.best_point && e.best_cost = a.best_cost);
+      let s = run ?seeds:(Some [| optimum |]) ~seed:3 sphere in
+      checkb (name ^ ": seeded deterministic") true
+        (let s' = run ?seeds:(Some [| optimum |]) ~seed:3 sphere in
+         s.best_point = s'.best_point && s.best_cost = s'.best_cost);
+      (* seeding with the optimum can only help: the seed is evaluated
+         as part of the initial population, so best <= its cost (= 0) *)
+      checkb (name ^ ": optimum seed found") true (s.best_cost <= a.best_cost);
+      checkb (name ^ ": seed cost attained") true (s.best_cost <= Problem.eval sphere optimum))
+
+let test_registry_accepts_seeds () =
+  List.iter
+    (fun name ->
+      let algo = Sorl_search.Registry.find name in
+      let seeded = algo.run ?seeds:(Some [| [| 300; 300; 4 |] |]) ~seed:1 ~budget:120 sphere in
+      let plain = algo.run ~seed:1 ~budget:120 sphere in
+      (* population algorithms pick the seed up; the others ignore it —
+         either way the call is well-typed and deterministic *)
+      checkb (name ^ ": seeded cost sane") true
+        (seeded.Sorl_search.Runner.best_cost <= plain.best_cost
+        || seeded.best_cost = plain.best_cost
+        || name = "random" || name = "hill" || name = "sa" || name = "bandit"
+        || name = "pso")
+      )
+    [ "ga"; "de"; "es"; "sga"; "random"; "hill" ]
+
+(* ---- protocol: bang requests, tilde replies, strict mode ---- *)
+
+let test_protocol_approx_roundtrip () =
+  let enc = Protocol.encode_request in
+  (* byte compatibility: the default encodings are the pre-extension
+     frames *)
+  checks "rank unchanged" "sorl1 rank blur-1024x768 10"
+    (enc (Protocol.Rank { benchmark = "blur-1024x768"; top = 10; approx_ok = false }));
+  checks "tune unchanged" "sorl1 tune blur-1024x768"
+    (enc (Protocol.Tune { benchmark = "blur-1024x768"; approx_ok = false }));
+  checks "rank! opt-in" "sorl1 rank! blur-1024x768 10"
+    (enc (Protocol.Rank { benchmark = "blur-1024x768"; top = 10; approx_ok = true }));
+  checks "tune! opt-in" "sorl1 tune! blur-1024x768"
+    (enc (Protocol.Tune { benchmark = "blur-1024x768"; approx_ok = true }));
+  (* request round-trips preserve the flag *)
+  List.iter
+    (fun r ->
+      checkb "request roundtrip" true
+        (get (Protocol.parse_request (enc r)) = r))
+    [
+      Protocol.Rank { benchmark = "b"; top = 3; approx_ok = true };
+      Protocol.Rank { benchmark = "b"; top = 3; approx_ok = false };
+      Protocol.Tune { benchmark = "b"; approx_ok = true };
+      Protocol.Tune { benchmark = "b"; approx_ok = false };
+    ];
+  (* responses: approx=false encodes the legacy verbs, approx=true the
+     tilde forms; both round-trip *)
+  let t = Tuning.create ~bx:64 ~by:8 ~bz:1 ~u:2 ~c:16 in
+  let ranked approx =
+    Protocol.Ranked { benchmark = "b"; total = 1600; tunings = [ t ]; approx }
+  in
+  let tuned approx = Protocol.Tuned { benchmark = "b"; tuning = t; approx } in
+  checkb "ranked exact has no flag" true
+    (String.sub (Protocol.encode_response (ranked false)) 0 8 = "ok rank ");
+  checkb "ranked approx flagged" true
+    (String.sub (Protocol.encode_response (ranked true)) 0 8 = "ok rank~");
+  List.iter
+    (fun r ->
+      checkb "response roundtrip" true
+        (get (Protocol.parse_response (Protocol.encode_response r)) = r))
+    [ ranked false; ranked true; tuned false; tuned true ]
+
+let test_protocol_strict_vs_lenient () =
+  let t = Tuning.create ~bx:64 ~by:8 ~bz:1 ~u:2 ~c:16 in
+  let exact =
+    Protocol.encode_response
+      (Protocol.Tuned { benchmark = "b"; tuning = t; approx = false })
+  in
+  (* splice an unknown flag onto the reply verb ("ok tune" -> "ok tune?") *)
+  let unknown_flag =
+    "ok tune?" ^ String.sub exact 7 (String.length exact - 7)
+  in
+  (match Protocol.parse_response unknown_flag with
+  | Ok (Protocol.Tuned { approx = false; _ }) -> ()
+  | Ok _ -> Alcotest.fail "lenient: wrong reply shape"
+  | Error m -> Alcotest.fail ("lenient parse should skip unknown flags: " ^ m));
+  let m = get_err "strict" (Protocol.parse_response ~strict:true unknown_flag) in
+  checkb "strict names the flag" true
+    (let has sub s =
+       let n = String.length sub and l = String.length s in
+       let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     has "?" m);
+  (* unknown base verbs error in both modes *)
+  (match Protocol.parse_response "ok zzz 1 2 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown base verb must error leniently too");
+  match Protocol.parse_response ~strict:true "ok zzz 1 2 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown base verb must error strictly"
+
+(* ---- result cache: evictions and per-generation occupancy ---- *)
+
+let test_result_cache_evictions_and_generations () =
+  let c = Result_cache.create ~capacity:3 () in
+  let key g b = Result_cache.key ~generation:g ~verb:"rank:3" ~benchmark:b in
+  Result_cache.put c (key 0 "a") "ra";
+  Result_cache.put c (key 0 "b") "rb";
+  Result_cache.put c (key 1 "a") "ra1";
+  checki "no evictions yet" 0 (Result_cache.evictions c);
+  checkb "by generation" true (Result_cache.entries_by_generation c = [ (0, 2); (1, 1) ]);
+  Result_cache.put c (key 1 "b") "rb1";
+  checki "one eviction" 1 (Result_cache.evictions c);
+  checkb "LRU (gen 0) drained first" true
+    (Result_cache.entries_by_generation c = [ (0, 1); (1, 2) ]);
+  (* refreshing an existing key is not an eviction *)
+  Result_cache.put c (key 1 "b") "rb1";
+  checki "refresh is free" 1 (Result_cache.evictions c)
+
+let suite =
+  [
+    Alcotest.test_case "embedding: deterministic, normalized" `Quick
+      test_embedding_deterministic;
+    Alcotest.test_case "embedding: pool-size independent (1/2/4)" `Slow
+      test_embedding_pool_size_independent;
+    Alcotest.test_case "embedding: threshold separates kernels" `Slow
+      test_embedding_separates_neighbors;
+    Alcotest.test_case "nn index: add/find/nearest/exclude" `Quick test_nn_index_basics;
+    Alcotest.test_case "nn index: LRU eviction and refresh" `Quick
+      test_nn_index_lru_eviction;
+    Alcotest.test_case "incumbents never change rank/tune results" `Slow
+      test_incumbents_do_not_change_results;
+    Alcotest.test_case "seeding: sanitize and overlay" `Quick test_seeding_sanitizes;
+    Alcotest.test_case "seeded searches: deterministic, monotone" `Quick
+      test_seeded_searches;
+    Alcotest.test_case "registry threads seeds through" `Quick test_registry_accepts_seeds;
+    Alcotest.test_case "protocol: approx flags roundtrip, byte-compat" `Quick
+      test_protocol_approx_roundtrip;
+    Alcotest.test_case "protocol: strict vs lenient flags" `Quick
+      test_protocol_strict_vs_lenient;
+    Alcotest.test_case "result cache: evictions, per-generation" `Quick
+      test_result_cache_evictions_and_generations;
+  ]

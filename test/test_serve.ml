@@ -58,8 +58,8 @@ let request_roundtrip r = get (Protocol.parse_request (Protocol.encode_request r
 let test_protocol_request_roundtrip () =
   let reqs =
     [
-      Protocol.Rank { benchmark = "blur-1024x768"; top = 7 };
-      Protocol.Tune { benchmark = "gradient-256x256x256" };
+      Protocol.Rank { benchmark = "blur-1024x768"; top = 7; approx_ok = false };
+      Protocol.Tune { benchmark = "gradient-256x256x256"; approx_ok = false };
       Protocol.Info;
       Protocol.Stats;
       Protocol.Reload { model = None };
@@ -74,9 +74,9 @@ let test_protocol_response_roundtrip () =
   let t2 = Tuning.create ~bx:16 ~by:16 ~bz:1 ~u:0 ~c:1 in
   let resps =
     [
-      Protocol.Ranked { benchmark = "b"; total = 1600; tunings = [ t1; t2 ] };
-      Protocol.Ranked { benchmark = "b"; total = 0; tunings = [] };
-      Protocol.Tuned { benchmark = "b"; tuning = t1 };
+      Protocol.Ranked { benchmark = "b"; total = 1600; tunings = [ t1; t2 ]; approx = false };
+      Protocol.Ranked { benchmark = "b"; total = 0; tunings = []; approx = false };
+      Protocol.Tuned { benchmark = "b"; tuning = t1; approx = false };
       Protocol.Info_reply [ ("model", "default"); ("generation", "3") ];
       Protocol.Stats_reply [ ("requests", 12); ("errors", 0) ];
       Protocol.Reloaded { model = "nightly"; generation = 4 };
@@ -136,7 +136,7 @@ let test_protocol_malformed () =
   (* encode refuses frames that could not be parsed back *)
   Alcotest.check_raises "space in name"
     (Invalid_argument "Protocol: benchmark \"a b\" is not a single printable token")
-    (fun () -> ignore (Protocol.encode_request (Protocol.Tune { benchmark = "a b" })))
+    (fun () -> ignore (Protocol.encode_request (Protocol.Tune { benchmark = "a b"; approx_ok = false })))
 
 let test_protocol_addresses () =
   checkb "unix roundtrip" true
@@ -365,11 +365,12 @@ let test_connect_backoff () =
 (* ---- server end-to-end ---- *)
 
 let start_server ?(workers = 2) ?(queue_capacity = 16) ?(conn_timeout_s = 10.)
-    ?cache_capacity ?max_connections ?warm ?topk dir source =
+    ?cache_capacity ?max_connections ?warm ?topk ?neighbors ?neighbor_threshold dir source
+    =
   let address = Protocol.Unix_path (Filename.concat dir "test.sock") in
   get
     (Server.start ~address ~workers ~queue_capacity ~conn_timeout_s ?cache_capacity
-       ?max_connections ?warm ?topk source)
+       ?max_connections ?warm ?topk ?neighbors ?neighbor_threshold source)
 
 (* A raw socket speaking the wire protocol directly — for tests that
    care about exact reply bytes, pipelined trains and connection
@@ -562,9 +563,9 @@ let test_client_pipeline_in_order () =
          let reqs =
            [
              Protocol.Info;
-             Protocol.Rank { benchmark; top = 2 };
-             Protocol.Tune { benchmark };
-             Protocol.Rank { benchmark = "no-such-benchmark"; top = 1 };
+             Protocol.Rank { benchmark; top = 2; approx_ok = false };
+             Protocol.Tune { benchmark; approx_ok = false };
+             Protocol.Rank { benchmark = "no-such-benchmark"; top = 1; approx_ok = false };
              Protocol.Stats;
            ]
          in
@@ -807,6 +808,188 @@ let test_server_reload_errors_keep_old_model () =
          Ok ()));
   shutdown_server server
 
+(* ---- near-miss reuse ---- *)
+
+let test_server_provisional_then_exact () =
+  (* One worker makes the sequencing deterministic: the back-fill runs
+     on the worker strictly after the provisional reply is written and
+     before the next batch, so the second identical request must be an
+     exact cache hit. *)
+  let tuner = Lazy.force tuner_a in
+  let near = "blur-1024x1024" in
+  (* [benchmark] = blur-1024x768 is its size variant *)
+  let exact_of name ~top =
+    let inst = Benchmarks.instance_by_name name in
+    Array.to_list
+      (Array.sub
+         (Sorl.Autotuner.rank tuner inst
+            (Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst))))
+         0 top)
+  in
+  with_temp_dir @@ fun dir ->
+  let server = start_server ~workers:1 ~warm:false dir (file_source dir tuner) in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         (* prime: exact rank of the neighbor populates the NN index
+            with its top-10 winners *)
+         checkb "prime = direct" true
+           (get (Client.rank c ~benchmark:near ~top:10) = exact_of near ~top:10);
+         (* a cache-missing rank! on the size variant is answered
+            provisionally with the neighbor's winners *)
+         let tunings, approx = get (Client.rank_approx c ~benchmark ~top:5) in
+         checkb "provisional reply flagged" true approx;
+         checkb "provisional = neighbor's winners" true (tunings = exact_of near ~top:5);
+         (* ... and the back-fill leaves the exact bytes in the cache:
+            the same request is now an exact, unflagged hit *)
+         let tunings2, approx2 = get (Client.rank_approx c ~benchmark ~top:5) in
+         checkb "second ask is exact" true (not approx2);
+         checkb "back-filled = direct" true (tunings2 = exact_of benchmark ~top:5);
+         (* tune! takes the same provisional-then-exact path *)
+         let t1, a1 = get (Client.tune_approx c ~benchmark) in
+         checkb "tune! provisional" true a1;
+         checkb "provisional best = neighbor's best" true
+           (Tuning.equal t1 (List.hd (exact_of near ~top:1)));
+         let t2, a2 = get (Client.tune_approx c ~benchmark) in
+         checkb "tune! settles exact" true (not a2);
+         checkb "exact tune = direct" true
+           (Tuning.equal t2 (List.hd (exact_of benchmark ~top:1)));
+         (* plain rank never sees an approximation, even on a cold key *)
+         checkb "plain rank exact on cold key" true
+           (get (Client.rank c ~benchmark ~top:7) = exact_of benchmark ~top:7);
+         let stats = get (Client.stats c) in
+         checkb "neighbor hits counted" true (List.assoc "neighbor_hits" stats >= 2);
+         checkb "approx replies counted" true (List.assoc "approx_replies" stats >= 2);
+         checkb "index populated" true (List.assoc "neighbor_entries" stats >= 2);
+         Ok ()));
+  shutdown_server server
+
+let test_server_neighbor_reconciliation () =
+  (* For a pure rank!/tune! load over known benchmarks,
+     approx_replies + result_cache_hits + neighbor_misses accounts for
+     every request exactly once. *)
+  let tuner = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  let server = start_server ~workers:1 ~warm:false dir (file_source dir tuner) in
+  let a = "blur-1024x1024" and b = "blur-1024x768" in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         let bang_requests =
+           [
+             Protocol.Rank { benchmark = a; top = 5; approx_ok = true };
+             (* cache miss, empty index -> neighbor miss, exact *)
+             Protocol.Rank { benchmark = a; top = 5; approx_ok = true };
+             (* cache hit *)
+             Protocol.Rank { benchmark = b; top = 5; approx_ok = true };
+             (* neighbor hit -> approx *)
+             Protocol.Rank { benchmark = b; top = 5; approx_ok = true };
+             (* back-filled cache hit *)
+             Protocol.Tune { benchmark = b; approx_ok = true };
+             (* distinct cache key -> neighbor hit again *)
+           ]
+         in
+         List.iter (fun r -> ignore (get (Client.request c r))) bang_requests;
+         let stats = get (Client.stats c) in
+         let v k = List.assoc k stats in
+         checki "approx + cache hits + neighbor misses = bang requests"
+           (List.length bang_requests)
+           (v "approx_replies" + v "result_cache_hits" + v "neighbor_misses");
+         checki "approx replies" 2 (v "approx_replies");
+         checki "cache hits" 2 (v "result_cache_hits");
+         checki "neighbor misses" 1 (v "neighbor_misses");
+         Ok ()));
+  shutdown_server server
+
+let test_server_neighbors_disabled_or_far () =
+  (* neighbors:0 switches the layer off: rank! behaves exactly like
+     rank; and with the layer on, a cross-kernel request never reuses —
+     its distance exceeds the threshold. *)
+  let tuner = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  let server =
+    start_server ~workers:1 ~warm:false ~neighbors:0 dir (file_source dir tuner)
+  in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         ignore (get (Client.rank c ~benchmark:"blur-1024x1024" ~top:5));
+         let _, approx = get (Client.rank_approx c ~benchmark ~top:5) in
+         checkb "disabled layer never approximates" true (not approx);
+         let stats = get (Client.stats c) in
+         checkb "no neighbor stats when disabled" true
+           (not (List.mem_assoc "neighbor_hits" stats));
+         Ok ()));
+  shutdown_server server;
+  let server2 = start_server ~workers:1 ~warm:false dir (file_source dir tuner) in
+  get
+    (Client.with_connection (Server.address server2) (fun c ->
+         (* prime with a 3-D kernel, then ask for a 2-D one: far in
+            embedding space, so the reply is exact *)
+         ignore (get (Client.rank c ~benchmark:"laplacian-128x128x128" ~top:5));
+         let _, approx = get (Client.rank_approx c ~benchmark ~top:5) in
+         checkb "far instance not reused" true (not approx);
+         let stats = get (Client.stats c) in
+         checkb "counted as neighbor miss" true (List.assoc "neighbor_misses" stats >= 1);
+         Ok ()));
+  shutdown_server server2
+
+let test_server_neighbor_reload_invalidates () =
+  (* The NN index is keyed to the model generation: after a reload,
+     the old generation's winners must never feed a provisional reply. *)
+  let a = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  let store = get (Model_store.open_dir (Filename.concat dir "store")) in
+  get (Model_store.save store ~name:"default" a);
+  get (Model_store.save store ~name:"other" (Lazy.force tuner_b));
+  let server =
+    start_server ~workers:1 ~warm:false dir (Server.Store (store, "default"))
+  in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         ignore (get (Client.rank c ~benchmark:"blur-1024x1024" ~top:10));
+         let _, approx = get (Client.rank_approx c ~benchmark ~top:5) in
+         checkb "neighbor served before reload" true approx;
+         ignore (get (Client.reload ~model:"other" c));
+         (* the index was dropped with the old generation, so the next
+            rank! on a fresh benchmark finds no neighbor *)
+         let tunings, approx2 = get (Client.rank_approx c ~benchmark:"edge-512x512" ~top:5) in
+         checkb "no stale neighbor after reload" true (not approx2);
+         checki "exact reply length" 5 (List.length tunings);
+         let stats = get (Client.stats c) in
+         checkb "index restarted" true (List.assoc "neighbor_entries" stats <= 2);
+         Ok ()));
+  shutdown_server server
+
+let test_server_neighbor_concurrent_mixed_load () =
+  (* Concurrent clients mixing plain and bang verbs: every reply
+     parses, plain replies are never flagged approximate, and every
+     rank body - provisional or exact - is a well-formed top-5. *)
+  let tuner = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  let server = start_server ~workers:2 ~warm:false dir (file_source dir tuner) in
+  let pairs = [| ("blur-1024x1024", "blur-1024x768"); ("edge-512x512", "edge-1024x1024") |] in
+  let failures = Atomic.make 0 in
+  let spawned =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let prime, variant = pairs.(i mod Array.length pairs) in
+            match
+              Client.with_connection (Server.address server) (fun c ->
+                  for _ = 1 to 5 do
+                    (match Client.rank c ~benchmark:prime ~top:5 with
+                    | Ok l when List.length l = 5 -> ()
+                    | _ -> Atomic.incr failures);
+                    match Client.rank_approx c ~benchmark:variant ~top:5 with
+                    | Ok (l, _) when List.length l = 5 -> ()
+                    | _ -> Atomic.incr failures
+                  done;
+                  Ok ())
+            with
+            | Ok () -> ()
+            | Error _ -> Atomic.incr failures))
+  in
+  List.iter Domain.join spawned;
+  checki "no torn or malformed replies" 0 (Atomic.get failures);
+  shutdown_server server
+
 let suite =
   [
     Alcotest.test_case "protocol request roundtrip" `Quick test_protocol_request_roundtrip;
@@ -844,4 +1027,14 @@ let suite =
     Alcotest.test_case "hot reload under load" `Slow test_server_hot_reload_under_load;
     Alcotest.test_case "failed reload keeps the old model" `Quick
       test_server_reload_errors_keep_old_model;
+    Alcotest.test_case "neighbor: provisional then exact back-fill" `Quick
+      test_server_provisional_then_exact;
+    Alcotest.test_case "neighbor: counters reconcile with requests" `Quick
+      test_server_neighbor_reconciliation;
+    Alcotest.test_case "neighbor: disabled or out of range" `Quick
+      test_server_neighbors_disabled_or_far;
+    Alcotest.test_case "neighbor: reload drops the index" `Quick
+      test_server_neighbor_reload_invalidates;
+    Alcotest.test_case "neighbor: concurrent mixed load" `Slow
+      test_server_neighbor_concurrent_mixed_load;
   ]
