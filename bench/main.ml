@@ -7,7 +7,8 @@
 
    Experiments: table2 table3 fig4 fig5 fig6 fig7 ablation baselines
    extensions stability csv perf rank-throughput serve-throughput
-   cold-rank micro telemetry-overhead.
+   cold-rank fleet-throughput neighbor-reuse micro telemetry-overhead
+   online-learn.
    See DESIGN.md for the experiment index and EXPERIMENTS.md for the
    paper-vs-measured discussion of one full run. *)
 
@@ -2400,6 +2401,487 @@ let neighbor_reuse () =
       exit 1
     end
 
+(* ---- Online learning: observe -> retrain -> canary -> promote ---- *)
+
+let online_learn () =
+  header "Online learning: ingestion throughput, warm-start retrain, canaried rollout";
+  let m = Sorl_machine.Measure.model machine in
+  let spec = { Sorl.Training.size = 480; mode = Features.Extended; seed = 5 } in
+  let stable =
+    Sorl.Autotuner.train_on ~mode:Features.Extended (Sorl.Training.generate ~spec m)
+  in
+  let mode = Sorl.Autotuner.feature_mode stable in
+  let benchmarks = [ "blur-1024x768"; "edge-512x512"; "game-of-life-512x512" ] in
+  let per_bench = 2000 in
+  (* The observation stream a measurement harness would produce: random
+     points from the predefined set, costed by the noisy substrate. *)
+  let obs_by_bench =
+    let noisy = Sorl_machine.Measure.model ~noise_amplitude:0.02 ~seed:11 machine in
+    let rng = Sorl_util.Rng.create 86243 in
+    List.map
+      (fun benchmark ->
+        let inst = Benchmarks.instance_by_name benchmark in
+        let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+        List.init per_bench (fun _ ->
+            let tuning = set.(Sorl_util.Rng.int rng (Array.length set)) in
+            let cost = Sorl_machine.Measure.runtime noisy inst tuning in
+            { Sorl_learn.Obs_log.benchmark; tuning; cost }))
+      benchmarks
+  in
+  let obs = List.concat obs_by_bench in
+  let early =
+    List.concat_map (List.filteri (fun i _ -> i < per_bench / 2)) obs_by_bench
+  in
+  let n_obs = List.length obs in
+  (* ---- warm-start convergence, in the loop's steady state: the
+     previous generation was fit on a prefix of the same stream, and
+     the next cycle warm-starts from it on the grown log.  At half the
+     pass budget the warm solve must land on the from-scratch held-out
+     tau. ---- *)
+  let dcd passes =
+    Sorl.Autotuner.Dcd
+      { Sorl_svmrank.Solver_dcd.default_params with max_passes = passes; seed = 11 }
+  in
+  let scratch_passes = 40 in
+  let warm_passes = scratch_passes / 2 in
+  let train_early, _ = Sorl_learn.Trainer.split early in
+  let gen1 =
+    match Sorl_learn.Trainer.retrain ~solver:(dcd scratch_passes) ~mode train_early with
+    | Ok t -> t
+    | Error m -> failwith m
+  in
+  let train_slice, held = Sorl_learn.Trainer.split obs in
+  let tau tuner =
+    match Sorl_learn.Trainer.holdout_tau tuner held with Some t -> t | None -> nan
+  in
+  let scratch_r, scratch_s =
+    Sorl_util.Timer.time (fun () ->
+        Sorl_learn.Trainer.retrain ~solver:(dcd scratch_passes) ~mode train_slice)
+  in
+  let warm_r, warm_s =
+    Sorl_util.Timer.time (fun () ->
+        Sorl_learn.Trainer.retrain ~solver:(dcd warm_passes)
+          ~init:(Sorl.Autotuner.weights gen1) ~mode train_slice)
+  in
+  let scratch_tuner = match scratch_r with Ok t -> t | Error m -> failwith m in
+  let candidate = match warm_r with Ok t -> t | Error m -> failwith m in
+  let stable_tau = tau stable in
+  let gen1_tau = tau gen1 in
+  let scratch_tau = tau scratch_tuner in
+  let warm_tau = tau candidate in
+  let converged = warm_tau >= scratch_tau -. 1e-6 in
+  Printf.printf
+    "%d observations over %d benchmarks; held-out tau: stable %+.4f, previous \
+     generation (half the stream) %+.4f\n"
+    n_obs (List.length benchmarks) stable_tau gen1_tau;
+  Printf.printf
+    "retrain scratch (%d passes): tau %+.4f in %s; warm from previous (%d passes): tau \
+     %+.4f in %s\n"
+    scratch_passes scratch_tau (Table.fmt_time scratch_s) warm_passes warm_tau
+    (Table.fmt_time warm_s);
+  (* ---- ingestion throughput: one connection streams the whole list
+     [ingest_rounds] times pipelined while a foreground client keeps
+     measuring rank latency (cache off: every rank is a full scoring
+     pass, so the percentile is stable enough to compare) ---- *)
+  let dir = Filename.temp_dir "sorl-learn-bench" "" in
+  let store =
+    match Sorl_serve.Model_store.open_dir dir with Ok s -> s | Error m -> failwith m
+  in
+  (match Sorl_serve.Model_store.save store ~name:"default" stable with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let ingest_server =
+    match
+      Sorl_serve.Server.start
+        ~address:(Sorl_serve.Protocol.Unix_path (Filename.concat dir "ingest.sock"))
+        ~workers:4 ~queue_capacity:64 ~cache_capacity:0 ~warm:false
+        ~obs_log:(Filename.concat dir "ingest.obs")
+        (Sorl_serve.Server.Store (store, "default"))
+    with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let ingest_addr = Sorl_serve.Server.address ingest_server in
+  let rank_client =
+    match Sorl_serve.Client.connect ~retry_for_s:5. ingest_addr with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let bench_arr = Array.of_list benchmarks in
+  let rank_errors = ref 0 in
+  let rank_once i =
+    let t0 = Unix.gettimeofday () in
+    (match
+       Sorl_serve.Client.rank rank_client
+         ~benchmark:bench_arr.(i mod Array.length bench_arr)
+         ~top:3
+     with
+    | Ok _ -> ()
+    | Error _ -> incr rank_errors);
+    Unix.gettimeofday () -. t0
+  in
+  let quiet_lat = Array.init 200 rank_once in
+  let p50_quiet = Stats.percentile quiet_lat 50. in
+  (* [stream rounds] pushes the whole observation list [rounds] times
+     through one pipelined Observer.  With [pace_to] it sleeps off the
+     remainder of each batch interval, holding a target rate. *)
+  let stream ?pace_to rounds =
+    match Sorl_serve.Client.connect ~retry_for_s:5. ingest_addr with
+    | Error m -> failwith m
+    | Ok c ->
+      let batch = 64 in
+      let ob = Sorl_serve.Client.Observer.create ~batch c in
+      let interval = Option.map (fun rate -> float_of_int batch /. rate) pace_to in
+      let sent = ref 0 in
+      let next = ref (Unix.gettimeofday ()) in
+      let (), wall =
+        Sorl_util.Timer.time (fun () ->
+            for _ = 1 to rounds do
+              List.iter
+                (fun { Sorl_learn.Obs_log.benchmark; tuning; cost } ->
+                  ignore (Sorl_serve.Client.Observer.send ob ~benchmark ~tuning ~cost);
+                  incr sent;
+                  match interval with
+                  | Some dt when !sent mod batch = 0 ->
+                    next := !next +. dt;
+                    let now = Unix.gettimeofday () in
+                    if now < !next then Unix.sleepf (!next -. now)
+                  | _ -> ())
+                obs
+            done;
+            ignore (Sorl_serve.Client.Observer.close ob))
+      in
+      let acked = Sorl_serve.Client.Observer.acked ob in
+      let rejected = Sorl_serve.Client.Observer.rejected ob in
+      Sorl_serve.Client.close c;
+      (acked, rejected, wall)
+  in
+  (* Burst: full pipeline speed, no foreground load — the capacity
+     number. *)
+  let burst_rounds = 4 in
+  let burst_sent = burst_rounds * n_obs in
+  let burst_acked, burst_rejected, burst_wall = stream burst_rounds in
+  let burst_rate = float_of_int burst_sent /. burst_wall in
+  (* Paced: hold ~12k obs/s while the foreground client keeps measuring
+     rank latency.  The latency gate runs at the rate the acceptance
+     demands, not at burst capacity — an in-process burst saturates the
+     shared runtime and would measure GC pressure, not serving. *)
+  let paced_rounds = 2 in
+  let paced_sent = paced_rounds * n_obs in
+  let ingest_done = Atomic.make false in
+  let ingest_result = Atomic.make (0, 0, 0.) in
+  let ingester =
+    Domain.spawn (fun () ->
+        (try Atomic.set ingest_result (stream ~pace_to:12_000. paced_rounds)
+         with _ -> ());
+        Atomic.set ingest_done true)
+  in
+  let during = ref [] in
+  let i = ref 0 in
+  while not (Atomic.get ingest_done) do
+    during := rank_once !i :: !during;
+    incr i
+  done;
+  Domain.join ingester;
+  let during_lat = Array.of_list !during in
+  let p50_during =
+    if Array.length during_lat = 0 then p50_quiet else Stats.percentile during_lat 50.
+  in
+  let paced_acked, paced_rejected, paced_wall = Atomic.get ingest_result in
+  let paced_rate = float_of_int paced_sent /. paced_wall in
+  let acked = burst_acked + paced_acked in
+  let rejected = burst_rejected + paced_rejected in
+  let obs_sent = burst_sent + paced_sent in
+  let served_obs =
+    match Sorl_serve.Client.stats rank_client with
+    | Ok kvs -> Option.value ~default:(-1) (List.assoc_opt "observations" kvs)
+    | Error _ -> -1
+  in
+  Sorl_serve.Client.close rank_client;
+  Sorl_serve.Server.stop ingest_server;
+  Sorl_serve.Server.wait ingest_server;
+  let p50_degrade =
+    if p50_quiet > 0. then (p50_during -. p50_quiet) /. p50_quiet else 0.
+  in
+  Printf.printf
+    "ingestion burst: %d observations in %s (%.0f obs/s); paced: %d in %s (%.0f obs/s); \
+     %d acked, %d rejected\n"
+    burst_sent (Table.fmt_time burst_wall) burst_rate paced_sent
+    (Table.fmt_time paced_wall) paced_rate acked rejected;
+  Printf.printf "rank p50 %s quiet -> %s under paced ingestion (%+.1f%%, %d samples)\n"
+    (Table.fmt_time p50_quiet) (Table.fmt_time p50_during) (100. *. p50_degrade)
+    (Array.length during_lat);
+  (* ---- canaried rollout through the router: shard logs fill over the
+     wire, the candidate generation shadows, and promote is a rolling
+     hot reload that must never tear a reply ---- *)
+  let fleet =
+    match
+      Sorl_serve.Fleet.start ~dir:(Filename.concat dir "fleet") ~shards:1 ~workers:2
+        ~cache_capacity:0 ~warm:false ~topk:false ~conn_timeout_s:30.
+        ~obs_dir:(Filename.concat dir "obs") ~canary_fraction:1.
+        (Sorl_serve.Server.Store (store, "default"))
+    with
+    | Ok f -> f
+    | Error m -> failwith m
+  in
+  let router =
+    match
+      Sorl_serve.Router.start
+        ~address:(Sorl_serve.Protocol.Unix_path (Filename.concat dir "router.sock"))
+        ~workers:2 ~conn_timeout_s:30. ~connect_retry_s:5.
+        (Sorl_serve.Fleet.addresses fleet)
+    with
+    | Ok r -> r
+    | Error m ->
+      Sorl_serve.Fleet.stop fleet;
+      failwith m
+  in
+  let router_addr = Sorl_serve.Router.address router in
+  let gname =
+    match Sorl_serve.Model_store.publish store ~base:"default" candidate with
+    | Ok (n, _) -> n
+    | Error (Sorl_serve.Model_store.Generation_exists n) ->
+      failwith ("generation already published: " ^ n)
+    | Error (Sorl_serve.Model_store.Publish_failed m) -> failwith m
+  in
+  let router_acked =
+    match Sorl_serve.Client.connect ~retry_for_s:5. router_addr with
+    | Error m -> failwith m
+    | Ok c ->
+      let ob = Sorl_serve.Client.Observer.create ~batch:256 c in
+      List.iter
+        (fun { Sorl_learn.Obs_log.benchmark; tuning; cost } ->
+          ignore (Sorl_serve.Client.Observer.send ob ~benchmark ~tuning ~cost))
+        obs;
+      ignore (Sorl_serve.Client.Observer.close ob);
+      let n = Sorl_serve.Client.Observer.acked ob in
+      Sorl_serve.Client.close c;
+      n
+  in
+  let expected_rank tuner benchmark =
+    let inst = Benchmarks.instance_by_name benchmark in
+    let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+    let ranked = Sorl.Autotuner.rank tuner inst set in
+    Sorl_serve.Protocol.encode_response
+      (Sorl_serve.Protocol.Ranked
+         {
+           benchmark;
+           total = Array.length ranked;
+           tunings = Array.to_list (Array.sub ranked 0 3);
+           approx = false;
+         })
+  in
+  let id_bench = List.hd benchmarks in
+  let stable_bytes = expected_rank stable id_bench in
+  let candidate_bytes = expected_rank candidate id_bench in
+  let id_line = Printf.sprintf "sorl1 rank %s 3" id_bench in
+  let raw_connect address =
+    match address with
+    | Sorl_serve.Protocol.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    | _ -> assert false
+  in
+  let ask_once line =
+    let fd, ic, oc = raw_connect router_addr in
+    output_string oc (line ^ "\n");
+    flush oc;
+    let reply = input_line ic in
+    close_out_noerr oc;
+    ignore fd;
+    reply
+  in
+  let torn = Atomic.make 0 in
+  let leaked = Atomic.make 0 in
+  let load_replies = Atomic.make 0 in
+  let stop = Atomic.make false in
+  (* 0 while only the stable model may serve; 2 once the promote is in
+     flight.  Loaders read it after each reply arrives, so a candidate
+     reply seen at phase < 2 is a leak through the shadow path, not a
+     racing promote. *)
+  let promote_phase = Atomic.make 0 in
+  let loaders =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let fd, ic, oc = raw_connect router_addr in
+            while not (Atomic.get stop) do
+              output_string oc (id_line ^ "\n");
+              flush oc;
+              let reply = input_line ic in
+              Atomic.incr load_replies;
+              if String.equal reply stable_bytes then ()
+              else if String.equal reply candidate_bytes then begin
+                if Atomic.get promote_phase < 2 then Atomic.incr leaked
+              end
+              else Atomic.incr torn
+            done;
+            close_out_noerr oc;
+            ignore fd))
+  in
+  Unix.sleepf 0.05;
+  let canary_ok =
+    match
+      Sorl_serve.Client.with_connection router_addr (fun c ->
+          Sorl_serve.Client.canary c ~model:gname)
+    with
+    | Ok _ -> true
+    | Error m ->
+      Printf.printf "WARNING: canary failed: %s\n" m;
+      false
+  in
+  (* Guaranteed shadow traffic: with canary_fraction 1 every rank also
+     scores the candidate off the reply path. *)
+  (match Sorl_serve.Client.connect ~retry_for_s:5. router_addr with
+  | Error _ -> ()
+  | Ok c ->
+    List.iter
+      (fun b -> ignore (Sorl_serve.Client.rank c ~benchmark:b ~top:3))
+      benchmarks;
+    Sorl_serve.Client.close c);
+  Unix.sleepf 0.1;
+  Atomic.set promote_phase 2;
+  let promoted =
+    match Sorl_serve.Client.with_connection router_addr Sorl_serve.Client.promote with
+    | Ok (m2, _) -> String.equal m2 gname
+    | Error m ->
+      Printf.printf "WARNING: promote failed: %s\n" m;
+      false
+  in
+  Atomic.set stop true;
+  List.iter Domain.join loaders;
+  let post_ok = String.equal (ask_once id_line) candidate_bytes in
+  (* ---- rollback: a deliberately degraded generation (negated
+     weights, so its held-out tau is exactly negated) must be rejected
+     at promote and quarantined ---- *)
+  let degraded =
+    Sorl.Autotuner.of_model ~mode
+      (Sorl_svmrank.Model.create
+         (Array.map (fun x -> -.x) (Sorl.Autotuner.weights candidate)))
+  in
+  let dname =
+    match Sorl_serve.Model_store.publish store ~base:"default" degraded with
+    | Ok (n, _) -> n
+    | Error _ -> failwith "publishing the degraded generation failed"
+  in
+  let rollback_ok =
+    match
+      Sorl_serve.Client.with_connection router_addr (fun c ->
+          match Sorl_serve.Client.canary c ~model:dname with
+          | Error m -> Error ("canary of degraded generation failed: " ^ m)
+          | Ok _ ->
+            List.iter
+              (fun b -> ignore (Sorl_serve.Client.rank c ~benchmark:b ~top:3))
+              benchmarks;
+            (match Sorl_serve.Client.promote c with
+            | Ok _ -> Error "degraded candidate was promoted"
+            | Error m when String.starts_with ~prefix:"canary-rejected" m -> Ok ()
+            | Error m -> Error ("unexpected promote failure: " ^ m)))
+    with
+    | Ok () -> true
+    | Error m ->
+      Printf.printf "WARNING: %s\n" m;
+      false
+  in
+  let still_candidate = String.equal (ask_once id_line) candidate_bytes in
+  let stat_kvs =
+    match Sorl_serve.Client.with_connection router_addr Sorl_serve.Client.stats with
+    | Ok kvs -> kvs
+    | Error _ -> []
+  in
+  let stat k = Option.value ~default:(-1) (List.assoc_opt k stat_kvs) in
+  let router_errors = stat "router.errors" in
+  ignore (Sorl_serve.Client.with_connection router_addr Sorl_serve.Client.shutdown);
+  Sorl_serve.Router.wait router;
+  Sorl_serve.Fleet.stop fleet;
+  Printf.printf
+    "canary cycle: %d load replies, %d torn, %d leaked; canary %b, promote %b, \
+     post-promote candidate %b\n"
+    (Atomic.get load_replies) (Atomic.get torn) (Atomic.get leaked) canary_ok promoted
+    post_ok;
+  Printf.printf
+    "rollback: degraded generation rejected %b, still serving candidate %b; stats: \
+     shadowed %d, promotions %d, rollbacks %d, quarantined %d, router errors %d\n"
+    rollback_ok still_candidate (stat "canary_shadowed") (stat "canary_promotions")
+    (stat "canary_rollbacks") (stat "canary_quarantined") router_errors;
+  add_bench_sections
+    [
+      ( "online_learn",
+        Printf.sprintf
+          "{\n\
+          \    \"observations\": %d,\n\
+          \    \"holdout_tau\": { \"stable\": %.4f, \"scratch\": %.4f, \"warm\": %.4f },\n\
+          \    \"retrain\": { \"scratch_passes\": %d, \"scratch_s\": %.3f, \
+           \"warm_passes\": %d, \"warm_s\": %.3f, \"converged\": %b },\n\
+          \    \"ingestion\": { \"sent\": %d, \"acked\": %d, \"rejected\": %d, \
+           \"burst_obs_per_s\": %.0f, \"paced_obs_per_s\": %.0f, \
+           \"rank_p50_quiet_s\": %.6f, \"rank_p50_during_s\": %.6f },\n\
+          \    \"canary\": { \"load_replies\": %d, \"torn\": %d, \"leaked\": %d, \
+           \"promoted\": %b, \"rolled_back\": %b, \"shadowed\": %d, \"promotions\": %d, \
+           \"rollbacks\": %d, \"quarantined\": %d },\n\
+          \    \"router_errors\": %d\n\
+          \  }"
+          n_obs stable_tau scratch_tau warm_tau scratch_passes scratch_s warm_passes
+          warm_s converged obs_sent acked rejected burst_rate paced_rate p50_quiet
+          p50_during
+          (Atomic.get load_replies) (Atomic.get torn) (Atomic.get leaked) promoted
+          rollback_ok (stat "canary_shadowed") (stat "canary_promotions")
+          (stat "canary_rollbacks") (stat "canary_quarantined") router_errors );
+    ];
+  let problems = ref [] in
+  let flag cond msg = if cond then problems := msg :: !problems in
+  flag (not converged)
+    (Printf.sprintf
+       "warm-start gate: tau %.6f at %d passes missed the scratch %.6f at %d passes"
+       warm_tau warm_passes scratch_tau scratch_passes);
+  flag (!rank_errors > 0) (Printf.sprintf "%d rank errors during ingestion" !rank_errors);
+  flag (acked <> obs_sent || rejected > 0)
+    (Printf.sprintf "ingestion acked %d/%d (%d rejected)" acked obs_sent rejected);
+  flag (served_obs <> obs_sent)
+    (Printf.sprintf "server counted %d observations, harness sent %d" served_obs obs_sent);
+  flag (router_acked <> n_obs)
+    (Printf.sprintf "router acked %d/%d observations" router_acked n_obs);
+  flag (Atomic.get torn > 0)
+    (Printf.sprintf "%d torn replies during the canary cycle" (Atomic.get torn));
+  flag
+    (Atomic.get leaked > 0)
+    (Printf.sprintf "%d candidate replies leaked before the promote" (Atomic.get leaked));
+  flag (not canary_ok) "canary fanout through the router failed";
+  flag (not promoted) "rolling promote through the router failed";
+  flag (not post_ok) "post-promote replies are not the candidate's bytes";
+  flag (not rollback_ok) "degraded generation was not rolled back";
+  flag (not still_candidate) "rollback changed the served bytes";
+  flag (stat "canary_shadowed" < List.length benchmarks)
+    (Printf.sprintf "only %d ranks were shadow-scored" (stat "canary_shadowed"));
+  flag (stat "canary_promotions" <> 1)
+    (Printf.sprintf "expected 1 promotion, stats count %d" (stat "canary_promotions"));
+  flag (stat "canary_rollbacks" <> 1)
+    (Printf.sprintf "expected 1 rollback, stats count %d" (stat "canary_rollbacks"));
+  flag (stat "canary_quarantined" <> 1)
+    (Printf.sprintf "expected 1 quarantined name, stats count %d"
+       (stat "canary_quarantined"));
+  (* The rejected promote is an err reply, which the router counts: the
+     whole cycle must produce exactly that one deliberate error. *)
+  flag (router_errors <> 1)
+    (Printf.sprintf "router reported %d errors, expected exactly the deliberate rejection"
+       router_errors);
+  flag (burst_rate < 10_000.)
+    (Printf.sprintf "ingestion gate: burst %.0f obs/s < 10000 obs/s pipelined" burst_rate);
+  flag (paced_rate < 10_000.)
+    (Printf.sprintf "ingestion gate: paced %.0f obs/s < 10000 obs/s sustained" paced_rate);
+  flag (p50_degrade > 0.10)
+    (Printf.sprintf "rank p50 degraded %.1f%% (> 10%%) under 10k obs/s ingestion"
+       (100. *. p50_degrade));
+  match !problems with
+  | [] -> print_endline "OK: online-learn gates passed"
+  | ps ->
+    if Sys.getenv_opt "CI" <> None then
+      List.iter (fun p -> Printf.printf "WARNING: %s\n" p) ps
+    else begin
+      List.iter (fun p -> Printf.eprintf "FAIL: %s\n" p) ps;
+      exit 1
+    end
+
 (* ---- driver ---- *)
 
 let experiments =
@@ -2423,6 +2905,7 @@ let experiments =
     ("neighbor-reuse", neighbor_reuse);
     ("micro", micro);
     ("telemetry-overhead", telemetry_overhead);
+    ("online-learn", online_learn);
   ]
 
 let () =

@@ -10,7 +10,8 @@
      search     run an iterative-compilation baseline on a benchmark
      emit       print the generated C for a benchmark + tuning vector
      serve      expose rank/tune over a unix or TCP socket
-     query      talk to a running serve instance *)
+     query      talk to a running serve instance
+     learn      replay an observation log, retrain, publish, canary *)
 
 (* Must run before anything else: a fleet shard is a re-execution of
    this binary, dispatched on the SORL_FLEET_SHARD environment
@@ -468,14 +469,26 @@ let serve_cmd =
          & opt float Sorl_serve.Server.default_neighbor_threshold
          & info [ "neighbor-threshold" ] ~docv:"D" ~doc)
   in
+  let obs_log_arg =
+    let doc =
+      "Append `observe' requests to $(docv) (created if missing; enables the \
+       online-learning verbs observe/canary/promote)."
+    in
+    Arg.(value & opt (some string) None & info [ "obs-log" ] ~docv:"FILE" ~doc)
+  in
+  let canary_fraction_arg =
+    let doc = "Fraction of rank/tune traffic shadow-scored while a canary is loaded." in
+    Arg.(value & opt float 1. & info [ "canary-fraction" ] ~docv:"F" ~doc)
+  in
   let run listen model_file store name workers queue timeout cache max_conns no_warm
-      neighbors neighbor_threshold trace trace_out =
+      neighbors neighbor_threshold obs_log canary_fraction trace trace_out =
     Result.bind (resolve_source ~model_file ~store ~name) @@ fun source ->
     with_trace trace trace_out @@ fun ~tracing:_ () ->
     match
       Sorl_serve.Server.start ~address:listen ?workers ~queue_capacity:queue
         ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns
-        ~warm:(not no_warm) ~neighbors ~neighbor_threshold source
+        ~warm:(not no_warm) ~neighbors ~neighbor_threshold ?obs_log ~canary_fraction
+        source
     with
     | Error m -> Error (`Msg m)
     | Ok server ->
@@ -492,7 +505,8 @@ let serve_cmd =
       term_result
         (const run $ listen_arg $ model_file_arg $ store_arg $ name_arg $ workers_arg
         $ queue_arg $ timeout_s_arg $ cache_arg $ max_conns_arg $ no_warm_arg
-        $ neighbors_arg $ neighbor_threshold_arg $ trace_arg $ trace_out_arg))
+        $ neighbors_arg $ neighbor_threshold_arg $ obs_log_arg $ canary_fraction_arg
+        $ trace_arg $ trace_out_arg))
 
 let fleet_cmd =
   let listen_arg =
@@ -518,12 +532,20 @@ let fleet_cmd =
     let doc = "Router worker domains." in
     Arg.(value & opt int 4 & info [ "router-workers"; "j" ] ~docv:"N" ~doc)
   in
+  let obs_dir_arg =
+    let doc =
+      "Give each shard its own observation log under $(docv) (created if missing) — \
+       enables the online-learning verbs fleet-wide."
+    in
+    Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR" ~doc)
+  in
   let run listen shards dir model_file store name shard_workers router_workers queue
-      timeout cache max_conns =
+      timeout cache max_conns obs_dir =
     Result.bind (resolve_source ~model_file ~store ~name) @@ fun source ->
     match
       Sorl_serve.Fleet.start ~dir ~shards ~workers:shard_workers ~queue_capacity:queue
-        ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns source
+        ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns ?obs_dir
+        source
     with
     | Error m -> Error (`Msg m)
     | Ok fleet -> (
@@ -558,7 +580,7 @@ let fleet_cmd =
       term_result
         (const run $ listen_arg $ shards_arg $ dir_arg $ model_file_arg $ store_arg
         $ name_arg $ shard_workers_arg $ router_workers_arg $ queue_arg $ timeout_s_arg
-        $ cache_arg $ max_conns_arg))
+        $ cache_arg $ max_conns_arg $ obs_dir_arg))
 
 let query_cmd =
   let connect_arg =
@@ -573,8 +595,10 @@ let query_cmd =
   let words_arg =
     let doc =
       "Query: `rank BENCHMARK', `tune BENCHMARK', `rank! BENCHMARK' / `tune! BENCHMARK' \
-       (accept a provisional reply reused from a similar cached instance), `info', \
-       `stats', `reload [NAME]' or `shutdown'."
+       (accept a provisional reply reused from a similar cached instance), `observe \
+       BENCHMARK TUNING COST', `observe-batch BENCHMARK N [SEED]' (stream N synthetic \
+       cost-model measurements), `info', `stats', `reload [NAME]', `canary NAME', \
+       `promote' or `shutdown'."
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc)
   in
@@ -621,12 +645,66 @@ let query_cmd =
         Result.map
           (fun (name, gen) -> Printf.printf "reloaded %s (generation %d)\n" name gen)
           (Client.reload ?model c)
+      | [ "observe"; benchmark; tuning; cost ] -> (
+        match Protocol.tuning_of_string tuning with
+        | Error m -> Error m
+        | Ok tuning -> (
+          match float_of_string_opt cost with
+          | None -> Error (Printf.sprintf "bad cost %S (expected seconds)" cost)
+          | Some cost ->
+            Result.map
+              (fun total -> Printf.printf "observed (%d records in log)\n" total)
+              (Client.observe c ~benchmark ~tuning ~cost)))
+      | "observe-batch" :: benchmark :: count :: rest -> (
+        let seed = match rest with [] -> Some 5 | [ s ] -> int_of_string_opt s | _ -> None in
+        match (int_of_string_opt count, seed) with
+        | Some n, Some seed when n >= 1 -> (
+          match Benchmarks.instance_by_name benchmark with
+          | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" benchmark)
+          | inst ->
+            let measure = measure_of ~noise:0.02 ~seed in
+            let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+            let rng = Sorl_util.Rng.create seed in
+            let observer = Client.Observer.create c in
+            let rec go i =
+              if i = n then Client.Observer.close observer
+              else begin
+                let tuning = set.(Sorl_util.Rng.int rng (Array.length set)) in
+                let cost = Sorl_machine.Measure.runtime measure inst tuning in
+                match Client.Observer.send observer ~benchmark ~tuning ~cost with
+                | Ok () -> go (i + 1)
+                | Error _ as e -> e
+              end
+            in
+            Result.map
+              (fun () ->
+                Printf.printf "streamed %d observations (%d acked, %d rejected)\n" n
+                  (Client.Observer.acked observer)
+                  (Client.Observer.rejected observer))
+              (go 0))
+        | _ -> Error "usage: observe-batch BENCHMARK N [SEED]")
+      | [ "canary"; model ] ->
+        Result.map
+          (fun m -> Printf.printf "canary %s loaded (replies stay on the stable model)\n" m)
+          (Client.canary c ~model)
+      | [ "promote" ] -> (
+        match Client.promote c with
+        | Ok (m, g) ->
+          Printf.printf "promoted %s (generation %d)\n" m g;
+          Ok ()
+        | Error msg
+          when String.length msg >= 15 && String.sub msg 0 15 = "canary-rejected" ->
+          (* A rollback is a decision, not a failure: the cycle ran. *)
+          Printf.printf "rolled back: %s\n" msg;
+          Ok ()
+        | Error _ as e -> e)
       | [ "shutdown" ] ->
         Result.map (fun () -> print_endline "server shutting down") (Client.shutdown c)
       | _ ->
         Error
-          (Printf.sprintf "bad query %S: expected rank|tune BENCHMARK, info, stats, \
-                           reload [NAME] or shutdown"
+          (Printf.sprintf "bad query %S: expected rank|tune BENCHMARK, observe BENCHMARK \
+                           TUNING COST, observe-batch BENCHMARK N [SEED], info, stats, \
+                           reload [NAME], canary NAME, promote or shutdown"
              (String.concat " " words))
     in
     Result.map_error (fun m -> `Msg m) result
@@ -634,6 +712,150 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running `sorl_tune serve' instance")
     Term.(term_result (const run $ connect_arg $ wait_arg $ top_arg $ words_arg))
+
+(* ---- learn: one observe -> retrain -> publish (-> canary -> promote) cycle ---- *)
+
+let learn_cmd =
+  let store_req_arg =
+    let doc = "Model store holding the stable model and receiving the new generation." in
+    Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let log_arg =
+    let doc = "Observation log to replay (default: $(b,--store)/observations.obs)." in
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+  in
+  let holdout_arg =
+    let doc = "Held-out fraction of the log; must match the serving side's split." in
+    Arg.(value
+         & opt float Sorl_learn.Trainer.default_holdout
+         & info [ "holdout" ] ~docv:"F" ~doc)
+  in
+  let holdout_seed_arg =
+    let doc = "Split hash seed; must match the serving side's." in
+    Arg.(value
+         & opt int Sorl_learn.Trainer.default_seed
+         & info [ "holdout-seed" ] ~docv:"SEED" ~doc)
+  in
+  let solver_arg =
+    let doc = "Retraining solver: dcd or sgd." in
+    Arg.(value & opt string "dcd" & info [ "solver" ] ~docv:"S" ~doc)
+  in
+  let scratch_arg =
+    let doc = "Train from scratch instead of warm-starting from the stable weights." in
+    Arg.(value & flag & info [ "scratch" ] ~doc)
+  in
+  let keep_arg =
+    let doc = "Generations of the base to keep after publishing (older ones are pruned)." in
+    Arg.(value & opt int 8 & info [ "keep" ] ~docv:"K" ~doc)
+  in
+  let min_obs_arg =
+    let doc = "Refuse to retrain on fewer complete observations than $(docv)." in
+    Arg.(value
+         & opt int Sorl_learn.Trainer.default_min_observations
+         & info [ "min-obs" ] ~docv:"N" ~doc)
+  in
+  let connect_opt_arg =
+    let doc =
+      "After publishing, load the generation as a canary on this running server and \
+       ask it to promote (a rollback is reported, not an error)."
+    in
+    Arg.(value & opt (some address_conv) None & info [ "connect"; "c" ] ~docv:"ADDR" ~doc)
+  in
+  let run store name log holdout holdout_seed solver scratch keep min_obs connect =
+    let open Sorl_serve in
+    let ( let* ) = Result.bind in
+    let err fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt in
+    let of_str r = Result.map_error (fun m -> `Msg m) r in
+    let* solver =
+      match solver with
+      | "dcd" -> Ok (Sorl.Autotuner.Dcd Sorl_svmrank.Solver_dcd.default_params)
+      | "sgd" -> Ok (Sorl.Autotuner.Sgd Sorl_svmrank.Solver_sgd.default_params)
+      | s -> err "unknown solver %S (expected dcd or sgd)" s
+    in
+    let* st = of_str (Model_store.open_dir ~create:false store) in
+    (* The stable model is the newest published generation, falling
+       back to the base entry for the very first cycle. *)
+    let stable_name =
+      match List.rev (Model_store.list_generations st ~base:name) with
+      | latest :: _ -> Model_store.generation_name ~base:name latest
+      | [] -> name
+    in
+    let* stable = of_str (Model_store.load st ~name:stable_name) in
+    let mode = Sorl.Autotuner.feature_mode stable in
+    let log = Option.value log ~default:(Filename.concat store "observations.obs") in
+    let* obs, clean = of_str (Sorl_learn.Obs_log.replay log) in
+    if not clean then
+      Printf.printf "note: %s had a torn tail; replayed the complete prefix\n" log;
+    let total = List.length obs in
+    if total < min_obs then
+      err "only %d complete observations in %s (need %d; lower --min-obs to force)" total
+        log min_obs
+    else begin
+      let train_slice, held = Sorl_learn.Trainer.split ~holdout ~seed:holdout_seed obs in
+      Printf.printf "replayed %d observations from %s (%d train / %d held out)\n%!" total
+        log (List.length train_slice) (List.length held);
+      let init = if scratch then None else Some (Sorl.Autotuner.weights stable) in
+      let* candidate, train_s =
+        let r, s =
+          Sorl_util.Timer.time (fun () ->
+              Sorl_learn.Trainer.retrain ~solver ?init ~mode train_slice)
+        in
+        of_str (Result.map (fun c -> (c, s)) r)
+      in
+      let tau which tuner =
+        match Sorl_learn.Trainer.holdout_tau tuner held with
+        | Some tau ->
+          Printf.printf "held-out tau (%s): %+.4f\n" which tau;
+          Some tau
+        | None ->
+          Printf.printf "held-out tau (%s): n/a (no benchmark exposes a ranking)\n" which;
+          None
+      in
+      let _ = tau ("stable " ^ stable_name) stable in
+      let _ = tau "candidate" candidate in
+      Printf.printf "retrained (%s%s) in %s\n" (if scratch then "scratch" else "warm start")
+        (match init with Some w -> Printf.sprintf ", %d weights" (Array.length w) | None -> "")
+        (Sorl_util.Table.fmt_time train_s);
+      let* gname, gen =
+        match Model_store.publish st ~base:name candidate with
+        | Ok r -> Ok r
+        | Error (Model_store.Generation_exists e) ->
+          err "generation %s already published (another trainer raced this one?)" e
+        | Error (Model_store.Publish_failed m) -> Error (`Msg m)
+      in
+      Printf.printf "published %s (generation %d of %s)\n%!" gname gen name;
+      let* pruned = of_str (Model_store.prune st ~base:name ~keep) in
+      if pruned <> [] then
+        Printf.printf "pruned %s\n" (String.concat ", " pruned);
+      match connect with
+      | None -> Ok ()
+      | Some address ->
+        of_str
+          ( Client.with_connection ~retry_for_s:2. address @@ fun c ->
+            let* m = Client.canary c ~model:gname in
+            Printf.printf "canary %s loaded on %s\n%!" m
+              (Protocol.address_to_string address);
+            match Client.promote c with
+            | Ok (m, g) ->
+              Printf.printf "promoted %s (generation %d)\n" m g;
+              Ok ()
+            | Error msg
+              when String.length msg >= 15 && String.sub msg 0 15 = "canary-rejected" ->
+              Printf.printf "rolled back: %s\n" msg;
+              Ok ()
+            | Error _ as e -> e )
+    end
+  in
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:
+         "Close the loop once: replay an observation log, warm-start a retrain from \
+          the stable model, publish the candidate generation, and optionally canary \
+          and promote it on a running server")
+    Term.(
+      term_result
+        (const run $ store_req_arg $ name_arg $ log_arg $ holdout_arg $ holdout_seed_arg
+        $ solver_arg $ scratch_arg $ keep_arg $ min_obs_arg $ connect_opt_arg))
 
 (* ---- tune-file (DSL front end) ---- *)
 
@@ -692,7 +914,7 @@ let main_cmd =
   Cmd.group (Cmd.info "sorl_tune" ~version:"1.0.0" ~doc)
     [
       list_cmd; train_cmd; rank_cmd; tune_cmd; search_cmd; emit_cmd; inspect_cmd;
-      tune_file_cmd; serve_cmd; fleet_cmd; query_cmd;
+      tune_file_cmd; serve_cmd; fleet_cmd; query_cmd; learn_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -8,16 +8,16 @@ type t = { model : Sorl_svmrank.Model.t; mode : Features.mode }
 
 let default_solver = Sgd Sorl_svmrank.Solver_sgd.default_params
 
-let fit solver ds =
+let fit ?init solver ds =
   Sorl_util.Telemetry.span "autotuner/fit" (fun () ->
       match solver with
-      | Sgd params -> Sorl_svmrank.Solver_sgd.train ~params ds
-      | Dcd params -> Sorl_svmrank.Solver_dcd.train ~params ds)
+      | Sgd params -> Sorl_svmrank.Solver_sgd.train ?init ~params ds
+      | Dcd params -> Sorl_svmrank.Solver_dcd.train ?init ~params ds)
 
-let train_on ?(solver = default_solver) ~mode ds =
+let train_on ?(solver = default_solver) ?init ~mode ds =
   if Sorl_svmrank.Dataset.dim ds <> Features.dim mode then
     invalid_arg "Autotuner.train_on: dataset dimension does not match feature mode";
-  { model = fit solver ds; mode }
+  { model = fit ?init solver ds; mode }
 
 let train ?(spec = Training.default_spec) ?(solver = default_solver) measure =
   let ds = Training.generate ~spec measure in
@@ -30,6 +30,7 @@ let of_model ~mode model =
 
 let model t = t.model
 let feature_mode t = t.mode
+let weights t = Sorl_svmrank.Model.weights t.model
 
 let score t inst tuning =
   Sorl_svmrank.Model.score t.model (Features.encode t.mode inst tuning)

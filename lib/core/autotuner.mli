@@ -25,15 +25,24 @@ val train :
 
 val train_on :
   ?solver:solver ->
+  ?init:float array ->
   mode:Sorl_stencil.Features.mode ->
   Sorl_svmrank.Dataset.t ->
   t
-(** Fit on an existing dataset (whose features must use [mode]). *)
+(** Fit on an existing dataset (whose features must use [mode]).
+    [?init] warm-starts the solver from an existing weight vector (see
+    {!Sorl_svmrank.Solver_dcd.train} / {!Sorl_svmrank.Solver_sgd.train})
+    — the continual-retraining path fine-tunes from {!weights} of the
+    serving model. *)
 
 val of_model : mode:Sorl_stencil.Features.mode -> Sorl_svmrank.Model.t -> t
 
 val model : t -> Sorl_svmrank.Model.t
 val feature_mode : t -> Sorl_stencil.Features.mode
+
+val weights : t -> Sorl_util.Vec.t
+(** A copy of the model's weight vector — the [?init] for a
+    warm-started {!train_on}. *)
 
 val score : t -> Sorl_stencil.Instance.t -> Sorl_stencil.Tuning.t -> float
 (** Predicted-rank score; lower means predicted faster. *)

@@ -181,3 +181,39 @@ let generate_guided ?(spec = default_spec) ?instances ?(guided_fraction = 0.5) m
   fst (build ~spec ~instances ~strategy:(guided_strategy measure ~guided_fraction))
 
 let generation_evaluations spec = spec.size
+
+(* Observed measurements — e.g. an online observation log's replay —
+   grouped into a query per instance.  Instances are keyed by name in
+   first-appearance order, so the dataset depends only on the
+   measurement sequence. *)
+let of_measurements ~mode measurements =
+  if measurements = [] then invalid_arg "Training.of_measurements: no measurements";
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (inst, tuning, cost) ->
+      let name = Instance.name inst in
+      match Hashtbl.find_opt tbl name with
+      | Some (_, block) -> block := (tuning, cost) :: !block
+      | None ->
+        order := name :: !order;
+        Hashtbl.add tbl name (inst, ref [ (tuning, cost) ]))
+    measurements;
+  let samples =
+    List.concat
+      (List.mapi
+         (fun qi name ->
+           let inst, block = Hashtbl.find tbl name in
+           let encode = Features.encoder mode inst in
+           List.rev_map
+             (fun (t, cost) ->
+               {
+                 Sorl_svmrank.Dataset.query = qi;
+                 features = encode t;
+                 runtime = cost;
+                 tag = Printf.sprintf "%s@%s" name (Tuning.to_string t);
+               })
+             !block)
+         (List.rev !order))
+  in
+  Sorl_svmrank.Dataset.create ~dim:(Features.dim mode) samples

@@ -65,3 +65,17 @@ val generate_guided :
 
 val generation_evaluations : spec -> int
 (** Number of measurements {!generate} will perform (= [spec.size]). *)
+
+val of_measurements :
+  mode:Sorl_stencil.Features.mode ->
+  (Sorl_stencil.Instance.t * Sorl_stencil.Tuning.t * float) list ->
+  Sorl_svmrank.Dataset.t
+(** Assemble a dataset from already-measured [(instance, tuning, cost)]
+    triples — the continual-retraining path feeds an observation log's
+    replay through this.  Measurements are grouped into one query per
+    instance (keyed by name, queries numbered in first-appearance
+    order, samples kept in input order within a query), so the dataset
+    depends only on the measurement sequence.  Raises
+    [Invalid_argument] on an empty list.  Note an instance with a
+    single measurement (or all-equal costs) contributes no preference
+    pairs; the solver raises when {e no} query exposes a pair. *)

@@ -1,0 +1,175 @@
+open Sorl_stencil
+
+type obs = { benchmark : string; tuning : Tuning.t; cost : float }
+
+let header_magic = "sorl-obs v1"
+let header_line = header_magic ^ "\n"
+
+(* Wire form of a tuning vector, shared with the serve protocol:
+   "bx,by,bz,u,c". *)
+let tuning_to_string (t : Tuning.t) =
+  Printf.sprintf "%d,%d,%d,%d,%d" t.Tuning.bx t.Tuning.by t.Tuning.bz t.Tuning.u t.Tuning.c
+
+let tuning_of_string s =
+  match String.split_on_char ',' s |> List.map int_of_string_opt with
+  | [ Some bx; Some by; Some bz; Some u; Some c ] -> (
+    match Tuning.create ~bx ~by ~bz ~u ~c with
+    | t -> Some t
+    | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let valid_benchmark s =
+  String.length s > 0
+  && String.for_all (fun ch -> ch > ' ' && ch < '\x7f') s
+
+let valid_cost c = Float.is_finite c && c > 0.
+
+(* Record line: "o <payload> <sum8>\n" with payload
+   "<benchmark> <bx,by,bz,u,c> <cost>"; sum8 is the first 8 hex chars
+   of the payload's MD5.  The cost round-trips exactly through %.17g. *)
+let checksum payload = String.sub (Digest.to_hex (Digest.string payload)) 0 8
+
+let record_line o =
+  let payload =
+    Printf.sprintf "%s %s %.17g" o.benchmark (tuning_to_string o.tuning) o.cost
+  in
+  Printf.sprintf "o %s %s\n" payload (checksum payload)
+
+let parse_record line =
+  let n = String.length line in
+  if n < 2 || line.[0] <> 'o' || line.[1] <> ' ' then None
+  else
+    match String.rindex_opt line ' ' with
+    | None | Some 1 -> None
+    | Some i ->
+      let payload = String.sub line 2 (i - 2) in
+      let sum = String.sub line (i + 1) (n - i - 1) in
+      if not (String.equal sum (checksum payload)) then None
+      else (
+        match String.split_on_char ' ' payload with
+        | [ benchmark; tn; cost ] -> (
+          match (tuning_of_string tn, float_of_string_opt cost) with
+          | Some tuning, Some c when valid_benchmark benchmark && valid_cost c ->
+            Some { benchmark; tuning; cost = c }
+          | _ -> None)
+        | _ -> None)
+
+(* Scan the raw bytes: header first, then complete ('\n'-terminated,
+   checksum-valid) records until the first line that is not one.
+   Returns the records in order, the byte length of the valid prefix,
+   and whether the whole file was consumed. *)
+let scan raw =
+  let hn = String.length header_line in
+  if String.length raw < hn || not (String.equal (String.sub raw 0 hn) header_line)
+  then begin
+    (* Distinguish a wrong version (future writer) from garbage. *)
+    let first_line =
+      match String.index_opt raw '\n' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
+    in
+    if String.length first_line >= 9 && String.equal (String.sub first_line 0 9) "sorl-obs "
+    then
+      Error
+        (Printf.sprintf "unsupported observation log version %S (this build reads v1)"
+           first_line)
+    else Error (Printf.sprintf "not an observation log (expected %S header)" header_magic)
+  end
+  else begin
+    let n = String.length raw in
+    let records = ref [] in
+    let pos = ref hn in
+    let stop = ref false in
+    while not !stop do
+      if !pos >= n then stop := true
+      else
+        match String.index_from_opt raw !pos '\n' with
+        | None -> stop := true (* trailing bytes without a newline: torn tail *)
+        | Some nl -> (
+          match parse_record (String.sub raw !pos (nl - !pos)) with
+          | Some o ->
+            records := o :: !records;
+            pos := nl + 1
+          | None -> stop := true)
+    done;
+    Ok (List.rev !records, !pos, !pos = n)
+  end
+
+let replay path =
+  match Sorl_util.Persist.read_to_string path with
+  | Error msg -> Error (Printf.sprintf "Obs_log: cannot read %s: %s" path msg)
+  | Ok raw -> (
+    match scan raw with
+    | Error msg -> Error (Printf.sprintf "Obs_log: %s (in %s)" msg path)
+    | Ok (records, _, clean) -> Ok (records, clean))
+
+(* ---- writer ---- *)
+
+type writer = {
+  path : string;
+  oc : out_channel;
+  m : Mutex.t;
+  mutable count : int;  (* complete records on disk: replayed + appended *)
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create path =
+  match
+    if Sys.file_exists path then begin
+      (* Crash recovery: drop any torn tail before appending, otherwise
+         new records would land behind bytes replay refuses to cross. *)
+      match Sorl_util.Persist.read_to_string path with
+      | Error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg)
+      | Ok raw -> (
+        match scan raw with
+        | Error msg -> Error (Printf.sprintf "%s (in %s)" msg path)
+        | Ok (records, valid_bytes, clean) ->
+          if not clean then begin
+            let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () -> Unix.ftruncate fd valid_bytes)
+          end;
+          Ok (List.length records)
+      )
+    end
+    else begin
+      mkdir_p (Filename.dirname path);
+      (* A fresh log gets its header atomically: an empty or torn
+         header is never observable. *)
+      Sorl_util.Persist.write_atomic path (fun oc -> output_string oc header_line);
+      Ok 0
+    end
+  with
+  | Error msg -> Error ("Obs_log: " ^ msg)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "Obs_log: cannot open %s: %s" path (Unix.error_message e))
+  | exception Sys_error msg -> Error ("Obs_log: " ^ msg)
+  | Ok count -> (
+    match open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path with
+    | oc -> Ok { path; oc; m = Mutex.create (); count }
+    | exception Sys_error msg -> Error ("Obs_log: " ^ msg))
+
+let append w o =
+  if not (valid_benchmark o.benchmark) then
+    invalid_arg "Obs_log.append: benchmark must be a non-empty printable token";
+  if not (valid_cost o.cost) then
+    invalid_arg "Obs_log.append: cost must be a positive finite float";
+  let line = record_line o in
+  Mutex.protect w.m (fun () ->
+      output_string w.oc line;
+      flush w.oc;
+      w.count <- w.count + 1)
+
+let written w = Mutex.protect w.m (fun () -> w.count)
+let path w = w.path
+
+let close w =
+  Mutex.protect w.m (fun () ->
+      try close_out w.oc with Sys_error _ -> ())

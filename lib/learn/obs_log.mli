@@ -1,0 +1,67 @@
+(** Append-only observation log — the ingestion end of the online
+    learning loop.
+
+    Each log is a text file holding a versioned header line
+    ([sorl-obs v1], written atomically via
+    {!Sorl_util.Persist.write_atomic} so even a freshly created log is
+    never observable torn) followed by one checksummed record per
+    line:
+
+    {v o <benchmark> <bx,by,bz,u,c> <cost> <sum8> v}
+
+    where [sum8] is the first 8 hex characters of the MD5 of the
+    payload between the [o ] tag and the checksum, and [cost] is
+    printed with [%.17g] so it round-trips exactly.  Records are
+    framed by the trailing newline: a record is durable once its
+    newline hits the disk, and {!replay} accepts exactly the longest
+    prefix of complete, checksum-valid records — a crash (or
+    truncation) anywhere inside the last record silently drops only
+    that record.  {!create} on an existing log performs the same scan
+    and truncates any torn tail away before appending, so a log that
+    survived a crash keeps accepting records. *)
+
+type obs = {
+  benchmark : string;  (** benchmark instance name, e.g. ["blur-1024x768"] *)
+  tuning : Sorl_stencil.Tuning.t;
+  cost : float;  (** measured runtime/cost; must be finite and > 0 *)
+}
+
+(** {2 Writing} *)
+
+type writer
+
+val create : string -> (writer, string) result
+(** Open [path] for appending, creating it (and its parent
+    directories) with a fresh header when absent.  An existing file is
+    scanned: its complete records are counted into {!written} and a
+    torn tail — from a crash mid-append — is truncated away.  [Error]
+    when the path is unreadable or carries a foreign or
+    wrong-version header. *)
+
+val append : writer -> obs -> unit
+(** Append one record and flush it.  Thread-safe (the writer carries
+    its own mutex).  Raises [Invalid_argument] on an empty/non-token
+    benchmark name or a non-finite or non-positive cost; [Sys_error]
+    on I/O failure. *)
+
+val written : writer -> int
+(** Complete records on disk: those recovered at {!create} plus those
+    appended since. *)
+
+val path : writer -> string
+val close : writer -> unit
+
+(** {2 Replay} *)
+
+val replay : string -> (obs list * bool, string) result
+(** [replay path] recovers every complete record, in append order.
+    The boolean is [true] when the file ended cleanly and [false] when
+    a torn or corrupt tail was ignored.  [Error] on an unreadable file
+    or a bad header — never an exception. *)
+
+(** {2 Wire form} *)
+
+val tuning_to_string : Sorl_stencil.Tuning.t -> string
+(** ["bx,by,bz,u,c"] — the serve protocol's tuning form. *)
+
+val tuning_of_string : string -> Sorl_stencil.Tuning.t option

@@ -1,0 +1,96 @@
+open Sorl_stencil
+
+let default_holdout = 0.2
+let default_seed = 9
+let default_min_observations = 20
+
+(* A record's split side is a pure function of (seed, benchmark,
+   tuning): hashing instead of index-based slicing keeps the held-out
+   set stable as the log grows and puts duplicate observations of the
+   same point on the same side — the validation slice never trains. *)
+let holdout_key seed (o : Obs_log.obs) =
+  let d =
+    Digest.string
+      (Printf.sprintf "sorl-holdout|%d|%s|%s" seed o.Obs_log.benchmark
+         (Obs_log.tuning_to_string o.Obs_log.tuning))
+  in
+  (Char.code d.[0] lsl 8) lor Char.code d.[1]
+
+let split ?(holdout = default_holdout) ?(seed = default_seed) obs =
+  if not (Float.is_finite holdout) || holdout < 0. || holdout >= 1. then
+    invalid_arg "Trainer.split: holdout fraction must be in [0, 1)";
+  let cut = int_of_float (holdout *. 65536.) in
+  List.partition (fun o -> holdout_key seed o >= cut) obs
+
+let resolve obs =
+  List.filter_map
+    (fun (o : Obs_log.obs) ->
+      match Benchmarks.instance_by_name o.Obs_log.benchmark with
+      | inst -> Some (inst, o.Obs_log.tuning, o.Obs_log.cost)
+      | exception Not_found -> None)
+    obs
+
+let dataset ~mode obs =
+  match resolve obs with
+  | [] -> Error "Trainer: no observation references a registered benchmark"
+  | ms -> (
+    match Sorl.Training.of_measurements ~mode ms with
+    | ds -> Ok ds
+    | exception Invalid_argument msg -> Error ("Trainer: " ^ msg))
+
+let retrain ?solver ?init ~mode obs =
+  match dataset ~mode obs with
+  | Error _ as e -> e
+  | Ok ds -> (
+    match Sorl.Autotuner.train_on ?solver ?init ~mode ds with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error ("Trainer: " ^ msg))
+
+(* ---- held-out evaluation ---- *)
+
+let group_by_benchmark obs =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Obs_log.obs) ->
+      match Hashtbl.find_opt tbl o.Obs_log.benchmark with
+      | Some block -> block := o :: !block
+      | None ->
+        order := o.Obs_log.benchmark :: !order;
+        Hashtbl.add tbl o.Obs_log.benchmark (ref [ o ]))
+    obs;
+  List.rev_map (fun name -> (name, List.rev !(Hashtbl.find tbl name))) !order
+  |> List.rev
+
+let per_benchmark_tau tuner obs =
+  List.filter_map
+    (fun (name, block) ->
+      match Benchmarks.instance_by_name name with
+      | exception Not_found -> None
+      | inst ->
+        if List.length block < 2 then None
+        else begin
+          let costs = Array.of_list (List.map (fun o -> o.Obs_log.cost) block) in
+          let all_equal = Array.for_all (fun c -> c = costs.(0)) costs in
+          if all_equal then None
+          else begin
+            let scores =
+              Array.of_list
+                (List.map (fun o -> Sorl.Autotuner.score tuner inst o.Obs_log.tuning) block)
+            in
+            Some (name, Sorl_util.Rank_correlation.kendall_tau scores costs)
+          end
+        end)
+    (group_by_benchmark obs)
+
+let holdout_tau tuner obs =
+  match per_benchmark_tau tuner obs with
+  | [] -> None
+  | taus ->
+    let sum = List.fold_left (fun acc (_, t) -> acc +. t) 0. taus in
+    Some (sum /. float_of_int (List.length taus))
+
+(* Promotion rule: the candidate must match the stable generation's
+   mean held-out tau (small epsilon for float noise; tau is discrete
+   so genuine regressions show up far above it). *)
+let no_worse ~stable ~candidate = candidate >= stable -. 1e-9

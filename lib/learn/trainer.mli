@@ -1,0 +1,66 @@
+(** Continual retraining from observation logs.
+
+    Turns an {!Obs_log} replay into the paper's preference-pair
+    training problem and fine-tunes the serving model: observations
+    are split deterministically into a training set and a held-out
+    validation slice, the training slice becomes a query-per-benchmark
+    dataset ({!Sorl.Training.of_measurements}), and the solver
+    warm-starts from the current model's weights
+    ({!Sorl.Autotuner.train_on} [?init]).  The held-out slice is what
+    the serving layer's canary decision compares stable and candidate
+    on ({!holdout_tau} / {!no_worse}). *)
+
+val default_holdout : float
+(** 0.2 — fraction of observations held out for validation. *)
+
+val default_seed : int
+(** 9 — the split hash seed. *)
+
+val default_min_observations : int
+(** 20 — the smallest log a retrain cycle should bother with. *)
+
+val split :
+  ?holdout:float -> ?seed:int -> Obs_log.obs list -> Obs_log.obs list * Obs_log.obs list
+(** [(train, held_out)].  A record's side is a pure function of
+    [(seed, benchmark, tuning)], so the held-out slice is stable as
+    the log grows and duplicate observations of one point never
+    straddle the split.  Raises [Invalid_argument] unless
+    [0 <= holdout < 1]. *)
+
+val resolve :
+  Obs_log.obs list ->
+  (Sorl_stencil.Instance.t * Sorl_stencil.Tuning.t * float) list
+(** Look up each observation's benchmark instance; observations naming
+    unknown benchmarks are dropped. *)
+
+val dataset :
+  mode:Sorl_stencil.Features.mode ->
+  Obs_log.obs list ->
+  (Sorl_svmrank.Dataset.t, string) result
+
+val retrain :
+  ?solver:Sorl.Autotuner.solver ->
+  ?init:float array ->
+  mode:Sorl_stencil.Features.mode ->
+  Obs_log.obs list ->
+  (Sorl.Autotuner.t, string) result
+(** Fit a candidate generation on the given (training-slice)
+    observations.  Pass [?init:(Sorl.Autotuner.weights stable)] to
+    warm-start from the serving model.  All failure shapes — no known
+    benchmarks, no preference pairs, dimension mismatch — come back as
+    [Error], never as an exception. *)
+
+val per_benchmark_tau :
+  Sorl.Autotuner.t -> Obs_log.obs list -> (string * float) list
+(** Kendall's tau between the model's predicted scores and the
+    measured costs, per benchmark, in first-appearance order.
+    Benchmarks that are unknown, have fewer than 2 observations, or
+    whose costs are all equal are skipped (no ranking is exposed). *)
+
+val holdout_tau : Sorl.Autotuner.t -> Obs_log.obs list -> float option
+(** Mean of {!per_benchmark_tau}; [None] when no benchmark exposes a
+    ranking. *)
+
+val no_worse : stable:float -> candidate:float -> bool
+(** The promotion rule: candidate tau within 1e-9 of stable or
+    better. *)

@@ -218,3 +218,67 @@ let shutdown t =
   | Ok Protocol.Bye -> Ok ()
   | Ok (Protocol.Error { code; message }) -> server_error code message
   | Ok r -> unexpected (Protocol.encode_response r)
+
+let observe t ~benchmark ~tuning ~cost =
+  match request t (Protocol.Observe { benchmark; tuning; cost }) with
+  | Error _ as e -> e
+  | Ok (Protocol.Observed { total }) -> Ok total
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let canary t ~model =
+  match request t (Protocol.Canary { model }) with
+  | Error _ as e -> e
+  | Ok (Protocol.Canaried { model }) -> Ok model
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+let promote t =
+  match request t Protocol.Promote with
+  | Error _ as e -> e
+  | Ok (Protocol.Promoted { model; generation }) -> Ok (model, generation)
+  | Ok (Protocol.Error { code; message }) -> server_error code message
+  | Ok r -> unexpected (Protocol.encode_response r)
+
+module Observer = struct
+  type client = t
+
+  type t = {
+    client : client;
+    batch : int;
+    mutable buffered : Protocol.request list;  (* newest first *)
+    mutable pending : int;
+    mutable acked : int;
+    mutable rejected : int;
+  }
+
+  let create ?(batch = 64) client =
+    if batch < 1 then invalid_arg "Client.Observer.create: batch must be >= 1";
+    { client; batch; buffered = []; pending = 0; acked = 0; rejected = 0 }
+
+  let flush o =
+    match o.buffered with
+    | [] -> Ok ()
+    | reqs -> (
+      let train = List.rev reqs in
+      o.buffered <- [];
+      o.pending <- 0;
+      match pipeline o.client train with
+      | Error _ as e -> e
+      | Ok replies ->
+        List.iter
+          (function
+            | Protocol.Observed _ -> o.acked <- o.acked + 1
+            | _ -> o.rejected <- o.rejected + 1)
+          replies;
+        Ok ())
+
+  let send o ~benchmark ~tuning ~cost =
+    o.buffered <- Protocol.Observe { benchmark; tuning; cost } :: o.buffered;
+    o.pending <- o.pending + 1;
+    if o.pending >= o.batch then flush o else Ok ()
+
+  let acked o = o.acked
+  let rejected o = o.rejected
+  let close o = flush o
+end

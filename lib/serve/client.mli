@@ -98,3 +98,63 @@ val reload : ?model:string -> t -> (string * int, string) result
 (** [(model name, new generation)]. *)
 
 val shutdown : t -> (unit, string) result
+
+val observe :
+  t ->
+  benchmark:string ->
+  tuning:Sorl_stencil.Tuning.t ->
+  cost:float ->
+  (int, string) result
+(** Stream one measured observation into the server's log; [Ok total]
+    is the log's complete-record count after the append.  For bulk
+    ingestion prefer {!Observer}, which pipelines. *)
+
+val canary : t -> model:string -> (string, string) result
+(** Load a store entry as the server's shadow candidate.  Replies to
+    rank/tune stay byte-identical to the stable model; agreement
+    accumulates in the [canary_*] stats until {!promote} decides. *)
+
+val promote : t -> (string * int, string) result
+(** Decide the current canary against the observation log's held-out
+    slice: [Ok (model, generation)] means it was installed through the
+    hot-reload path; a rollback comes back as
+    [Error "canary-rejected: ..."]. *)
+
+(** Fire-and-forget observation ingestion: buffers [observe] requests
+    and flushes them as one pipelined train every [batch] sends, so a
+    measurement harness streaming thousands of observations pays one
+    round trip per batch instead of one per observation.  Not
+    thread-safe; one observer per connection. *)
+module Observer : sig
+  type client := t
+  type t
+
+  val create : ?batch:int -> client -> t
+  (** [batch] (default 64, must be >= 1) is the flush threshold.
+      Raises [Invalid_argument] on [batch < 1]. *)
+
+  val send :
+    t ->
+    benchmark:string ->
+    tuning:Sorl_stencil.Tuning.t ->
+    cost:float ->
+    (unit, string) result
+  (** Buffer one observation; transparently flushes when the buffer
+      reaches [batch].  [Error] only on a transport failure during such
+      a flush — per-record server rejections are counted in
+      {!rejected}, not raised here. *)
+
+  val flush : t -> (unit, string) result
+  (** Send any buffered observations now and read their acks. *)
+
+  val close : t -> (unit, string) result
+  (** Flush-on-close: equivalent to {!flush}; the underlying client
+      connection stays open and is the caller's to close. *)
+
+  val acked : t -> int
+  (** Observations acknowledged by the server so far. *)
+
+  val rejected : t -> int
+  (** Observations the server answered with an error (e.g. unknown
+      benchmark) — they are consumed, not retried. *)
+end

@@ -32,7 +32,7 @@ let field k v = k ^ "=" ^ v
 let sep = '\x1f'
 
 let encode_spec ~address ~workers ?queue_capacity ?conn_timeout_s ?cache_capacity
-    ?max_connections ?warm ?topk source =
+    ?max_connections ?warm ?topk ?obs_log ?canary_fraction source =
   let opt k to_s v = Option.map (fun v -> field k (to_s v)) v in
   let fields =
     [
@@ -53,6 +53,8 @@ let encode_spec ~address ~workers ?queue_capacity ?conn_timeout_s ?cache_capacit
       opt "maxconns" string_of_int max_connections;
       opt "warm" string_of_bool warm;
       opt "topk" string_of_bool topk;
+      opt "obs" Fun.id obs_log;
+      opt "canary" string_of_float canary_fraction;
     ]
   in
   String.concat (String.make 1 sep) (List.filter_map Fun.id fields)
@@ -107,6 +109,8 @@ let maybe_shard_main () =
          ?max_connections:(opt_of "maxconns" int_of_string_opt "maxconns")
          ?warm:(opt_of "warm" bool_of_string_opt "warm")
          ?topk:(opt_of "topk" bool_of_string_opt "topk")
+         ?obs_log:(get "obs")
+         ?canary_fraction:(opt_of "canary" float_of_string_opt "canary")
          source
      with
     | Ok server ->
@@ -199,15 +203,22 @@ let wait_ready ~deadline sh =
   go ()
 
 let start ~dir ~shards:n ?(workers = 1) ?queue_capacity ?conn_timeout_s ?cache_capacity
-    ?max_connections ?warm ?topk ?(ready_timeout_s = 10.) source =
+    ?max_connections ?warm ?topk ?obs_dir ?canary_fraction ?(ready_timeout_s = 10.)
+    source =
   if n < 1 then Error "Fleet.start: shards must be >= 1"
   else begin
     mkdir_p dir;
+    Option.iter mkdir_p obs_dir;
     let spawn i =
       let address = shard_address ~dir i in
+      let obs_log =
+        Option.map
+          (fun d -> Filename.concat d (Printf.sprintf "shard%d.obs" i))
+          obs_dir
+      in
       let spec =
         encode_spec ~address ~workers ?queue_capacity ?conn_timeout_s ?cache_capacity
-          ?max_connections ?warm ?topk source
+          ?max_connections ?warm ?topk ?obs_log ?canary_fraction source
       in
       { address; pid = spawn_shard spec; reaped = false }
     in

@@ -47,6 +47,8 @@ val start :
   ?max_connections:int ->
   ?warm:bool ->
   ?topk:bool ->
+  ?obs_dir:string ->
+  ?canary_fraction:float ->
   ?ready_timeout_s:float ->
   Server.source ->
   (t, string) result
@@ -56,9 +58,14 @@ val start :
     re-opened by path in the child, a [Model_file] by file name).
     [dir] is created if missing.  Per-shard options are passed through
     to {!Server.start}; [workers] defaults to 1 — shard-level
-    parallelism comes from running more shards.  Fails (and reaps any
-    shards already spawned) if a shard does not answer an [info] probe
-    within [ready_timeout_s] (default 10). *)
+    parallelism comes from running more shards.  [obs_dir] (created if
+    missing) gives every shard its own observation log
+    ([shard0.obs], [shard1.obs], ...) — the router routes [observe] by
+    benchmark, so each log carries a disjoint slice; replaying all of
+    them reassembles the fleet's measurements.  [canary_fraction] is
+    passed through to each shard.  Fails (and reaps any shards already
+    spawned) if a shard does not answer an [info] probe within
+    [ready_timeout_s] (default 10). *)
 
 val addresses : t -> Protocol.address list
 (** Shard addresses in index order — feed to {!Router.start}. *)

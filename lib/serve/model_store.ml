@@ -114,3 +114,68 @@ let list t =
              if valid_name name then Some name else None
            else None)
     |> List.sort compare
+
+(* ---- generations ----
+
+   Continual retraining publishes immutable snapshots named
+   [<base>.g<N>] (N >= 1).  [save] overwrites silently — fine for a
+   hand-managed name, wrong for a generation history — so [publish]
+   refuses to reuse a number with a typed error. *)
+
+let generation_name ~base n = Printf.sprintf "%s.g%d" base n
+
+let all_digits s = String.length s > 0 && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let list_generations t ~base =
+  let prefix = base ^ ".g" in
+  let pl = String.length prefix in
+  list t
+  |> List.filter_map (fun name ->
+         if String.length name > pl && String.equal (String.sub name 0 pl) prefix then
+           let tail = String.sub name pl (String.length name - pl) in
+           if all_digits tail then int_of_string_opt tail else None
+         else None)
+  |> List.sort_uniq compare
+
+type publish_error =
+  | Generation_exists of string  (** the colliding store entry's name *)
+  | Publish_failed of string
+
+let publish ?generation t ~base tuner =
+  match check_name base with
+  | Error msg -> Error (Publish_failed msg)
+  | Ok () -> (
+    let n =
+      match generation with
+      | Some n -> n
+      | None -> (
+        match List.rev (list_generations t ~base) with
+        | latest :: _ -> latest + 1
+        | [] -> 1)
+    in
+    if n < 1 then Error (Publish_failed "model store: generation numbers start at 1")
+    else
+      let name = generation_name ~base n in
+      if Sys.file_exists (path t ~name) then Error (Generation_exists name)
+      else
+        match save t ~name tuner with
+        | Ok () -> Ok (name, n)
+        | Error msg -> Error (Publish_failed msg))
+
+let prune t ~base ~keep =
+  if keep < 0 then Error "model store: prune keep must be >= 0"
+  else begin
+    let gens = list_generations t ~base in
+    let excess = List.length gens - keep in
+    let doomed = List.filteri (fun i _ -> i < excess) gens in
+    let removed =
+      List.filter_map
+        (fun g ->
+          let name = generation_name ~base g in
+          match Sys.remove (path t ~name) with
+          | () -> Some name
+          | exception Sys_error _ -> None)
+        doomed
+    in
+    Ok removed
+  end

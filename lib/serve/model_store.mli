@@ -45,3 +45,35 @@ val list : t -> string list
 
 val path : t -> name:string -> string
 (** The file a given name maps to (whether or not it exists). *)
+
+(** {2 Generations}
+
+    Continual retraining publishes each accepted candidate as an
+    immutable snapshot [<base>.g<N>] ([N >= 1]).  Unlike {!save},
+    {!publish} never overwrites: republishing an existing generation is
+    the typed {!Generation_exists} error, so two trainers racing on one
+    store cannot silently clobber each other's history.  {!prune} keeps
+    the store bounded under continual publishing. *)
+
+val generation_name : base:string -> int -> string
+(** [generation_name ~base n] is ["<base>.g<n>"]. *)
+
+val list_generations : t -> base:string -> int list
+(** Published generation numbers for [base], ascending.  Only entries
+    of the exact form [<base>.g<digits>] count. *)
+
+type publish_error =
+  | Generation_exists of string  (** that generation is already published (names the entry) *)
+  | Publish_failed of string  (** invalid base, bad number, or I/O failure *)
+
+val publish :
+  ?generation:int -> t -> base:string -> Sorl.Autotuner.t -> (string * int, publish_error) result
+(** Publish a new generation of [base] and return [(name, number)].
+    Without [?generation] the next free number (latest + 1, or 1) is
+    used; with it, exactly that number — [Generation_exists] if
+    taken. *)
+
+val prune : t -> base:string -> keep:int -> (string list, string) result
+(** Delete all but the newest [keep] generations of [base]; returns the
+    removed entry names (oldest first).  The base entry itself and
+    other names are never touched. *)

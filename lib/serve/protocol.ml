@@ -34,25 +34,33 @@ let address_of_string s =
 type request =
   | Rank of { benchmark : string; top : int; approx_ok : bool }
   | Tune of { benchmark : string; approx_ok : bool }
+  | Observe of { benchmark : string; tuning : Tuning.t; cost : float }
   | Info
   | Stats
   | Reload of { model : string option }
+  | Canary of { model : string }
+  | Promote
   | Shutdown
 
 type error_code =
   | Bad_request
   | No_benchmark
   | No_model
+  | No_log
   | Store
+  | Canary_rejected
   | Busy
   | Internal
 
 type response =
   | Ranked of { benchmark : string; total : int; tunings : Tuning.t list; approx : bool }
   | Tuned of { benchmark : string; tuning : Tuning.t; approx : bool }
+  | Observed of { total : int }
   | Info_reply of (string * string) list
   | Stats_reply of (string * int) list
   | Reloaded of { model : string; generation : int }
+  | Canaried of { model : string }
+  | Promoted of { model : string; generation : int }
   | Bye
   | Error of { code : error_code; message : string }
 
@@ -60,7 +68,9 @@ let error_code_to_string = function
   | Bad_request -> "bad-request"
   | No_benchmark -> "no-benchmark"
   | No_model -> "no-model"
+  | No_log -> "no-log"
   | Store -> "store"
+  | Canary_rejected -> "canary-rejected"
   | Busy -> "busy"
   | Internal -> "internal"
 
@@ -68,7 +78,9 @@ let error_code_of_string = function
   | "bad-request" -> Some Bad_request
   | "no-benchmark" -> Some No_benchmark
   | "no-model" -> Some No_model
+  | "no-log" -> Some No_log
   | "store" -> Some Store
+  | "canary-rejected" -> Some Canary_rejected
   | "busy" -> Some Busy
   | "internal" -> Some Internal
   | _ -> None
@@ -103,12 +115,22 @@ let encode_request = function
   | Tune { benchmark; approx_ok } ->
     check_token "benchmark" benchmark;
     Printf.sprintf "%s tune%s %s" magic (if approx_ok then "!" else "") benchmark
+  | Observe { benchmark; tuning; cost } ->
+    check_token "benchmark" benchmark;
+    if not (Float.is_finite cost && cost > 0.) then
+      invalid_arg "Protocol.encode_request: observe cost must be a positive finite float";
+    (* %.17g round-trips every finite double exactly. *)
+    Printf.sprintf "%s observe %s %s %.17g" magic benchmark (tuning_to_string tuning) cost
   | Info -> magic ^ " info"
   | Stats -> magic ^ " stats"
   | Reload { model = None } -> magic ^ " reload"
   | Reload { model = Some m } ->
     check_token "model" m;
     Printf.sprintf "%s reload %s" magic m
+  | Canary { model } ->
+    check_token "model" model;
+    Printf.sprintf "%s canary %s" magic model
+  | Promote -> magic ^ " promote"
   | Shutdown -> magic ^ " shutdown"
 
 (* Split on single spaces, dropping empty fields so stray doubled
@@ -135,14 +157,27 @@ let parse_request line =
       | None -> Result.Error (Printf.sprintf "rank: bad top %S" top))
     | [ ("tune" | "tune!") as verb; benchmark ] ->
       Ok (Tune { benchmark; approx_ok = String.equal verb "tune!" })
+    | [ "observe"; benchmark; t; cost ] -> (
+      match tuning_of_string t with
+      | Result.Error _ as e -> e
+      | Ok tuning -> (
+        match float_of_string_opt cost with
+        | Some c when Float.is_finite c && c > 0. -> Ok (Observe { benchmark; tuning; cost = c })
+        | Some _ -> Result.Error "observe: cost must be a positive finite float"
+        | None -> Result.Error (Printf.sprintf "observe: bad cost %S" cost)))
     | [ "info" ] -> Ok Info
     | [ "stats" ] -> Ok Stats
     | [ "reload" ] -> Ok (Reload { model = None })
     | [ "reload"; m ] -> Ok (Reload { model = Some m })
+    | [ "canary"; m ] -> Ok (Canary { model = m })
+    | [ "promote" ] -> Ok Promote
     | [ "shutdown" ] -> Ok Shutdown
     | verb :: _
       when List.mem verb
-             [ "rank"; "rank!"; "tune"; "tune!"; "info"; "stats"; "reload"; "shutdown" ] ->
+             [
+               "rank"; "rank!"; "tune"; "tune!"; "observe"; "info"; "stats"; "reload";
+               "canary"; "promote"; "shutdown";
+             ] ->
       Result.Error (Printf.sprintf "%s: wrong number of arguments" verb)
     | verb :: _ -> Result.Error (Printf.sprintf "unknown verb %S" verb)
     | [] -> Result.Error "missing verb")
@@ -171,9 +206,16 @@ let encode_response = function
     List.iter (fun (k, _) -> check_token "stats key" k) kvs;
     "ok stats"
     ^ String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%d" k v) kvs)
+  | Observed { total } -> Printf.sprintf "ok observe %d" total
   | Reloaded { model; generation } ->
     check_token "model" model;
     Printf.sprintf "ok reload %s %d" model generation
+  | Canaried { model } ->
+    check_token "model" model;
+    Printf.sprintf "ok canary %s" model
+  | Promoted { model; generation } ->
+    check_token "model" model;
+    Printf.sprintf "ok promote %s %d" model generation
   | Bye -> "ok shutdown"
   | Error { code; message } ->
     Printf.sprintf "err %s %s" (error_code_to_string code) (sanitize_message message)
@@ -258,10 +300,19 @@ let parse_response ?(strict = false) line =
         with
         | Result.Error _ as e -> e
         | Ok l -> Ok (Stats_reply l))
+      | "observe", [ total ] -> (
+        match int_of_string_opt total with
+        | Some n -> Ok (Observed { total = n })
+        | None -> Result.Error (Printf.sprintf "observe reply: bad total %S" total))
       | "reload", [ model; gen ] -> (
         match int_of_string_opt gen with
         | Some g -> Ok (Reloaded { model; generation = g })
         | None -> Result.Error (Printf.sprintf "reload reply: bad generation %S" gen))
+      | "canary", [ model ] -> Ok (Canaried { model })
+      | "promote", [ model; gen ] -> (
+        match int_of_string_opt gen with
+        | Some g -> Ok (Promoted { model; generation = g })
+        | None -> Result.Error (Printf.sprintf "promote reply: bad generation %S" gen))
       | "shutdown", [] -> Ok Bye
       | _ -> Result.Error (Printf.sprintf "malformed response starting with %S" verb)))
   | [] -> Result.Error "empty response"

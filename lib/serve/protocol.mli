@@ -12,20 +12,27 @@
     request  := "sorl1" SP verb
     verb     := "rank" ["!"] SP benchmark SP top ; top >= 1
               | "tune" ["!"] SP benchmark
+              | "observe" SP benchmark SP tuning SP cost ; cost > 0, finite
               | "info"
               | "stats"
               | "reload" [SP model]
+              | "canary" SP model
+              | "promote"
               | "shutdown"
 
     response := "ok" SP payload | "err" SP code SP message
     payload  := "rank" flag* SP benchmark SP total SP tuning*
               | "tune" flag* SP benchmark SP tuning
+              | "observe" SP total
               | "info" SP (key "=" value)*
               | "stats" SP (key "=" int)*
               | "reload" SP model SP generation
+              | "canary" SP model
+              | "promote" SP model SP generation
               | "shutdown"
     flag     := "~"                              ; approximate reply
     tuning   := bx "," by "," bz "," u "," c     ; decimal integers
+    cost     := decimal float (printed %.17g, exact round trip)
     v}
 
     Errors are structured ([err <code> <free-text message>]) so clients
@@ -56,7 +63,25 @@
     train into a single write.  A malformed frame in the middle of a
     pipeline earns its own [err bad-request] line and does not disturb
     the requests around it or the connection.  ({!Client.pipeline} is
-    the typed wrapper.)
+    the typed wrapper.)  [observe] is designed for deep pipelines:
+    ingestion clients batch many observations per write and read the
+    acknowledgement train at their leisure ({!Client.Observer}).
+
+    {2 Online learning verbs}
+
+    [observe] streams one measured [(benchmark, tuning, cost)] into
+    the server's append-only observation log ({!Obs_log}); the reply
+    carries the log's total record count.  [err no-log] when the
+    server was started without a log.  [canary <model>] loads a store
+    entry as a {e shadow} model: replies stay byte-identical to the
+    stable generation, but a configurable fraction of rank/tune
+    traffic is re-scored by the candidate off the reply path and
+    agreement is accumulated in the [canary_*] stats.  [promote] then
+    compares stable and candidate on the held-out slice of the
+    observation log and either installs the candidate through the
+    hot-reload path ([ok promote <model> <generation>]) or rolls it
+    back and quarantines the name ([err canary-rejected ...], the
+    decision visible in [canary_rollbacks]/[canary_tau_*]).
 
     {2 Stats keys}
 
@@ -68,7 +93,15 @@
     [result_cache_misses], [result_cache_entries],
     [result_cache_capacity]) and the coalescing batcher
     ([rank_leaders], [rank_followers], [encoder_hits],
-    [encoder_misses]).  Clients must ignore keys they do not know. *)
+    [encoder_misses]), and online learning ([observations] — records
+    appended by this process, [obs_log_records] — complete records in
+    the log including recovered ones, [canary_active],
+    [canary_shadowed], [canary_agree], [canary_disagree],
+    [canary_promotions], [canary_rollbacks], [canary_quarantined],
+    [canary_tau_stable_m]/[canary_tau_candidate_m] — the last promote
+    decision's mean held-out tau in thousandths, plus per-benchmark
+    [canary_agree_<benchmark>]/[canary_disagree_<benchmark>]).
+    Clients must ignore keys they do not know. *)
 
 val version : int
 (** 1. *)
@@ -94,18 +127,30 @@ type request =
           ([rank!] on the wire) permits a provisional reply from a
           similar instance's cached result. *)
   | Tune of { benchmark : string; approx_ok : bool }  (** Top-1 shorthand. *)
+  | Observe of { benchmark : string; tuning : Sorl_stencil.Tuning.t; cost : float }
+      (** Stream one measured observation into the server's log.
+          [cost] must be finite and positive. *)
   | Info
   | Stats
   | Reload of { model : string option }
       (** Hot-swap the served model: [None] re-reads the current
           source, [Some name] switches to another store entry. *)
+  | Canary of { model : string }
+      (** Load a store entry as the shadow candidate. *)
+  | Promote
+      (** Decide the current canary: install or roll back. *)
   | Shutdown
 
 type error_code =
   | Bad_request  (** malformed or wrong-version frame *)
   | No_benchmark
   | No_model
+  | No_log  (** server runs without an observation log *)
   | Store  (** model store failure: missing, corrupt, wrong version *)
+  | Canary_rejected
+      (** canary machinery refused: no/quarantined candidate, not
+          enough held-out data, or the candidate lost the tau
+          comparison (rolled back) *)
   | Busy  (** backpressure: connection queue full, retry later *)
   | Internal
 
@@ -117,9 +162,13 @@ type response =
       approx : bool;  (** provisional, served from a similar instance *)
     }
   | Tuned of { benchmark : string; tuning : Sorl_stencil.Tuning.t; approx : bool }
+  | Observed of { total : int }
+      (** Acknowledged; [total] complete records now in the log. *)
   | Info_reply of (string * string) list
   | Stats_reply of (string * int) list
   | Reloaded of { model : string; generation : int }
+  | Canaried of { model : string }
+  | Promoted of { model : string; generation : int }
   | Bye
   | Error of { code : error_code; message : string }
 

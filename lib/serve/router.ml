@@ -121,7 +121,10 @@ let exchange_train t s reqs =
 let routing_key = function
   | Protocol.Rank { benchmark; _ } -> Some (benchmark ^ "/rank")
   | Protocol.Tune { benchmark; _ } -> Some (benchmark ^ "/tune")
-  | Protocol.Info | Protocol.Stats | Protocol.Reload _ | Protocol.Shutdown -> None
+  | Protocol.Observe { benchmark; _ } -> Some (benchmark ^ "/observe")
+  | Protocol.Info | Protocol.Stats | Protocol.Reload _ | Protocol.Canary _
+  | Protocol.Promote | Protocol.Shutdown ->
+    None
 
 (* Preference order for a key: ring order with draining shards demoted
    to the back.  A 1-shard fleet mid-reload therefore still routes to
@@ -283,6 +286,80 @@ let rolling_reload t ~model =
       in
       go 0 None)
 
+(* Load a candidate as shadow on every shard.  Unlike reload this does
+   not change what any shard serves, so there is nothing to roll: the
+   fanout is sequential under [reload_m] (no interleaving with a
+   promote), stops at the first failure and names the shard — shards
+   already carrying the canary keep it, which is harmless (a later
+   [canary] retries idempotently, a later [promote] decides it). *)
+let fanout_canary t ~model =
+  Mutex.protect t.reload_m (fun () ->
+      Atomic.incr t.fanouts;
+      let n = Array.length t.shards in
+      let rec go i =
+        if i = n then
+          if n = 0 then err Protocol.Internal "empty fleet"
+          else Protocol.Canaried { model }
+        else begin
+          let s = t.shards.(i) in
+          let result =
+            Mutex.protect s.m (fun () ->
+                exchange ~retry:false t s (Protocol.Canary { model }))
+          in
+          let stopped detail =
+            Printf.sprintf "canary stopped at %s (%d/%d shards done): %s" s.sname i n
+              detail
+          in
+          match result with
+          | Ok (Protocol.Canaried _) -> go (i + 1)
+          | Ok (Protocol.Error { code; message }) -> err code (stopped message)
+          | Ok r ->
+            err Protocol.Internal
+              (stopped ("unexpected reply " ^ Protocol.encode_response r))
+          | Error msg -> err Protocol.Internal (stopped msg)
+        end
+      in
+      go 0)
+
+(* Promote the canary shard by shard, mirroring [rolling_reload]: each
+   shard is drained, decides its own promote (against its own
+   observation log's held-out slice), and is readmitted before the
+   roll moves on.  A shard's rejection (canary-rejected) stops the
+   roll and surfaces as the router reply — shards already promoted
+   stay on the new generation, exactly like a failed rolling reload. *)
+let rolling_promote t =
+  Mutex.protect t.reload_m (fun () ->
+      Atomic.incr t.reloads;
+      let n = Array.length t.shards in
+      let rec go i last =
+        if i = n then
+          match last with
+          | Some (m, g) -> Protocol.Promoted { model = m; generation = g }
+          | None -> err Protocol.Internal "empty fleet"
+        else begin
+          let s = t.shards.(i) in
+          Atomic.set s.draining true;
+          let result =
+            Fun.protect
+              ~finally:(fun () -> Atomic.set s.draining false)
+              (fun () ->
+                Mutex.protect s.m (fun () -> exchange ~retry:false t s Protocol.Promote))
+          in
+          let stopped detail =
+            Printf.sprintf "rolling promote stopped at %s (%d/%d shards done): %s"
+              s.sname i n detail
+          in
+          match result with
+          | Ok (Protocol.Promoted { model = m; generation = g }) -> go (i + 1) (Some (m, g))
+          | Ok (Protocol.Error { code; message }) -> err code (stopped message)
+          | Ok r ->
+            err Protocol.Internal
+              (stopped ("unexpected reply " ^ Protocol.encode_response r))
+          | Error msg -> err Protocol.Internal (stopped msg)
+        end
+      in
+      go 0 None)
+
 (* ---- per-batch handling ---- *)
 
 (* Serve one reactor batch, preserving reply order.  Consecutive
@@ -331,11 +408,13 @@ let handle_lines t lines =
               | Protocol.Info -> fanout_info t
               | Protocol.Stats -> fanout_stats t
               | Protocol.Reload { model } -> rolling_reload t ~model
+              | Protocol.Canary { model } -> fanout_canary t ~model
+              | Protocol.Promote -> rolling_promote t
               | Protocol.Shutdown ->
                 Atomic.set t.stopping true;
                 bye := true;
                 Protocol.Bye
-              | Protocol.Rank _ | Protocol.Tune _ -> assert false
+              | Protocol.Rank _ | Protocol.Tune _ | Protocol.Observe _ -> assert false
             in
             push (Protocol.encode_response response))
       end)

@@ -11,10 +11,12 @@
     forwarded as one downstream train, so pipelining survives the
     extra hop.
 
-    Routing: [rank]/[tune] hash their [(benchmark, verb)] pair on a
-    {!Ring}, so one benchmark's traffic always lands on the same shard
-    and that shard's result cache, encoder cache and batcher stay hot
-    for its slice.  If the owner is draining (mid-reload) or
+    Routing: [rank]/[tune]/[observe] hash their [(benchmark, verb)]
+    pair on a {!Ring}, so one benchmark's traffic always lands on the
+    same shard and that shard's result cache, encoder cache and
+    batcher stay hot for its slice — and one shard owns a benchmark's
+    observation stream, so its log sees that benchmark's records in
+    arrival order.  If the owner is draining (mid-reload) or
     unreachable, the request falls through the ring order to the next
     shard — correctness does not depend on placement, only locality
     does.  Shard replies are parsed and re-encoded; both sides are
@@ -40,6 +42,17 @@
       switches atomically ({!Server}'s snapshot swap) and the fleet
       converges shard by shard.  A failure stops the roll and reports
       which shard, leaving earlier shards on the new model.
+    - [canary <model>]: fan-out under the reload lock; every shard
+      loads the candidate as its shadow model.  Loading changes no
+      served bytes, so there is nothing to roll — a failure stops the
+      fanout and names the shard (shards already carrying the canary
+      keep it; re-issuing [canary] is idempotent).
+    - [promote]: rolling, shard by shard like [reload] — each shard is
+      drained, decides its own promote against its own observation
+      log's held-out slice, and is readmitted.  A shard's rejection
+      ([err canary-rejected]) stops the roll and surfaces as the
+      router's reply, leaving earlier shards on the promoted
+      generation.
     - [shutdown]: stops the router (shards are owned by their
       supervisor — {!Fleet.stop} or the operator — not by the router).
 *)

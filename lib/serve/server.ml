@@ -32,10 +32,38 @@ type neighbors = {
   approx_replies : int Atomic.t;
 }
 
+(* A candidate generation under canary: loaded from the store but
+   never on the reply path.  A sampled fraction of rank/tune traffic is
+   re-scored by [cn_tuner] strictly after the stable reply is written
+   (the backfill mechanism), accumulating agreement telemetry until a
+   [promote] decides its fate. *)
+type canary = {
+  cn_name : string;
+  cn_tuner : Sorl.Autotuner.t;
+  cn_tick : int Atomic.t;  (** sampling clock: every [canary_every]-th rank/tune *)
+}
+
 type t = {
   address : Protocol.address;
   source : source;
   current : loaded Atomic.t;
+  obs : Sorl_learn.Obs_log.writer option;  (** observation ingestion, [None] = disabled *)
+  observations : int Atomic.t;  (** records appended by this process *)
+  holdout : float;  (** held-out fraction for promote decisions *)
+  holdout_seed : int;
+  canary_every : int;  (** shadow every Nth rank/tune while a canary is loaded *)
+  canary : canary option Atomic.t;
+  quarantined : (string, unit) Hashtbl.t;  (** rolled-back names; guarded by [reload_m] *)
+  canary_shadowed : int Atomic.t;
+  canary_agree : int Atomic.t;
+  canary_disagree : int Atomic.t;
+  canary_promotions : int Atomic.t;
+  canary_rollbacks : int Atomic.t;
+  canary_tau_stable_m : int Atomic.t;  (** last decision's stable tau, thousandths *)
+  canary_tau_candidate_m : int Atomic.t;
+  canary_bm_m : Mutex.t;  (** guards [canary_bm] *)
+  canary_bm : (string, int ref * int ref) Hashtbl.t;
+      (** benchmark -> (agree, disagree) over the server's lifetime *)
   batcher : Batcher.t;
   cache : Result_cache.t;
   topk : bool;  (** serve rank/tune through pruned top-k selection *)
@@ -71,6 +99,12 @@ let latency_hist = Sorl_util.Telemetry.histogram "serve.request_s"
 let neighbor_hits_counter = Sorl_util.Telemetry.counter "serve.neighbor_hits"
 let neighbor_misses_counter = Sorl_util.Telemetry.counter "serve.neighbor_misses"
 let approx_counter = Sorl_util.Telemetry.counter "serve.approx_replies"
+let observations_counter = Sorl_util.Telemetry.counter "serve.observations"
+let canary_shadowed_counter = Sorl_util.Telemetry.counter "serve.canary_shadowed"
+let canary_agree_counter = Sorl_util.Telemetry.counter "serve.canary_agree"
+let canary_disagree_counter = Sorl_util.Telemetry.counter "serve.canary_disagree"
+let canary_promotions_counter = Sorl_util.Telemetry.counter "serve.canary_promotions"
+let canary_rollbacks_counter = Sorl_util.Telemetry.counter "serve.canary_rollbacks"
 
 let load_source source ~name =
   match (source, name) with
@@ -286,6 +320,22 @@ let handle_info t =
       ("uptime_s", string_of_int (int_of_float (Unix.gettimeofday () -. t.started_at)));
     ]
 
+let handle_observe t ~benchmark ~tuning ~cost =
+  match t.obs with
+  | None ->
+    err Protocol.No_log "server has no observation log (start serve with --obs-log)"
+  | Some ol -> (
+    match Sorl_stencil.Benchmarks.instance_by_name benchmark with
+    | exception Not_found ->
+      err Protocol.No_benchmark (Printf.sprintf "unknown benchmark %S" benchmark)
+    | _ -> (
+      match Sorl_learn.Obs_log.append ol { Sorl_learn.Obs_log.benchmark; tuning; cost } with
+      | () ->
+        Atomic.incr t.observations;
+        Sorl_util.Telemetry.incr observations_counter;
+        Protocol.Observed { total = Sorl_learn.Obs_log.written ol }
+      | exception Sys_error msg -> err Protocol.Internal ("observation log: " ^ msg)))
+
 let handle_stats t =
   let b = Batcher.stats t.batcher in
   let neighbor_kvs =
@@ -306,6 +356,38 @@ let handle_stats t =
     List.map
       (fun (g, n) -> (Printf.sprintf "result_cache_entries_g%d" g, n))
       (Result_cache.entries_by_generation t.cache)
+  in
+  let learn_kvs =
+    let obs_kvs =
+      match t.obs with
+      | None -> []
+      | Some ol ->
+        [
+          ("observations", Atomic.get t.observations);
+          ("obs_log_records", Sorl_learn.Obs_log.written ol);
+        ]
+    in
+    let per_benchmark =
+      Mutex.protect t.canary_bm_m (fun () ->
+          Hashtbl.fold
+            (fun bench (a, d) acc ->
+              ("canary_agree_" ^ bench, !a) :: ("canary_disagree_" ^ bench, !d) :: acc)
+            t.canary_bm [])
+      |> List.sort compare
+    in
+    obs_kvs
+    @ [
+        ("canary_active", (match Atomic.get t.canary with Some _ -> 1 | None -> 0));
+        ("canary_shadowed", Atomic.get t.canary_shadowed);
+        ("canary_agree", Atomic.get t.canary_agree);
+        ("canary_disagree", Atomic.get t.canary_disagree);
+        ("canary_promotions", Atomic.get t.canary_promotions);
+        ("canary_rollbacks", Atomic.get t.canary_rollbacks);
+        ("canary_quarantined", Mutex.protect t.reload_m (fun () -> Hashtbl.length t.quarantined));
+        ("canary_tau_stable_m", Atomic.get t.canary_tau_stable_m);
+        ("canary_tau_candidate_m", Atomic.get t.canary_tau_candidate_m);
+      ]
+    @ per_benchmark
   in
   Protocol.Stats_reply
     ([
@@ -332,7 +414,7 @@ let handle_stats t =
        ("queue_depth", Sorl_util.Bqueue.length t.queue);
        ("generation", (Atomic.get t.current).generation);
      ]
-    @ by_generation @ neighbor_kvs)
+    @ by_generation @ neighbor_kvs @ learn_kvs)
 
 (* ---- the result cache ---- *)
 
@@ -406,34 +488,116 @@ let outcome_of_response response =
     backfill = None;
   }
 
+(* Install a new serving snapshot.  Must be called holding [reload_m];
+   shared by [reload] and a successful [promote], so a promoted canary
+   goes live through exactly the hot-swap path reload exercises —
+   generation bump, atomic snapshot swap, cache warm before the reply
+   is on the wire. *)
+let install_locked t ~tuner ~model_name =
+  let generation = (Atomic.get t.current).generation + 1 in
+  Atomic.set t.current { tuner; model_name; generation };
+  Atomic.incr t.reloads;
+  Sorl_util.Telemetry.incr reloads_counter;
+  (* Seed the new generation's entries before answering: once the
+     reload reply is on the wire, hot queries are hot again.  The
+     retired generation's entries are unreachable (wrong key) and
+     age out of the LRU. *)
+  if t.warm_on_reload then warm_cache t;
+  generation
+
 let handle_reload t ~model =
-  Mutex.lock t.reload_m;
-  let result =
-    match load_source t.source ~name:model with
-    | Error (code, msg) -> err code msg
-    | Ok (tuner, model_name) ->
-      let generation = (Atomic.get t.current).generation + 1 in
-      Atomic.set t.current { tuner; model_name; generation };
-      Atomic.incr t.reloads;
-      Sorl_util.Telemetry.incr reloads_counter;
-      (* Seed the new generation's entries before answering: once the
-         reload reply is on the wire, hot queries are hot again.  The
-         retired generation's entries are unreachable (wrong key) and
-         age out of the LRU. *)
-      if t.warm_on_reload then warm_cache t;
-      Protocol.Reloaded { model = model_name; generation }
-  in
-  Mutex.unlock t.reload_m;
-  result
+  Mutex.protect t.reload_m (fun () ->
+      match load_source t.source ~name:model with
+      | Error (code, msg) -> err code msg
+      | Ok (tuner, model_name) ->
+        let generation = install_locked t ~tuner ~model_name in
+        Protocol.Reloaded { model = model_name; generation })
+
+let handle_canary t ~model =
+  Mutex.protect t.reload_m (fun () ->
+      if Hashtbl.mem t.quarantined model then
+        err Protocol.Canary_rejected
+          (Printf.sprintf "model %S was rolled back and is quarantined; publish a new generation"
+             model)
+      else
+        match t.source with
+        | Model_file _ ->
+          err Protocol.No_model "file-backed server cannot canary; restart with --store"
+        | Store (store, _) -> (
+          match Model_store.load store ~name:model with
+          | Error msg -> err Protocol.Store msg
+          | Ok tuner ->
+            Atomic.set t.canary
+              (Some { cn_name = model; cn_tuner = tuner; cn_tick = Atomic.make 0 });
+            Protocol.Canaried { model }))
+
+(* Decide the loaded canary on the observation log's held-out slice:
+   the same deterministic split the trainer used, so the candidate is
+   judged on records it never trained on.  Promotion requires the
+   candidate's mean per-benchmark Kendall tau to be no worse than the
+   stable generation's; otherwise the candidate is dropped and its
+   name quarantined so a republished generation (not the same bytes)
+   is needed to try again. *)
+let handle_promote t =
+  Mutex.protect t.reload_m (fun () ->
+      match Atomic.get t.canary with
+      | None -> err Protocol.Canary_rejected "no canary loaded (send a canary request first)"
+      | Some cn -> (
+        match t.obs with
+        | None ->
+          err Protocol.No_log
+            "promote needs an observation log for the held-out comparison (start serve with \
+             --obs-log)"
+        | Some ol -> (
+          match Sorl_learn.Obs_log.replay (Sorl_learn.Obs_log.path ol) with
+          | Error msg -> err Protocol.Internal msg
+          | Ok (obs, _clean) -> (
+            let _train, held =
+              Sorl_learn.Trainer.split ~holdout:t.holdout ~seed:t.holdout_seed obs
+            in
+            let stable = Atomic.get t.current in
+            match
+              ( Sorl_learn.Trainer.holdout_tau stable.tuner held,
+                Sorl_learn.Trainer.holdout_tau cn.cn_tuner held )
+            with
+            | Some st, Some ct ->
+              let milli x = int_of_float (Float.round (x *. 1000.)) in
+              Atomic.set t.canary_tau_stable_m (milli st);
+              Atomic.set t.canary_tau_candidate_m (milli ct);
+              if Sorl_learn.Trainer.no_worse ~stable:st ~candidate:ct then begin
+                let generation = install_locked t ~tuner:cn.cn_tuner ~model_name:cn.cn_name in
+                Atomic.set t.canary None;
+                Atomic.incr t.canary_promotions;
+                Sorl_util.Telemetry.incr canary_promotions_counter;
+                Protocol.Promoted { model = cn.cn_name; generation }
+              end
+              else begin
+                Atomic.set t.canary None;
+                Hashtbl.replace t.quarantined cn.cn_name ();
+                Atomic.incr t.canary_rollbacks;
+                Sorl_util.Telemetry.incr canary_rollbacks_counter;
+                err Protocol.Canary_rejected
+                  (Printf.sprintf
+                     "candidate %s held-out tau %.4f is worse than stable %.4f; rolled back and \
+                      quarantined"
+                     cn.cn_name ct st)
+              end
+            | _ ->
+              err Protocol.Canary_rejected
+                "not enough held-out observations to compare (each benchmark needs >= 2 records \
+                 with distinct costs)"))))
 
 let dispatch ?incumbents t snapshot request =
   match request with
   | Protocol.Rank { benchmark; top; approx_ok = _ } ->
     handle_rank ?incumbents t snapshot ~benchmark ~top
   | Protocol.Tune { benchmark; approx_ok = _ } -> handle_tune ?incumbents t snapshot ~benchmark
+  | Protocol.Observe { benchmark; tuning; cost } -> handle_observe t ~benchmark ~tuning ~cost
   | Protocol.Info -> handle_info t
   | Protocol.Stats -> handle_stats t
   | Protocol.Reload { model } -> handle_reload t ~model
+  | Protocol.Canary { model } -> handle_canary t ~model
+  | Protocol.Promote -> handle_promote t
   | Protocol.Shutdown ->
     Atomic.set t.stopping true;
     Protocol.Bye
@@ -495,7 +659,7 @@ let approx_reply t snapshot request key =
    provisional neighbor reply; everything else runs the full dispatch
    and (when it succeeded) leaves its encoded reply behind for the
    next identical query. *)
-let reply_for t snapshot request =
+let exact_reply t snapshot request =
   match cache_key_of snapshot request with
   | Some key -> (
     match Result_cache.find t.cache key with
@@ -508,6 +672,85 @@ let reply_for t snapshot request =
         if not o.error then Result_cache.put t.cache key o.reply;
         o))
   | None -> outcome_of_response (dispatch t snapshot request)
+
+(* ---- canary shadow scoring ---- *)
+
+(* Decide whether this request is a shadow sample: a canary is loaded
+   and the sampling clock (every [canary_every]-th rank/tune, counting
+   cache hits — the canary must see the real traffic mix) fires. *)
+let shadow_probe t request =
+  match Atomic.get t.canary with
+  | None -> None
+  | Some cn -> (
+    match request with
+    | Protocol.Rank { benchmark; _ } | Protocol.Tune { benchmark; _ } ->
+      let n = Atomic.fetch_and_add cn.cn_tick 1 in
+      if n mod t.canary_every = 0 then Some (cn, benchmark) else None
+    | _ -> None)
+
+let shadow_record t ~benchmark ~agreed =
+  Atomic.incr t.canary_shadowed;
+  Sorl_util.Telemetry.incr canary_shadowed_counter;
+  if agreed then begin
+    Atomic.incr t.canary_agree;
+    Sorl_util.Telemetry.incr canary_agree_counter
+  end
+  else begin
+    Atomic.incr t.canary_disagree;
+    Sorl_util.Telemetry.incr canary_disagree_counter
+  end;
+  Mutex.protect t.canary_bm_m (fun () ->
+      let a, d =
+        match Hashtbl.find_opt t.canary_bm benchmark with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref 0, ref 0) in
+          Hashtbl.replace t.canary_bm benchmark cell;
+          cell
+      in
+      incr (if agreed then a else d))
+
+(* Re-score a sampled request with the candidate and compare against
+   the stable reply's tunings (parsed back from the bytes that
+   actually went out, cache hits and warmed entries included).  Runs
+   strictly after the reply is written — never on the reply path. *)
+let shadow_work t cn ~benchmark reply =
+  match Sorl_stencil.Benchmarks.instance_by_name benchmark with
+  | exception Not_found -> ()
+  | inst -> (
+    let compare_top stable_tunings =
+      let k = List.length stable_tunings in
+      if k > 0 then begin
+        let cand = Sorl.Autotuner.top_k cn.cn_tuner inst ~k in
+        let agreed =
+          Array.length cand = k
+          && List.for_all2 Tuning.equal (Array.to_list cand) stable_tunings
+        in
+        shadow_record t ~benchmark ~agreed
+      end
+    in
+    match Protocol.parse_response reply with
+    | Ok (Protocol.Ranked { tunings; _ }) -> compare_top tunings
+    | Ok (Protocol.Tuned { tuning; _ }) -> compare_top [ tuning ]
+    | Ok _ | Error _ -> ())
+
+let reply_for t snapshot request =
+  let o = exact_reply t snapshot request in
+  match shadow_probe t request with
+  | None -> o
+  | Some _ when o.error -> o
+  | Some (cn, benchmark) ->
+    let reply = o.reply in
+    let work () = shadow_work t cn ~benchmark reply in
+    let backfill =
+      match o.backfill with
+      | None -> work
+      | Some f ->
+        fun () ->
+          f ();
+          work ()
+    in
+    { o with backfill = Some backfill }
 
 let handle_line t line =
   Atomic.incr t.requests;
@@ -586,12 +829,25 @@ let default_neighbor_threshold = 0.002
 let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity = 64)
     ?(conn_timeout_s = 10.) ?cache_capacity ?(max_connections = 512) ?(warm = true)
     ?(topk = true) ?(neighbors = 512) ?(neighbor_threshold = default_neighbor_threshold)
-    source =
+    ?obs_log ?(canary_fraction = 1.) ?(holdout = Sorl_learn.Trainer.default_holdout)
+    ?(holdout_seed = Sorl_learn.Trainer.default_seed) source =
   let workers =
     match workers with Some w -> w | None -> Sorl_util.Pool.default_domains ()
   in
   if workers < 1 then Error "Server.start: workers must be >= 1"
+  else if not (Float.is_finite canary_fraction) || canary_fraction <= 0. || canary_fraction > 1.
+  then Error "Server.start: canary_fraction must be in (0, 1]"
+  else if not (Float.is_finite holdout) || holdout < 0. || holdout >= 1. then
+    Error "Server.start: holdout must be in [0, 1)"
   else
+    let obs_writer =
+      match obs_log with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (Sorl_learn.Obs_log.create path)
+    in
+    match obs_writer with
+    | Error msg -> Error msg
+    | Ok obs -> (
     match load_source source ~name:None with
     | Error (_, msg) -> Error msg
     | Ok (tuner, model_name) -> (
@@ -619,11 +875,31 @@ let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity 
                 approx_replies = Atomic.make 0;
               }
         in
+        let canary_every =
+          if canary_fraction >= 1. then 1
+          else max 1 (int_of_float (Float.round (1. /. canary_fraction)))
+        in
         let t =
           {
             address;
             source;
             current = Atomic.make { tuner; model_name; generation = 0 };
+            obs;
+            observations = Atomic.make 0;
+            holdout;
+            holdout_seed;
+            canary_every;
+            canary = Atomic.make None;
+            quarantined = Hashtbl.create 8;
+            canary_shadowed = Atomic.make 0;
+            canary_agree = Atomic.make 0;
+            canary_disagree = Atomic.make 0;
+            canary_promotions = Atomic.make 0;
+            canary_rollbacks = Atomic.make 0;
+            canary_tau_stable_m = Atomic.make 0;
+            canary_tau_candidate_m = Atomic.make 0;
+            canary_bm_m = Mutex.create ();
+            canary_bm = Hashtbl.create 32;
             batcher = Batcher.create ();
             cache = Result_cache.create ?capacity:cache_capacity ();
             topk;
@@ -673,7 +949,7 @@ let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity 
         t.worker_domains <-
           List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t reactor));
         t.reactor_domain <- Some (Domain.spawn (fun () -> Reactor.run reactor));
-        Ok t)
+        Ok t))
 
 let address t = t.address
 let generation t = (Atomic.get t.current).generation
@@ -684,6 +960,7 @@ let wait t =
     t.joined <- true;
     (match t.reactor_domain with Some d -> Domain.join d | None -> ());
     List.iter Domain.join t.worker_domains;
+    (match t.obs with Some ol -> Sorl_learn.Obs_log.close ol | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     match t.address with
     | Protocol.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())

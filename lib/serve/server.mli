@@ -59,6 +59,26 @@
     [err busy] reply (written under a send timeout so a slow client
     cannot block the reactor) and the connection is closed.
 
+    {2 Online learning}
+
+    With [obs_log] set, the server closes the measure→train→publish→
+    serve loop's serving side.  [observe] requests append to an
+    append-only, checksummed {!Sorl_learn.Obs_log} (crash-safe:
+    replay recovers every complete record).  [canary <model>] loads a
+    store entry as a {e shadow} candidate: every [canary_fraction]-th
+    rank/tune request is re-scored by the candidate strictly {e after}
+    the stable reply is written (the same deferred-work mechanism as
+    the near-miss back-fill), so replies stay byte-identical to the
+    stable generation while [canary_agree]/[canary_disagree] and
+    per-benchmark agreement accumulate.  [promote] replays the log,
+    takes the deterministic held-out slice ({!Sorl_learn.Trainer.split}
+    with [holdout]/[holdout_seed] — the same split the trainer used, so
+    the candidate is judged on records it never trained on) and
+    compares mean per-benchmark Kendall tau: no worse installs the
+    candidate through {e exactly} the hot-reload snapshot swap (new
+    generation, warmed cache); worse rolls it back and quarantines the
+    name until a new generation is published.
+
     Shutdown (the protocol request, or {!stop}) is graceful: the
     reactor stops accepting, queued batches drain, in-flight requests
     complete and are answered, then the domains exit and {!wait}
@@ -118,6 +138,10 @@ val start :
   ?topk:bool ->
   ?neighbors:int ->
   ?neighbor_threshold:float ->
+  ?obs_log:string ->
+  ?canary_fraction:float ->
+  ?holdout:float ->
+  ?holdout_seed:int ->
   source ->
   (t, string) result
 (** Load the initial model, bind the listener, warm the result cache
@@ -139,7 +163,18 @@ val start :
 
     [neighbors] caps the near-miss index's entry count (LRU beyond
     it); 0 disables the layer entirely, making [rank!]/[tune!]
-    behave exactly like [rank]/[tune]. *)
+    behave exactly like [rank]/[tune].
+
+    [obs_log] enables observation ingestion into the given log file
+    (created — parent directories included — when absent; a torn tail
+    from a crash is truncated away on open).  Without it, [observe]
+    and [promote] answer [err no-log].  [canary_fraction] (default 1,
+    i.e. every request; must be in (0, 1]) is the fraction of
+    rank/tune traffic shadow-scored while a canary is loaded.
+    [holdout]/[holdout_seed] (defaults
+    {!Sorl_learn.Trainer.default_holdout} /
+    {!Sorl_learn.Trainer.default_seed}) pin the promote decision's
+    held-out slice and must match the trainer's split. *)
 
 val address : t -> Protocol.address
 (** The bound address (with the actual port for ephemeral TCP). *)

@@ -19,9 +19,18 @@ type params = {
 
 val default_params : params
 
-val train : ?params:params -> Dataset.t -> Model.t
+val train : ?init:float array -> ?params:params -> Dataset.t -> Model.t
 (** Raises [Invalid_argument] when the dataset exposes no strict
-    pairs. *)
+    pairs.
+
+    [?init] warm-starts the coordinate passes at the given weight
+    vector instead of 0 (continual retraining fine-tunes from the
+    serving model's [w]).  A near-optimal [init] leaves most pairs with
+    a zero projected gradient, so the tolerance check converges in far
+    fewer passes.  [init = None] is bit-identical to the cold path and
+    the pass-shuffle RNG stream is preserved either way.  Raises
+    [Invalid_argument] when the init dimension does not match the
+    feature dimension. *)
 
 val train_on_pairs :
-  ?params:params -> dim:int -> Sorl_util.Sparse.t array -> Model.t
+  ?init:float array -> ?params:params -> dim:int -> Sorl_util.Sparse.t array -> Model.t

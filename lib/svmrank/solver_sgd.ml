@@ -18,8 +18,12 @@ let check params =
 let pairs_counter = Sorl_util.Telemetry.counter "solver.pairs"
 let steps_counter = Sorl_util.Telemetry.counter "solver.sgd.steps"
 
-let train_on_pairs ?(params = default_params) ~dim zs =
+let train_on_pairs ?init ?(params = default_params) ~dim zs =
   check params;
+  (match init with
+  | Some w0 when Array.length w0 <> dim ->
+      invalid_arg "Solver_sgd: init vector dimension does not match dim"
+  | _ -> ());
   let m = Array.length zs in
   if m = 0 then invalid_arg "Solver_sgd: no pairs";
   Sorl_util.Telemetry.add pairs_counter m;
@@ -32,10 +36,21 @@ let train_on_pairs ?(params = default_params) ~dim zs =
       let zc = Sorl_util.Sparse.Csr.of_rows ~dim zs in
       let rng = Sorl_util.Rng.create params.seed in
       let lambda = 1. /. params.c in
-      let w = Array.make dim 0. in
-      let w_sum = Array.make dim 0. in
       let radius = 1. /. sqrt lambda in
       let steps = max 1 (params.epochs * m / params.batch) in
+      (* Warm start: begin at [init] and offset the Pegasos step index
+         by a full run's worth of steps, continuing the 1/(λt) schedule
+         as if w0's training had just ended.  Without the offset the
+         t = 1 shrink factor (1 − η₁λ) = 0 would wipe the init before
+         the first subgradient.  The per-step work (and RNG draws) is
+         unchanged, so [init = None] is bit-identical to the cold path
+         and the RNG stream is preserved either way. *)
+      let w, t_base =
+        match init with
+        | None -> (Array.make dim 0., 0)
+        | Some w0 -> (Array.copy w0, steps)
+      in
+      let w_sum = Array.make dim 0. in
       Sorl_util.Telemetry.add steps_counter steps;
       let step t =
         let eta = 1. /. (lambda *. float_of_int t) in
@@ -62,7 +77,7 @@ let train_on_pairs ?(params = default_params) ~dim zs =
         if lo <= hi then
           Sorl_util.Telemetry.span "solver/sgd/epoch" (fun () ->
               for t = lo to hi do
-                step t
+                step (t_base + t)
               done)
       done;
       if params.average then begin
@@ -71,9 +86,9 @@ let train_on_pairs ?(params = default_params) ~dim zs =
       end
       else Model.create w)
 
-let train ?(params = default_params) ds =
+let train ?init ?(params = default_params) ds =
   check params;
   let rng = Sorl_util.Rng.create (params.seed + 7919) in
   let pairs = Dataset.pairs ?max_per_query:params.max_pairs_per_query ~rng ds in
   if Array.length pairs = 0 then invalid_arg "Solver_sgd.train: dataset exposes no pairs";
-  train_on_pairs ~params ~dim:(Dataset.dim ds) (Solver_common.pair_diffs ds pairs)
+  train_on_pairs ?init ~params ~dim:(Dataset.dim ds) (Solver_common.pair_diffs ds pairs)

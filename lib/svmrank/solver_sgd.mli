@@ -25,11 +25,19 @@ type params = {
 
 val default_params : params
 
-val train : ?params:params -> Dataset.t -> Model.t
+val train : ?init:float array -> ?params:params -> Dataset.t -> Model.t
 (** Train on all within-query pairs of the dataset.
     Raises [Invalid_argument] when the dataset exposes no strict
-    pairs. *)
+    pairs.
+
+    [?init] warm-starts the iterates at the given weight vector and
+    offsets the Pegasos step index by one full run's worth of steps, so
+    the 1/(λt) schedule continues where the init's training left off
+    (the t = 1 shrink would otherwise zero the init).  [init = None] is
+    bit-identical to the cold path and the sampling RNG stream is
+    preserved either way.  Raises [Invalid_argument] when the init
+    dimension does not match the feature dimension. *)
 
 val train_on_pairs :
-  ?params:params -> dim:int -> Sorl_util.Sparse.t array -> Model.t
+  ?init:float array -> ?params:params -> dim:int -> Sorl_util.Sparse.t array -> Model.t
 (** Lower-level entry on precomputed pair differences. *)

@@ -34,4 +34,5 @@ let () =
       ("eval-extras", Test_eval_extras.suite);
       ("rff-validate", Test_rff_validate.suite);
       ("extensions", Test_extensions.suite);
+      ("learn", Test_learn.suite);
     ]

@@ -1,0 +1,366 @@
+(* Tests for the online-learning subsystem: the crash-safe observation
+   log (replay must recover exactly the complete-record prefix under
+   truncation at EVERY byte boundary), the deterministic held-out
+   split, warm-started retraining, and the model store's generation
+   ledger. *)
+
+open Sorl_stencil
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let get = function Ok x -> x | Error m -> Alcotest.fail m
+let get_err what = function Ok _ -> Alcotest.fail (what ^ ": expected Error") | Error m -> m
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "sorl-learn-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let machine = Sorl_machine.Machine_desc.xeon_e5_2680_v3
+
+(* Synthetic observations off the cost model: [n] per benchmark,
+   tunings drawn from the predefined set, deterministic per seed. *)
+let observations ?(benchmarks = [ "blur-1024x768"; "edge-512x512" ]) ~n seed =
+  let measure = Sorl_machine.Measure.model ~noise_amplitude:0.02 ~seed machine in
+  let rng = Sorl_util.Rng.create (seed * 7919) in
+  List.concat_map
+    (fun benchmark ->
+      let inst = Benchmarks.instance_by_name benchmark in
+      let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+      List.init n (fun _ ->
+          let tuning = set.(Sorl_util.Rng.int rng (Array.length set)) in
+          let cost = Sorl_machine.Measure.runtime measure inst tuning in
+          { Sorl_learn.Obs_log.benchmark; tuning; cost }))
+    benchmarks
+
+let obs_equal (a : Sorl_learn.Obs_log.obs) (b : Sorl_learn.Obs_log.obs) =
+  a.benchmark = b.benchmark && Tuning.equal a.tuning b.tuning && a.cost = b.cost
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ---- observation log ---- *)
+
+let test_obs_log_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "log.obs" in
+  let obs = observations ~n:10 3 in
+  let w = get (Sorl_learn.Obs_log.create path) in
+  List.iter (Sorl_learn.Obs_log.append w) obs;
+  checki "written" (List.length obs) (Sorl_learn.Obs_log.written w);
+  Sorl_learn.Obs_log.close w;
+  let replayed, clean = get (Sorl_learn.Obs_log.replay path) in
+  checkb "clean" true clean;
+  checkb "exact roundtrip (%.17g costs)" true (List.equal obs_equal obs replayed);
+  (* reopening recovers the count and keeps appending *)
+  let w = get (Sorl_learn.Obs_log.create path) in
+  checki "recovered count" (List.length obs) (Sorl_learn.Obs_log.written w);
+  Sorl_learn.Obs_log.append w (List.hd obs);
+  Sorl_learn.Obs_log.close w;
+  let replayed, _ = get (Sorl_learn.Obs_log.replay path) in
+  checki "append after reopen" (List.length obs + 1) (List.length replayed)
+
+let test_obs_log_append_validates () =
+  with_temp_dir @@ fun dir ->
+  let w = get (Sorl_learn.Obs_log.create (Filename.concat dir "log.obs")) in
+  let t = Tuning.default ~dims:2 in
+  let bad =
+    [
+      { Sorl_learn.Obs_log.benchmark = ""; tuning = t; cost = 1. };
+      { Sorl_learn.Obs_log.benchmark = "a b"; tuning = t; cost = 1. };
+      { Sorl_learn.Obs_log.benchmark = "ok"; tuning = t; cost = 0. };
+      { Sorl_learn.Obs_log.benchmark = "ok"; tuning = t; cost = -1. };
+      { Sorl_learn.Obs_log.benchmark = "ok"; tuning = t; cost = Float.nan };
+      { Sorl_learn.Obs_log.benchmark = "ok"; tuning = t; cost = Float.infinity };
+    ]
+  in
+  List.iter
+    (fun o ->
+      match Sorl_learn.Obs_log.append w o with
+      | () -> Alcotest.fail "append accepted an invalid observation"
+      | exception Invalid_argument _ -> ())
+    bad;
+  checki "nothing written" 0 (Sorl_learn.Obs_log.written w);
+  Sorl_learn.Obs_log.close w
+
+(* The satellite guarantee: truncate the log at EVERY byte boundary
+   inside the last record; replay must recover exactly the complete
+   prefix, flag the tail, and a writer reopening the torn file must
+   repair it and keep appending. *)
+let test_obs_log_truncation_every_byte () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "log.obs" in
+  let obs = observations ~benchmarks:[ "blur-1024x768" ] ~n:4 17 in
+  let w = get (Sorl_learn.Obs_log.create path) in
+  List.iter (Sorl_learn.Obs_log.append w) obs;
+  Sorl_learn.Obs_log.close w;
+  let full = read_file path in
+  (* byte offset where the last record starts = end of the 3rd record *)
+  let prefix_end =
+    let rec nth_newline i remaining =
+      if remaining = 0 then i
+      else nth_newline (String.index_from full i '\n' + 1) (remaining - 1)
+    in
+    (* header line + 3 complete records *)
+    nth_newline 0 4
+  in
+  let torn = Filename.concat dir "torn.obs" in
+  for cut = prefix_end to String.length full - 1 do
+    write_file torn (String.sub full 0 cut);
+    let replayed, clean = get (Sorl_learn.Obs_log.replay torn) in
+    checki (Printf.sprintf "prefix at cut %d" cut) 3 (List.length replayed);
+    checkb "prefix records intact" true
+      (List.equal obs_equal (List.filteri (fun i _ -> i < 3) obs) replayed);
+    checkb "torn tail flagged" (cut <> prefix_end) (not clean);
+    (* the writer repairs the tail and the log accepts new records *)
+    let w = get (Sorl_learn.Obs_log.create torn) in
+    checki "recovered" 3 (Sorl_learn.Obs_log.written w);
+    Sorl_learn.Obs_log.append w (List.nth obs 3);
+    Sorl_learn.Obs_log.close w;
+    let replayed, clean = get (Sorl_learn.Obs_log.replay torn) in
+    checkb "clean after repair" true clean;
+    checkb "repaired log = original records" true (List.equal obs_equal obs replayed)
+  done
+
+let test_obs_log_rejects_corruption () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "log.obs" in
+  let obs = observations ~benchmarks:[ "edge-512x512" ] ~n:3 23 in
+  let w = get (Sorl_learn.Obs_log.create path) in
+  List.iter (Sorl_learn.Obs_log.append w) obs;
+  Sorl_learn.Obs_log.close w;
+  let full = read_file path in
+  (* flip a digit inside the second record's cost: its checksum fails,
+     so replay keeps only the first record *)
+  let second_start = String.index_from full (String.index full '\n' + 1) '\n' + 1 in
+  let second_end = String.index_from full second_start '\n' in
+  let flipped = Bytes.of_string full in
+  let rec flip i =
+    if i >= second_end then Alcotest.fail "no digit to corrupt"
+    else
+      match Bytes.get flipped i with
+      | '0' .. '8' as c -> Bytes.set flipped i (Char.chr (Char.code c + 1))
+      | _ -> flip (i + 1)
+  in
+  flip (second_start + 2);
+  let corrupt = Filename.concat dir "corrupt.obs" in
+  write_file corrupt (Bytes.to_string flipped);
+  let replayed, clean = get (Sorl_learn.Obs_log.replay corrupt) in
+  checkb "corruption flagged" false clean;
+  checkb "prefix before corruption" true
+    (List.equal obs_equal [ List.hd obs ] replayed);
+  (* foreign and wrong-version headers are errors, not empty replays *)
+  let alien = Filename.concat dir "alien.obs" in
+  write_file alien "not an obs log\n";
+  ignore (get_err "foreign header" (Sorl_learn.Obs_log.replay alien));
+  write_file alien "sorl-obs v9\n";
+  ignore (get_err "future version" (Sorl_learn.Obs_log.replay alien));
+  ignore (get_err "writer refuses foreign file" (Sorl_learn.Obs_log.create alien))
+
+(* ---- deterministic held-out split ---- *)
+
+let test_split_deterministic_and_stable () =
+  let obs = observations ~n:60 5 in
+  let train1, held1 = Sorl_learn.Trainer.split obs in
+  let train2, held2 = Sorl_learn.Trainer.split obs in
+  checkb "same split both times" true
+    (List.equal obs_equal train1 train2 && List.equal obs_equal held1 held2);
+  checki "partition" (List.length obs) (List.length train1 + List.length held1);
+  checkb "both sides populated" true (train1 <> [] && held1 <> []);
+  (* growing the log never migrates an existing record across the
+     split: membership is a pure function of (seed, benchmark, tuning) *)
+  let more = obs @ observations ~n:20 31 in
+  let _, held_grown = Sorl_learn.Trainer.split more in
+  let key (o : Sorl_learn.Obs_log.obs) = (o.benchmark, o.tuning) in
+  let held_keys = List.map key held_grown in
+  List.iter
+    (fun o -> checkb "held-out membership stable" true (List.mem (key o) held_keys))
+    held1;
+  (* duplicates of one point never straddle the split *)
+  let dup = List.hd held1 in
+  let train_d, held_d = Sorl_learn.Trainer.split (dup :: obs @ [ dup ]) in
+  checkb "duplicates stay held out" true
+    (List.for_all (fun o -> not (obs_equal o dup)) train_d
+    && List.length (List.filter (fun o -> obs_equal o dup) held_d) = 3);
+  (* bad fractions are rejected, 0 holds nothing out *)
+  (match Sorl_learn.Trainer.split ~holdout:1. obs with
+  | _ -> Alcotest.fail "holdout = 1 accepted"
+  | exception Invalid_argument _ -> ());
+  let _, held0 = Sorl_learn.Trainer.split ~holdout:0. obs in
+  checki "holdout 0" 0 (List.length held0)
+
+(* ---- warm-started retraining ---- *)
+
+let dcd_params passes =
+  { Sorl_svmrank.Solver_dcd.default_params with max_passes = passes; seed = 11 }
+
+let test_warm_start_dcd_equivalence_and_speed () =
+  let obs = observations ~n:80 7 in
+  let train_slice, held = Sorl_learn.Trainer.split obs in
+  let mode = Features.Extended in
+  let retrain ?init passes =
+    get
+      (Sorl_learn.Trainer.retrain
+         ~solver:(Sorl.Autotuner.Dcd (dcd_params passes))
+         ?init ~mode train_slice)
+  in
+  let tau tuner = Option.get (Sorl_learn.Trainer.holdout_tau tuner held) in
+  (* init = zeros is bit-identical to the cold path (same RNG stream,
+     same starting point) *)
+  let dim = Features.dim mode in
+  let cold = retrain 40 in
+  let zeros = retrain ~init:(Array.make dim 0.) 40 in
+  checkb "zero init = cold path" true
+    (Sorl.Autotuner.weights cold = Sorl.Autotuner.weights zeros);
+  (* warm-starting from the converged solution reaches the scratch
+     optimum's held-out tau in a tenth of the passes *)
+  let scratch_tau = tau cold in
+  let warm_tau = tau (retrain ~init:(Sorl.Autotuner.weights cold) 4) in
+  checkb
+    (Printf.sprintf "warm tau %.6f within 1e-6 of scratch %.6f" warm_tau scratch_tau)
+    true
+    (warm_tau >= scratch_tau -. 1e-6)
+
+let test_warm_start_dim_mismatch () =
+  let obs = observations ~n:30 9 in
+  let msg =
+    get_err "dim mismatch"
+      (Sorl_learn.Trainer.retrain ~init:(Array.make 3 0.) ~mode:Features.Extended obs)
+  in
+  checkb "names the mismatch" true (String.length msg > 0)
+
+let test_retrain_error_shapes () =
+  (* unknown benchmarks only -> typed error, no exception *)
+  let t = Tuning.default ~dims:2 in
+  let unknown = [ { Sorl_learn.Obs_log.benchmark = "nope"; tuning = t; cost = 1. } ] in
+  ignore (get_err "unknown only" (Sorl_learn.Trainer.retrain ~mode:Features.Extended unknown));
+  ignore (get_err "empty" (Sorl_learn.Trainer.retrain ~mode:Features.Extended []));
+  (* a single observation exposes no pairs *)
+  let one = observations ~benchmarks:[ "blur-1024x768" ] ~n:1 3 in
+  ignore (get_err "no pairs" (Sorl_learn.Trainer.retrain ~mode:Features.Extended one))
+
+let test_holdout_tau_and_no_worse () =
+  let obs = observations ~n:80 13 in
+  let train_slice, held = Sorl_learn.Trainer.split obs in
+  let tuner =
+    get
+      (Sorl_learn.Trainer.retrain
+         ~solver:(Sorl.Autotuner.Dcd (dcd_params 40))
+         ~mode:Features.Extended train_slice)
+  in
+  let tau =
+    match Sorl_learn.Trainer.holdout_tau tuner held with
+    | Some t -> t
+    | None -> Alcotest.fail "no held-out tau"
+  in
+  checkb (Printf.sprintf "tau %.3f is a correlation" tau) true (tau >= -1. && tau <= 1.);
+  checkb "learned something" true (tau > 0.);
+  (* a sign-flipped model ranks backwards: strictly worse *)
+  let degraded =
+    Sorl.Autotuner.of_model ~mode:Features.Extended
+      (Sorl_svmrank.Model.create
+         (Array.map (fun x -> -.x) (Sorl.Autotuner.weights tuner)))
+  in
+  let dtau = Option.get (Sorl_learn.Trainer.holdout_tau degraded held) in
+  checkb "degraded tau negated" true (Float.abs (dtau +. tau) < 1e-9);
+  checkb "no_worse accepts equal" true
+    (Sorl_learn.Trainer.no_worse ~stable:tau ~candidate:tau);
+  checkb "no_worse accepts better" true
+    (Sorl_learn.Trainer.no_worse ~stable:tau ~candidate:(tau +. 0.1));
+  checkb "no_worse rejects degraded" false
+    (Sorl_learn.Trainer.no_worse ~stable:tau ~candidate:dtau);
+  (* unknown benchmarks and singleton queries are skipped, not fatal *)
+  let noise =
+    { Sorl_learn.Obs_log.benchmark = "nope"; tuning = Tuning.default ~dims:2; cost = 1. }
+  in
+  let with_noise = Option.get (Sorl_learn.Trainer.holdout_tau tuner (noise :: held)) in
+  checkb "unknown benchmark skipped in tau" true (Float.abs (with_noise -. tau) < 1e-12);
+  checkb "tau of nothing" true (Sorl_learn.Trainer.holdout_tau tuner [ noise ] = None)
+
+(* ---- model store generations ---- *)
+
+let tiny_tuner =
+  lazy
+    (let spec = { Sorl.Training.size = 120; mode = Features.Extended; seed = 3 } in
+     let instances =
+       [
+         Instance.create_xyz Benchmarks.edge ~sx:256 ~sy:256 ~sz:1;
+         Instance.create_xyz Benchmarks.blur ~sx:512 ~sy:512 ~sz:1;
+       ]
+     in
+     Sorl.Autotuner.train_on ~mode:Features.Extended
+       (Sorl.Training.generate ~spec ~instances (Sorl_machine.Measure.model machine)))
+
+let test_store_generations () =
+  with_temp_dir @@ fun dir ->
+  let open Sorl_serve in
+  let st = get (Model_store.open_dir dir) in
+  let tuner = Lazy.force tiny_tuner in
+  get (Model_store.save st ~name:"default" tuner);
+  checkb "no generations yet" true (Model_store.list_generations st ~base:"default" = []);
+  let pub ?generation () =
+    match Model_store.publish ?generation st ~base:"default" tuner with
+    | Ok r -> r
+    | Error (Model_store.Generation_exists e) -> Alcotest.fail ("exists: " ^ e)
+    | Error (Model_store.Publish_failed m) -> Alcotest.fail m
+  in
+  let n1, g1 = pub () in
+  let n2, g2 = pub () in
+  checkb "auto-numbered" true (g1 = 1 && g2 = 2 && n1 = "default.g1" && n2 = "default.g2");
+  checkb "listed ascending" true
+    (Model_store.list_generations st ~base:"default" = [ 1; 2 ]);
+  (* published generations load back like any entry *)
+  ignore (get (Model_store.load st ~name:"default.g2"));
+  (* republish of a taken number is the typed error *)
+  (match Model_store.publish ~generation:2 st ~base:"default" tuner with
+  | Error (Model_store.Generation_exists e) -> checkb "names entry" true (e = "default.g2")
+  | Error (Model_store.Publish_failed m) -> Alcotest.fail m
+  | Ok _ -> Alcotest.fail "clobbered generation 2");
+  (* lookalike names never count as generations *)
+  get (Model_store.save st ~name:"default.g2x" tuner);
+  get (Model_store.save st ~name:"other.g9" tuner);
+  checkb "lookalikes ignored" true
+    (Model_store.list_generations st ~base:"default" = [ 1; 2 ]);
+  (* prune keeps the newest [keep], never the base or other names *)
+  let _ = pub () in
+  let _ = pub () in
+  let removed = get (Model_store.prune st ~base:"default" ~keep:2) in
+  checkb "removed oldest two" true (removed = [ "default.g1"; "default.g2" ]);
+  checkb "newest kept" true
+    (Model_store.list_generations st ~base:"default" = [ 3; 4 ]);
+  checkb "base untouched" true (List.mem "default" (Model_store.list st));
+  checkb "lookalikes untouched" true (List.mem "default.g2x" (Model_store.list st));
+  checki "prune is idempotent" 0 (List.length (get (Model_store.prune st ~base:"default" ~keep:2)));
+  ignore (get_err "negative keep" (Model_store.prune st ~base:"default" ~keep:(-1)))
+
+let suite =
+  [
+    Alcotest.test_case "obs-log roundtrip" `Quick test_obs_log_roundtrip;
+    Alcotest.test_case "obs-log append validates" `Quick test_obs_log_append_validates;
+    Alcotest.test_case "obs-log truncation at every byte" `Quick
+      test_obs_log_truncation_every_byte;
+    Alcotest.test_case "obs-log rejects corruption" `Quick test_obs_log_rejects_corruption;
+    Alcotest.test_case "split deterministic and stable" `Quick
+      test_split_deterministic_and_stable;
+    Alcotest.test_case "warm start: equivalence and speed" `Quick
+      test_warm_start_dcd_equivalence_and_speed;
+    Alcotest.test_case "warm start: dim mismatch" `Quick test_warm_start_dim_mismatch;
+    Alcotest.test_case "retrain error shapes" `Quick test_retrain_error_shapes;
+    Alcotest.test_case "holdout tau and promotion rule" `Quick
+      test_holdout_tau_and_no_worse;
+    Alcotest.test_case "store generations" `Quick test_store_generations;
+  ]

@@ -64,6 +64,14 @@ let test_protocol_request_roundtrip () =
       Protocol.Stats;
       Protocol.Reload { model = None };
       Protocol.Reload { model = Some "nightly" };
+      Protocol.Observe
+        {
+          benchmark = "blur-1024x768";
+          tuning = Tuning.create ~bx:64 ~by:8 ~bz:1 ~u:2 ~c:4;
+          cost = 0.012345678901234567;
+        };
+      Protocol.Canary { model = "default.g3" };
+      Protocol.Promote;
       Protocol.Shutdown;
     ]
   in
@@ -80,8 +88,13 @@ let test_protocol_response_roundtrip () =
       Protocol.Info_reply [ ("model", "default"); ("generation", "3") ];
       Protocol.Stats_reply [ ("requests", 12); ("errors", 0) ];
       Protocol.Reloaded { model = "nightly"; generation = 4 };
+      Protocol.Observed { total = 4096 };
+      Protocol.Canaried { model = "default.g3" };
+      Protocol.Promoted { model = "default.g3"; generation = 5 };
       Protocol.Bye;
       Protocol.Error { code = Protocol.Busy; message = "queue full, retry later" };
+      Protocol.Error { code = Protocol.No_log; message = "no observation log" };
+      Protocol.Error { code = Protocol.Canary_rejected; message = "worse tau" };
     ]
   in
   List.iter
@@ -365,12 +378,13 @@ let test_connect_backoff () =
 (* ---- server end-to-end ---- *)
 
 let start_server ?(workers = 2) ?(queue_capacity = 16) ?(conn_timeout_s = 10.)
-    ?cache_capacity ?max_connections ?warm ?topk ?neighbors ?neighbor_threshold dir source
-    =
+    ?cache_capacity ?max_connections ?warm ?topk ?neighbors ?neighbor_threshold ?obs_log
+    ?canary_fraction dir source =
   let address = Protocol.Unix_path (Filename.concat dir "test.sock") in
   get
     (Server.start ~address ~workers ~queue_capacity ~conn_timeout_s ?cache_capacity
-       ?max_connections ?warm ?topk ?neighbors ?neighbor_threshold source)
+       ?max_connections ?warm ?topk ?neighbors ?neighbor_threshold ?obs_log
+       ?canary_fraction source)
 
 (* A raw socket speaking the wire protocol directly — for tests that
    care about exact reply bytes, pipelined trains and connection
@@ -808,6 +822,196 @@ let test_server_reload_errors_keep_old_model () =
          Ok ()));
   shutdown_server server
 
+(* ---- online learning: observe -> canary -> promote / rollback ---- *)
+
+(* Servers without a log answer the online-learning verbs with typed
+   errors instead of half-working. *)
+let test_server_without_obs_log () =
+  let tuner = Lazy.force tuner_a in
+  with_temp_dir @@ fun dir ->
+  let server = start_server dir (file_source dir tuner) in
+  get
+    (Client.with_connection (Server.address server) (fun c ->
+         (match
+            Client.observe c ~benchmark ~tuning:(Tuning.default ~dims:2) ~cost:0.01
+          with
+         | Error m -> checkb "observe -> no-log" true (contains ~sub:"no-log" m)
+         | Ok _ -> Alcotest.fail "observe accepted without a log");
+         (match Client.promote c with
+         | Error m ->
+           checkb "promote without canary rejected" true
+             (contains ~sub:"canary-rejected" m)
+         | Ok _ -> Alcotest.fail "promote succeeded without a canary");
+         (* a file-backed server has no store to canary from *)
+         (match Client.canary c ~model:"x" with
+         | Error m -> checkb "canary -> no-model" true (contains ~sub:"no-model" m)
+         | Ok _ -> Alcotest.fail "file-backed canary accepted");
+         Ok ()));
+  shutdown_server server
+
+(* The full closed loop against one server, with concurrent rank load
+   throughout: stream observations, retrain a candidate exactly the
+   way `sorl_tune learn` does, canary it (replies must stay
+   byte-identical to the stable model), promote it (the swap is the
+   hot-reload path), then canary a deliberately degraded model and
+   watch it roll back and quarantine.  A reply that is not exactly one
+   model's bytes is torn; a candidate reply before promote is a
+   leak. *)
+let test_server_canary_cycle_zero_torn_replies () =
+  let stable = Lazy.force tuner_a in
+  let inst = Benchmarks.instance_by_name benchmark in
+  let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+  let top = 3 in
+  with_temp_dir @@ fun dir ->
+  let store = get (Model_store.open_dir (Filename.concat dir "store")) in
+  get (Model_store.save store ~name:"default" stable);
+  let obs_log = Filename.concat dir "observations.obs" in
+  let server = start_server ~workers:2 ~obs_log dir (Server.Store (store, "default")) in
+  let addr = Server.address server in
+  (* ingest: pipelined observer, every record acked *)
+  let measure = Sorl_machine.Measure.model ~noise_amplitude:0.02 ~seed:21 machine in
+  let rng = Sorl_util.Rng.create 77 in
+  let n_obs = 240 in
+  get
+    (Client.with_connection addr (fun c ->
+         let o = Client.Observer.create ~batch:32 c in
+         for _ = 1 to n_obs do
+           let tuning = set.(Sorl_util.Rng.int rng (Array.length set)) in
+           let cost = Sorl_machine.Measure.runtime measure inst tuning in
+           get (Client.Observer.send o ~benchmark ~tuning ~cost)
+         done;
+         let r = Client.Observer.close o in
+         checki "all acked" n_obs (Client.Observer.acked o);
+         checki "none rejected" 0 (Client.Observer.rejected o);
+         r));
+  let obs, clean = get (Sorl_learn.Obs_log.replay obs_log) in
+  checkb "server log replays clean" true clean;
+  checki "server log complete" n_obs (List.length obs);
+  (* retrain: warm start from the stable weights on the train slice *)
+  let train_slice, held = Sorl_learn.Trainer.split obs in
+  let candidate =
+    get
+      (Sorl_learn.Trainer.retrain
+         ~init:(Sorl.Autotuner.weights stable)
+         ~mode:(Sorl.Autotuner.feature_mode stable)
+         train_slice)
+  in
+  let stau = Option.get (Sorl_learn.Trainer.holdout_tau stable held) in
+  let ctau = Option.get (Sorl_learn.Trainer.holdout_tau candidate held) in
+  checkb (Printf.sprintf "candidate tau %.3f no worse than stable %.3f" ctau stau) true
+    (Sorl_learn.Trainer.no_worse ~stable:stau ~candidate:ctau);
+  let gname =
+    match Model_store.publish store ~base:"default" candidate with
+    | Ok (gname, 1) -> gname
+    | Ok _ | Error _ -> Alcotest.fail "publish of generation 1 failed"
+  in
+  let reply_bytes tuner =
+    Protocol.encode_response
+      (Protocol.Ranked
+         {
+           benchmark;
+           total = Array.length set;
+           tunings = Array.to_list (Array.sub (Sorl.Autotuner.rank tuner inst set) 0 top);
+           approx = false;
+         })
+  in
+  let stable_bytes = reply_bytes stable and candidate_bytes = reply_bytes candidate in
+  (* load: phase 0 = pre-canary, 1 = canary shadowing, 2 = promote
+     sent.  Reading the phase after the reply arrives gives a sound
+     lower bound — a reply seen while the phase is still <= 1 was
+     served strictly before promote. *)
+  let phase = Atomic.make 0 in
+  let torn = Atomic.make 0 and leaked = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let request_line = Printf.sprintf "sorl1 rank %s %d" benchmark top in
+  let clients =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let (_, ic, oc) as conn = raw_connect server in
+            while not (Atomic.get stop) do
+              output_string oc (request_line ^ "\n");
+              flush oc;
+              let line = input_line ic in
+              let p = Atomic.get phase in
+              if line <> stable_bytes && line <> candidate_bytes then Atomic.incr torn
+              else if p <= 1 && line <> stable_bytes then Atomic.incr leaked
+            done;
+            raw_close conn))
+  in
+  let with_client f = get (Client.with_connection addr f) in
+  Unix.sleepf 0.05;
+  (* canary: replies stay stable while the shadow scores *)
+  with_client (fun c -> Client.canary c ~model:gname) |> fun m ->
+  checks "canaried" gname m;
+  Atomic.set phase 1;
+  (* guarantee shadow traffic regardless of load timing *)
+  with_client (fun c ->
+      for _ = 1 to 5 do
+        ignore (get (Client.rank c ~benchmark ~top))
+      done;
+      Ok ());
+  Unix.sleepf 0.1;
+  Atomic.set phase 2;
+  let promoted_model, generation = with_client Client.promote in
+  checks "promoted the canary" gname promoted_model;
+  checki "promote is a reload" 1 generation;
+  Unix.sleepf 0.05;
+  Atomic.set stop true;
+  List.iter Domain.join clients;
+  checki "zero torn replies" 0 (Atomic.get torn);
+  checki "zero candidate replies before promote" 0 (Atomic.get leaked);
+  (* post-promote: the candidate serves, and the decision is visible *)
+  with_client (fun c ->
+      for _ = 1 to 4 do
+        let r = get (Client.rank c ~benchmark ~top) in
+        checkb "candidate serving after promote" true
+          (r = Array.to_list (Array.sub (Sorl.Autotuner.rank candidate inst set) 0 top))
+      done;
+      let stats = get (Client.stats c) in
+      let v k = List.assoc k stats in
+      checki "observations counted" n_obs (v "observations");
+      checki "log records counted" n_obs (v "obs_log_records");
+      checkb "shadow traffic scored" true (v "canary_shadowed" >= 5);
+      checki "every shadow is a verdict" (v "canary_shadowed")
+        (v "canary_agree" + v "canary_disagree");
+      checki "promotion counted" 1 (v "canary_promotions");
+      checki "no canary loaded" 0 (v "canary_active");
+      checki "stable tau exported (milli)"
+        (int_of_float (Float.round (stau *. 1000.)))
+        (v "canary_tau_stable_m");
+      Ok ());
+  (* rollback: a sign-flipped model ranks backwards and must lose *)
+  let degraded =
+    Sorl.Autotuner.of_model
+      ~mode:(Sorl.Autotuner.feature_mode candidate)
+      (Sorl_svmrank.Model.create
+         (Array.map (fun x -> -.x) (Sorl.Autotuner.weights candidate)))
+  in
+  get (Model_store.save store ~name:"degraded" degraded);
+  with_client (fun c ->
+      checks "degraded canaried" "degraded" (get (Client.canary c ~model:"degraded"));
+      for _ = 1 to 3 do
+        ignore (get (Client.rank c ~benchmark ~top))
+      done;
+      (match Client.promote c with
+      | Error m -> checkb "rolled back" true (contains ~sub:"canary-rejected" m)
+      | Ok _ -> Alcotest.fail "degraded model was promoted");
+      (* quarantined: the name is refused until a new generation *)
+      (match Client.canary c ~model:"degraded" with
+      | Error m -> checkb "quarantined" true (contains ~sub:"quarantined" m)
+      | Ok _ -> Alcotest.fail "quarantined model re-canaried");
+      let stats = get (Client.stats c) in
+      checki "rollback counted" 1 (List.assoc "canary_rollbacks" stats);
+      checki "quarantine counted" 1 (List.assoc "canary_quarantined" stats);
+      let info = get (Client.info c) in
+      checks "generation unchanged by rollback" "1" (List.assoc "generation" info);
+      (* and the wire keeps serving the promoted candidate *)
+      let r = get (Client.rank c ~benchmark ~top) in
+      checkb "candidate still serving" true
+        (r = Array.to_list (Array.sub (Sorl.Autotuner.rank candidate inst set) 0 top));
+      Ok ());
+  shutdown_server server
+
 (* ---- near-miss reuse ---- *)
 
 let test_server_provisional_then_exact () =
@@ -1027,6 +1231,10 @@ let suite =
     Alcotest.test_case "hot reload under load" `Slow test_server_hot_reload_under_load;
     Alcotest.test_case "failed reload keeps the old model" `Quick
       test_server_reload_errors_keep_old_model;
+    Alcotest.test_case "learning verbs without a log are typed errors" `Quick
+      test_server_without_obs_log;
+    Alcotest.test_case "canary cycle: zero torn replies under load" `Slow
+      test_server_canary_cycle_zero_torn_replies;
     Alcotest.test_case "neighbor: provisional then exact back-fill" `Quick
       test_server_provisional_then_exact;
     Alcotest.test_case "neighbor: counters reconcile with requests" `Quick
