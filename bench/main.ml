@@ -2804,6 +2804,160 @@ let online_learn () =
      shadowed %d, promotions %d, rollbacks %d, quarantined %d, router errors %d\n"
     rollback_ok still_candidate (stat "canary_shadowed") (stat "canary_promotions")
     (stat "canary_rollbacks") (stat "canary_quarantined") router_errors;
+  (* ---- retrain scaling: the same observation stream re-observed
+     [s] times grows the log s-fold while the unique configuration set
+     stays fixed (the cost model is deterministic per (benchmark,
+     tuning), exactly like production traffic replayed against a
+     measurement cache).  The cold path replays, re-encodes and
+     re-pairs every duplicate; the incremental pipeline — compaction
+     deduplicating the log, sidecars serving sealed segments, the
+     shrinking solver — keeps the retrain proportional to unique
+     records plus the tail.  Exactness is gated against a cold
+     full-replay of the {e same} compacted log, where the incremental
+     data path is bit-identical by construction; the tau drift of
+     aggregation itself (mean cost replacing duplicate draws) is
+     reported alongside. ---- *)
+  let scale_per = 150 in
+  let scale_base =
+    let noisy = Sorl_machine.Measure.model ~noise_amplitude:0.02 ~seed:11 machine in
+    let rng = Sorl_util.Rng.create 424243 in
+    List.concat_map
+      (fun inst ->
+        let benchmark = Instance.name inst in
+        let set = Tuning.predefined_set ~dims:(Kernel.dims (Instance.kernel inst)) in
+        List.init scale_per (fun _ ->
+            let tuning = set.(Sorl_util.Rng.int rng (Array.length set)) in
+            let cost = Sorl_machine.Measure.runtime noisy inst tuning in
+            { Sorl_learn.Obs_log.benchmark; tuning; cost }))
+      Benchmarks.instances
+  in
+  let scale_solver = dcd scratch_passes in
+  let num_pairs obs =
+    let train, _ = Sorl_learn.Trainer.split obs in
+    match Sorl_learn.Trainer.dataset ~mode train with
+    | Ok ds -> Sorl_svmrank.Dataset.num_possible_pairs ds
+    | Error _ -> 0
+  in
+  let scale_row s =
+    let sdir = Filename.concat dir (Printf.sprintf "scale%d.obs" s) in
+    let w =
+      match Sorl_learn.Obs_log.create ~roll_at:1024 sdir with
+      | Ok w -> w
+      | Error m -> failwith m
+    in
+    for _ = 1 to s do
+      List.iter (Sorl_learn.Obs_log.append w) scale_base
+    done;
+    Sorl_learn.Obs_log.seal w;
+    Sorl_learn.Obs_log.close w;
+    (* cold baseline: replay, re-encode and refit over every record *)
+    let (cold_tuner, cold_held, records), cold_s =
+      Sorl_util.Timer.time (fun () ->
+          let obs, _ =
+            match Sorl_learn.Obs_log.replay sdir with Ok r -> r | Error m -> failwith m
+          in
+          let train, held = Sorl_learn.Trainer.split obs in
+          match Sorl_learn.Trainer.retrain ~solver:scale_solver ~mode train with
+          | Ok t -> (t, held, List.length obs)
+          | Error m -> failwith m)
+    in
+    let pairs_before =
+      let obs, _ =
+        match Sorl_learn.Obs_log.replay sdir with Ok r -> r | Error m -> failwith m
+      in
+      num_pairs obs
+    in
+    let cstats, compact_s =
+      Sorl_util.Timer.time (fun () ->
+          match Sorl_learn.Obs_log.compact sdir with
+          | Ok st -> st
+          | Error m -> failwith m)
+    in
+    let compacted_obs, _ =
+      match Sorl_learn.Obs_log.replay sdir with Ok r -> r | Error m -> failwith m
+    in
+    let pairs_after = num_pairs compacted_obs in
+    let inc () =
+      match Sorl_learn.Trainer.retrain_incremental ~solver:scale_solver ~mode sdir with
+      | Ok i -> i
+      | Error m -> failwith m
+    in
+    (* first run builds the compacted segment's sidecar; the timed run
+       is the steady state every later cycle of the loop pays *)
+    ignore (inc ());
+    let i, inc_s = Sorl_util.Timer.time inc in
+    (* exactness: a cold full replay of the same compacted log must
+       land on the same model *)
+    let replay_tuner =
+      let train, _ = Sorl_learn.Trainer.split compacted_obs in
+      match Sorl_learn.Trainer.retrain ~solver:scale_solver ~mode train with
+      | Ok t -> t
+      | Error m -> failwith m
+    in
+    let tau_on held t =
+      match Sorl_learn.Trainer.holdout_tau t held with Some x -> x | None -> nan
+    in
+    let tau_cold = tau_on cold_held cold_tuner in
+    let tau_inc = tau_on i.Sorl_learn.Trainer.held i.Sorl_learn.Trainer.tuner in
+    let dtau_replay =
+      Float.abs (tau_inc -. tau_on i.Sorl_learn.Trainer.held replay_tuner)
+    in
+    let st = i.Sorl_learn.Trainer.stats in
+    Printf.printf
+      "scale %2dx: %6d records -> %5d compacted (%d segs), pairs %d -> %d | cold %s, \
+       compact %s, incremental %s (%.1fx) | tau cold %+.4f inc %+.4f (replay drift \
+       %.1e) | encoded %d, cached %d, segments reused %d/%d\n"
+      s records cstats.Sorl_learn.Obs_log.records_after
+      cstats.Sorl_learn.Obs_log.segments_before pairs_before pairs_after
+      (Table.fmt_time cold_s) (Table.fmt_time compact_s) (Table.fmt_time inc_s)
+      (cold_s /. inc_s) tau_cold tau_inc dtau_replay
+      st.Sorl_learn.Trainer.records_encoded st.Sorl_learn.Trainer.records_cached
+      st.Sorl_learn.Trainer.segments_reused st.Sorl_learn.Trainer.segments_total;
+    ( s,
+      records,
+      cstats.Sorl_learn.Obs_log.records_after,
+      pairs_before,
+      pairs_after,
+      cold_s,
+      compact_s,
+      inc_s,
+      tau_cold,
+      tau_inc,
+      dtau_replay,
+      st )
+  in
+  let scaling = List.map scale_row [ 1; 3; 10 ] in
+  let ( top_s,
+        top_records,
+        top_after,
+        top_pairs_before,
+        top_pairs_after,
+        top_cold_s,
+        _,
+        top_inc_s,
+        _,
+        _,
+        top_dtau,
+        _ ) =
+    List.nth scaling (List.length scaling - 1)
+  in
+  let top_speedup = top_cold_s /. top_inc_s in
+  let scaling_json =
+    String.concat ",\n"
+      (List.map
+         (fun (s, rec_, after, pb, pa, cold_s, compact_s, inc_s, tc, ti, dt, st) ->
+           Printf.sprintf
+             "      { \"scale\": %d, \"records\": %d, \"compacted\": %d, \
+              \"pairs_before\": %d, \"pairs_after\": %d, \"cold_s\": %.4f, \
+              \"compact_s\": %.4f, \"incremental_s\": %.4f, \"speedup\": %.2f, \
+              \"tau_cold\": %.4f, \"tau_incremental\": %.4f, \"dtau_vs_replay\": %.2e, \
+              \"records_encoded\": %d, \"records_cached\": %d, \"segments_reused\": %d, \
+              \"segments_total\": %d }"
+             s rec_ after pb pa cold_s compact_s inc_s (cold_s /. inc_s) tc ti dt
+             st.Sorl_learn.Trainer.records_encoded st.Sorl_learn.Trainer.records_cached
+             st.Sorl_learn.Trainer.segments_reused st.Sorl_learn.Trainer.segments_total)
+         scaling)
+  in
   add_bench_sections
     [
       ( "online_learn",
@@ -2827,6 +2981,21 @@ let online_learn () =
           (Atomic.get load_replies) (Atomic.get torn) (Atomic.get leaked) promoted
           rollback_ok (stat "canary_shadowed") (stat "canary_promotions")
           (stat "canary_rollbacks") (stat "canary_quarantined") router_errors );
+      ( "retrain_scaling",
+        Printf.sprintf
+          "{\n\
+          \    \"benchmarks\": %d,\n\
+          \    \"base_records\": %d,\n\
+          \    \"scales\": [\n\
+           %s\n\
+          \    ],\n\
+          \    \"gates\": { \"at_scale\": %d, \"speedup\": %.2f, \"min_speedup\": 5.0, \
+           \"dtau_vs_replay\": %.2e, \"max_dtau\": 1e-6, \"pairs_shrunk\": %b }\n\
+          \  }"
+          (List.length Benchmarks.instances)
+          (List.length scale_base)
+          scaling_json top_s top_speedup top_dtau
+          (top_pairs_after < top_pairs_before) );
     ];
   let problems = ref [] in
   let flag cond msg = if cond then problems := msg :: !problems in
@@ -2872,6 +3041,23 @@ let online_learn () =
   flag (p50_degrade > 0.10)
     (Printf.sprintf "rank p50 degraded %.1f%% (> 10%%) under 10k obs/s ingestion"
        (100. *. p50_degrade));
+  flag
+    (top_speedup < 5.)
+    (Printf.sprintf
+       "retrain scaling gate: incremental %.3fs only %.1fx faster than cold %.3fs at \
+        %dx history (%d records), need >= 5x"
+       top_inc_s top_speedup top_cold_s top_s top_records);
+  flag (top_dtau > 1e-6)
+    (Printf.sprintf
+       "retrain scaling gate: incremental tau drifts %.2e from full replay of the same \
+        log (> 1e-6)"
+       top_dtau);
+  flag
+    (top_pairs_after >= top_pairs_before)
+    (Printf.sprintf
+       "retrain scaling gate: compaction left pair count at %d (was %d) on a \
+        duplicate-heavy log (%d records -> %d)"
+       top_pairs_after top_pairs_before top_records top_after);
   match !problems with
   | [] -> print_endline "OK: online-learn gates passed"
   | ps ->

@@ -471,24 +471,42 @@ let serve_cmd =
   in
   let obs_log_arg =
     let doc =
-      "Append `observe' requests to $(docv) (created if missing; enables the \
-       online-learning verbs observe/canary/promote)."
+      "Append `observe' requests to the segmented log at $(docv) (created if missing; \
+       a v1 single-file log is migrated in place; enables the online-learning verbs \
+       observe/canary/promote)."
     in
-    Arg.(value & opt (some string) None & info [ "obs-log" ] ~docv:"FILE" ~doc)
+    Arg.(value & opt (some string) None & info [ "obs-log" ] ~docv:"PATH" ~doc)
+  in
+  let obs_roll_arg =
+    let doc =
+      "Seal the observation log's active tail into an immutable segment every $(docv) \
+       records (0 disables rolling); sealed segments are what incremental retraining \
+       reuses encoded features for."
+    in
+    Arg.(value & opt (some int) None & info [ "obs-roll" ] ~docv:"N" ~doc)
+  in
+  let obs_fsync_arg =
+    let doc =
+      "fsync each sealed observation segment (and the log directory) before exposing \
+       it; also enabled by SORL_OBS_FSYNC=1."
+    in
+    Arg.(value & flag & info [ "obs-fsync" ] ~doc)
   in
   let canary_fraction_arg =
     let doc = "Fraction of rank/tune traffic shadow-scored while a canary is loaded." in
     Arg.(value & opt float 1. & info [ "canary-fraction" ] ~docv:"F" ~doc)
   in
   let run listen model_file store name workers queue timeout cache max_conns no_warm
-      neighbors neighbor_threshold obs_log canary_fraction trace trace_out =
+      neighbors neighbor_threshold obs_log obs_roll obs_fsync canary_fraction trace
+      trace_out =
     Result.bind (resolve_source ~model_file ~store ~name) @@ fun source ->
     with_trace trace trace_out @@ fun ~tracing:_ () ->
     match
       Sorl_serve.Server.start ~address:listen ?workers ~queue_capacity:queue
         ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns
-        ~warm:(not no_warm) ~neighbors ~neighbor_threshold ?obs_log ~canary_fraction
-        source
+        ~warm:(not no_warm) ~neighbors ~neighbor_threshold ?obs_log ?obs_roll
+        ?obs_fsync:(if obs_fsync then Some true else None)
+        ~canary_fraction source
     with
     | Error m -> Error (`Msg m)
     | Ok server ->
@@ -505,8 +523,8 @@ let serve_cmd =
       term_result
         (const run $ listen_arg $ model_file_arg $ store_arg $ name_arg $ workers_arg
         $ queue_arg $ timeout_s_arg $ cache_arg $ max_conns_arg $ no_warm_arg
-        $ neighbors_arg $ neighbor_threshold_arg $ obs_log_arg $ canary_fraction_arg
-        $ trace_arg $ trace_out_arg))
+        $ neighbors_arg $ neighbor_threshold_arg $ obs_log_arg $ obs_roll_arg
+        $ obs_fsync_arg $ canary_fraction_arg $ trace_arg $ trace_out_arg))
 
 let fleet_cmd =
   let listen_arg =
@@ -539,12 +557,22 @@ let fleet_cmd =
     in
     Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR" ~doc)
   in
+  let obs_roll_arg =
+    let doc = "Per-shard observation-log segment roll threshold (0 disables rolling)." in
+    Arg.(value & opt (some int) None & info [ "obs-roll" ] ~docv:"N" ~doc)
+  in
+  let obs_fsync_arg =
+    let doc = "fsync each sealed observation segment; also enabled by SORL_OBS_FSYNC=1." in
+    Arg.(value & flag & info [ "obs-fsync" ] ~doc)
+  in
   let run listen shards dir model_file store name shard_workers router_workers queue
-      timeout cache max_conns obs_dir =
+      timeout cache max_conns obs_dir obs_roll obs_fsync =
     Result.bind (resolve_source ~model_file ~store ~name) @@ fun source ->
     match
       Sorl_serve.Fleet.start ~dir ~shards ~workers:shard_workers ~queue_capacity:queue
         ~conn_timeout_s:timeout ?cache_capacity:cache ~max_connections:max_conns ?obs_dir
+        ?obs_roll
+        ?obs_fsync:(if obs_fsync then Some true else None)
         source
     with
     | Error m -> Error (`Msg m)
@@ -580,7 +608,7 @@ let fleet_cmd =
       term_result
         (const run $ listen_arg $ shards_arg $ dir_arg $ model_file_arg $ store_arg
         $ name_arg $ shard_workers_arg $ router_workers_arg $ queue_arg $ timeout_s_arg
-        $ cache_arg $ max_conns_arg $ obs_dir_arg))
+        $ cache_arg $ max_conns_arg $ obs_dir_arg $ obs_roll_arg $ obs_fsync_arg))
 
 let query_cmd =
   let connect_arg =
@@ -744,6 +772,14 @@ let learn_cmd =
     let doc = "Train from scratch instead of warm-starting from the stable weights." in
     Arg.(value & flag & info [ "scratch" ] ~doc)
   in
+  let compact_arg =
+    let doc =
+      "Compact the log's sealed segments first: repeated (benchmark, tuning) \
+       observations merge into one aggregate (count, mean, min), shrinking the \
+       training pair set."
+    in
+    Arg.(value & flag & info [ "compact" ] ~doc)
+  in
   let keep_arg =
     let doc = "Generations of the base to keep after publishing (older ones are pruned)." in
     Arg.(value & opt int 8 & info [ "keep" ] ~docv:"K" ~doc)
@@ -761,7 +797,7 @@ let learn_cmd =
     in
     Arg.(value & opt (some address_conv) None & info [ "connect"; "c" ] ~docv:"ADDR" ~doc)
   in
-  let run store name log holdout holdout_seed solver scratch keep min_obs connect =
+  let run store name log holdout holdout_seed solver scratch compact keep min_obs connect =
     let open Sorl_serve in
     let ( let* ) = Result.bind in
     let err fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt in
@@ -783,6 +819,15 @@ let learn_cmd =
     let* stable = of_str (Model_store.load st ~name:stable_name) in
     let mode = Sorl.Autotuner.feature_mode stable in
     let log = Option.value log ~default:(Filename.concat store "observations.obs") in
+    let* () =
+      if not compact then Ok ()
+      else
+        let* cs = of_str (Sorl_learn.Obs_log.compact log) in
+        Printf.printf "compacted %d segments: %d records -> %d aggregates\n%!"
+          cs.Sorl_learn.Obs_log.segments_before cs.Sorl_learn.Obs_log.records_before
+          cs.Sorl_learn.Obs_log.records_after;
+        Ok ()
+    in
     let* obs, clean = of_str (Sorl_learn.Obs_log.replay log) in
     if not clean then
       Printf.printf "note: %s had a torn tail; replayed the complete prefix\n" log;
@@ -791,17 +836,23 @@ let learn_cmd =
       err "only %d complete observations in %s (need %d; lower --min-obs to force)" total
         log min_obs
     else begin
-      let train_slice, held = Sorl_learn.Trainer.split ~holdout ~seed:holdout_seed obs in
-      Printf.printf "replayed %d observations from %s (%d train / %d held out)\n%!" total
-        log (List.length train_slice) (List.length held);
       let init = if scratch then None else Some (Sorl.Autotuner.weights stable) in
-      let* candidate, train_s =
+      let* inc, train_s =
         let r, s =
           Sorl_util.Timer.time (fun () ->
-              Sorl_learn.Trainer.retrain ~solver ?init ~mode train_slice)
+              Sorl_learn.Trainer.retrain_incremental ~solver ?init ~holdout
+                ~seed:holdout_seed ~mode log)
         in
         of_str (Result.map (fun c -> (c, s)) r)
       in
+      let candidate = inc.Sorl_learn.Trainer.tuner in
+      let held = inc.Sorl_learn.Trainer.held in
+      let stats = inc.Sorl_learn.Trainer.stats in
+      Printf.printf "replayed %d observations from %s (%d train / %d held out)\n%!" total
+        log (total - List.length held) (List.length held);
+      Printf.printf "encoded %d records, %d from cache; reused %d/%d segments\n%!"
+        stats.Sorl_learn.Trainer.records_encoded stats.Sorl_learn.Trainer.records_cached
+        stats.Sorl_learn.Trainer.segments_reused stats.Sorl_learn.Trainer.segments_total;
       let tau which tuner =
         match Sorl_learn.Trainer.holdout_tau tuner held with
         | Some tau ->
@@ -855,7 +906,8 @@ let learn_cmd =
     Term.(
       term_result
         (const run $ store_req_arg $ name_arg $ log_arg $ holdout_arg $ holdout_seed_arg
-        $ solver_arg $ scratch_arg $ keep_arg $ min_obs_arg $ connect_opt_arg))
+        $ solver_arg $ scratch_arg $ compact_arg $ keep_arg $ min_obs_arg
+        $ connect_opt_arg))
 
 (* ---- tune-file (DSL front end) ---- *)
 

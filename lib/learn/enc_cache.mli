@@ -1,0 +1,55 @@
+(** Persistent encoded-feature cache: one sidecar per sealed segment.
+
+    Feature encoding is a pure function of [(benchmark, tuning)] under
+    a fixed feature schema, and sealed segments are immutable — so the
+    encodings of a segment's records are computed once (with the
+    compiled encoders) and persisted in a [<segment>.enc] sidecar.
+    Incremental retraining then re-encodes only the active tail and
+    concatenates cached segment blocks.
+
+    A sidecar is a rebuildable cache, never a source of truth: it is
+    keyed by {!Sorl_stencil.Features.schema_hash} (so any change to the
+    feature layout invalidates it) and by the segment's content digest
+    (so a resealed or compacted segment invalidates it), it is written
+    atomically, and {e any} validation failure — missing file, foreign
+    header, stale key, torn or checksum-mismatched payload — silently
+    falls back to re-encoding.  The payload after the validated text
+    header is a single length- and MD5-checked binary blob, so loading
+    a cached segment costs O(bytes) rather than a float parse per
+    feature. *)
+
+val path : string -> string
+(** [path seg_file] is the sidecar path, [seg_file ^ ".enc"]. *)
+
+val build :
+  mode:Sorl_stencil.Features.mode ->
+  Obs_log.segment ->
+  Sorl_util.Sparse.t option array
+(** Encode every record of the segment (in record order; [None] for
+    records naming unknown benchmarks) and persist the sidecar.  A
+    failure to write the sidecar is swallowed — the encodings are still
+    returned, the cache just stays cold. *)
+
+val load :
+  mode:Sorl_stencil.Features.mode ->
+  Obs_log.segment ->
+  Sorl_util.Sparse.t option array option
+(** Read the sidecar back, or [None] when it is absent, keyed to a
+    different schema or segment content, or malformed in any way.
+    A loaded row is bit-identical to a fresh encoding (the binary
+    payload preserves float bits exactly). *)
+
+val get :
+  mode:Sorl_stencil.Features.mode ->
+  Obs_log.segment ->
+  Sorl_util.Sparse.t option array * bool
+(** {!load} falling back to {!build}; the boolean is [true] on a cache
+    hit. *)
+
+val encode :
+  mode:Sorl_stencil.Features.mode ->
+  Obs_log.record list ->
+  Sorl_util.Sparse.t option array
+(** Encode records without touching any sidecar — the active tail's
+    path.  Row [i] is [None] when record [i] names an unknown
+    benchmark. *)

@@ -50,6 +50,47 @@ val retrain :
     benchmarks, no preference pairs, dimension mismatch — come back as
     [Error], never as an exception. *)
 
+(** {2 Incremental retraining}
+
+    The cold path above re-encodes every record of every replay.  The
+    incremental path makes retraining cost proportional to {e new}
+    data: sealed segments contribute their persisted encoded features
+    ({!Enc_cache}), only the active tail (and any segment whose sidecar
+    is missing or stale) is encoded fresh, and the resulting dataset —
+    and trained weights — are bit-identical to the full-replay cold
+    path on the same records. *)
+
+type retrain_stats = {
+  replayed : int;  (** complete records in the log (aggregates count once) *)
+  records_encoded : int;  (** encoded fresh this run (tail + cache misses) *)
+  records_cached : int;  (** taken from segment sidecars *)
+  segments_total : int;  (** sealed segments in the log *)
+  segments_reused : int;  (** segments whose sidecar was a cache hit *)
+}
+
+type incremental = {
+  tuner : Sorl.Autotuner.t;
+  held : Obs_log.obs list;  (** the held-out validation slice *)
+  stats : retrain_stats;
+}
+
+val retrain_incremental :
+  ?solver:Sorl.Autotuner.solver ->
+  ?init:float array ->
+  ?holdout:float ->
+  ?seed:int ->
+  mode:Sorl_stencil.Features.mode ->
+  string ->
+  (incremental, string) result
+(** [retrain_incremental ~mode log_dir] replays the segmented log,
+    assembles the training set from cached segment encodings plus a
+    fresh encoding of the tail, applies the deterministic {!split} and
+    fits on the training slice.  Sidecars are written for any segment
+    that lacked a valid one, so the next retrain reuses them.  The
+    [learn.records_encoded] and [learn.segments_reused] telemetry
+    counters mirror {!retrain_stats}.  Raises [Invalid_argument] on a
+    bad holdout fraction; every other failure is an [Error]. *)
+
 val per_benchmark_tau :
   Sorl.Autotuner.t -> Obs_log.obs list -> (string * float) list
 (** Kendall's tau between the model's predicted scores and the

@@ -48,6 +48,8 @@ val start :
   ?warm:bool ->
   ?topk:bool ->
   ?obs_dir:string ->
+  ?obs_roll:int ->
+  ?obs_fsync:bool ->
   ?canary_fraction:float ->
   ?ready_timeout_s:float ->
   Server.source ->
@@ -62,8 +64,9 @@ val start :
     missing) gives every shard its own observation log
     ([shard0.obs], [shard1.obs], ...) — the router routes [observe] by
     benchmark, so each log carries a disjoint slice; replaying all of
-    them reassembles the fleet's measurements.  [canary_fraction] is
-    passed through to each shard.  Fails (and reaps any shards already
+    them reassembles the fleet's measurements.  [obs_roll] /
+    [obs_fsync] and [canary_fraction] are passed through to each
+    shard.  Fails (and reaps any shards already
     spawned) if a shard does not answer an [info] probe within
     [ready_timeout_s] (default 10). *)
 

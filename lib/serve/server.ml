@@ -365,6 +365,7 @@ let handle_stats t =
         [
           ("observations", Atomic.get t.observations);
           ("obs_log_records", Sorl_learn.Obs_log.written ol);
+          ("obs_log_segments", Sorl_learn.Obs_log.segments ol);
         ]
     in
     let per_benchmark =
@@ -829,7 +830,8 @@ let default_neighbor_threshold = 0.002
 let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity = 64)
     ?(conn_timeout_s = 10.) ?cache_capacity ?(max_connections = 512) ?(warm = true)
     ?(topk = true) ?(neighbors = 512) ?(neighbor_threshold = default_neighbor_threshold)
-    ?obs_log ?(canary_fraction = 1.) ?(holdout = Sorl_learn.Trainer.default_holdout)
+    ?obs_log ?obs_roll ?obs_fsync ?(canary_fraction = 1.)
+    ?(holdout = Sorl_learn.Trainer.default_holdout)
     ?(holdout_seed = Sorl_learn.Trainer.default_seed) source =
   let workers =
     match workers with Some w -> w | None -> Sorl_util.Pool.default_domains ()
@@ -843,7 +845,9 @@ let start ?(address = Protocol.Unix_path "sorl.sock") ?workers ?(queue_capacity 
     let obs_writer =
       match obs_log with
       | None -> Ok None
-      | Some path -> Result.map Option.some (Sorl_learn.Obs_log.create path)
+      | Some path ->
+        Result.map Option.some
+          (Sorl_learn.Obs_log.create ?roll_at:obs_roll ?fsync_on_seal:obs_fsync path)
     in
     match obs_writer with
     | Error msg -> Error msg

@@ -139,6 +139,8 @@ val start :
   ?neighbors:int ->
   ?neighbor_threshold:float ->
   ?obs_log:string ->
+  ?obs_roll:int ->
+  ?obs_fsync:bool ->
   ?canary_fraction:float ->
   ?holdout:float ->
   ?holdout_seed:int ->
@@ -165,10 +167,16 @@ val start :
     it); 0 disables the layer entirely, making [rank!]/[tune!]
     behave exactly like [rank]/[tune].
 
-    [obs_log] enables observation ingestion into the given log file
-    (created — parent directories included — when absent; a torn tail
-    from a crash is truncated away on open).  Without it, [observe]
-    and [promote] answer [err no-log].  [canary_fraction] (default 1,
+    [obs_log] enables observation ingestion into the given segmented
+    log directory (created — parent directories included — when
+    absent; a v1 single-file log at the same path is migrated; a torn
+    tail from a crash is truncated away on open).  [obs_roll]
+    (default {!Sorl_learn.Obs_log.default_roll_at}; 0 disables) seals
+    the active tail into an immutable segment every so many records,
+    which is what lets retraining reuse per-segment encoded-feature
+    caches; [obs_fsync] (default off, or [SORL_OBS_FSYNC]) fsyncs
+    each seal.  Without [obs_log], [observe] and [promote] answer
+    [err no-log].  [canary_fraction] (default 1,
     i.e. every request; must be in (0, 1]) is the fraction of
     rank/tune traffic shadow-scored while a canary is loaded.
     [holdout]/[holdout_seed] (defaults

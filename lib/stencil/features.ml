@@ -699,6 +699,22 @@ let embedding mode inst =
 
 let mode_to_string = function Canonical -> "canonical" | Extended -> "extended"
 
+(* The schema hash pins everything a cached encoding depends on: the
+   mode, the dimension and the identity of every feature index.  Any
+   change to the feature layout changes the hash, so persisted encoded
+   features keyed by it can never be silently reinterpreted. *)
+let schema_hash mode =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (mode_to_string mode);
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int (dim mode));
+  Array.iter
+    (fun n ->
+      Buffer.add_char b '|';
+      Buffer.add_string b n)
+    (names mode);
+  String.sub (Digest.to_hex (Digest.string (Buffer.contents b))) 0 16
+
 let mode_of_string s =
   match String.lowercase_ascii s with
   | "canonical" -> Canonical

@@ -174,3 +174,9 @@ val tuning_feature_indices : mode -> int array
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode
+
+val schema_hash : mode -> string
+(** 16-hex-character digest of the feature schema (mode, dimension and
+    every feature name).  Persisted encoded-feature caches are keyed by
+    it, so any change to the feature layout invalidates them instead of
+    silently reinterpreting stale indices. *)

@@ -58,27 +58,36 @@ let strict_pairs_of_query t idxs =
   done;
   !out
 
+(* Per-query pair construction is embarrassingly parallel (the O(n²)
+   runtime comparisons dominate), so queries fan out over the pool.
+   Subsampling draws from a per-query generator seeded by
+   [Rng.derive_seed base qi] — [base] is the single value drawn from
+   the caller's generator — so each query's subsample depends only on
+   (caller rng state, query position): the result is bit-identical for
+   every pool size, serial included, and the caller's stream advances
+   by exactly one draw regardless of how many queries subsample. *)
 let pairs ?max_per_query ?rng t =
-  let out = ref [] in
-  Array.iter
-    (fun q ->
-      let ps = strict_pairs_of_query t (Hashtbl.find t.members q) in
-      let ps =
+  let base =
+    match rng with
+    | None -> 0
+    | Some r -> Int64.to_int (Sorl_util.Rng.bits64 r) land max_int
+  in
+  let blocks =
+    Sorl_util.Pool.parallel_map
+      (fun qi ->
+        let q = t.ids.(qi) in
+        let ps = strict_pairs_of_query t (Hashtbl.find t.members q) in
         match max_per_query with
         | Some cap when List.length ps > cap ->
-          let rng =
-            match rng with
-            | Some r -> r
-            | None -> invalid_arg "Dataset.pairs: subsampling requires ~rng"
-          in
+          if Option.is_none rng then invalid_arg "Dataset.pairs: subsampling requires ~rng";
+          let qrng = Sorl_util.Rng.create (Sorl_util.Rng.derive_seed base qi) in
           let arr = Array.of_list ps in
-          let keep = Sorl_util.Rng.sample_without_replacement rng cap (Array.length arr) in
-          Array.to_list (Array.map (fun k -> arr.(k)) keep)
-        | _ -> ps
-      in
-      out := List.rev_append ps !out)
-    t.ids;
-  Array.of_list !out
+          let keep = Sorl_util.Rng.sample_without_replacement qrng cap (Array.length arr) in
+          Array.map (fun k -> arr.(k)) keep
+        | _ -> Array.of_list ps)
+      (Array.init (Array.length t.ids) Fun.id)
+  in
+  Array.concat (Array.to_list blocks)
 
 let num_possible_pairs t =
   Array.fold_left

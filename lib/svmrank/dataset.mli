@@ -36,9 +36,13 @@ val pairs :
   t ->
   (int * int) array
 (** All within-query ordered pairs [(slower, faster)] with strictly
-    different runtimes.  When a query exposes more than [max_per_query]
-    pairs (default: unlimited) a uniform subsample is kept, drawn from
-    [rng] (required in that case). *)
+    different runtimes, grouped by query in first-appearance order.
+    When a query exposes more than [max_per_query] pairs (default:
+    unlimited) a uniform subsample is kept, drawn from a per-query
+    generator derived from one [rng] draw ([rng] is required in that
+    case).  Queries are constructed in parallel over
+    {!Sorl_util.Pool}; the per-query derived generators make the
+    result bit-identical for every pool size. *)
 
 val num_possible_pairs : t -> int
 (** Total strict within-query pairs, before any subsampling — the

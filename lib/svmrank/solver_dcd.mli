@@ -15,6 +15,16 @@ type params = {
                     pass falls below this (default 1e-4) *)
   max_pairs_per_query : int option;  (** pair subsampling cap (default Some 500) *)
   seed : int;
+  shrink : bool;
+      (** skip pairs at an alpha bound whose gradient proves them
+          inactive (Hsieh et al.'s shrinking; default [true]).  A
+          tolerance pass over the shrunk active set only makes
+          convergence provisional — the set is re-expanded and the
+          tolerance re-verified over {e all} pairs, so the converged
+          [w] meets exactly the non-shrinking stopping criterion (and
+          matches the non-shrinking [w] within [tol]).  [false] is
+          bit-identical to the pre-shrinking solver.  Shrunk pairs are
+          counted by the [solver.shrunk_pairs] telemetry counter. *)
 }
 
 val default_params : params
